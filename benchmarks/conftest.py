@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Each bench regenerates one paper figure on the simulated testbed and prints
+a paper-vs-measured table.  Set ``RIM_FULL=1`` to run paper-scale workloads
+(more traces, longer distances); the default sizes finish on a laptop in
+minutes while keeping every workload's shape.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    """True when paper-scale workloads were requested via RIM_FULL=1."""
+    return os.environ.get("RIM_FULL", "0") not in ("0", "", "false", "False")
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    """Benches run quick workloads unless RIM_FULL=1."""
+    return not full_scale()

@@ -1,0 +1,44 @@
+"""Ablation benches for RIM's design choices (DESIGN.md §5)."""
+
+from repro.eval.ablations import (
+    run_ablation_metric,
+    run_ablation_parallel_averaging,
+    run_ablation_sanitize,
+    run_ablation_tracking,
+)
+from repro.eval.report import print_report
+
+
+def test_ablation_metric(benchmark, quick):
+    result = benchmark.pedantic(
+        run_ablation_metric, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Ablation — TRRS vs magnitude-only", result)
+    assert result["measured"]["trrs_wins"]
+
+
+def test_ablation_tracking(benchmark, quick):
+    result = benchmark.pedantic(
+        run_ablation_tracking, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Ablation — DP tracking vs argmax", result)
+    assert result["measured"]["dp_wins"]
+
+
+def test_ablation_sanitize(benchmark, quick):
+    result = benchmark.pedantic(
+        run_ablation_sanitize, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Ablation — sanitization on/off", result)
+    assert result["measured"]["sanitize_wins"]
+
+
+def test_ablation_parallel_averaging(benchmark, quick):
+    result = benchmark.pedantic(
+        run_ablation_parallel_averaging, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Ablation — parallel-pair averaging", result)
+    m = result["measured"]
+    # Averaging should keep the error at least in the same ballpark; its
+    # benefit shows up at low SNR.
+    assert m["error_with_averaging_cm"] < 40.0

@@ -1,0 +1,43 @@
+"""Benches for the §7 extension features.
+
+Not figures from the paper's evaluation, but quantified versions of its
+discussion section: WiBall-style direction-free distance vs RIM, packet
+loss robustness, and finer-than-grid heading resolution.
+"""
+
+from repro.eval.extensions import (
+    run_fine_direction,
+    run_loss_robustness,
+    run_wiball_vs_rim,
+)
+from repro.eval.report import print_report
+
+
+def test_ext_wiball_vs_rim(benchmark, quick):
+    result = benchmark.pedantic(
+        run_wiball_vs_rim, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Extension — WiBall decay vs RIM retracing", result)
+    m = result["measured"]
+    assert m["rim_wins"]
+    assert m["wiball_median_error_cm"] < 200.0  # decimeter-class, not garbage
+
+
+def test_ext_packet_loss_robustness(benchmark, quick):
+    result = benchmark.pedantic(
+        run_loss_robustness, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Extension — packet loss robustness", result)
+    medians = result["measured"]["median_error_cm_by_loss"]
+    # Moderate loss must not blow the error up by an order of magnitude.
+    assert medians[max(medians)] < 10 * max(1.0, medians[0.0])
+
+
+def test_ext_fine_direction(benchmark, quick):
+    result = benchmark.pedantic(
+        run_fine_direction, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Extension — fine direction resolution", result)
+    m = result["measured"]
+    # The refinement should help on average (and must not be catastrophic).
+    assert m["refined_mean_error_deg"] <= m["grid_mean_error_deg"] + 5.0

@@ -1,0 +1,15 @@
+"""Bench: Fig. 5 — alignment matrices over a square trajectory."""
+
+from repro.eval.experiments import run_fig5_alignment_matrix
+from repro.eval.report import print_report
+
+
+def test_fig5_alignment_matrix(benchmark, quick):
+    result = benchmark.pedantic(
+        run_fig5_alignment_matrix, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Fig. 5 — alignment matrices (square trace)", result)
+    m = result["measured"]
+    # Shape: on most legs the strongest alignment matrix belongs to the
+    # pair group parallel to the leg's direction.
+    assert m["legs_with_correct_aligned_group"] >= 3

@@ -1,0 +1,16 @@
+"""Bench: Fig. 6 — antenna alignment under deviated retracing."""
+
+from repro.eval.experiments import run_fig6_deviated_retracing
+from repro.eval.report import print_report
+
+
+def test_fig6_deviated_retracing(benchmark, quick):
+    result = benchmark.pedantic(
+        run_fig6_deviated_retracing, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Fig. 6 — deviated retracing", result)
+    prom = result["measured"]["prominence_by_deviation"]
+    # Shape: peaks remain evident at the paper's 15° tolerance and
+    # collapse well beyond it.
+    assert prom[15.0] > 0.05
+    assert prom[45.0] < 0.6 * prom[0.0]

@@ -1,0 +1,16 @@
+"""Bench: Fig. 7 — movement detection, RIM vs accelerometer vs gyro."""
+
+from repro.eval.experiments import run_fig7_movement_detection
+from repro.eval.report import print_report
+
+
+def test_fig7_movement_detection(benchmark, quick):
+    result = benchmark.pedantic(
+        run_fig7_movement_detection, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Fig. 7 — movement detection", result)
+    m = result["measured"]
+    # Shape: RIM detects the transient stops both inertial sensors miss.
+    assert m["rim_accuracy"] > 0.85
+    assert m["rim_accuracy"] > m["accelerometer_accuracy"]
+    assert m["rim_accuracy"] > m["gyroscope_accuracy"]

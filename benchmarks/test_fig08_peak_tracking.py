@@ -1,0 +1,17 @@
+"""Bench: Fig. 8 — dynamic-programming TRRS peak tracking."""
+
+from repro.eval.experiments import run_fig8_peak_tracking
+from repro.eval.report import print_report
+
+
+def test_fig8_peak_tracking(benchmark, quick):
+    result = benchmark.pedantic(
+        run_fig8_peak_tracking, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Fig. 8 — DP peak tracking", result)
+    m = result["measured"]
+    # Shape: tracked lags sit at the expected alignment delay and flip
+    # sign when the direction reverses.
+    assert m["sign_flip_detected"]
+    assert abs(abs(m["forward_lag"]) - m["expected_abs_lag"]) < 4.0
+    assert abs(abs(m["backward_lag"]) - m["expected_abs_lag"]) < 4.0

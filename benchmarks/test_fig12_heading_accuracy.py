@@ -1,0 +1,16 @@
+"""Bench: Fig. 12 — heading-direction accuracy (paper: 6.1° mean)."""
+
+from repro.eval.experiments import run_fig12_heading_accuracy
+from repro.eval.report import print_report
+
+
+def test_fig12_heading_accuracy(benchmark, quick):
+    result = benchmark.pedantic(
+        run_fig12_heading_accuracy, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Fig. 12 — heading direction accuracy", result)
+    m = result["measured"]
+    # Shape: errors bounded by the 30°-grid quantization; the majority of
+    # directions resolve within 10-15°.
+    assert m["mean_error_deg"] < 15.0
+    assert m["within_10deg_fraction"] > 0.5

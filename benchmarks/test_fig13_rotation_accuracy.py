@@ -1,0 +1,19 @@
+"""Bench: Fig. 13 — rotating-angle accuracy, RIM vs gyroscope.
+
+Paper: ~30.1° median error for RIM; the gyroscope wins this comparison.
+"""
+
+from repro.eval.experiments import run_fig13_rotation_accuracy
+from repro.eval.report import print_report
+
+
+def test_fig13_rotation_accuracy(benchmark, quick):
+    result = benchmark.pedantic(
+        run_fig13_rotation_accuracy, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Fig. 13 — rotating angle accuracy", result)
+    m = result["measured"]
+    # Shape: coarse but functional rotation sensing; gyro is better, as in
+    # the paper.
+    assert m["rim_median_error_deg"] < 60.0
+    assert m["gyro_beats_rim"]

@@ -1,0 +1,16 @@
+"""Bench: Fig. 15 — error versus movement distance (no accumulation)."""
+
+from repro.eval.experiments import run_fig15_accumulation
+from repro.eval.report import print_report
+
+
+def test_fig15_accumulation(benchmark, quick):
+    result = benchmark.pedantic(
+        run_fig15_accumulation, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Fig. 15 — impact of movement distance", result)
+    m = result["measured"]
+    # Shape: unlike inertial integration (quadratic blow-up), the error
+    # grows at most mildly with distance.
+    assert m["max_median_cm"] < 40.0
+    assert m["growth_ratio"] < 20.0

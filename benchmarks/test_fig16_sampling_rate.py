@@ -1,0 +1,16 @@
+"""Bench: Fig. 16 — impact of the CSI sampling rate."""
+
+from repro.eval.experiments import run_fig16_sampling_rate
+from repro.eval.report import print_report
+
+
+def test_fig16_sampling_rate(benchmark, quick):
+    result = benchmark.pedantic(
+        run_fig16_sampling_rate, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Fig. 16 — impact of sampling rate", result)
+    m = result["measured"]
+    medians = m["median_error_cm_by_rate"]
+    rates = sorted(medians)
+    # Shape: the slowest rate is clearly worse than the fastest at 1 m/s.
+    assert medians[rates[0]] > medians[rates[-1]]

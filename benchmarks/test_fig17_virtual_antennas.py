@@ -1,0 +1,19 @@
+"""Bench: Fig. 17 — impact of the virtual antenna number V.
+
+Paper: median error ~30 cm at V=1 down to 6.6 cm at V=100.
+"""
+
+from repro.eval.experiments import run_fig17_virtual_antennas
+from repro.eval.report import print_report
+
+
+def test_fig17_virtual_antennas(benchmark, quick):
+    result = benchmark.pedantic(
+        run_fig17_virtual_antennas, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Fig. 17 — impact of virtual antenna number", result)
+    m = result["measured"]
+    medians = m["median_error_cm_by_v"]
+    vs = sorted(medians)
+    # Shape: virtual massive antennas pay off — large V clearly beats V=1.
+    assert medians[vs[-1]] < medians[vs[0]]

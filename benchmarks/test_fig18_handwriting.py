@@ -1,0 +1,14 @@
+"""Bench: Fig. 18 — desk handwriting (paper: 2.4 cm mean error)."""
+
+from repro.eval.applications import run_fig18_handwriting
+from repro.eval.report import print_report
+
+
+def test_fig18_handwriting(benchmark, quick):
+    result = benchmark.pedantic(
+        run_fig18_handwriting, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Fig. 18 — handwriting", result)
+    m = result["measured"]
+    # Shape: letters reconstruct at centimeter-scale trajectory error.
+    assert m["mean_error_cm"] < 10.0

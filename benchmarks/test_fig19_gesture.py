@@ -1,0 +1,23 @@
+"""Bench: Fig. 19 — gesture detection and recognition.
+
+Paper: 96.25% detection across 480 gestures (3 users × 4 gestures × 2
+hands × 20 reps); all detected gestures classified correctly.  RIM_FULL=1
+runs the full 480; the default runs a reduced but same-shape sweep.
+"""
+
+import os
+
+from repro.eval.applications import run_fig19_gesture
+from repro.eval.report import print_report
+
+
+def test_fig19_gesture(benchmark, quick):
+    reps = 20 if not quick else None
+    result = benchmark.pedantic(
+        run_fig19_gesture, kwargs={"quick": quick, "reps": reps}, rounds=1, iterations=1
+    )
+    print_report("Fig. 19 — gesture recognition", result)
+    m = result["measured"]
+    # Shape: high detection; detected gestures classify correctly.
+    assert m["detection_rate"] > 0.7
+    assert m["classification_accuracy"] > 0.9

@@ -1,0 +1,16 @@
+"""Bench: Fig. 20 — floor-scale tracking by RIM alone (sideway moves)."""
+
+from repro.eval.applications import run_fig20_pure_tracking
+from repro.eval.report import print_report
+
+
+def test_fig20_pure_tracking(benchmark, quick):
+    result = benchmark.pedantic(
+        run_fig20_pure_tracking, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Fig. 20 — tracking by sole RIM", result)
+    m = result["measured"]
+    # Shape: meters-long traces with sideway legs tracked without error
+    # blow-up (median path error well below a meter).
+    assert m["median_error_m"] < 1.0
+    assert m["final_drift_m"] < 0.25 * m["trace_length_m"]

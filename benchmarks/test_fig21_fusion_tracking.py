@@ -1,0 +1,17 @@
+"""Bench: Fig. 21 — RIM distance + gyro heading + particle filter."""
+
+from repro.eval.applications import run_fig21_fusion_tracking
+from repro.eval.report import print_report
+
+
+def test_fig21_fusion_tracking(benchmark, quick):
+    result = benchmark.pedantic(
+        run_fig21_fusion_tracking, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Fig. 21 — RIM + inertial sensors + PF", result)
+    m = result["measured"]
+    # Shape: the fused tracker holds meter-scale accuracy over the floor,
+    # and the floorplan particle filter does not hurt (usually helps).
+    assert m["dead_reckoned_median_m"] < 3.0
+    assert m["filtered_median_m"] < 3.0
+    assert m["pf_improves"]

@@ -1,0 +1,14 @@
+"""Bench: closed-loop AGV navigation on RIM feedback (§6.3.3 motivation)."""
+
+from repro.eval.extensions import run_navigation
+from repro.eval.report import print_report
+
+
+def test_navigation_closed_loop(benchmark, quick):
+    result = benchmark.pedantic(
+        run_navigation, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Closed loop — AGV waypoint navigation", result)
+    m = result["measured"]
+    assert m["waypoints_reached"] >= m["n_waypoints"] - 1
+    assert m["mean_arrival_error_cm"] < 60.0

@@ -1,0 +1,15 @@
+"""Bench: §6.2.9 — system complexity / real-time throughput."""
+
+from repro.eval.applications import run_sec629_complexity
+from repro.eval.report import print_report
+
+
+def test_sec629_complexity(benchmark, quick):
+    result = benchmark.pedantic(
+        run_sec629_complexity, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Sec. 6.2.9 — system complexity", result)
+    m = result["measured"]
+    # Shape: the NumPy pipeline keeps up with the 200 Hz packet rate (the
+    # paper's C++ system runs real-time at ~6% CPU).
+    assert m["real_time_at_200hz"]

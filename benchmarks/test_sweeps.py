@@ -1,0 +1,46 @@
+"""Parameter sweeps quantifying the paper's scaling claims.
+
+* §7 "Antenna array": more antennas ⇒ finer direction resolution.
+* §3.2: "time-reversal focusing effects will be intensified with larger
+  bandwidths" ⇒ distance accuracy vs channel bandwidth / tone count.
+* §5/§6.2.9: real-time operation ⇒ streaming throughput vs packet rate.
+"""
+
+from repro.eval.extensions import (
+    run_antenna_count_sweep,
+    run_bandwidth_sweep,
+    run_streaming_throughput,
+)
+from repro.eval.report import print_report
+
+
+def test_sweep_antenna_count(benchmark, quick):
+    result = benchmark.pedantic(
+        run_antenna_count_sweep, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Sweep — heading error vs antenna count", result)
+    errors = result["measured"]["mean_heading_error_deg_by_antennas"]
+    ns = sorted(errors)
+    assert errors[ns[-1]] <= errors[ns[0]] + 2.0
+
+
+def test_sweep_bandwidth(benchmark, quick):
+    result = benchmark.pedantic(
+        run_bandwidth_sweep, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Sweep — distance error vs channel bandwidth", result)
+    medians = result["measured"]["median_error_cm_by_channel"]
+    # The system keeps working at every width; the widest channel is at
+    # least as accurate as the narrowest.
+    assert medians["40MHz/114"] <= medians["20MHz/56"] + 2.0
+    assert all(v < 25.0 for v in medians.values())
+
+
+def test_sweep_streaming_throughput(benchmark, quick):
+    result = benchmark.pedantic(
+        run_streaming_throughput, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print_report("Sweep — streaming throughput", result)
+    m = result["measured"]
+    assert m["real_time_at_200hz"]
+    assert m["streamed_vs_offline_gap_cm"] < 20.0

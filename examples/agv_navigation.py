@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Closed-loop AGV navigation on RIM feedback (the §6.3.3 motivation).
+
+A simulated warehouse cart is steered to a sequence of waypoints using
+ONLY RIM's streaming estimates — the controller never sees ground truth.
+The cart translates without turning (the sideway-move regime where
+gyroscopes and magnetometers are blind), re-aiming every half second.
+
+Run:  python examples/agv_navigation.py
+"""
+
+import numpy as np
+
+from repro.apps.navigation import WaypointNavigator
+from repro.arrays.geometry import hexagonal_array
+from repro.eval.setup import make_testbed
+
+
+def main():
+    bed = make_testbed(seed=9)
+    navigator = WaypointNavigator(
+        bed.sampler,
+        hexagonal_array(),
+        speed=0.5,
+        control_seconds=0.5,
+        rng=np.random.default_rng(9),
+    )
+
+    start = (8.0, 13.5)
+    waypoints = [(12.0, 13.5), (12.0, 14.8), (16.0, 14.8)]
+    print(f"AGV starts at {start}; waypoints: {waypoints}")
+    print("steering on RIM estimates only (single unknown AP, NLOS)...\n")
+
+    result = navigator.navigate(start, waypoints, max_steps=120)
+
+    for k, (target, ok, err) in enumerate(
+        zip(waypoints, result.reached, result.arrival_errors)
+    ):
+        status = f"reached, true error {err * 100:.0f} cm" if ok else "NOT reached"
+        print(f"  waypoint {k + 1} {target}: {status}")
+
+    drift = np.linalg.norm(result.true_path[-1] - result.believed_path[-1])
+    print(f"\ndrove {result.total_true_distance:.1f} m in "
+          f"{result.true_path.shape[0] - 1} control steps")
+    print(f"final belief-vs-truth gap: {drift * 100:.0f} cm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Gesture control with a WiFi pointer (the Fig. 19 application).
+
+An L-shaped 3-antenna "pointer" senses out-and-back hand gestures in four
+directions.  The script simulates a user performing a gesture sequence and
+shows what the recognizer saw.
+
+Run:  python examples/gesture_control.py
+"""
+
+import numpy as np
+
+from repro import Rim, RimConfig, l_shaped_array
+from repro.apps.gesture import GestureRecognizer
+from repro.eval.setup import MEASUREMENT_SPOTS, make_testbed
+from repro.motionsim.gestures import GESTURES, GestureProfile, gesture_trajectory
+
+ARROWS = {"left": "<-", "right": "->", "up": "/\\", "down": "\\/"}
+
+
+def main():
+    recognizer = GestureRecognizer()
+    rim = Rim(RimConfig(max_lag=60))
+    pointer = l_shaped_array()
+    profile = GestureProfile(amplitude=0.35, speed=0.6)
+
+    sequence = ["right", "right", "up", "left", "down", "up", "left", "right"]
+    print("user performs:", " ".join(f"{g}{ARROWS[g]}" for g in sequence))
+    print()
+
+    hits = 0
+    for k, gesture in enumerate(sequence):
+        bed = make_testbed(seed=200 + k)
+        spot = MEASUREMENT_SPOTS[k % len(MEASUREMENT_SPOTS)]
+        trajectory = gesture_trajectory(
+            gesture, start=spot, profile=profile, rng=bed.rng
+        )
+        trace = bed.sampler.sample(trajectory, pointer)
+        detections = recognizer.recognize(rim.process(trace))
+
+        if detections:
+            got = detections[0].gesture
+            heading = np.rad2deg(detections[0].outward_heading)
+            status = "OK " if got == gesture else "WRONG"
+            hits += got == gesture
+            print(f"  #{k + 1}: {gesture:>5} -> detected {got:>5} "
+                  f"(outward {heading:+6.1f} deg)  {status}")
+        else:
+            print(f"  #{k + 1}: {gesture:>5} -> missed (repeat the gesture)")
+
+    print(f"\nrecognized {hits}/{len(sequence)} "
+          f"(paper: 96.25% detection, 0 misclassifications among detected)")
+
+
+if __name__ == "__main__":
+    main()

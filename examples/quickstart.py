@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: turn a simulated WiFi radio into an inertial sensor.
+
+Builds a multipath channel, slides a 3-antenna receiver 1.5 m across a
+room while a single AP broadcasts at 200 Hz, and lets RIM recover the
+moving distance and heading from CSI alone — no AP location, no
+calibration, no inertial sensors.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CsiSampler,
+    ImpairmentConfig,
+    MultipathChannel,
+    Rim,
+    RimConfig,
+    ap_antenna_positions,
+    line_trajectory,
+    linear_array,
+)
+from repro.channel.scatterers import uniform_field
+
+
+def main():
+    rng = np.random.default_rng(42)
+
+    # 1. A 20 m x 15 m room full of scatterers, one AP in a corner.
+    room = uniform_field(20.0, 15.0, n_scatterers=120, rng=rng)
+    channel = MultipathChannel(scatterers=room, los_gain=0.5)
+    sampler = CsiSampler(
+        channel=channel,
+        tx_positions=ap_antenna_positions((1.0, 1.0), n_tx=3),
+        impairments=ImpairmentConfig(snr_db=25.0),  # COTS-grade CSI
+        rng=rng,
+    )
+
+    # 2. The device: a COTS NIC with 3 antennas at λ/2 spacing, pushed
+    #    1.5 m across a desk at 0.5 m/s.
+    truth = line_trajectory(
+        start=(10.0, 8.0), direction_deg=0.0, speed=0.5, duration=3.0
+    )
+    trace = sampler.sample(truth, linear_array(3))
+    print(f"captured {trace.n_samples} CSI packets "
+          f"({trace.n_rx}x{trace.n_tx} links, {trace.n_subcarriers} tones)")
+
+    # 3. RIM: CSI in, motion out.
+    result = Rim(RimConfig(max_lag=60)).process(trace)
+
+    est = result.total_distance
+    print(f"true distance      : {truth.total_distance:6.3f} m")
+    print(f"estimated distance : {est:6.3f} m")
+    print(f"error              : {abs(est - truth.total_distance) * 100:6.1f} cm")
+
+    headings = result.headings()
+    headings = headings[np.isfinite(headings)]
+    mean_heading = np.rad2deg(
+        np.arctan2(np.mean(np.sin(headings)), np.mean(np.cos(headings)))
+    )
+    print(f"estimated heading  : {mean_heading:6.1f} deg (truth: 0.0 deg)")
+
+    speed = result.motion.speed[result.motion.moving]
+    print(f"median speed       : {np.median(speed[speed > 0]):6.3f} m/s (truth: 0.5)")
+
+
+if __name__ == "__main__":
+    main()

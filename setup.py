@@ -1,0 +1,11 @@
+"""Setup shim enabling legacy editable installs on offline machines.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, so PEP 660 editable installs are unavailable;
+``pip install -e . --no-build-isolation`` falls back to this shim.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""repro — a faithful reproduction of RIM: RF-based Inertial Measurement.
+
+Wu, Zhang, Fan, Liu. "RF-based Inertial Measurement", ACM SIGCOMM 2019.
+
+The package turns simulated commodity-WiFi CSI into inertial measurements:
+moving distance, heading direction, and rotating angle, using a single
+arbitrarily placed AP whose location is unknown.
+
+Quickstart::
+
+    from repro import (
+        Rim, RimConfig, CsiSampler, MultipathChannel,
+        hexagonal_array, line_trajectory,
+    )
+    from repro.channel.scatterers import uniform_field
+    from repro.channel.sampler import ap_antenna_positions
+
+    channel = MultipathChannel(scatterers=uniform_field(20, 15, rng=rng))
+    sampler = CsiSampler(channel=channel, tx_positions=ap_antenna_positions((1, 1)))
+    trace = sampler.sample(line_trajectory((10, 8), 0.0, 1.0, 5.0), hexagonal_array())
+    result = Rim().process(trace)
+    print(result.total_distance)
+"""
+
+from repro.arrays.geometry import (
+    AntennaArray,
+    hexagonal_array,
+    l_shaped_array,
+    linear_array,
+    square_array,
+    uniform_circular_array,
+)
+from repro.channel.impairments import CsiImpairer, ImpairmentConfig
+from repro.channel.model import MultipathChannel
+from repro.channel.ofdm import SubcarrierGrid, make_grid
+from repro.channel.sampler import CsiSampler, CsiTrace, ap_antenna_positions
+from repro.core.config import RimConfig
+from repro.core.rim import Rim, RimResult
+from repro.core.trrs import trrs_cfr, trrs_cir
+from repro.env.floorplan import Floorplan, Wall, empty_floorplan, office_floorplan
+from repro.motionsim.profiles import (
+    back_and_forth_trajectory,
+    line_trajectory,
+    polyline_trajectory,
+    rotation_trajectory,
+    square_trajectory,
+    still_trajectory,
+    stop_and_go_trajectory,
+)
+from repro.motionsim.trajectory import Trajectory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AntennaArray",
+    "CsiImpairer",
+    "CsiSampler",
+    "CsiTrace",
+    "Floorplan",
+    "ImpairmentConfig",
+    "MultipathChannel",
+    "Rim",
+    "RimConfig",
+    "RimResult",
+    "SubcarrierGrid",
+    "Trajectory",
+    "Wall",
+    "ap_antenna_positions",
+    "back_and_forth_trajectory",
+    "empty_floorplan",
+    "hexagonal_array",
+    "l_shaped_array",
+    "line_trajectory",
+    "linear_array",
+    "make_grid",
+    "office_floorplan",
+    "polyline_trajectory",
+    "rotation_trajectory",
+    "square_array",
+    "square_trajectory",
+    "still_trajectory",
+    "stop_and_go_trajectory",
+    "trrs_cfr",
+    "trrs_cir",
+    "uniform_circular_array",
+]

@@ -1,0 +1,169 @@
+"""Gesture detection and recognition (§6.3.2, Fig. 19).
+
+A pointer-like unit with an L-shaped 3-antenna array senses out-and-back
+hand gestures: the outward stroke aligns one antenna pair with one lag
+sign, the return stroke flips the sign.  The recognizer looks for exactly
+that signature in the RIM motion estimate — a movement episode whose
+heading sequence contains a direction followed by (approximately) its
+opposite — and classifies by the outward direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.rim import RimResult
+from repro.eval.metrics import circular_mean
+from repro.motionsim.gestures import GESTURES, gesture_direction_deg
+
+
+@dataclass
+class GestureDetection:
+    """One recognized gesture.
+
+    Attributes:
+        gesture: Classified label ("left"/"right"/"up"/"down").
+        outward_heading: Mean device-frame heading of the outward stroke.
+        start_index, stop_index: Sample span of the movement episode.
+    """
+
+    gesture: str
+    outward_heading: float
+    start_index: int
+    stop_index: int
+
+
+class GestureRecognizer:
+    """Classifies RIM motion estimates into the paper's 4-gesture set."""
+
+    def __init__(
+        self,
+        max_direction_error_deg: float = 46.0,
+        min_samples: int = 10,
+        merge_gap_seconds: float = 0.4,
+    ):
+        """
+        Args:
+            max_direction_error_deg: Reject episodes whose outward heading
+                is farther than this from every canonical gesture direction
+                (false-trigger guard; the L-array resolves 4 directions at
+                90° spacing, so 46° accepts everything it can express).
+            min_samples: Minimum moving samples for a valid episode.
+            merge_gap_seconds: Movement episodes separated by a pause
+                shorter than this merge into one gesture — the hand stops
+                for an instant at the out/back reversal, and splitting
+                there would classify the return stroke as its own gesture.
+        """
+        self.max_direction_error_deg = max_direction_error_deg
+        self.min_samples = min_samples
+        self.merge_gap_seconds = merge_gap_seconds
+
+    def recognize(self, result: RimResult) -> List[GestureDetection]:
+        """Extract gestures from one RIM result.
+
+        Returns:
+            Detections in temporal order (empty when nothing qualifies).
+        """
+        moving = result.motion.moving
+        heading = result.motion.heading
+        times = result.motion.times
+        fs = (
+            (times.size - 1) / (times[-1] - times[0])
+            if times.size > 1
+            else 1.0
+        )
+        merge_gap = max(1, int(round(self.merge_gap_seconds * fs)))
+        episodes = _merge_episodes(list(_episodes(moving)), merge_gap)
+
+        detections: List[GestureDetection] = []
+        for start, stop in episodes:
+            if stop - start < self.min_samples:
+                continue
+            det = self._classify_episode(heading[start:stop], start, stop)
+            if det is not None:
+                detections.append(det)
+        return detections
+
+    def _classify_episode(
+        self, heading: np.ndarray, start: int, stop: int
+    ) -> Optional[GestureDetection]:
+        finite = np.isfinite(heading)
+        if finite.sum() < self.min_samples // 2:
+            return None
+        valid = heading[finite]
+
+        # Split out/back strokes at a large heading jump (the reversal).
+        # Among all >120° jumps, prefer the most *balanced* split: a single
+        # glitched heading sample at the episode border also produces a
+        # 180° jump, but it splits 1-vs-rest and must not win.
+        diffs = np.abs(np.angle(np.exp(1j * np.diff(valid))))
+        if diffs.size == 0:
+            return None
+        candidates = np.nonzero(diffs >= np.deg2rad(120.0))[0]
+        if candidates.size == 0:
+            return None  # no return stroke — not an out-and-back gesture
+        splits = candidates + 1
+        balance = np.minimum(splits, valid.size - splits)
+        flip = int(splits[int(np.argmax(balance))])
+        outward = circular_mean(valid[:flip])
+        backward = circular_mean(valid[flip:])
+        if not np.isfinite(outward) or not np.isfinite(backward):
+            return None
+        # Confidence gate: both strokes must be internally coherent.  In
+        # hostile spots the heading flaps; better to miss (the user simply
+        # repeats the gesture, §6.3.2) than to trigger the wrong action.
+        for segment in (valid[:flip], valid[flip:]):
+            resultant = np.abs(np.mean(np.exp(1j * segment)))
+            if resultant < 0.55:
+                return None
+        opposition = np.abs(np.angle(np.exp(1j * (outward - backward - np.pi))))
+        if opposition > np.deg2rad(60.0):
+            return None
+
+        label, err = _nearest_gesture(outward)
+        if err > np.deg2rad(self.max_direction_error_deg):
+            return None
+        return GestureDetection(
+            gesture=label, outward_heading=outward, start_index=start, stop_index=stop
+        )
+
+
+def _merge_episodes(episodes, max_gap: int):
+    """Merge movement episodes separated by fewer than ``max_gap`` samples."""
+    if not episodes:
+        return []
+    merged = [list(episodes[0])]
+    for start, stop in episodes[1:]:
+        if start - merged[-1][1] <= max_gap:
+            merged[-1][1] = stop
+        else:
+            merged.append([start, stop])
+    return [tuple(e) for e in merged]
+
+
+def _episodes(moving: np.ndarray):
+    """Yield (start, stop) spans of contiguous movement."""
+    t = moving.size
+    k = 0
+    while k < t:
+        if not moving[k]:
+            k += 1
+            continue
+        start = k
+        while k < t and moving[k]:
+            k += 1
+        yield start, k
+
+
+def _nearest_gesture(heading: float):
+    """Closest canonical gesture direction and the angular error to it."""
+    best, best_err = None, np.inf
+    for gesture in GESTURES:
+        target = np.deg2rad(gesture_direction_deg(gesture))
+        err = float(np.abs(np.angle(np.exp(1j * (heading - target)))))
+        if err < best_err:
+            best, best_err = gesture, err
+    return best, best_err

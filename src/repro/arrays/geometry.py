@@ -1,0 +1,215 @@
+"""Antenna array geometries (§3.1, Fig. 2, Fig. 3).
+
+An :class:`AntennaArray` holds antenna coordinates in the array's local
+frame (meters, array center at the origin) plus the NIC each antenna belongs
+to.  The paper's prototypes:
+
+* a 3-antenna **linear** array (one COTS NIC) — distance tracking (§6.2.1);
+* a 6-element **hexagonal** array combining two NICs (Fig. 2) — 12 tractable
+  directions at 30° resolution;
+* an **L-shaped** 3-antenna array (one NIC) — the gesture pointer (§6.3.2);
+* square / quadrangular arrays (Fig. 3) for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.channel.constants import HALF_WAVELENGTH
+
+
+@dataclass(frozen=True)
+class AntennaArray:
+    """A rigid 2D antenna array.
+
+    Attributes:
+        name: Human-readable geometry name.
+        local_positions: (m, 2) antenna coordinates in the array frame.
+        nic_assignment: (m,) index of the NIC driving each antenna.  Antennas
+            on the same NIC share a sampling clock; packet-level (not phase)
+            synchronization is assumed across NICs (§5).
+        circular: True when the antennas sit on a circle around the array
+            center in ring order — required for rotation sensing (§4.4).
+    """
+
+    name: str
+    local_positions: np.ndarray
+    nic_assignment: np.ndarray
+    circular: bool = False
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.local_positions, dtype=np.float64)
+        nic = np.asarray(self.nic_assignment, dtype=np.int64)
+        if pos.ndim != 2 or pos.shape[1] != 2:
+            raise ValueError(f"local_positions must be (m, 2), got {pos.shape}")
+        if nic.shape != (pos.shape[0],):
+            raise ValueError("nic_assignment must have one entry per antenna")
+        object.__setattr__(self, "local_positions", pos)
+        object.__setattr__(self, "nic_assignment", nic)
+
+    @property
+    def n_antennas(self) -> int:
+        return int(self.local_positions.shape[0])
+
+    @property
+    def n_nics(self) -> int:
+        return int(self.nic_assignment.max()) + 1
+
+    @property
+    def radius(self) -> float:
+        """Largest antenna distance from the array center."""
+        return float(np.linalg.norm(self.local_positions, axis=1).max())
+
+    def separation(self, i: int, j: int) -> float:
+        """Distance between antennas i and j (the Δd of §3.1)."""
+        return float(
+            np.linalg.norm(self.local_positions[i] - self.local_positions[j])
+        )
+
+    def pair_direction(self, i: int, j: int) -> float:
+        """Angle (radians, array frame) of the ray from antenna i to j."""
+        delta = self.local_positions[j] - self.local_positions[i]
+        return float(np.arctan2(delta[1], delta[0]))
+
+    def world_positions(self, centers, orientations) -> np.ndarray:
+        """Antenna positions in world coordinates along a trajectory.
+
+        Args:
+            centers: (T, 2) array-center positions.
+            orientations: (T,) array rotation angles, radians.
+
+        Returns:
+            (T, m, 2) world positions of every antenna at every instant.
+        """
+        centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+        orientations = np.atleast_1d(np.asarray(orientations, dtype=np.float64))
+        if centers.shape[0] != orientations.shape[0]:
+            raise ValueError("centers and orientations must have equal length")
+        cos = np.cos(orientations)
+        sin = np.sin(orientations)
+        rot = np.empty((centers.shape[0], 2, 2))
+        rot[:, 0, 0] = cos
+        rot[:, 0, 1] = -sin
+        rot[:, 1, 0] = sin
+        rot[:, 1, 1] = cos
+        rotated = np.einsum("tab,mb->tma", rot, self.local_positions)
+        return rotated + centers[:, None, :]
+
+
+def linear_array(
+    n_antennas: int = 3, spacing: float = HALF_WAVELENGTH
+) -> AntennaArray:
+    """A uniform linear array along the local x-axis (one NIC)."""
+    if n_antennas < 2:
+        raise ValueError(f"need at least 2 antennas, got {n_antennas}")
+    xs = (np.arange(n_antennas) - (n_antennas - 1) / 2.0) * spacing
+    pos = np.stack([xs, np.zeros(n_antennas)], axis=1)
+    return AntennaArray(
+        name=f"linear-{n_antennas}",
+        local_positions=pos,
+        nic_assignment=np.zeros(n_antennas, dtype=np.int64),
+    )
+
+
+def l_shaped_array(spacing: float = HALF_WAVELENGTH) -> AntennaArray:
+    """The 3-antenna "L" used by the gesture pointer (§6.3.2).
+
+    Antenna 0 at the corner, antenna 1 along +x (the horizontal pair 0-1),
+    antenna 2 along +y (the vertical pair 0-2).
+    """
+    pos = np.array([[0.0, 0.0], [spacing, 0.0], [0.0, spacing]])
+    pos = pos - pos.mean(axis=0, keepdims=True)
+    return AntennaArray(
+        name="l-shaped",
+        local_positions=pos,
+        nic_assignment=np.zeros(3, dtype=np.int64),
+    )
+
+
+def square_array(spacing: float = HALF_WAVELENGTH) -> AntennaArray:
+    """Four antennas on the corners of a square (Fig. 3c, 8 directions)."""
+    half = spacing / 2.0
+    pos = np.array([[-half, -half], [half, -half], [half, half], [-half, half]])
+    return AntennaArray(
+        name="square",
+        local_positions=pos,
+        nic_assignment=np.zeros(4, dtype=np.int64),
+        circular=True,
+    )
+
+
+def hexagonal_array(spacing: float = HALF_WAVELENGTH) -> AntennaArray:
+    """The paper's 6-element hexagonal array (Fig. 2).
+
+    Regular hexagon: the circumradius equals the side length, so adjacent
+    antennas are ``spacing`` apart and each sits ``spacing`` from the center.
+    Antennas 0-2 belong to NIC 0, antennas 3-5 to NIC 1 (two COTS radios
+    placed together; only packet-level sync between them, §5).
+    """
+    angles = np.deg2rad(90.0 - 60.0 * np.arange(6))
+    pos = spacing * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+    nic = np.array([0, 0, 0, 1, 1, 1], dtype=np.int64)
+    return AntennaArray(
+        name="hexagonal", local_positions=pos, nic_assignment=nic, circular=True
+    )
+
+
+def uniform_circular_array(
+    n_antennas: int = 8,
+    radius: float = HALF_WAVELENGTH,
+    nics: int = 1,
+) -> AntennaArray:
+    """A uniform circular array of N antennas (§7, "Antenna array").
+
+    The paper: "the more antennas are available, the finer distance and
+    orientation resolution" — upcoming chipsets with more antennas
+    "immediately offer a better resolution".  A UCA of N antennas yields up
+    to N(N-1) tractable directions; the benches sweep N to quantify the
+    claim.
+
+    Args:
+        n_antennas: Number of antennas on the circle.
+        radius: Circumradius, meters.
+        nics: Number of NICs the antennas are split across (contiguous
+            arcs, as in the paper's two-NIC hexagon).
+    """
+    if n_antennas < 3:
+        raise ValueError(f"a circular array needs >= 3 antennas, got {n_antennas}")
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    if not 1 <= nics <= n_antennas:
+        raise ValueError(f"nics must be in [1, {n_antennas}], got {nics}")
+    angles = np.deg2rad(90.0 - 360.0 / n_antennas * np.arange(n_antennas))
+    pos = radius * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+    nic = (np.arange(n_antennas) * nics) // n_antennas
+    return AntennaArray(
+        name=f"uca-{n_antennas}",
+        local_positions=pos,
+        nic_assignment=nic.astype(np.int64),
+        circular=True,
+    )
+
+
+def pair_world_angle(array: AntennaArray, i: int, j: int, orientation: float) -> float:
+    """World-frame angle of the ray antenna i -> antenna j."""
+    return float(array.pair_direction(i, j) + orientation)
+
+
+def arc_separation(array: AntennaArray, i: int, j: int) -> float:
+    """Arc length between antennas of a circular array (rotation Δd, §4.4).
+
+    For in-place rotation every antenna moves along the circle of radius r;
+    the travel distance for antenna i to reach antenna j's previous spot is
+    the arc between them, r·Δφ — e.g. (π/3)·Δd for adjacent hexagon antennas.
+    """
+    if not array.circular:
+        raise ValueError("arc separation is defined only for circular arrays")
+    p_i = array.local_positions[i]
+    p_j = array.local_positions[j]
+    r_i = np.linalg.norm(p_i)
+    r_j = np.linalg.norm(p_j)
+    if not np.isclose(r_i, r_j, rtol=1e-6):
+        raise ValueError("antennas are not on a common circle")
+    cos_angle = float(np.clip(p_i @ p_j / (r_i * r_j), -1.0, 1.0))
+    return float(r_i * np.arccos(cos_angle))

@@ -1,0 +1,190 @@
+"""Antenna-pair bookkeeping (§3.1, §4.2).
+
+Each unordered antenna pair (i, j) supports motion measurement along the two
+directions of the line through the antennas: positive alignment lag means
+antenna j leads (heading = ray i→j), negative lag means antenna i leads.
+
+Parallel *isometric* pairs (same separation, parallel axis — e.g. hexagon
+pairs (0,3)∥(2,5) in our numbering) share alignment delays, so their
+alignment matrices can be averaged for robustness (§4.2); ``parallel_groups``
+computes that grouping.  ``adjacent_ring_pairs`` lists consecutive antennas
+of a circular array, the pairs that align simultaneously under rotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.arrays.geometry import AntennaArray
+
+
+@dataclass(frozen=True)
+class AntennaPair:
+    """One unordered antenna pair and its geometry.
+
+    Attributes:
+        i: First antenna index.
+        j: Second antenna index.
+        separation: Distance between the antennas, meters (Δd).
+        axis_angle: Array-frame angle of the ray i→j, radians in (-π, π].
+    """
+
+    i: int
+    j: int
+    separation: float
+    axis_angle: float
+
+    def heading(self, lag_sign: int, orientation: float = 0.0) -> float:
+        """World heading implied by an alignment with the given lag sign.
+
+        A positive lag means antenna j's past footprints are being retraced
+        by antenna i... no: a positive lag means the *pair ray i→j* points
+        along the motion (antenna j leads, antenna i follows); negative lag
+        flips the direction (§4.4).
+        """
+        angle = self.axis_angle + orientation
+        if lag_sign < 0:
+            angle += np.pi
+        return float(np.arctan2(np.sin(angle), np.cos(angle)))
+
+
+def all_pairs(array: AntennaArray) -> List[AntennaPair]:
+    """All m(m-1)/2 unordered pairs of an array."""
+    pairs = []
+    for i in range(array.n_antennas):
+        for j in range(i + 1, array.n_antennas):
+            pairs.append(
+                AntennaPair(
+                    i=i,
+                    j=j,
+                    separation=array.separation(i, j),
+                    axis_angle=array.pair_direction(i, j),
+                )
+            )
+    return pairs
+
+
+def supported_directions(array: AntennaArray, tol: float = 1e-6) -> np.ndarray:
+    """The discrete set of world directions an array can resolve.
+
+    Each pair contributes its axis angle and the opposite; parallel pairs
+    collapse.  The hexagonal array yields 12 directions at 30° resolution.
+
+    Returns:
+        Sorted unique angles in radians within (-π, π].
+    """
+    angles = []
+    for pair in all_pairs(array):
+        for extra in (0.0, np.pi):
+            a = pair.axis_angle + extra
+            angles.append(np.arctan2(np.sin(a), np.cos(a)))
+    angles = np.asarray(angles)
+    angles = np.where(np.isclose(angles, -np.pi, atol=tol), np.pi, angles)
+    order = np.argsort(angles)
+    angles = angles[order]
+    keep = [0]
+    for k in range(1, len(angles)):
+        if angles[k] - angles[keep[-1]] > tol:
+            keep.append(k)
+    return angles[keep]
+
+
+def parallel_groups(
+    array: AntennaArray,
+    angle_tol: float = 1e-6,
+    separation_rtol: float = 1e-3,
+) -> List[List[AntennaPair]]:
+    """Group pairs that are parallel and isometric.
+
+    Pairs in a group share the alignment delay for any translation, so their
+    alignment matrices can be averaged (§4.2).  Pairs whose rays point in
+    opposite senses are put in the same group with indices swapped so all
+    members share the ray direction.
+    """
+    pairs = all_pairs(array)
+    groups: List[List[AntennaPair]] = []
+    for pair in pairs:
+        placed = False
+        for group in groups:
+            ref = group[0]
+            if not np.isclose(
+                ref.separation, pair.separation, rtol=separation_rtol
+            ):
+                continue
+            delta = _angle_diff(pair.axis_angle, ref.axis_angle)
+            if abs(delta) <= angle_tol:
+                group.append(pair)
+                placed = True
+                break
+            if abs(abs(delta) - np.pi) <= angle_tol:
+                group.append(
+                    AntennaPair(
+                        i=pair.j,
+                        j=pair.i,
+                        separation=pair.separation,
+                        axis_angle=ref.axis_angle,
+                    )
+                )
+                placed = True
+                break
+        if not placed:
+            groups.append([pair])
+    return groups
+
+
+def adjacent_ring_pairs(array: AntennaArray) -> List[AntennaPair]:
+    """Consecutive-antenna pairs around a circular array.
+
+    Under in-place rotation, *every* adjacent pair aligns simultaneously
+    (§3.1) — the signature RIM uses to tell rotation from translation.
+    Antennas are ordered around the ring by angle.
+    """
+    if not array.circular:
+        raise ValueError("adjacent pairs are defined only for circular arrays")
+    angles = np.arctan2(array.local_positions[:, 1], array.local_positions[:, 0])
+    order = np.argsort(angles)
+    pairs = []
+    m = array.n_antennas
+    for k in range(m):
+        i = int(order[k])
+        j = int(order[(k + 1) % m])
+        pairs.append(
+            AntennaPair(
+                i=i,
+                j=j,
+                separation=array.separation(i, j),
+                axis_angle=array.pair_direction(i, j),
+            )
+        )
+    return pairs
+
+
+def best_pair_for_direction(
+    array: AntennaArray, direction: float, orientation: float = 0.0
+) -> Tuple[AntennaPair, int]:
+    """The pair (and lag sign) whose axis is closest to a world direction.
+
+    Returns:
+        (pair, sign) such that ``pair.heading(sign, orientation)`` is the
+        resolvable direction nearest to ``direction``.
+    """
+    best = None
+    best_err = np.inf
+    best_sign = 1
+    for pair in all_pairs(array):
+        for sign in (1, -1):
+            err = abs(_angle_diff(pair.heading(sign, orientation), direction))
+            if err < best_err:
+                best = pair
+                best_err = err
+                best_sign = sign
+    return best, best_sign
+
+
+def _angle_diff(a: float, b: float) -> float:
+    """Signed angular difference a-b wrapped to (-π, π]."""
+    d = a - b
+    return float(np.arctan2(np.sin(d), np.cos(d)))

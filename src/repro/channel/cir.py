@@ -1,0 +1,115 @@
+"""Channel Impulse Response (CIR) domain utilities.
+
+The paper defines TRRS first on CIRs (Eqn. 1) and notes the CFR form
+(Eqn. 2) is used "in practice".  Real CSI tooling constantly moves between
+the two domains — e.g. for power-delay-profile inspection, delay-spread
+estimation, or tap-domain filtering — so this module provides the
+conversions on the actual occupied-tone grid (DC and guard tones are not
+reported by hardware and are zero-filled before the IFFT) plus the
+standard delay-domain statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.channel.ofdm import SubcarrierGrid
+
+
+def _fft_size(grid: SubcarrierGrid) -> int:
+    return int(round(grid.bandwidth / grid.spacing))
+
+
+def cfr_to_cir(cfr: np.ndarray, grid: SubcarrierGrid) -> np.ndarray:
+    """Convert CFR vectors on the occupied-tone grid to CIR taps.
+
+    Args:
+        cfr: (..., S) complex CFR over ``grid.indices``.
+        grid: The tone grid the CFR lives on.
+
+    Returns:
+        (..., N_fft) complex CIR taps (tap spacing = 1 / bandwidth).
+    """
+    cfr = np.asarray(cfr)
+    if cfr.shape[-1] != grid.n_subcarriers:
+        raise ValueError(
+            f"CFR has {cfr.shape[-1]} tones, grid expects {grid.n_subcarriers}"
+        )
+    n_fft = _fft_size(grid)
+    full = np.zeros(cfr.shape[:-1] + (n_fft,), dtype=np.complex128)
+    idx = np.asarray(grid.indices, dtype=np.int64) % n_fft
+    full[..., idx] = cfr
+    return np.fft.ifft(full, axis=-1)
+
+
+def cir_to_cfr(cir: np.ndarray, grid: SubcarrierGrid) -> np.ndarray:
+    """Convert CIR taps back to the occupied-tone CFR (inverse of above)."""
+    cir = np.asarray(cir)
+    n_fft = _fft_size(grid)
+    if cir.shape[-1] != n_fft:
+        raise ValueError(f"CIR has {cir.shape[-1]} taps, grid expects {n_fft}")
+    full = np.fft.fft(cir, axis=-1)
+    idx = np.asarray(grid.indices, dtype=np.int64) % n_fft
+    return full[..., idx]
+
+
+def power_delay_profile(cfr: np.ndarray, grid: SubcarrierGrid) -> Tuple[np.ndarray, np.ndarray]:
+    """Power-delay profile of (a batch of) CFRs.
+
+    Returns:
+        (delays_s, pdp): tap delays in seconds and the mean |CIR|² over all
+        leading axes.
+    """
+    cir = cfr_to_cir(cfr, grid)
+    power = np.abs(cir) ** 2
+    while power.ndim > 1:
+        power = power.mean(axis=0)
+    n_fft = _fft_size(grid)
+    delays = np.arange(n_fft) / grid.bandwidth
+    return delays, power
+
+
+def rms_delay_spread(cfr: np.ndarray, grid: SubcarrierGrid) -> float:
+    """RMS delay spread in seconds (the standard multipath richness stat).
+
+    Cyclic IFFT aliasing folds long delays; the estimate uses the taps up
+    to half the unambiguous range, which covers indoor channels at 40 MHz
+    (1.6 µs span ≫ real office spreads).
+    """
+    delays, pdp = power_delay_profile(cfr, grid)
+    half = pdp.size // 2
+    delays = delays[:half]
+    pdp = pdp[:half]
+    total = pdp.sum()
+    if total <= 0:
+        return 0.0
+    mean_delay = float((delays * pdp).sum() / total)
+    second = float((delays**2 * pdp).sum() / total)
+    return float(np.sqrt(max(0.0, second - mean_delay**2)))
+
+
+def coherence_bandwidth(cfr: np.ndarray, grid: SubcarrierGrid, level: float = 0.5) -> float:
+    """Coherence bandwidth (Hz): frequency lag where |autocorr| drops to
+    ``level`` of its zero-lag value, averaged over leading axes."""
+    cfr = np.asarray(cfr)
+    flat = cfr.reshape(-1, cfr.shape[-1])
+    s = flat.shape[-1]
+    corr = np.zeros(s)
+    for lag in range(s):
+        if lag == 0:
+            num = (np.abs(flat) ** 2).sum(axis=-1)
+            den = num
+        else:
+            num = np.abs((flat[:, lag:] * np.conj(flat[:, :-lag])).sum(axis=-1))
+            den = np.sqrt(
+                (np.abs(flat[:, lag:]) ** 2).sum(axis=-1)
+                * (np.abs(flat[:, :-lag]) ** 2).sum(axis=-1)
+            )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(den > 0, num / den, 0.0)
+        corr[lag] = float(ratio.mean())
+    below = np.nonzero(corr < level)[0]
+    lag_c = float(below[0]) if below.size else float(s)
+    return lag_c * grid.spacing

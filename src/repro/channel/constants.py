@@ -1,0 +1,34 @@
+"""Physical constants and the radio configuration used throughout RIM.
+
+The paper prototypes RIM on 5 GHz WiFi with adjacent antennas spaced at a
+half wavelength of 2.58 cm, which corresponds to a carrier of ~5.805 GHz.
+All defaults below follow the paper's hardware setup (§5, §6.1).
+"""
+
+from __future__ import annotations
+
+SPEED_OF_LIGHT = 299_792_458.0
+"""Speed of light in vacuum, m/s."""
+
+CARRIER_FREQUENCY = 5.805e9
+"""Default carrier frequency in Hz (5 GHz band, chosen so λ/2 = 2.58 cm)."""
+
+CHANNEL_BANDWIDTH = 40e6
+"""Default channel bandwidth in Hz (802.11n 40 MHz channel, §6.1)."""
+
+DEFAULT_SAMPLING_RATE = 200.0
+"""Default CSI sampling (packet broadcast) rate in Hz (§6.1)."""
+
+
+def wavelength(carrier_frequency: float = CARRIER_FREQUENCY) -> float:
+    """Return the carrier wavelength in meters."""
+    if carrier_frequency <= 0:
+        raise ValueError(f"carrier frequency must be positive, got {carrier_frequency}")
+    return SPEED_OF_LIGHT / carrier_frequency
+
+
+WAVELENGTH = wavelength()
+"""Default carrier wavelength (~5.16 cm)."""
+
+HALF_WAVELENGTH = WAVELENGTH / 2.0
+"""Default antenna separation Δd used by the paper's arrays (~2.58 cm)."""

@@ -1,0 +1,207 @@
+"""Hardware impairments of commodity WiFi CSI.
+
+The paper (§3.2) lists the phase offsets that plague COTS CSI:
+
+* **Initial phase offset** from the PLL — a per-packet random common phase.
+  TRRS is immune to it because Eqn. 2 takes a magnitude.
+* **CFO** — residual carrier frequency offset; over a packet it contributes
+  another common phase term, drifting over time.
+* **SFO / STO** — sampling frequency and symbol timing offsets; both produce
+  a phase *slope* across subcarriers that changes packet to packet.  RIM
+  removes it with the linear sanitation of [13] (``repro.core.sanitize``).
+
+On top of the phase offsets we model per-antenna hardware heterogeneity
+(frequency-dependent gain ripple, fixed over time but distinct per RX chain
+— the reason cross-antenna TRRS tops out well below 1.0 in Fig. 4b),
+additive white Gaussian noise, and packet loss (lost packets surface as NaN
+rows, the paper's "null CSI").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.ofdm import SubcarrierGrid
+
+
+@dataclass
+class ImpairmentConfig:
+    """Knobs for the CSI impairment pipeline.
+
+    Attributes:
+        snr_db: Per-tone SNR of the additive noise (relative to the mean CFR
+            power of the trace).  ``None`` disables noise.
+        timing_jitter_std: Std-dev of the per-packet timing offset, in units
+            of the OFDM sample period.  Produces the STO phase slope.
+        timing_drift_per_packet: Deterministic drift of the timing offset per
+            packet (SFO accumulation), same units.
+        cfo_phase_std: Std-dev of the per-packet common phase random walk
+            increment, radians (CFO residual after coarse correction).
+        initial_phase: If True, add an i.i.d. uniform common phase per packet
+            per RX chain (PLL initial phase).
+        antenna_ripple: Relative amplitude of the per-antenna frequency gain
+            ripple (0 disables hardware heterogeneity).
+        ripple_components: Number of sinusoidal components in the ripple.
+        packet_loss_rate: i.i.d. probability that a packet is lost on a NIC.
+        loss_burstiness: If >0, losses follow a Gilbert-Elliott chain whose
+            bad state has this mean burst length (packets).
+    """
+
+    snr_db: Optional[float] = 25.0
+    timing_jitter_std: float = 0.1
+    timing_drift_per_packet: float = 1e-4
+    cfo_phase_std: float = 0.05
+    initial_phase: bool = True
+    antenna_ripple: float = 0.15
+    ripple_components: int = 4
+    packet_loss_rate: float = 0.0
+    loss_burstiness: float = 0.0
+
+
+def clean() -> ImpairmentConfig:
+    """An impairment config that leaves the CSI untouched."""
+    return ImpairmentConfig(
+        snr_db=None,
+        timing_jitter_std=0.0,
+        timing_drift_per_packet=0.0,
+        cfo_phase_std=0.0,
+        initial_phase=False,
+        antenna_ripple=0.0,
+        packet_loss_rate=0.0,
+    )
+
+
+class CsiImpairer:
+    """Applies the impairment pipeline to an ideal CSI tensor.
+
+    One ``CsiImpairer`` corresponds to one receiver NIC: timing offsets and
+    CFO are common to all RX chains of a NIC (they share a clock), while the
+    initial PLL phase and the gain ripple are drawn per RX chain.
+    """
+
+    def __init__(
+        self,
+        config: ImpairmentConfig,
+        grid: SubcarrierGrid,
+        n_rx: int,
+        rng: np.random.Generator = None,
+    ):
+        self.config = config
+        self.grid = grid
+        self.n_rx = int(n_rx)
+        self.rng = rng or np.random.default_rng()
+        self._ripple = self._draw_ripple()
+
+    def _draw_ripple(self) -> np.ndarray:
+        """Fixed per-RX-chain complex gain over tones, shape (n_rx, S)."""
+        s = self.grid.n_subcarriers
+        gains = np.ones((self.n_rx, s), dtype=np.complex128)
+        amp = self.config.antenna_ripple
+        if amp <= 0.0:
+            return gains
+        x = np.linspace(0.0, 1.0, s)
+        for a in range(self.n_rx):
+            mag = np.ones(s)
+            phase = np.zeros(s)
+            for _ in range(max(1, self.config.ripple_components)):
+                freq = self.rng.uniform(0.5, 3.0)
+                mag += amp * self.rng.standard_normal() * np.cos(
+                    2 * np.pi * freq * x + self.rng.uniform(0, 2 * np.pi)
+                )
+                phase += amp * self.rng.standard_normal() * np.sin(
+                    2 * np.pi * freq * x + self.rng.uniform(0, 2 * np.pi)
+                )
+            gains[a] = np.clip(mag, 0.1, None) * np.exp(1j * phase)
+        return gains
+
+    def apply(self, csi: np.ndarray) -> np.ndarray:
+        """Impair an ideal CSI tensor.
+
+        Args:
+            csi: (T, n_rx, n_tx, S) ideal CFRs for this NIC.
+
+        Returns:
+            Impaired tensor of the same shape (complex64); lost packets are
+            NaN across all their entries.
+        """
+        csi = np.asarray(csi)
+        if csi.ndim != 4:
+            raise ValueError(f"expected (T, n_rx, n_tx, S) CSI, got {csi.shape}")
+        t, n_rx, _, s = csi.shape
+        if n_rx != self.n_rx:
+            raise ValueError(f"impairer built for {self.n_rx} RX chains, got {n_rx}")
+        if s != self.grid.n_subcarriers:
+            raise ValueError(
+                f"CSI has {s} tones but grid has {self.grid.n_subcarriers}"
+            )
+        cfg = self.config
+        out = csi.astype(np.complex64, copy=True)
+
+        # Per-RX-chain fixed gain ripple (hardware heterogeneity).
+        out *= self._ripple.astype(np.complex64)[None, :, None, :]
+
+        # Timing offset -> phase slope across tones (common to the NIC).
+        if cfg.timing_jitter_std > 0.0 or cfg.timing_drift_per_packet != 0.0:
+            jitter = (
+                self.rng.normal(0.0, cfg.timing_jitter_std, t)
+                if cfg.timing_jitter_std > 0.0
+                else np.zeros(t)
+            )
+            drift = cfg.timing_drift_per_packet * np.arange(t)
+            delta = jitter + drift
+            tone_idx = self.grid.index_array
+            fft_size = self.grid.bandwidth / self.grid.spacing
+            slope_phase = -2.0 * np.pi * np.outer(delta, tone_idx) / fft_size
+            out *= np.exp(1j * slope_phase).astype(np.complex64)[:, None, None, :]
+
+        # CFO residual: common-phase random walk shared by the NIC.
+        if cfg.cfo_phase_std > 0.0:
+            walk = np.cumsum(self.rng.normal(0.0, cfg.cfo_phase_std, t))
+            out *= np.exp(1j * walk).astype(np.complex64)[:, None, None, None]
+
+        # PLL initial phase: i.i.d. per packet per RX chain.
+        if cfg.initial_phase:
+            phases = self.rng.uniform(0.0, 2 * np.pi, (t, n_rx))
+            out *= np.exp(1j * phases).astype(np.complex64)[:, :, None, None]
+
+        # Additive noise at the configured SNR.
+        if cfg.snr_db is not None:
+            signal_power = float(np.mean(np.abs(csi) ** 2))
+            noise_power = signal_power / (10.0 ** (cfg.snr_db / 10.0))
+            scale = np.sqrt(noise_power / 2.0)
+            noise = scale * (
+                self.rng.standard_normal(out.shape) + 1j * self.rng.standard_normal(out.shape)
+            )
+            out += noise.astype(np.complex64)
+
+        # Packet loss: NaN out whole packets.
+        lost = self._loss_mask(t)
+        if lost.any():
+            out[lost] = np.nan + 1j * np.nan
+        return out
+
+    def _loss_mask(self, t: int) -> np.ndarray:
+        cfg = self.config
+        if cfg.packet_loss_rate <= 0.0:
+            return np.zeros(t, dtype=bool)
+        if cfg.loss_burstiness <= 1.0:
+            return self.rng.uniform(size=t) < cfg.packet_loss_rate
+        # Gilbert-Elliott: stationary loss probability = packet_loss_rate,
+        # mean bad-burst length = loss_burstiness.
+        p_exit_bad = 1.0 / cfg.loss_burstiness
+        p_enter_bad = (
+            cfg.packet_loss_rate * p_exit_bad / max(1e-9, 1.0 - cfg.packet_loss_rate)
+        )
+        mask = np.zeros(t, dtype=bool)
+        bad = False
+        for i in range(t):
+            if bad:
+                mask[i] = True
+                bad = self.rng.uniform() >= p_exit_bad
+            else:
+                bad = self.rng.uniform() < p_enter_bad
+                mask[i] = bad
+        return mask

@@ -1,0 +1,81 @@
+"""CSI interpolation across lost packets (§5, §7 "Packet loss").
+
+The paper inserts null CSI for lost packets and notes RIM "can tolerate
+packet loss to a certain extent by interpolation".  This module implements
+that recovery: complex-linear interpolation of each (rx, tx, tone) series
+across NaN gaps, bounded by a maximum gap length — long outages stay NaN
+(interpolating across them would fabricate a channel the device never
+measured, corrupting alignment instead of helping it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def interpolate_lost_packets(data: np.ndarray, max_gap: int = 5) -> np.ndarray:
+    """Fill NaN packets by linear interpolation along the time axis.
+
+    Args:
+        data: (T, n_rx, n_tx, S) complex CSI with NaN rows for lost
+            packets (per-NIC loss makes whole antennas' packets NaN).
+        max_gap: Longest run of consecutive lost packets to bridge; longer
+            gaps are left as NaN.
+
+    Returns:
+        A new tensor of the same shape with short gaps filled.
+    """
+    data = np.asarray(data)
+    if data.ndim != 4:
+        raise ValueError(f"expected (T, n_rx, n_tx, S) CSI, got {data.shape}")
+    if max_gap < 1:
+        return data.copy()
+
+    out = data.copy()
+    t = data.shape[0]
+    # Loss is per packet per RX chain: detect gaps on the (T, n_rx) grid.
+    lost = np.isnan(data.real).any(axis=(2, 3))
+    for rx in range(data.shape[1]):
+        gaps = _gap_runs(lost[:, rx])
+        for start, stop in gaps:
+            if stop - start > max_gap:
+                continue
+            before = start - 1
+            after = stop
+            if before < 0 or after >= t:
+                continue  # gap touches the trace border: nothing to anchor
+            left = data[before, rx].astype(np.complex128)
+            right = data[after, rx].astype(np.complex128)
+            # COTS packets carry independent PLL phases; mixing raw complex
+            # values would beat against that random phase.  Rotate the
+            # right anchor onto the left one first (the relative phase that
+            # maximizes their coherence), then interpolate.
+            inner = (np.conj(right) * left).sum()
+            if np.abs(inner) > 0:
+                right = right * (inner / np.abs(inner))
+            span = after - before
+            for k in range(start, stop):
+                w = (k - before) / span
+                out[k, rx] = ((1.0 - w) * left + w * right).astype(data.dtype)
+    return out
+
+
+def loss_fraction(data: np.ndarray) -> float:
+    """Fraction of (packet, rx) slots lost in a CSI tensor."""
+    data = np.asarray(data)
+    lost = np.isnan(data.real).any(axis=(2, 3))
+    return float(lost.mean()) if lost.size else 0.0
+
+
+def _gap_runs(lost: np.ndarray):
+    """Yield (start, stop) runs of consecutive lost packets."""
+    t = lost.size
+    k = 0
+    while k < t:
+        if not lost[k]:
+            k += 1
+            continue
+        start = k
+        while k < t and lost[k]:
+            k += 1
+        yield start, k

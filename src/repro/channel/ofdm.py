@@ -1,0 +1,119 @@
+"""OFDM subcarrier grids for 802.11n channels.
+
+The channel simulator synthesizes Channel Frequency Responses (CFRs) on the
+actual tone grid of an 802.11n channel, so that phase slopes induced by
+timing offsets behave exactly as they do on commodity hardware.
+
+A 40 MHz 802.11n channel uses a 128-point FFT with occupied subcarriers
+-58..-2 and +2..+58 (114 usable tones); a 20 MHz channel uses a 64-point FFT
+with subcarriers -28..-1 and +1..+28 (56 usable tones).  The Intel 5300 NIC
+used by the paper reports a grouped subset of 30 tones; ``SubcarrierGrid``
+supports such decimation via :meth:`SubcarrierGrid.grouped`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.constants import CARRIER_FREQUENCY
+
+_OCCUPIED_RANGES = {
+    20e6: (1, 28),
+    40e6: (2, 58),
+}
+
+_FFT_SIZES = {
+    20e6: 64,
+    40e6: 128,
+}
+
+
+@dataclass(frozen=True)
+class SubcarrierGrid:
+    """The set of occupied OFDM tones of a WiFi channel.
+
+    Attributes:
+        carrier_frequency: Center frequency of the channel in Hz.
+        bandwidth: Channel bandwidth in Hz.
+        indices: Signed subcarrier indices (e.g. -58..-2, 2..58).
+        spacing: Subcarrier spacing in Hz.
+    """
+
+    carrier_frequency: float
+    bandwidth: float
+    indices: tuple
+    spacing: float
+
+    @property
+    def n_subcarriers(self) -> int:
+        """Number of occupied tones."""
+        return len(self.indices)
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Absolute RF frequency of every tone, in Hz."""
+        return self.carrier_frequency + self.spacing * np.asarray(self.indices, dtype=np.float64)
+
+    @property
+    def baseband_frequencies(self) -> np.ndarray:
+        """Tone frequencies relative to the carrier, in Hz."""
+        return self.spacing * np.asarray(self.indices, dtype=np.float64)
+
+    @property
+    def index_array(self) -> np.ndarray:
+        """Signed tone indices as a float array (useful for phase fitting)."""
+        return np.asarray(self.indices, dtype=np.float64)
+
+    def grouped(self, n_groups: int) -> "SubcarrierGrid":
+        """Return a decimated grid of ``n_groups`` evenly-spread tones.
+
+        Emulates NICs (e.g. Intel 5300) that report grouped subcarriers.
+        """
+        if not 1 <= n_groups <= self.n_subcarriers:
+            raise ValueError(
+                f"n_groups must be in [1, {self.n_subcarriers}], got {n_groups}"
+            )
+        picks = np.linspace(0, self.n_subcarriers - 1, n_groups).round().astype(int)
+        picks = np.unique(picks)
+        indices = tuple(self.indices[i] for i in picks)
+        return SubcarrierGrid(
+            carrier_frequency=self.carrier_frequency,
+            bandwidth=self.bandwidth,
+            indices=indices,
+            spacing=self.spacing,
+        )
+
+
+def make_grid(
+    carrier_frequency: float = CARRIER_FREQUENCY,
+    bandwidth: float = 40e6,
+) -> SubcarrierGrid:
+    """Build the occupied-tone grid of an 802.11n channel.
+
+    Args:
+        carrier_frequency: Channel center frequency in Hz.
+        bandwidth: 20e6 or 40e6.
+
+    Returns:
+        The corresponding :class:`SubcarrierGrid`.
+
+    Raises:
+        ValueError: If the bandwidth is not a supported 802.11n width.
+    """
+    if bandwidth not in _OCCUPIED_RANGES:
+        supported = sorted(_OCCUPIED_RANGES)
+        raise ValueError(f"unsupported bandwidth {bandwidth}; supported: {supported}")
+    lo, hi = _OCCUPIED_RANGES[bandwidth]
+    fft_size = _FFT_SIZES[bandwidth]
+    spacing = bandwidth / fft_size
+    negative = range(-hi, -lo + 1)
+    positive = range(lo, hi + 1)
+    indices = tuple(negative) + tuple(positive)
+    return SubcarrierGrid(
+        carrier_frequency=carrier_frequency,
+        bandwidth=bandwidth,
+        indices=indices,
+        spacing=spacing,
+    )

@@ -1,0 +1,226 @@
+"""CSI capture along a trajectory: the glue between substrates.
+
+``CsiSampler`` carries an antenna array along a ground-truth trajectory
+through a multipath channel and records what each receive antenna would
+measure for every broadcast packet of the AP — an ideal CFR tensor — then
+pushes it through the per-NIC impairment pipeline.  The result is a
+:class:`CsiTrace`, the input format of the RIM estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.arrays.geometry import AntennaArray
+from repro.channel.constants import HALF_WAVELENGTH
+from repro.channel.impairments import CsiImpairer, ImpairmentConfig, clean
+from repro.channel.model import MultipathChannel
+from repro.motionsim.trajectory import Trajectory
+
+
+@dataclass
+class CsiTrace:
+    """A recorded CSI trace plus everything needed to evaluate against truth.
+
+    Attributes:
+        data: (T, n_rx, n_tx, S) complex64 CFRs; lost packets are NaN.
+        times: (T,) packet timestamps, seconds.
+        array: The receive antenna array.
+        trajectory: Ground-truth array pose (same sampling instants).
+        tx_positions: (n_tx, 2) AP antenna positions.
+        carrier_wavelength: Carrier wavelength of the grid, meters.
+    """
+
+    data: np.ndarray
+    times: np.ndarray
+    array: AntennaArray
+    trajectory: Trajectory
+    tx_positions: np.ndarray
+    carrier_wavelength: float
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def n_rx(self) -> int:
+        return int(self.data.shape[1])
+
+    @property
+    def n_tx(self) -> int:
+        return int(self.data.shape[2])
+
+    @property
+    def n_subcarriers(self) -> int:
+        return int(self.data.shape[3])
+
+    @property
+    def sampling_rate(self) -> float:
+        return self.trajectory.sampling_rate
+
+    def lost_mask(self) -> np.ndarray:
+        """(T, n_rx) True where a packet is missing on an RX chain."""
+        return np.isnan(self.data.real).any(axis=(2, 3))
+
+    def downsample(self, factor: int) -> "CsiTrace":
+        """Keep every ``factor``-th packet (the Fig. 16 workload)."""
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        sl = slice(None, None, factor)
+        traj = Trajectory(
+            times=self.trajectory.times[sl],
+            positions=self.trajectory.positions[sl],
+            orientations=self.trajectory.orientations[sl],
+        )
+        return CsiTrace(
+            data=self.data[sl],
+            times=self.times[sl],
+            array=self.array,
+            trajectory=traj,
+            tx_positions=self.tx_positions,
+            carrier_wavelength=self.carrier_wavelength,
+        )
+
+
+def ap_antenna_positions(
+    position, n_tx: int = 3, spacing: float = HALF_WAVELENGTH
+) -> np.ndarray:
+    """AP antenna coordinates: a small linear array at the AP location."""
+    position = np.asarray(position, dtype=np.float64)
+    offsets = (np.arange(n_tx) - (n_tx - 1) / 2.0) * spacing
+    out = np.tile(position, (n_tx, 1))
+    out[:, 0] += offsets
+    return out
+
+
+@dataclass
+class CsiSampler:
+    """Samples CSI for a moving array in a fixed channel.
+
+    Attributes:
+        channel: The multipath channel (scatterers + floorplan + grid).
+        tx_positions: (n_tx, 2) AP antenna positions.
+        impairments: Impairment config applied per NIC; defaults to clean.
+        rng: Randomness source for the impairment pipeline.
+    """
+
+    channel: MultipathChannel
+    tx_positions: np.ndarray
+    impairments: ImpairmentConfig = field(default_factory=clean)
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        self.tx_positions = np.atleast_2d(
+            np.asarray(self.tx_positions, dtype=np.float64)
+        )
+        if self.tx_positions.shape[1] != 2:
+            raise ValueError("tx_positions must be (n_tx, 2)")
+        if self.rng is None:
+            self.rng = np.random.default_rng()
+
+    def sample(self, trajectory: Trajectory, array: AntennaArray) -> CsiTrace:
+        """Record a CSI trace for the array along the trajectory.
+
+        Args:
+            trajectory: Ground-truth pose of the array center per packet.
+            array: The receive antenna array.
+
+        Returns:
+            The impaired :class:`CsiTrace`.
+        """
+        rx_world = array.world_positions(
+            trajectory.positions, trajectory.orientations
+        )
+        t = trajectory.n_samples
+        n_rx = array.n_antennas
+        n_tx = self.tx_positions.shape[0]
+        s = self.channel.grid.n_subcarriers
+
+        data = np.empty((t, n_rx, n_tx, s), dtype=np.complex64)
+        for a in range(n_rx):
+            for k in range(n_tx):
+                data[:, a, k, :] = self.channel.cfr(
+                    self.tx_positions[k], rx_world[:, a, :]
+                )
+
+        data = self._impair_per_nic(data, array)
+        return CsiTrace(
+            data=data,
+            times=trajectory.times.copy(),
+            array=array,
+            trajectory=trajectory,
+            tx_positions=self.tx_positions.copy(),
+            carrier_wavelength=299_792_458.0 / self.channel.grid.carrier_frequency,
+        )
+
+    def sample_moving_tx(
+        self, trajectory: Trajectory, array: AntennaArray
+    ) -> CsiTrace:
+        """Record CSI for the reciprocal deployment: the *device* transmits.
+
+        §3.2: "RIM also applies to the opposite case when the Tx is moving
+        with a static Rx measuring CSI due to channel reciprocity" — e.g. a
+        drone carrying the array as a mobile AP.  The CFR between antenna
+        pairs is symmetric in our ray model (path lengths and wall
+        crossings do not depend on direction), so the tensor matches the
+        moving-RX case; what changes is the clocking: every measurement is
+        taken by the single static receiver, so timing offsets and packet
+        loss are common to *all* moving-array antennas (one NIC group).
+
+        Args:
+            trajectory: Pose of the moving (transmitting) array.
+            array: The antenna array carried by the moving device.
+
+        Returns:
+            A :class:`CsiTrace` laid out exactly like the moving-RX case:
+            ``data[t, moving_antenna, static_antenna, tone]``.
+        """
+        tx_world = array.world_positions(
+            trajectory.positions, trajectory.orientations
+        )
+        t = trajectory.n_samples
+        n_moving = array.n_antennas
+        n_static = self.tx_positions.shape[0]
+        s = self.channel.grid.n_subcarriers
+
+        data = np.empty((t, n_moving, n_static, s), dtype=np.complex64)
+        for a in range(n_moving):
+            for k in range(n_static):
+                # Reciprocity: evaluate the channel with the static antenna
+                # as "tx" and the moving antenna's positions as "rx".
+                data[:, a, k, :] = self.channel.cfr(
+                    self.tx_positions[k], tx_world[:, a, :]
+                )
+
+        impairer = CsiImpairer(
+            config=self.impairments,
+            grid=self.channel.grid,
+            n_rx=n_moving,
+            rng=self.rng,
+        )
+        data = impairer.apply(data)
+        return CsiTrace(
+            data=data,
+            times=trajectory.times.copy(),
+            array=array,
+            trajectory=trajectory,
+            tx_positions=self.tx_positions.copy(),
+            carrier_wavelength=299_792_458.0 / self.channel.grid.carrier_frequency,
+        )
+
+    def _impair_per_nic(self, data: np.ndarray, array: AntennaArray) -> np.ndarray:
+        """Apply one impairment chain per NIC (shared clock per NIC)."""
+        out = np.empty_like(data)
+        for nic in range(array.n_nics):
+            members = np.nonzero(array.nic_assignment == nic)[0]
+            impairer = CsiImpairer(
+                config=self.impairments,
+                grid=self.channel.grid,
+                n_rx=len(members),
+                rng=self.rng,
+            )
+            out[:, members, :, :] = impairer.apply(data[:, members, :, :])
+        return out

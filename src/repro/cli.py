@@ -1,0 +1,124 @@
+"""Command-line interface: run demos and regenerate paper experiments.
+
+Usage::
+
+    python -m repro.cli demo                 # quickstart distance demo
+    python -m repro.cli list                 # list reproducible figures
+    python -m repro.cli run fig11 [--full]   # regenerate one figure
+    python -m repro.cli run all  [--full]    # regenerate everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.eval.report import render_report
+
+
+def _register_runners() -> Dict[str, Callable]:
+    from repro.eval import ablations, applications, experiments, extensions
+
+    return {
+        "fig4": experiments.run_fig4_trrs_resolution,
+        "fig5": experiments.run_fig5_alignment_matrix,
+        "fig6": experiments.run_fig6_deviated_retracing,
+        "fig7": experiments.run_fig7_movement_detection,
+        "fig8": experiments.run_fig8_peak_tracking,
+        "fig11": experiments.run_fig11_distance_accuracy,
+        "fig12": experiments.run_fig12_heading_accuracy,
+        "fig13": experiments.run_fig13_rotation_accuracy,
+        "fig14": experiments.run_fig14_ap_location,
+        "fig15": experiments.run_fig15_accumulation,
+        "fig16": experiments.run_fig16_sampling_rate,
+        "fig17": experiments.run_fig17_virtual_antennas,
+        "fig18": applications.run_fig18_handwriting,
+        "fig19": applications.run_fig19_gesture,
+        "fig20": applications.run_fig20_pure_tracking,
+        "fig21": applications.run_fig21_fusion_tracking,
+        "sec629": applications.run_sec629_complexity,
+        "ablation-metric": ablations.run_ablation_metric,
+        "ablation-tracking": ablations.run_ablation_tracking,
+        "ablation-sanitize": ablations.run_ablation_sanitize,
+        "ablation-averaging": ablations.run_ablation_parallel_averaging,
+        "ext-wiball": extensions.run_wiball_vs_rim,
+        "ext-loss": extensions.run_loss_robustness,
+        "ext-finedir": extensions.run_fine_direction,
+        "sweep-antennas": extensions.run_antenna_count_sweep,
+        "sweep-bandwidth": extensions.run_bandwidth_sweep,
+        "sweep-streaming": extensions.run_streaming_throughput,
+        "navigation": extensions.run_navigation,
+    }
+
+
+def cmd_demo(_args) -> int:
+    from repro import Rim, RimConfig, linear_array
+    from repro.eval.setup import MEASUREMENT_SPOTS, make_testbed
+    from repro.motionsim.profiles import line_trajectory
+
+    bed = make_testbed(seed=1)
+    truth = line_trajectory(MEASUREMENT_SPOTS[0], 0.0, 0.5, 3.0)
+    trace = bed.sampler.sample(truth, linear_array(3))
+    result = Rim(RimConfig(max_lag=60)).process(trace)
+    err_cm = abs(result.total_distance - truth.total_distance) * 100
+    print(f"simulated a {truth.total_distance:.1f} m push past a single unknown AP")
+    print(f"RIM estimated {result.total_distance:.3f} m (error {err_cm:.1f} cm)")
+    return 0
+
+
+def cmd_list(_args) -> int:
+    runners = _register_runners()
+    print("reproducible experiments:")
+    for name, fn in runners.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<20} {doc}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    runners = _register_runners()
+    targets = list(runners) if args.experiment == "all" else [args.experiment]
+    unknown = [t for t in targets if t not in runners]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(runners)}", file=sys.stderr)
+        return 2
+    for name in targets:
+        result = runners[name](seed=args.seed, quick=not args.full)
+        print(render_report(name, result))
+        if args.plot:
+            from repro.eval.figures import render_result_figures
+
+            print()
+            print(render_result_figures(name, result))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RIM (SIGCOMM'19) reproduction: RF-based inertial measurement",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run a 30-second distance-tracking demo")
+    sub.add_parser("list", help="list reproducible figures")
+
+    run = sub.add_parser("run", help="regenerate a paper figure")
+    run.add_argument("experiment", help='figure id (e.g. "fig11") or "all"')
+    run.add_argument("--full", action="store_true", help="paper-scale workload")
+    run.add_argument("--seed", type=int, default=0, help="scenario seed")
+    run.add_argument("--plot", action="store_true", help="render ASCII figures")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"demo": cmd_demo, "list": cmd_list, "run": cmd_run}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

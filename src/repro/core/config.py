@@ -1,0 +1,106 @@
+"""Configuration of the RIM estimator — every knob in one place.
+
+Defaults follow the paper's prototype: 200 Hz CSI, V ≈ 30 virtual antennas
+(§6.2.7: "a number larger than 30 should suffice for a sampling rate of
+200 Hz"), a lag window longer than the expected alignment delay (§3.2), and
+the ~0.5 s short-period locality assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RimConfig:
+    """Tunable parameters of :class:`repro.core.rim.Rim`.
+
+    Attributes:
+        max_lag: W — alignment-matrix half window, in samples.  Must exceed
+            Δd / v_min · f_s; 100 samples @ 200 Hz covers speeds down to
+            ~0.05 m/s with λ/2 separation (§3.2).
+        virtual_window: V — number of virtual massive antennas averaged in
+            Eqn. 4.
+        sanitize: Remove the per-packet linear phase (STO/SFO) first.
+        movement_lag_seconds: l_mv of §4.1 — self-TRRS comparison lag.
+        movement_threshold: Movement declared below this self-TRRS.
+        movement_min_run: Debounce length (samples) for the movement mask.
+        transition_weight: ω < 0 of the DP tracker (Eqn. 7).
+        refine_subsample: Parabolic sub-sample lag refinement on/off.
+        min_speed_lag: |lag| (samples) below which speed is not computed
+            (lag quantization dominates; near-zero lags mean parallel or
+            stationary geometry).
+        pre_detect_stride: Row stride of the cheap pre-detection screen.
+        pre_detect_keep: Maximum number of candidate groups kept.
+        pre_detect_min_score: Minimum pre-detection prominence to survive.
+        use_parallel_averaging: Average matrices of parallel isometric
+            pairs before tracking (§4.2 optimization).
+        quality_smoothing: Window (samples) for per-sample group quality.
+        selection_hysteresis: Quality margin a challenger group needs.
+        selection_min_quality: Below this quality no group is selected.
+        speed_smoothing: Median-filter window (samples) on speeds.
+        rotation_min_groups: Adjacent (ring) groups that must align
+            simultaneously to declare rotation (hexagon: 3 exist).
+        rotation_quality: Per-sample quality threshold for ring pairs —
+            must sit above the prominence a DP path extracts from pure
+            noise (~0.13 with the default V).
+        rotation_pre_score: Strided pre-screen prominence a ring pair
+            needs before the full rotation check runs.
+        min_initial_distance_compensation: Add Δd to the integrated
+            distance to reimburse the blind start-up period (§5,
+            "Minimum initial motion").
+        fine_direction: Refine headings beyond the array's discrete
+            direction grid by interpolating the peak strengths of flanking
+            pair groups (the §7 "angle resolution" extension).
+        interpolate_loss: Bridge short packet-loss gaps with phase-aligned
+            linear interpolation before processing (§5, §7).
+        interpolation_max_gap: Longest gap (packets) to bridge.
+    """
+
+    max_lag: int = 100
+    virtual_window: int = 31
+    sanitize: bool = True
+
+    movement_lag_seconds: float = 0.1
+    movement_threshold: float = 0.95
+    movement_min_run: int = 10
+
+    transition_weight: float = -2.0
+    refine_subsample: bool = True
+    min_speed_lag: float = 1.5
+
+    pre_detect_stride: int = 8
+    pre_detect_keep: int = 4
+    pre_detect_min_score: float = 0.01
+
+    use_parallel_averaging: bool = True
+    quality_smoothing: int = 31
+    selection_hysteresis: float = 0.02
+    selection_min_quality: float = 0.05
+
+    speed_smoothing: int = 15
+
+    rotation_min_groups: int = 3
+    rotation_quality: float = 0.25
+    rotation_pre_score: float = 0.05
+
+    min_initial_distance_compensation: bool = True
+
+    fine_direction: bool = False
+
+    interpolate_loss: bool = True
+    interpolation_max_gap: int = 5
+
+    def __post_init__(self) -> None:
+        if self.max_lag < 2:
+            raise ValueError("max_lag must be >= 2")
+        if self.virtual_window < 1:
+            raise ValueError("virtual_window must be >= 1")
+        if not 0 < self.movement_threshold < 1:
+            raise ValueError("movement_threshold must be in (0, 1)")
+        if self.transition_weight >= 0:
+            raise ValueError("transition_weight must be negative")
+        if self.min_speed_lag < 1:
+            raise ValueError("min_speed_lag must be >= 1")
+        if self.pre_detect_stride < 1:
+            raise ValueError("pre_detect_stride must be >= 1")

@@ -1,0 +1,128 @@
+"""Finer-than-grid heading estimation (§7, "Angle resolution").
+
+RIM's base design resolves only the discrete directions defined by the
+antenna pairs (30° for the hexagonal array).  The paper's future-work
+section observes that "the TRRS decreases differently with respect to
+different deviation angles", suggesting finer directions can be recovered
+"by leveraging the geometric relationship of adjacent antenna pairs".
+
+This module implements that idea: when the true heading falls between two
+resolvable directions, *both* neighboring pair groups show (deviated)
+alignment peaks, with strengths that decrease with their respective
+deviation angles.  Interpolating the two strengths across the 30° sector
+recovers the heading at a few degrees of resolution.
+
+The interpolation model: near alignment the TRRS peak strength follows the
+spatial decay profile ρ(Δd·sin α) — locally well-approximated by a
+quadratic in α — so the heading inside the sector between axes a₁ (quality
+q₁) and a₂ (quality q₂) is placed at the quality-weighted barycenter.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.pairs import GroupTrack
+
+
+def _angle_diff(a, b):
+    d = a - b
+    return np.arctan2(np.sin(d), np.cos(d))
+
+
+def refine_headings(
+    tracks: Sequence[GroupTrack],
+    choice: np.ndarray,
+    base_heading: np.ndarray,
+    max_sector: float = np.deg2rad(40.0),
+    floor: float = 0.0,
+) -> np.ndarray:
+    """Interpolate headings between adjacent resolvable directions.
+
+    Args:
+        tracks: The tracked pair groups (with per-sample qualities).
+        choice: (T,) selected group index per sample (-1 = none).
+        base_heading: (T,) grid headings from the selected group/lag sign.
+        max_sector: Neighbor axes farther than this from the base heading
+            are ignored (only the two flanking directions matter).
+        floor: Quality floor subtracted before weighting (clutter level).
+
+    Returns:
+        (T,) refined headings; samples without a usable neighbor keep the
+        grid heading.
+    """
+    choice = np.asarray(choice)
+    base_heading = np.asarray(base_heading, dtype=np.float64)
+    t = base_heading.size
+    refined = base_heading.copy()
+    if not tracks:
+        return refined
+
+    qualities = np.stack(
+        [np.nan_to_num(trk.quality, nan=0.0) for trk in tracks], axis=0
+    )
+    lag_signs = np.stack(
+        [np.where(trk.path.refined_lags >= 0, 1, -1) for trk in tracks], axis=0
+    )
+    axes = np.array([trk.axis_angle for trk in tracks])
+
+    # Refine per *run* of constant grid heading rather than per sample: the
+    # per-sample qualities jitter, but the deviation angle is a property of
+    # the whole straight segment, so run-level medians are far steadier.
+    for start, stop in _heading_runs(choice, base_heading):
+        g = int(choice[start])
+        own = float(base_heading[start])
+        own_quality = max(0.0, float(np.median(qualities[g, start:stop])) - floor)
+        if own_quality <= 0.0:
+            continue
+
+        best_neighbor = None
+        best_gap = np.inf
+        neighbor_quality = 0.0
+        for j in range(len(tracks)):
+            if j == g:
+                continue
+            sign = int(np.sign(np.median(lag_signs[j, start:stop])) or 1)
+            direction = axes[j] if sign > 0 else axes[j] + np.pi
+            gap = float(_angle_diff(direction, own))
+            if abs(gap) < 1e-6 or abs(gap) > max_sector:
+                continue
+            q = max(0.0, float(np.median(qualities[j, start:stop])) - floor)
+            if q <= 0.0:
+                continue
+            if abs(gap) < best_gap or (
+                np.isclose(abs(gap), best_gap) and q > neighbor_quality
+            ):
+                best_neighbor = gap
+                best_gap = abs(gap)
+                neighbor_quality = q
+
+        if best_neighbor is None:
+            continue
+        # Quality-weighted barycenter inside the sector: equals the grid
+        # direction when the neighbor is silent, the sector midpoint when
+        # the two strengths tie.
+        weight = neighbor_quality / (own_quality + neighbor_quality)
+        refined[start:stop] = own + weight * best_neighbor
+    return refined
+
+
+def _heading_runs(choice: np.ndarray, base_heading: np.ndarray):
+    """Yield (start, stop) runs of constant (group, grid heading)."""
+    t = choice.size
+    k = 0
+    while k < t:
+        if choice[k] < 0 or not np.isfinite(base_heading[k]):
+            k += 1
+            continue
+        start = k
+        while (
+            k < t
+            and choice[k] == choice[start]
+            and np.isfinite(base_heading[k])
+            and np.isclose(base_heading[k], base_heading[start])
+        ):
+            k += 1
+        yield start, k

@@ -1,0 +1,115 @@
+"""TRRS-based movement detection (§4.1, Fig. 7).
+
+A single antenna suffices: the TRRS between the current multipath profile
+and the profile ``movement_lag`` seconds earlier stays near 1 while the
+antenna is static and drops sharply once the antenna has moved millimeters.
+A threshold on the self-TRRS (the red line of Fig. 7) flags movement; a
+short majority filter removes single-packet glitches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.alignment import nan_moving_average
+from repro.core.trrs import normalize_csi, trrs_series
+
+
+@dataclass
+class MovementResult:
+    """Movement detection output.
+
+    Attributes:
+        indicator: (T,) self-TRRS movement indicator (near 1 when static).
+        moving: (T,) boolean movement mask.
+        threshold: The decision threshold used.
+    """
+
+    indicator: np.ndarray
+    moving: np.ndarray
+    threshold: float
+
+
+def self_trrs_indicator(
+    csi_antenna: np.ndarray,
+    lag_samples: int,
+    virtual_window: int = 1,
+) -> np.ndarray:
+    """κ(P_i(t), P_i(t - l_mv)) for one antenna (§4.1).
+
+    Args:
+        csi_antenna: (T, n_tx, S) sanitized CFR sequence of one antenna.
+        lag_samples: l_mv in samples — long enough that real motion moves
+            the antenna by millimeters within it.
+        virtual_window: V used to smooth the indicator (Eqn. 4).
+
+    Returns:
+        (T,) indicator; the first ``lag_samples`` entries are backfilled
+        from the first valid value.
+    """
+    if lag_samples < 1:
+        raise ValueError(f"lag must be >= 1 sample, got {lag_samples}")
+    norm = normalize_csi(csi_antenna)
+    series = trrs_series(norm, norm, lag_samples)
+    if virtual_window > 1:
+        series = nan_moving_average(series[:, None], virtual_window)[:, 0]
+    finite = np.nonzero(np.isfinite(series))[0]
+    if finite.size:
+        series[: finite[0]] = series[finite[0]]
+        # Interior NaNs (packet loss): hold the previous value.
+        for k in range(finite[0] + 1, len(series)):
+            if not np.isfinite(series[k]):
+                series[k] = series[k - 1]
+    return series
+
+
+def detect_movement(
+    indicator: np.ndarray,
+    threshold: float = 0.8,
+    min_run: int = 5,
+) -> MovementResult:
+    """Threshold the self-TRRS indicator into a movement mask.
+
+    Args:
+        indicator: (T,) self-TRRS values.
+        threshold: Movement is declared where indicator < threshold (§4.1:
+            static self-TRRS stays close to 1).
+        min_run: Runs of either state shorter than this many samples are
+            merged into their surroundings (debouncing).
+
+    Returns:
+        The :class:`MovementResult`.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    moving = np.asarray(indicator) < threshold
+    if min_run > 1 and moving.size:
+        moving = _suppress_short_runs(moving, min_run)
+    return MovementResult(
+        indicator=np.asarray(indicator), moving=moving, threshold=threshold
+    )
+
+
+def _suppress_short_runs(mask: np.ndarray, min_run: int) -> np.ndarray:
+    """Flip state runs shorter than ``min_run`` (except at the borders)."""
+    mask = mask.copy()
+    t = mask.size
+    run_start = 0
+    runs = []
+    for k in range(1, t + 1):
+        if k == t or mask[k] != mask[run_start]:
+            runs.append((run_start, k))
+            run_start = k
+    for idx, (start, stop) in enumerate(runs):
+        if stop - start < min_run and 0 < idx < len(runs) - 1:
+            mask[start:stop] = ~mask[start]
+    return mask
+
+
+def movement_fraction(result: MovementResult) -> float:
+    """Fraction of samples flagged as moving (diagnostic)."""
+    if result.moving.size == 0:
+        return 0.0
+    return float(result.moving.mean())

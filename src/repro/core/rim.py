@@ -1,0 +1,499 @@
+"""The end-to-end RIM estimator (§4.4, "Putting It All Together").
+
+``Rim.process`` consumes a :class:`~repro.channel.sampler.CsiTrace` and
+produces a :class:`RimResult` with per-sample speed, heading, cumulative
+distance, detected in-place rotations, and a dead-reckoned trajectory.
+
+Pipeline:
+
+1. sanitize the CSI (linear phase, §3.2);
+2. detect movement from the self-TRRS of one antenna (§4.1);
+3. pre-detect candidate pair groups with a cheap strided screen (§4.3);
+4. build (group-averaged, §4.2) alignment matrices for the candidates and
+   track their peaks with dynamic programming (§4.2);
+5. post-check the tracked paths and select the aligned group per sample;
+6. if the array is circular, check the ring-adjacent pairs for concurrent
+   alignment ⇒ in-place rotation (§4.4(3));
+7. turn lags into speed/heading/rotation and integrate.
+
+Headings are reported in the *device* (array) frame: RIM is an inside-out
+relative tracker, so world-frame output needs the initial array orientation
+— exactly like the indoor-tracking deployments of §6.3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arrays.pairs import AntennaPair, adjacent_ring_pairs, parallel_groups
+from repro.channel.sampler import CsiTrace
+from repro.core.alignment import alignment_matrix, average_matrices
+from repro.core.config import RimConfig
+from repro.core.motion import (
+    MotionEstimate,
+    RotationEvent,
+    integrate_rotation,
+    smooth_speed,
+    speed_from_lags,
+)
+from repro.core.movement import MovementResult, detect_movement, self_trrs_indicator
+from repro.core.pairs import (
+    GroupTrack,
+    path_quality,
+    peak_prominence_score,
+    post_check,
+    select_group_per_sample,
+)
+from repro.core.sanitize import sanitize_trace
+from repro.core.tracking import track_peaks
+from repro.core.trrs import normalize_csi
+
+
+@dataclass
+class RimResult:
+    """Everything RIM estimated from one CSI trace."""
+
+    motion: MotionEstimate
+    movement: MovementResult
+    group_tracks: List[GroupTrack]
+    ring_tracks: List[GroupTrack] = field(default_factory=list)
+
+    @property
+    def total_distance(self) -> float:
+        """Integrated moving distance, meters (§4.4(1))."""
+        return self.motion.total_distance
+
+    @property
+    def total_rotation(self) -> float:
+        """Net detected in-place rotation, radians (§4.4(3))."""
+        return self.motion.total_rotation
+
+    def cumulative_distance(self) -> np.ndarray:
+        return self.motion.cumulative_distance()
+
+    def headings(self) -> np.ndarray:
+        """(T,) device-frame heading, radians (NaN where unresolved)."""
+        return self.motion.heading
+
+    def trajectory(self, start=(0.0, 0.0), orientation: float = 0.0) -> np.ndarray:
+        """Dead-reckoned world positions given the initial array orientation."""
+        shifted = MotionEstimate(
+            times=self.motion.times,
+            moving=self.motion.moving,
+            speed=self.motion.speed,
+            heading=self.motion.heading + orientation,
+            group_choice=self.motion.group_choice,
+            rotations=self.motion.rotations,
+        )
+        return shifted.positions(start=start)
+
+
+class Rim:
+    """RF-based inertial measurement from CSI traces."""
+
+    def __init__(self, config: Optional[RimConfig] = None):
+        self.config = config or RimConfig()
+
+    def process(self, trace: CsiTrace) -> RimResult:
+        """Run the full RIM pipeline on a CSI trace."""
+        cfg = self.config
+        data = trace.data
+        if cfg.interpolate_loss:
+            from repro.channel.interpolation import interpolate_lost_packets
+
+            data = interpolate_lost_packets(data, max_gap=cfg.interpolation_max_gap)
+        data = sanitize_trace(data) if cfg.sanitize else data
+        norm = normalize_csi(data)
+        fs = trace.sampling_rate
+
+        movement = self._detect_movement(data, fs)
+        moving = movement.moving
+
+        if not moving.any():
+            motion = MotionEstimate(
+                times=trace.times,
+                moving=moving,
+                speed=np.zeros(trace.n_samples),
+                heading=np.full(trace.n_samples, np.nan),
+                group_choice=np.full(trace.n_samples, -1, dtype=np.int64),
+            )
+            return RimResult(motion=motion, movement=movement, group_tracks=[])
+
+        groups = parallel_groups(trace.array)
+        candidates = self._pre_detect(norm, groups, moving, fs)
+        tracks = [self._track_group(norm, g, fs) for g in candidates]
+        tracks = self._post_filter(tracks, moving)
+
+        ring_tracks, rotations = self._detect_rotation(trace, norm, moving, fs)
+
+        motion = self._reckon(trace, tracks, moving, rotations, fs)
+        return RimResult(
+            motion=motion,
+            movement=movement,
+            group_tracks=tracks,
+            ring_tracks=ring_tracks,
+        )
+
+    # -- pipeline stages -------------------------------------------------
+
+    def _detect_movement(self, data: np.ndarray, fs: float) -> MovementResult:
+        cfg = self.config
+        lag = max(1, int(round(cfg.movement_lag_seconds * fs)))
+        indicator = self_trrs_indicator(
+            data[:, 0], lag, virtual_window=max(1, cfg.virtual_window // 4)
+        )
+        return detect_movement(
+            indicator, threshold=cfg.movement_threshold, min_run=cfg.movement_min_run
+        )
+
+    def _pre_detect(
+        self,
+        norm: np.ndarray,
+        groups: List[List[AntennaPair]],
+        moving: np.ndarray,
+        fs: float,
+    ) -> List[List[AntennaPair]]:
+        """Cheap strided screen: keep pair groups with prominent peaks (§4.3)."""
+        cfg = self.config
+        scored = []
+        for group in groups:
+            pair = group[0]
+            m = alignment_matrix(
+                norm[:, pair.i],
+                norm[:, pair.j],
+                max_lag=cfg.max_lag,
+                virtual_window=1,
+                sampling_rate=fs,
+                pair=(pair.i, pair.j),
+                time_stride=cfg.pre_detect_stride,
+                normalized=True,
+            )
+            scored.append((peak_prominence_score(m.values, moving), group))
+        scored.sort(key=lambda item: item[0], reverse=True)
+        keep = [g for s, g in scored[: cfg.pre_detect_keep] if s >= cfg.pre_detect_min_score]
+        if not keep and scored:
+            keep = [scored[0][1]]
+        return keep
+
+    def _track_group(
+        self, norm: np.ndarray, group: List[AntennaPair], fs: float
+    ) -> GroupTrack:
+        cfg = self.config
+        members = group if cfg.use_parallel_averaging else group[:1]
+        matrices = [
+            alignment_matrix(
+                norm[:, p.i],
+                norm[:, p.j],
+                max_lag=cfg.max_lag,
+                virtual_window=cfg.virtual_window,
+                sampling_rate=fs,
+                pair=(p.i, p.j),
+                normalized=True,
+            )
+            for p in members
+        ]
+        matrix = average_matrices(matrices) if len(matrices) > 1 else matrices[0]
+        path = track_peaks(
+            matrix,
+            transition_weight=cfg.transition_weight,
+            refine=cfg.refine_subsample,
+        )
+        quality = path_quality(matrix, path, smoothing_window=cfg.quality_smoothing)
+        return GroupTrack(pairs=list(group), matrix=matrix, path=path, quality=quality)
+
+    def _post_filter(
+        self, tracks: List[GroupTrack], moving: np.ndarray
+    ) -> List[GroupTrack]:
+        """Keep tracks passing the post-check; never drop below one (§4.3)."""
+        if not tracks:
+            return tracks
+        checked = [(post_check(t.matrix, t.path, moving), t) for t in tracks]
+        accepted = [t for chk, t in checked if chk.accepted]
+        if accepted:
+            return accepted
+        best = max(checked, key=lambda item: item[0].mean_prominence)
+        return [best[1]]
+
+    def _detect_rotation(
+        self,
+        trace: CsiTrace,
+        norm: np.ndarray,
+        moving: np.ndarray,
+        fs: float,
+    ):
+        """Concurrent ring-pair alignment ⇒ in-place rotation (§4.4(3))."""
+        cfg = self.config
+        if not trace.array.circular:
+            return [], []
+
+        ring = adjacent_ring_pairs(trace.array)
+        # Cheap screen first: rotation requires most ring pairs prominent.
+        pre_scores = []
+        for p in ring:
+            m = alignment_matrix(
+                norm[:, p.i],
+                norm[:, p.j],
+                max_lag=cfg.max_lag,
+                virtual_window=1,
+                sampling_rate=fs,
+                pair=(p.i, p.j),
+                time_stride=cfg.pre_detect_stride,
+                normalized=True,
+            )
+            pre_scores.append(peak_prominence_score(m.values, moving))
+        prominent = sum(s >= cfg.rotation_pre_score for s in pre_scores)
+        if prominent < 2 * cfg.rotation_min_groups:
+            return [], []
+
+        # In-place rotation moves antennas at the slow arc speed ω·r, so a
+        # translation-sized V covers millimeters of aperture and the TRRS
+        # averaging starves.  Widen the window to recover spatial diversity
+        # (Eqn. 4's benefit scales with the aperture, not the sample count).
+        ring_window = min(4 * cfg.virtual_window, 2 * cfg.max_lag + 1)
+        tracks = []
+        for p in ring:
+            matrix = alignment_matrix(
+                norm[:, p.i],
+                norm[:, p.j],
+                max_lag=cfg.max_lag,
+                virtual_window=ring_window,
+                sampling_rate=fs,
+                pair=(p.i, p.j),
+                normalized=True,
+            )
+            path = track_peaks(
+                matrix,
+                transition_weight=cfg.transition_weight,
+                refine=cfg.refine_subsample,
+            )
+            quality = path_quality(matrix, path, smoothing_window=cfg.quality_smoothing)
+            tracks.append(GroupTrack(pairs=[p], matrix=matrix, path=path, quality=quality))
+
+        # Distinct ring axes aligned simultaneously per sample.  Strength is
+        # judged over a short window: peak quality flickers sample to sample
+        # even during steady rotation, so we ask each axis to be strong most
+        # of the time within ~0.3 s rather than at every instant.
+        from repro.core.alignment import nan_moving_average
+
+        axes = np.array([t.axis_angle % np.pi for t in tracks])
+        smooth_win = max(3, int(round(0.3 * fs)))
+        strong = np.stack(
+            [
+                nan_moving_average(
+                    (t.quality > cfg.rotation_quality).astype(float)[:, None],
+                    smooth_win,
+                )[:, 0]
+                > 0.5
+                for t in tracks
+            ],
+            axis=0,
+        )
+        # Rotation moves every antenna along the same circle in the same
+        # sense, so *all* ring-ordered pairs align with the SAME lag sign.
+        # Translation is different in both counts and signs: only the two
+        # quasi-parallel axes show (deviated) peaks, and their opposite-side
+        # ring pairs carry opposite signs (anti-parallel rays).  Requiring
+        # near-unanimous sign-consistent ring alignment rejects those.
+        ring_lags = np.stack([t.path.refined_lags for t in tracks], axis=0)
+        lag_sign = np.sign(ring_lags)
+        abs_lags = np.abs(ring_lags)
+        unique_axes = np.unique(np.round(axes, 3))
+        t_len = strong.shape[1]
+        n_ring = len(tracks)
+        need_pairs = max(cfg.rotation_min_groups + 1, n_ring - 2)
+        from repro.nanops import nanmedian
+
+        for sign in (1, -1):
+            consistent = strong & (lag_sign == sign)
+            # All antennas ride the same circle at the same speed, so the
+            # sign-consistent pairs must also share |lag|.  Translation's
+            # quasi-aligned pairs have a much shorter lag than whatever
+            # clutter happens to match their sign, so this kills the
+            # remaining false positives.
+            masked = np.where(consistent, abs_lags, np.nan)
+            med = nanmedian(masked, axis=0)
+            with np.errstate(invalid="ignore"):
+                coherent = consistent & (abs_lags > 0.55 * med) & (
+                    abs_lags < 1.8 * med
+                )
+            pair_count = coherent.sum(axis=0)
+            axis_count = np.zeros(t_len, dtype=np.int64)
+            for axis in unique_axes:
+                members = np.isclose(axes, axis, atol=1e-3)
+                axis_count += coherent[members].any(axis=0)
+            candidate = (pair_count >= need_pairs) & (
+                axis_count >= cfg.rotation_min_groups
+            )
+            if sign == 1:
+                rotating = candidate
+            else:
+                rotating = rotating | candidate
+        rotating &= moving
+        rotating = self._close_mask_gaps(rotating, max_gap=int(round(0.75 * fs)))
+        rotating &= moving
+        rotating = self._backfill_blind_start(rotating, moving, fs)
+
+        events = self._rotation_events(trace, tracks, rotating, fs)
+        return tracks, events
+
+    def _backfill_blind_start(
+        self, rotating: np.ndarray, moving: np.ndarray, fs: float
+    ) -> np.ndarray:
+        """Extend a rotation event back over the blind start-up period.
+
+        Alignment peaks appear only after the follower has rotated through
+        the adjacent arc (§5, minimum initial motion); if a rotation event
+        starts shortly after movement starts, the preceding moving samples
+        were blind rotation, not stillness.
+        """
+        idx = np.nonzero(rotating)[0]
+        mov = np.nonzero(moving)[0]
+        if idx.size == 0 or mov.size == 0:
+            return rotating
+        start = idx[0]
+        move_start = mov[0]
+        blind_budget = self.config.max_lag + self.config.virtual_window
+        if 0 < start - move_start <= blind_budget and moving[move_start:start].all():
+            rotating = rotating.copy()
+            rotating[move_start:start] = True
+        return rotating
+
+    @staticmethod
+    def _close_mask_gaps(mask: np.ndarray, max_gap: int) -> np.ndarray:
+        """Bridge short False runs between True runs (rotation continuity)."""
+        mask = mask.copy()
+        idx = np.nonzero(mask)[0]
+        if idx.size < 2:
+            return mask
+        gaps = np.diff(idx)
+        for where in np.nonzero((gaps > 1) & (gaps <= max_gap))[0]:
+            mask[idx[where] : idx[where + 1]] = True
+        return mask
+
+    def _rotation_events(self, trace, tracks, rotating, fs) -> List[RotationEvent]:
+        from repro.arrays.geometry import arc_separation
+
+        cfg = self.config
+        events: List[RotationEvent] = []
+        ring_lags = np.stack([t.path.refined_lags for t in tracks], axis=0)
+        # Only count lags where the ring pair actually shows a peak.
+        strong = np.stack([t.quality > cfg.rotation_quality for t in tracks], axis=0)
+        ring_lags = np.where(strong, ring_lags, np.nan)
+        arc = arc_separation(trace.array, tracks[0].pairs[0].i, tracks[0].pairs[0].j)
+        radius = trace.array.radius
+
+        t = rotating.size
+        k = 0
+        while k < t:
+            if not rotating[k]:
+                k += 1
+                continue
+            start = k
+            while k < t and rotating[k]:
+                k += 1
+            stop = k
+            active = np.zeros(t, dtype=bool)
+            active[start:stop] = True
+            angle = integrate_rotation(
+                ring_lags,
+                arc_separation=arc,
+                radius=radius,
+                sampling_rate=fs,
+                times=trace.times,
+                active=active,
+                min_lag=cfg.min_speed_lag,
+            )
+            if abs(angle) > 1e-3:
+                events.append(RotationEvent(start_index=start, stop_index=stop, angle=angle))
+        return events
+
+    def _reckon(
+        self,
+        trace: CsiTrace,
+        tracks: List[GroupTrack],
+        moving: np.ndarray,
+        rotations: List[RotationEvent],
+        fs: float,
+    ) -> MotionEstimate:
+        cfg = self.config
+        t = trace.n_samples
+
+        translating = moving.copy()
+        for ev in rotations:
+            translating[ev.start_index : ev.stop_index] = False
+
+        choice = select_group_per_sample(
+            tracks,
+            translating,
+            hysteresis=cfg.selection_hysteresis,
+            min_quality=cfg.selection_min_quality,
+        )
+
+        speed = np.full(t, np.nan)
+        heading = np.full(t, np.nan)
+        for g, track in enumerate(tracks):
+            sel = choice == g
+            if not sel.any():
+                continue
+            lags = track.path.refined_lags
+            v = speed_from_lags(lags, track.separation, fs, min_lag=cfg.min_speed_lag)
+            speed[sel] = v[sel]
+            sign = np.where(lags >= 0, 1, -1)
+            pair = track.pairs[0]
+            ang = np.array([pair.heading(int(s)) for s in sign])
+            heading[sel] = ang[sel]
+
+        if cfg.fine_direction and tracks:
+            from repro.core.finedirection import refine_headings
+
+            heading = refine_headings(
+                tracks, choice, heading, floor=cfg.selection_min_quality
+            )
+
+        speed = self._fill_speed_episodes(speed, translating)
+        speed = smooth_speed(speed, cfg.speed_smoothing)
+        speed = np.where(translating, speed, 0.0)
+        heading = np.where(translating, heading, np.nan)
+
+        return MotionEstimate(
+            times=trace.times,
+            moving=moving,
+            speed=speed,
+            heading=heading,
+            group_choice=choice,
+            rotations=rotations,
+        )
+
+    def _fill_speed_episodes(self, speed: np.ndarray, moving: np.ndarray) -> np.ndarray:
+        """Fill speed gaps inside each moving episode.
+
+        Interior NaNs hold the previous estimate.  Leading NaNs (the blind
+        start-up period of §5: the follower must first travel Δd) are
+        backfilled with the first measured speed, which integrates to the
+        Δd compensation the paper applies.
+        """
+        out = speed.copy()
+        t = speed.size
+        k = 0
+        while k < t:
+            if not moving[k]:
+                k += 1
+                continue
+            start = k
+            while k < t and moving[k]:
+                k += 1
+            stop = k
+            seg = out[start:stop]
+            finite = np.nonzero(np.isfinite(seg))[0]
+            if finite.size == 0:
+                continue
+            if self.config.min_initial_distance_compensation:
+                seg[: finite[0]] = seg[finite[0]]
+            for idx in range(finite[0] + 1, seg.size):
+                if not np.isfinite(seg[idx]):
+                    seg[idx] = seg[idx - 1]
+            out[start:stop] = seg
+        return out

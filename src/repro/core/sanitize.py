@@ -1,0 +1,70 @@
+"""CSI phase sanitization (§3.2).
+
+COTS CSI carries phase offsets from unsynchronized clocks: a per-packet
+common phase (PLL initial phase + residual CFO) and a per-packet *linear*
+phase slope across subcarriers (STO/SFO).  TRRS is immune to the common
+phase (Eqn. 2 takes a magnitude) but the slope decorrelates inner products
+between packets, so RIM calibrates "the other linear offsets by using the
+sanitation approach employed in [13]" (SpotFi).
+
+We estimate the slope per CSI vector from the tone-lag-1 autocorrelation
+
+    slope = angle( Σ_s H[s+1] · conj(H[s]) )
+
+which is the maximum-likelihood slope estimate for a constant-modulus
+phase ramp and — unlike an unwrap-and-polyfit — is robust to phase noise
+and 2π wraps.  The slope is then removed tone by tone.  Sanitization is
+performed independently per antenna (§5, footnote 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def estimate_phase_slope(csi: np.ndarray) -> np.ndarray:
+    """Per-vector linear phase slope across the tone axis.
+
+    Args:
+        csi: (..., S) complex CFRs; the last axis is the tone axis.
+
+    Returns:
+        (...) slopes in radians per tone index.  NaN inputs yield NaN.
+    """
+    csi = np.asarray(csi)
+    if csi.shape[-1] < 2:
+        raise ValueError("need at least 2 tones to estimate a slope")
+    lag1 = (csi[..., 1:] * np.conj(csi[..., :-1])).sum(axis=-1)
+    return np.angle(lag1)
+
+
+def remove_phase_slope(csi: np.ndarray, slope: np.ndarray = None) -> np.ndarray:
+    """Remove the linear phase ramp from CSI vectors.
+
+    Args:
+        csi: (..., S) complex CFRs.
+        slope: Precomputed slopes; estimated from ``csi`` when omitted.
+
+    Returns:
+        Sanitized CSI of the same shape and dtype.
+    """
+    csi = np.asarray(csi)
+    if slope is None:
+        slope = estimate_phase_slope(csi)
+    s = csi.shape[-1]
+    # Center the ramp so sanitization never injects a tone-independent phase.
+    tone_axis = np.arange(s) - (s - 1) / 2.0
+    ramp = np.exp(-1j * np.asarray(slope)[..., None] * tone_axis)
+    return (csi * ramp).astype(csi.dtype)
+
+
+def sanitize_trace(data: np.ndarray) -> np.ndarray:
+    """Sanitize a full CSI tensor (T, n_rx, n_tx, S), NaN packets preserved.
+
+    Each (packet, rx, tx) CFR vector is sanitized independently, matching
+    the paper's per-antenna linear phase calibration.
+    """
+    data = np.asarray(data)
+    if data.ndim != 4:
+        raise ValueError(f"expected (T, n_rx, n_tx, S) CSI, got {data.shape}")
+    return remove_phase_slope(data)

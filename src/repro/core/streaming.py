@@ -1,0 +1,190 @@
+"""Streaming RIM: bounded-memory, block-incremental motion estimation.
+
+The paper's deployment is a real-time C++ system (§5, §6.2.9; ~6% CPU on
+a Surface Pro).  This module provides the equivalent online interface on
+top of the batch kernels: CSI packets are pushed one at a time; every
+``block_seconds`` the estimator reprocesses the new block plus a trailing
+context window (long enough to cover the alignment-lag window W and the
+virtual-antenna aperture V) and emits the motion increments for the new
+samples only.
+
+Memory is bounded by context + block regardless of trace length, and
+latency equals the block length.  The streamed cumulative distance matches
+the offline estimate up to block-boundary effects (verified in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arrays.geometry import AntennaArray
+from repro.channel.sampler import CsiTrace
+from repro.core.config import RimConfig
+from repro.core.rim import Rim
+from repro.motionsim.trajectory import Trajectory
+
+
+@dataclass
+class MotionUpdate:
+    """Incremental output for one completed block.
+
+    Attributes:
+        times: (B,) timestamps of the block's samples.
+        speed: (B,) speed estimates, m/s.
+        heading: (B,) device-frame headings, radians (NaN = unresolved).
+        moving: (B,) movement mask.
+        block_distance: Distance covered within this block, meters.
+        total_distance: Cumulative distance since the stream started.
+    """
+
+    times: np.ndarray
+    speed: np.ndarray
+    heading: np.ndarray
+    moving: np.ndarray
+    block_distance: float
+    total_distance: float
+
+
+class StreamingRim:
+    """Online wrapper around :class:`~repro.core.rim.Rim`.
+
+    Args:
+        array: The receive antenna array.
+        sampling_rate: CSI packet rate, Hz.
+        config: RIM configuration (shared with the batch estimator).
+        block_seconds: Emission cadence (and latency).
+        carrier_wavelength: Carrier wavelength (for CsiTrace metadata).
+    """
+
+    def __init__(
+        self,
+        array: AntennaArray,
+        sampling_rate: float,
+        config: Optional[RimConfig] = None,
+        block_seconds: float = 1.0,
+        carrier_wavelength: float = 0.0516,
+    ):
+        if sampling_rate <= 0:
+            raise ValueError("sampling_rate must be positive")
+        if block_seconds <= 0:
+            raise ValueError("block_seconds must be positive")
+        self.array = array
+        self.sampling_rate = float(sampling_rate)
+        self.config = config or RimConfig()
+        self.carrier_wavelength = carrier_wavelength
+
+        self.block_samples = max(4, int(round(block_seconds * sampling_rate)))
+        # Context must cover the lag window, the virtual aperture, and the
+        # movement-detection lag so block-local processing sees the same
+        # neighborhoods the offline pass would.
+        movement_lag = int(round(self.config.movement_lag_seconds * sampling_rate))
+        self.context_samples = (
+            self.config.max_lag + self.config.virtual_window + movement_lag
+        )
+
+        self._rim = Rim(self.config)
+        self._packets: List[np.ndarray] = []
+        self._times: List[float] = []
+        self._pending_start = 0  # buffer index where unreported samples begin
+        self._total_distance = 0.0
+        self._n_pushed = 0
+
+    @property
+    def total_distance(self) -> float:
+        """Cumulative streamed distance, meters."""
+        return self._total_distance
+
+    @property
+    def buffered_samples(self) -> int:
+        return len(self._packets)
+
+    def push(self, packet: np.ndarray, timestamp: Optional[float] = None):
+        """Feed one CSI packet; returns a MotionUpdate when a block completes.
+
+        Args:
+            packet: (n_rx, n_tx, S) complex CFRs for this packet (NaN for a
+                lost packet slot).
+            timestamp: Packet time; defaults to n / sampling_rate.
+
+        Returns:
+            A :class:`MotionUpdate` for the newly completed block, or None.
+        """
+        packet = np.asarray(packet)
+        if packet.ndim != 3 or packet.shape[0] != self.array.n_antennas:
+            raise ValueError(
+                f"packet must be (n_rx={self.array.n_antennas}, n_tx, S), "
+                f"got {packet.shape}"
+            )
+        if timestamp is None:
+            timestamp = self._n_pushed / self.sampling_rate
+        self._packets.append(packet)
+        self._times.append(float(timestamp))
+        self._n_pushed += 1
+
+        pending = len(self._packets) - self._pending_start
+        if pending >= self.block_samples:
+            return self._emit_block()
+        return None
+
+    def flush(self):
+        """Process whatever remains in the buffer (end of stream)."""
+        if len(self._packets) - self._pending_start == 0:
+            return None
+        return self._emit_block(final=True)
+
+    # -- internals ---------------------------------------------------------
+
+    def _emit_block(self, final: bool = False) -> MotionUpdate:
+        data = np.stack(self._packets, axis=0)
+        times = np.asarray(self._times)
+        t = data.shape[0]
+        start_new = self._pending_start
+
+        trace = CsiTrace(
+            data=data.astype(np.complex64),
+            times=times,
+            array=self.array,
+            trajectory=_placeholder_trajectory(times),
+            tx_positions=np.zeros((data.shape[2], 2)),
+            carrier_wavelength=self.carrier_wavelength,
+        )
+        result = self._rim.process(trace)
+
+        motion = result.motion
+        sel = slice(start_new, t)
+        dt = np.diff(times, prepend=times[0])
+        dt[0] = 0.0
+        speed_used = np.where(
+            motion.moving & np.isfinite(motion.speed), motion.speed, 0.0
+        )
+        block_distance = float(np.sum(speed_used[sel] * dt[sel]))
+        self._total_distance += block_distance
+
+        update = MotionUpdate(
+            times=times[sel].copy(),
+            speed=motion.speed[sel].copy(),
+            heading=motion.heading[sel].copy(),
+            moving=motion.moving[sel].copy(),
+            block_distance=block_distance,
+            total_distance=self._total_distance,
+        )
+
+        # Trim the buffer down to the context window.
+        keep_from = max(0, t - self.context_samples)
+        self._packets = self._packets[keep_from:]
+        self._times = self._times[keep_from:]
+        self._pending_start = t - keep_from
+        return update
+
+
+def _placeholder_trajectory(times: np.ndarray) -> Trajectory:
+    """A zero trajectory: Rim only reads its clock, never its positions."""
+    n = times.size
+    return Trajectory(
+        times=times,
+        positions=np.zeros((n, 2)),
+        orientations=np.zeros(n),
+    )

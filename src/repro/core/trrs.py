@@ -1,0 +1,140 @@
+"""Time-Reversal Resonating Strength (TRRS): the paper's similarity metric.
+
+TRRS quantifies the time-reversal focusing effect between two channel
+snapshots (§3.2).  For Channel Impulse Responses h1, h2 (Eqn. 1):
+
+    κ(h1, h2) = (max_i |(h1 * g2)[i]|)² / (⟨h1,h1⟩ ⟨g2,g2⟩)
+
+with g2 the time-reversed conjugate of h2.  In frequency domain, for CFRs
+H1, H2 (Eqn. 2):
+
+    κ(H1, H2) = |H1ᴴ H2|² / (⟨H1,H1⟩ ⟨H2,H2⟩)
+
+κ ∈ [0, 1] with κ = 1 iff H1 = c·H2 — which is what makes it immune to the
+per-packet common phase of COTS CSI.  Eqn. 3 averages across TX antennas
+(spatial diversity → larger effective bandwidth) without requiring the RX
+chains to be synchronized; Eqn. 4 additionally averages a window of V
+*virtual massive antennas* (consecutive snapshots), which is the key to
+sub-centimeter alignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def trrs_cir(h1: np.ndarray, h2: np.ndarray) -> float:
+    """TRRS between two channel impulse responses (Eqn. 1).
+
+    Args:
+        h1, h2: (T,) complex CIR tap vectors (equal length).
+
+    Returns:
+        κ(h1, h2) ∈ [0, 1].
+    """
+    h1 = np.asarray(h1, dtype=np.complex128).ravel()
+    h2 = np.asarray(h2, dtype=np.complex128).ravel()
+    if h1.shape != h2.shape:
+        raise ValueError(f"CIR length mismatch: {h1.shape} vs {h2.shape}")
+    g2 = np.conj(h2[::-1])
+    conv = np.convolve(h1, g2)
+    num = float(np.max(np.abs(conv)) ** 2)
+    den = float(np.vdot(h1, h1).real * np.vdot(g2, g2).real)
+    if den == 0.0:
+        return 0.0
+    return min(1.0, num / den)
+
+
+def trrs_cfr(h1: np.ndarray, h2: np.ndarray) -> np.ndarray:
+    """TRRS between CFR vectors (Eqn. 2), broadcasting over leading axes.
+
+    Args:
+        h1, h2: (..., S) complex CFRs with broadcast-compatible shapes.
+
+    Returns:
+        (...) TRRS values in [0, 1]; NaN where either input has NaNs.
+    """
+    h1 = np.asarray(h1)
+    h2 = np.asarray(h2)
+    inner = (np.conj(h1) * h2).sum(axis=-1)
+    p1 = (np.abs(h1) ** 2).sum(axis=-1)
+    p2 = (np.abs(h2) ** 2).sum(axis=-1)
+    den = p1 * p2
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.abs(inner) ** 2 / den
+    # Zero-power vectors score 0; NaN inputs (lost packets) stay NaN.
+    out = np.where(den > 0, out, np.where(np.isnan(den), np.nan, 0.0))
+    out = np.minimum(out.real, 1.0)
+    return out if np.ndim(out) else float(out)
+
+
+def average_trrs(h_i: np.ndarray, h_j: np.ndarray) -> np.ndarray:
+    """TX-averaged TRRS κ̄ (Eqn. 3).
+
+    Args:
+        h_i, h_j: (..., n_tx, S) multi-TX CFR snapshots.
+
+    Returns:
+        (...) TRRS averaged over the TX axis (NaN-propagating).
+    """
+    per_tx = trrs_cfr(h_i, h_j)
+    return np.asarray(per_tx).mean(axis=-1)
+
+
+def massive_trrs(p_i: np.ndarray, p_j: np.ndarray) -> float:
+    """Virtual-massive-antenna TRRS (Eqn. 4) between two snapshot windows.
+
+    Args:
+        p_i, p_j: (V, n_tx, S) windows of consecutive CFR snapshots (the
+            multipath profiles P_i, P_j of §3.2).
+
+    Returns:
+        The window-averaged TRRS (NaN snapshots are skipped).
+    """
+    p_i = np.asarray(p_i)
+    p_j = np.asarray(p_j)
+    if p_i.shape != p_j.shape:
+        raise ValueError(f"profile shape mismatch: {p_i.shape} vs {p_j.shape}")
+    values = average_trrs(p_i, p_j)
+    if np.all(np.isnan(values)):
+        return float("nan")
+    return float(np.nanmean(values))
+
+
+def normalize_csi(data: np.ndarray) -> np.ndarray:
+    """Unit-normalize CFR vectors along the tone axis.
+
+    With normalized inputs, TRRS reduces to |⟨H1, H2⟩|², which lets the
+    alignment-matrix kernels use plain inner products.  All-NaN or
+    zero-power vectors normalize to NaN.
+    """
+    data = np.asarray(data)
+    power = np.sqrt((np.abs(data) ** 2).sum(axis=-1, keepdims=True))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = data / power
+    return np.where(power > 0, out, np.nan)
+
+
+def trrs_series(a: np.ndarray, b: np.ndarray, lag: int) -> np.ndarray:
+    """κ̄(A(t), B(t-lag)) for every valid t.
+
+    Args:
+        a, b: (T, n_tx, S) snapshot sequences for two antennas.
+        lag: Sample lag applied to ``b`` (may be negative).
+
+    Returns:
+        (T,) TRRS values; entries without a valid partner are NaN.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"sequence shape mismatch: {a.shape} vs {b.shape}")
+    t = a.shape[0]
+    out = np.full(t, np.nan)
+    if lag >= 0:
+        if lag < t:
+            out[lag:] = average_trrs(a[lag:], b[: t - lag])
+    else:
+        if -lag < t:
+            out[: t + lag] = average_trrs(a[: t + lag], b[-lag:])
+    return out

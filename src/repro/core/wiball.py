@@ -1,0 +1,206 @@
+"""WiBall-style speed estimation from self-TRRS decay (§7, [46]).
+
+The paper's future-work section points to WiBall (Zhang et al., 2018) as a
+TRRS-based way to estimate distance in *arbitrary* directions without an
+antenna pair to retrace: in a rich-scattering field, the self-TRRS of a
+single moving antenna decays with spatial displacement following the
+time-reversal focusing profile — approximately J₀²(2πd/λ) for isotropic 2D
+scattering.  The first local minimum of the measured TRRS-vs-time-lag curve
+therefore sits at the lag where the antenna has moved d₀ = x₀·λ/(2π) with
+x₀ ≈ 2.405 (the first zero of J₀, hence the first minimum of J₀²), giving
+
+    v = d₀ · f_s / lag_min.
+
+Less accurate than RIM's retracing (decimeter rather than centimeter, as
+the paper notes) but requiring only ONE antenna and working for any motion
+direction — a useful complement, and the baseline RIM is compared against
+in the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.alignment import nan_moving_average
+from repro.core.trrs import normalize_csi, trrs_series
+
+FIRST_J0_ZERO = 2.4048
+"""First positive root of J0 — where J0²(2πd/λ) reaches its first minimum."""
+
+J0_SQ_HALF_DECAY = 1.1262
+"""x where J0²(x) = 0.5 — the half-decay point used for speed inversion.
+
+The half-decay crossing is far more robust than the first minimum: the
+measured curve sits on a cross-term floor and is smoothed, which shifts and
+sometimes erases the minimum, while the 50%-drop crossing survives both
+(the floor is estimated from the curve tail and divided out)."""
+
+DECAY_CALIBRATION = 1.28
+"""Empirical broadening factor of the measured half-decay, fitted once on
+known-speed traces of the synthetic testbed (see speed_from_decay)."""
+
+
+@dataclass
+class WiballEstimate:
+    """Speed/distance estimate from self-TRRS decay.
+
+    Attributes:
+        times: (N,) window-center timestamps, seconds.
+        speeds: (N,) speed estimates, m/s (NaN when no minimum found).
+        distance: Total distance integrated over the trace, meters.
+    """
+
+    times: np.ndarray
+    speeds: np.ndarray
+    distance: float
+
+
+def decay_curve(
+    csi_antenna: np.ndarray,
+    max_lag: int,
+    start: int,
+    stop: int,
+) -> np.ndarray:
+    """Mean self-TRRS versus time lag over a sample window.
+
+    Args:
+        csi_antenna: (T, n_tx, S) normalized CFR sequence of one antenna.
+        max_lag: Largest lag evaluated, samples.
+        start, stop: Window of reference samples.
+
+    Returns:
+        (max_lag + 1,) mean TRRS per lag (lag 0 first).
+    """
+    window = csi_antenna[max(0, start - max_lag) : stop]
+    offset = min(start, max_lag)
+    out = np.full(max_lag + 1, np.nan)
+    for lag in range(0, max_lag + 1):
+        series = trrs_series(window, window, lag)
+        segment = series[offset : offset + (stop - start)]
+        finite = segment[np.isfinite(segment)]
+        if finite.size:
+            out[lag] = float(finite.mean())
+    return out
+
+
+def speed_from_decay(
+    curve: np.ndarray,
+    sampling_rate: float,
+    wavelength: float,
+    smoothing: int = 5,
+    calibration: float = DECAY_CALIBRATION,
+) -> float:
+    """Invert a self-TRRS decay curve into a speed estimate.
+
+    Locates the half-decay crossing of the (smoothed, floor-corrected)
+    curve and maps it to the J₀² half-decay displacement.  ``calibration``
+    scales the result: the measured decay is broadened by cross-path terms
+    and window averaging, so — like the original WiBall system, which fits
+    its decay model empirically — a one-time constant is calibrated against
+    known-speed traces (1.0 disables it).
+
+    Returns:
+        Speed in m/s, or NaN when the curve shows no usable decay (the
+        device moved too slowly for the lag window, or not at all).
+    """
+    curve = np.asarray(curve, dtype=np.float64)
+    if smoothing > 1:
+        curve = nan_moving_average(curve[:, None], smoothing)[:, 0]
+    finite = np.isfinite(curve)
+    if finite.sum() < 5 or not np.isfinite(curve[0]):
+        return float("nan")
+    # Estimate the incoherent floor from the curve tail, then locate the
+    # first crossing of the half-decay level above it.
+    tail = curve[curve.size // 2 :]
+    tail = tail[np.isfinite(tail)]
+    floor = float(np.median(tail)) if tail.size else 0.0
+    peak = float(curve[0])
+    if peak - floor < 0.05:
+        return float("nan")  # no decay: the antenna is not really moving
+    level = floor + 0.5 * (peak - floor)
+    below = np.nonzero(np.isfinite(curve) & (curve < level))[0]
+    below = below[below > 0]
+    if below.size == 0:
+        return float("nan")
+    k = int(below[0])
+    # Fractional crossing between k-1 and k.
+    prev = curve[k - 1] if np.isfinite(curve[k - 1]) else peak
+    frac = (prev - level) / max(1e-12, prev - curve[k])
+    lag_cross = (k - 1) + float(np.clip(frac, 0.0, 1.0))
+    if lag_cross <= 0:
+        return float("nan")
+    d_half = J0_SQ_HALF_DECAY * wavelength / (2.0 * np.pi)
+    return calibration * d_half * sampling_rate / lag_cross
+
+
+class WiballSpeedEstimator:
+    """Windowed single-antenna speed/distance estimator."""
+
+    def __init__(
+        self,
+        wavelength: float,
+        window_seconds: float = 0.5,
+        max_lag_seconds: float = 0.3,
+        smoothing: int = 5,
+        calibration: float = DECAY_CALIBRATION,
+    ):
+        self.wavelength = wavelength
+        self.window_seconds = window_seconds
+        self.max_lag_seconds = max_lag_seconds
+        self.smoothing = smoothing
+        self.calibration = calibration
+
+    def estimate(
+        self,
+        csi_antenna: np.ndarray,
+        sampling_rate: float,
+        moving: Optional[np.ndarray] = None,
+    ) -> WiballEstimate:
+        """Estimate speed over sliding windows and integrate distance.
+
+        Args:
+            csi_antenna: (T, n_tx, S) sanitized CFR sequence (one antenna).
+            sampling_rate: Packet rate, Hz.
+            moving: Optional movement mask; distance integrates only over
+                moving windows.
+
+        Returns:
+            The :class:`WiballEstimate`.
+        """
+        t = csi_antenna.shape[0]
+        norm = normalize_csi(csi_antenna)
+        win = max(8, int(round(self.window_seconds * sampling_rate)))
+        max_lag = max(4, int(round(self.max_lag_seconds * sampling_rate)))
+
+        centers = []
+        speeds = []
+        for start in range(0, t - win + 1, win // 2):
+            stop = start + win
+            curve = decay_curve(norm, max_lag, start, stop)
+            v = speed_from_decay(
+                curve,
+                sampling_rate,
+                self.wavelength,
+                self.smoothing,
+                calibration=self.calibration,
+            )
+            if moving is not None:
+                if not moving[start:stop].any():
+                    v = 0.0
+            centers.append((start + stop) / 2.0 / sampling_rate)
+            speeds.append(v)
+
+        centers_arr = np.asarray(centers)
+        speeds_arr = np.asarray(speeds)
+        valid = np.isfinite(speeds_arr)
+        if valid.any():
+            step = win / 2.0 / sampling_rate
+            distance = float(np.nansum(np.where(valid, speeds_arr, 0.0)) * step)
+        else:
+            distance = 0.0
+        return WiballEstimate(
+            times=centers_arr, speeds=speeds_arr, distance=distance
+        )

@@ -1,0 +1,124 @@
+"""Vectorized 2D segment geometry used by the floorplan substrate.
+
+Everything here operates on arrays of segments so that wall-crossing counts
+for thousands of propagation paths are a handful of NumPy broadcasts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def _as_points(points) -> np.ndarray:
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.shape[-1] != 2:
+        raise ValueError(f"expected 2D points, got shape {arr.shape}")
+    return arr
+
+
+def segments_intersect(p1, p2, q1, q2) -> np.ndarray:
+    """Test proper intersection between segment batches.
+
+    ``p1, p2`` define N segments and ``q1, q2`` define M segments; the result
+    is an (N, M) boolean matrix.  Touching at exactly one endpoint counts as
+    an intersection (a ray grazing a wall corner is treated as blocked, which
+    is the conservative choice for radio attenuation).
+    """
+    p1 = _as_points(p1)[:, None, :]
+    p2 = _as_points(p2)[:, None, :]
+    q1 = _as_points(q1)[None, :, :]
+    q2 = _as_points(q2)[None, :, :]
+
+    d1 = p2 - p1
+    d2 = q2 - q1
+    denom = d1[..., 0] * d2[..., 1] - d1[..., 1] * d2[..., 0]
+    delta = q1 - p1
+
+    t_num = delta[..., 0] * d2[..., 1] - delta[..., 1] * d2[..., 0]
+    u_num = delta[..., 0] * d1[..., 1] - delta[..., 1] * d1[..., 0]
+
+    parallel = np.abs(denom) < _EPS
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = np.where(parallel, np.inf, t_num / np.where(parallel, 1.0, denom))
+        u = np.where(parallel, np.inf, u_num / np.where(parallel, 1.0, denom))
+
+    hit = (~parallel) & (t >= -_EPS) & (t <= 1 + _EPS) & (u >= -_EPS) & (u <= 1 + _EPS)
+    return hit
+
+
+def crossing_counts(starts, ends, wall_starts, wall_ends) -> np.ndarray:
+    """Count how many walls each path segment crosses.
+
+    Args:
+        starts, ends: (N, 2) path endpoints.
+        wall_starts, wall_ends: (M, 2) wall endpoints.
+
+    Returns:
+        (N,) integer array of wall crossings per path.
+    """
+    wall_starts = _as_points(wall_starts)
+    if wall_starts.shape[0] == 0:
+        return np.zeros(_as_points(starts).shape[0], dtype=np.int64)
+    hits = segments_intersect(starts, ends, wall_starts, wall_ends)
+    return hits.sum(axis=1).astype(np.int64)
+
+
+def point_segment_distance(points, seg_start, seg_end) -> np.ndarray:
+    """Distance from each point to one segment.
+
+    Args:
+        points: (N, 2) query points.
+        seg_start, seg_end: segment endpoints, shape (2,).
+
+    Returns:
+        (N,) distances.
+    """
+    points = _as_points(points)
+    a = np.asarray(seg_start, dtype=np.float64)
+    b = np.asarray(seg_end, dtype=np.float64)
+    ab = b - a
+    denom = float(ab @ ab)
+    if denom < _EPS:
+        return np.linalg.norm(points - a, axis=1)
+    t = np.clip(((points - a) @ ab) / denom, 0.0, 1.0)
+    closest = a + t[:, None] * ab
+    return np.linalg.norm(points - closest, axis=1)
+
+
+def polyline_length(points) -> float:
+    """Total length of a polyline given as (N, 2) vertices."""
+    points = _as_points(points)
+    if points.shape[0] < 2:
+        return 0.0
+    return float(np.linalg.norm(np.diff(points, axis=0), axis=1).sum())
+
+
+def resample_polyline(points, spacing: float) -> np.ndarray:
+    """Resample a polyline at (approximately) uniform arc-length spacing.
+
+    Args:
+        points: (N, 2) polyline vertices.
+        spacing: Desired distance between consecutive output samples.
+
+    Returns:
+        (M, 2) resampled points, including both endpoints.
+    """
+    points = _as_points(points)
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing}")
+    if points.shape[0] < 2:
+        return points.copy()
+    seg = np.linalg.norm(np.diff(points, axis=0), axis=1)
+    cum = np.concatenate([[0.0], np.cumsum(seg)])
+    total = cum[-1]
+    if total == 0.0:
+        return points[:1].copy()
+    n_samples = max(2, int(round(total / spacing)) + 1)
+    targets = np.linspace(0.0, total, n_samples)
+    xs = np.interp(targets, cum, points[:, 0])
+    ys = np.interp(targets, cum, points[:, 1])
+    return np.stack([xs, ys], axis=1)

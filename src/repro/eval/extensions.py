@@ -1,0 +1,212 @@
+"""Runners for the §7 extension experiments and scaling sweeps.
+
+Same contract as :mod:`repro.eval.experiments`; these quantify the paper's
+discussion-section claims rather than its evaluation figures.  The
+benchmark files under ``benchmarks/`` and the CLI both dispatch here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.arrays.geometry import hexagonal_array, linear_array, uniform_circular_array
+from repro.channel.impairments import ImpairmentConfig
+from repro.channel.ofdm import make_grid
+from repro.core.config import RimConfig
+from repro.core.rim import Rim
+from repro.core.sanitize import sanitize_trace
+from repro.core.streaming import StreamingRim
+from repro.core.wiball import WiballSpeedEstimator
+from repro.eval.metrics import circular_mean, heading_error_deg
+from repro.eval.setup import MEASUREMENT_SPOTS, make_testbed
+from repro.motionsim.profiles import line_trajectory
+
+
+def run_wiball_vs_rim(seed: int = 30, quick: bool = False) -> Dict:
+    """RIM (retracing) vs WiBall (decay) distance on the same traces."""
+    n = 2 if quick else 4
+    rim_errors, wiball_errors = [], []
+    for k in range(n):
+        bed = make_testbed(seed=seed + k)
+        traj = line_trajectory(
+            MEASUREMENT_SPOTS[k % 9], 0.0, 1.0, 3.0 if quick else 5.0
+        )
+        trace = bed.sampler.sample(traj, linear_array(3))
+        rim_res = Rim(RimConfig(max_lag=60)).process(trace)
+        rim_errors.append(abs(rim_res.total_distance - traj.total_distance))
+
+        data = sanitize_trace(trace.data)
+        wb = WiballSpeedEstimator(trace.carrier_wavelength).estimate(
+            data[:, 0], trace.sampling_rate
+        )
+        wiball_errors.append(abs(wb.distance - traj.total_distance))
+    return {
+        "measured": {
+            "rim_median_error_cm": 100 * float(np.median(rim_errors)),
+            "wiball_median_error_cm": 100 * float(np.median(wiball_errors)),
+            "rim_wins": bool(np.median(rim_errors) < np.median(wiball_errors)),
+        },
+        "paper": {
+            "note": "§7: WiBall offers (less accurate) distance in arbitrary directions"
+        },
+    }
+
+
+def run_loss_robustness(seed: int = 40, quick: bool = False) -> Dict:
+    """Distance error versus packet loss rate (§5/§7 'Packet loss')."""
+    rates = [0.0, 0.1, 0.3] if quick else [0.0, 0.05, 0.1, 0.2, 0.3]
+    medians = {}
+    reps = 1 if quick else 2
+    for rate in rates:
+        errors = []
+        for r in range(reps):
+            bed = make_testbed(
+                seed=seed + r,
+                impairments=ImpairmentConfig(
+                    snr_db=25.0, packet_loss_rate=rate, loss_burstiness=3.0
+                ),
+            )
+            traj = line_trajectory(MEASUREMENT_SPOTS[r % 9], 0.0, 0.5, 3.0)
+            trace = bed.sampler.sample(traj, linear_array(3))
+            res = Rim(RimConfig(max_lag=60)).process(trace)
+            errors.append(abs(res.total_distance - traj.total_distance))
+        medians[rate] = 100 * float(np.median(errors))
+    return {
+        "measured": {"median_error_cm_by_loss": medians},
+        "paper": {"note": "RIM tolerates packet loss to a certain extent (§7)"},
+    }
+
+
+def run_fine_direction(seed: int = 50, quick: bool = False) -> Dict:
+    """Heading error on off-grid directions, grid vs refined (§7)."""
+    directions = [10.0, 40.0] if quick else [10.0, 20.0, 40.0, 70.0, 100.0, -50.0]
+    errors = {False: [], True: []}
+    for k, d in enumerate(directions):
+        for fine in (False, True):
+            bed = make_testbed(seed=seed + k)
+            traj = line_trajectory(MEASUREMENT_SPOTS[k % 9], d, 0.5, 2.0)
+            trace = bed.sampler.sample(traj, hexagonal_array())
+            res = Rim(RimConfig(max_lag=60, fine_direction=fine)).process(trace)
+            errors[fine].append(heading_error_deg(circular_mean(res.headings()), d))
+    return {
+        "measured": {
+            "grid_mean_error_deg": float(np.mean(errors[False])),
+            "refined_mean_error_deg": float(np.mean(errors[True])),
+        },
+        "paper": {
+            "note": "§7: finer directions from TRRS strengths of adjacent pairs"
+        },
+    }
+
+
+def run_antenna_count_sweep(seed: int = 60, quick: bool = False) -> Dict:
+    """Heading error vs antenna count on a UCA (§7 'Antenna array')."""
+    counts = [4, 8] if quick else [4, 6, 8, 12]
+    directions = [17.0] if quick else [17.0, 52.0, 101.0]
+    errors = {}
+    for n in counts:
+        errs = []
+        arr = uniform_circular_array(n)
+        for k, d in enumerate(directions):
+            bed = make_testbed(seed=seed + k)
+            traj = line_trajectory(MEASUREMENT_SPOTS[k % 9], d, 0.5, 1.6)
+            trace = bed.sampler.sample(traj, arr)
+            res = Rim(RimConfig(max_lag=60)).process(trace)
+            errs.append(heading_error_deg(circular_mean(res.headings()), d))
+        errors[n] = float(np.mean(errs))
+    return {
+        "measured": {"mean_heading_error_deg_by_antennas": errors},
+        "paper": {"note": "§7: more antennas offer better resolution immediately"},
+    }
+
+
+def run_bandwidth_sweep(seed: int = 70, quick: bool = False) -> Dict:
+    """Distance error vs channel bandwidth / tone count (§3.2)."""
+    configs = (
+        {"40MHz/114": make_grid(bandwidth=40e6), "20MHz/56": make_grid(bandwidth=20e6)}
+        if quick
+        else {
+            "40MHz/114": make_grid(bandwidth=40e6),
+            "40MHz/30grp": make_grid(bandwidth=40e6).grouped(30),
+            "20MHz/56": make_grid(bandwidth=20e6),
+            "20MHz/14grp": make_grid(bandwidth=20e6).grouped(14),
+        }
+    )
+    reps = 1 if quick else 3
+    medians = {}
+    for label, grid in configs.items():
+        errs = []
+        for r in range(reps):
+            bed = make_testbed(seed=seed + r, grid=grid)
+            traj = line_trajectory(MEASUREMENT_SPOTS[r % 9], 0.0, 0.5, 3.0)
+            trace = bed.sampler.sample(traj, linear_array(3))
+            res = Rim(RimConfig(max_lag=60)).process(trace)
+            errs.append(abs(res.total_distance - traj.total_distance))
+        medians[label] = 100 * float(np.median(errs))
+    return {
+        "measured": {"median_error_cm_by_channel": medians},
+        "paper": {"note": "§3.2: focusing intensifies with larger bandwidth"},
+    }
+
+
+def run_streaming_throughput(seed: int = 80, quick: bool = False) -> Dict:
+    """Online pipeline throughput vs the 200 Hz packet rate (§5)."""
+    bed = make_testbed(seed=seed)
+    duration = 2.0 if quick else 5.0
+    traj = line_trajectory(MEASUREMENT_SPOTS[0], 0.0, 0.5, duration)
+    arr = linear_array(3)
+    trace = bed.sampler.sample(traj, arr)
+    cfg = RimConfig(max_lag=60)
+
+    stream = StreamingRim(
+        arr,
+        trace.sampling_rate,
+        cfg,
+        block_seconds=1.0,
+        carrier_wavelength=trace.carrier_wavelength,
+    )
+    start = time.perf_counter()
+    for k in range(trace.n_samples):
+        stream.push(trace.data[k], trace.times[k])
+    stream.flush()
+    elapsed = time.perf_counter() - start
+
+    offline = Rim(cfg).process(trace).total_distance
+    return {
+        "measured": {
+            "samples_per_second": trace.n_samples / elapsed,
+            "real_time_at_200hz": bool(trace.n_samples / elapsed >= 200.0),
+            "streamed_vs_offline_gap_cm": 100 * abs(stream.total_distance - offline),
+        },
+        "paper": {"note": "§5: real-time system; §6.2.9 ~6% CPU"},
+    }
+
+
+def run_navigation(seed: int = 9, quick: bool = False) -> Dict:
+    """Closed-loop AGV waypoint navigation on RIM feedback (§6.3.3)."""
+    from repro.apps.navigation import WaypointNavigator
+
+    bed = make_testbed(seed=seed)
+    navigator = WaypointNavigator(
+        bed.sampler, hexagonal_array(), rng=np.random.default_rng(seed)
+    )
+    if quick:
+        waypoints = [(11.0, 13.5), (11.0, 14.5)]
+    else:
+        waypoints = [(12.0, 13.5), (12.0, 14.8), (16.0, 14.8), (16.0, 13.4)]
+    result = navigator.navigate((8.0, 13.5), waypoints, max_steps=160)
+    errors = [e for e in result.arrival_errors if e == e]
+    return {
+        "measured": {
+            "waypoints_reached": sum(result.reached),
+            "n_waypoints": len(waypoints),
+            "mean_arrival_error_cm": 100 * float(np.mean(errors))
+            if errors
+            else float("nan"),
+            "distance_driven_m": result.total_true_distance,
+        },
+        "paper": {"note": "AGV steering closed over RIM alone (§6.3.3 use case)"},
+    }

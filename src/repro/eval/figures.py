@@ -1,0 +1,114 @@
+"""Terminal-friendly figure rendering for experiment results.
+
+The paper presents its evaluation as CDFs and line plots; these helpers
+render the measured series as ASCII so ``python -m repro.cli run figX
+--plot`` (and the examples) can show the curve shapes without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def ascii_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 60,
+    height: int = 14,
+    x_label: str = "",
+    y_label: str = "",
+    marker: str = "*",
+) -> str:
+    """Render one series as an ASCII scatter/line plot.
+
+    Args:
+        x, y: The series (finite points only are drawn).
+        width, height: Canvas size in characters.
+        x_label, y_label: Axis annotations.
+        marker: Point marker character.
+
+    Returns:
+        A multi-line plot string.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    ok = np.isfinite(x) & np.isfinite(y)
+    x, y = x[ok], y[ok]
+    if x.size == 0:
+        return "(no finite data)"
+
+    x_lo, x_hi = float(x.min()), float(x.max())
+    y_lo, y_hi = float(y.min()), float(y.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for xv, yv in zip(x, y):
+        col = int((xv - x_lo) / x_span * (width - 1))
+        row = int((1.0 - (yv - y_lo) / y_span) * (height - 1))
+        canvas[row][col] = marker
+
+    lines = []
+    for r, row in enumerate(canvas):
+        if r == 0:
+            prefix = f"{y_hi:9.3g} |"
+        elif r == height - 1:
+            prefix = f"{y_lo:9.3g} |"
+        else:
+            prefix = " " * 9 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f" {x_lo:<10.3g}" + " " * max(0, width - 24) + f"{x_hi:>10.3g}"
+    )
+    if x_label or y_label:
+        lines.append(" " * 10 + f" x: {x_label}   y: {y_label}")
+    return "\n".join(lines)
+
+
+def ascii_cdf(values: Sequence[float], width: int = 60, height: int = 14, x_label: str = "") -> str:
+    """Render an empirical CDF (the paper's favorite presentation)."""
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return "(no finite data)"
+    p = np.arange(1, arr.size + 1) / arr.size
+    return ascii_plot(arr, p, width=width, height=height, x_label=x_label, y_label="CDF")
+
+
+def ascii_bars(data: Dict, width: int = 44, unit: str = "") -> str:
+    """Horizontal bar chart for keyed scalars (per-site/per-V medians)."""
+    items = [(str(k), float(v)) for k, v in data.items() if np.isfinite(float(v))]
+    if not items:
+        return "(no finite data)"
+    peak = max(v for _, v in items) or 1.0
+    label_width = max(len(k) for k, _ in items)
+    lines = []
+    for key, value in items:
+        bar = "#" * max(1, int(round(value / peak * width)))
+        lines.append(f"{key.rjust(label_width)} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def render_result_figures(name: str, result: Dict) -> str:
+    """Best-effort figure rendering for a runner's output dict."""
+    blocks = []
+    measured = result.get("measured", {})
+    for key, value in measured.items():
+        if isinstance(value, dict) and value and all(
+            isinstance(v, (int, float)) for v in value.values()
+        ):
+            blocks.append(f"-- {key} --\n" + ascii_bars(value))
+    for errors_key in ("desktop_errors", "cart_errors", "errors"):
+        if errors_key in result:
+            vals = np.asarray(result[errors_key], dtype=float)
+            if vals.size >= 3:
+                blocks.append(
+                    f"-- CDF of {errors_key} --\n" + ascii_cdf(vals, x_label=errors_key)
+                )
+    if not blocks:
+        return f"({name}: nothing figure-shaped in this result)"
+    return "\n\n".join(blocks)

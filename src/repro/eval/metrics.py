@@ -1,0 +1,108 @@
+"""Evaluation metrics shared by the experiments (§6.1).
+
+The paper's accounting: distance errors are |estimated - true| per trace
+and summarized as CDFs/medians; heading errors are the absolute angular
+difference to the true direction; handwriting/tracking trajectory errors
+use the minimum projection distance from each estimated location to the
+ground-truth trajectory (their camera sync workaround, §6.3.1 — we keep
+the same metric for comparability).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.env.geometry2d import point_segment_distance
+
+
+def distance_error(estimated: float, truth: float) -> float:
+    """Absolute moving-distance error, meters."""
+    return float(abs(estimated - truth))
+
+
+def heading_error_deg(estimated_rad: float, truth_deg: float) -> float:
+    """Absolute heading error in degrees, wrapped to [0, 180]."""
+    est_deg = np.rad2deg(estimated_rad)
+    diff = (est_deg - truth_deg + 180.0) % 360.0 - 180.0
+    return float(abs(diff))
+
+
+def circular_mean(angles_rad: np.ndarray) -> float:
+    """Mean direction of a set of angles (NaNs ignored)."""
+    angles = np.asarray(angles_rad, dtype=np.float64)
+    angles = angles[np.isfinite(angles)]
+    if angles.size == 0:
+        return float("nan")
+    return float(np.arctan2(np.mean(np.sin(angles)), np.mean(np.cos(angles))))
+
+
+def cdf(values: Sequence[float]) -> Dict[str, np.ndarray]:
+    """Empirical CDF: sorted values and cumulative probabilities."""
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        return {"x": arr, "p": arr}
+    p = np.arange(1, arr.size + 1) / arr.size
+    return {"x": arr, "p": p}
+
+
+def percentile_summary(values: Sequence[float]) -> Dict[str, float]:
+    """median / mean / p90 / max of an error sample."""
+    arr = np.asarray(values, dtype=np.float64)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return {"median": float("nan"), "mean": float("nan"), "p90": float("nan"), "max": float("nan")}
+    return {
+        "median": float(np.median(arr)),
+        "mean": float(arr.mean()),
+        "p90": float(np.percentile(arr, 90)),
+        "max": float(arr.max()),
+    }
+
+
+def trajectory_projection_errors(estimated: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """Min projection distance from each estimated point to the true path.
+
+    Args:
+        estimated: (N, 2) estimated positions.
+        truth: (M, 2) ground-truth polyline.
+
+    Returns:
+        (N,) per-point distances.
+    """
+    estimated = np.atleast_2d(np.asarray(estimated, dtype=np.float64))
+    truth = np.atleast_2d(np.asarray(truth, dtype=np.float64))
+    if truth.shape[0] == 1:
+        return np.linalg.norm(estimated - truth, axis=1)
+    best = np.full(estimated.shape[0], np.inf)
+    for k in range(truth.shape[0] - 1):
+        d = point_segment_distance(estimated, truth[k], truth[k + 1])
+        best = np.minimum(best, d)
+    return best
+
+
+def synchronized_position_errors(estimated: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """Per-sample position error when both tracks share the time base."""
+    estimated = np.asarray(estimated, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimated.shape != truth.shape:
+        raise ValueError(f"shape mismatch: {estimated.shape} vs {truth.shape}")
+    return np.linalg.norm(estimated - truth, axis=1)
+
+
+def detection_counts(
+    detected: Sequence[bool], classified_ok: Sequence[bool]
+) -> Dict[str, float]:
+    """Gesture detection/classification bookkeeping (Fig. 19)."""
+    detected = np.asarray(detected, dtype=bool)
+    classified_ok = np.asarray(classified_ok, dtype=bool)
+    n = detected.size
+    if n == 0:
+        return {"detection_rate": 0.0, "miss_rate": 0.0, "accuracy": 0.0}
+    hit = detected & classified_ok
+    return {
+        "detection_rate": float(hit.mean()),
+        "miss_rate": float((~detected).mean()),
+        "accuracy": float(hit.sum() / max(1, detected.sum())),
+    }

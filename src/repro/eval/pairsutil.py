@@ -1,0 +1,19 @@
+"""Small helpers shared by ablation runners."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def magnitude_normalize(data: np.ndarray) -> np.ndarray:
+    """Strip phase and unit-normalize — the 'magnitude-only' ablation.
+
+    Returns a tensor shaped like the input whose vectors are |H| / ‖|H|‖
+    (real, cast to complex so it can flow through the TRRS kernels).
+    """
+    mag = np.abs(np.asarray(data))
+    power = np.sqrt((mag**2).sum(axis=-1, keepdims=True))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = mag / power
+    out = np.where(power > 0, out, np.nan)
+    return out.astype(np.complex64)

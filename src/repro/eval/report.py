@@ -1,0 +1,54 @@
+"""Paper-vs-measured table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def format_value(value) -> str:
+    """Human-friendly scalar formatting."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    if isinstance(value, dict):
+        inner = ", ".join(f"{k}={format_value(v)}" for k, v in value.items())
+        return "{" + inner + "}"
+    if isinstance(value, tuple):
+        return "(" + ", ".join(format_value(v) for v in value) + ")"
+    return str(value)
+
+
+def render_report(title: str, result: Dict) -> str:
+    """Render one experiment's paper-vs-measured comparison.
+
+    Args:
+        title: Figure/section label, e.g. "Fig. 11".
+        result: A runner output with "measured" and "paper" keys.
+
+    Returns:
+        A multi-line table string.
+    """
+    measured = result.get("measured", {})
+    paper = result.get("paper", {})
+    keys = list(measured.keys())
+    for key in paper:
+        if key not in keys:
+            keys.append(key)
+
+    width = max([len(k) for k in keys] + [10])
+    lines = [f"== {title} ==", f"{'metric'.ljust(width)}  {'paper':>16}  {'measured':>16}"]
+    for key in keys:
+        p = format_value(paper[key]) if key in paper else "-"
+        m = format_value(measured[key]) if key in measured else "-"
+        if key == "note":
+            lines.append(f"{key.ljust(width)}  {p}")
+            continue
+        lines.append(f"{key.ljust(width)}  {p:>16}  {m:>16}")
+    return "\n".join(lines)
+
+
+def print_report(title: str, result: Dict) -> None:
+    """Print the rendered comparison (used by the benches)."""
+    print()
+    print(render_report(title, result))

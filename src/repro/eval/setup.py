@@ -1,0 +1,126 @@
+"""Shared experiment scaffolding: the simulated testbed of §6.1.
+
+One floor of a busy office (36.5 m × 28 m, Fig. 10), a single 3-antenna AP
+broadcasting at 200 Hz on a 40 MHz channel in the 5 GHz band, and a
+scatterer population spread over the floor.  Every experiment builds its
+scenario through :func:`make_testbed` so that workloads stay comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.impairments import ImpairmentConfig
+from repro.channel.model import MultipathChannel
+from repro.channel.ofdm import SubcarrierGrid, make_grid
+from repro.channel.sampler import CsiSampler, ap_antenna_positions
+from repro.channel.scatterers import uniform_field
+from repro.env.floorplan import Floorplan, office_floorplan
+
+
+@dataclass
+class Testbed:
+    """A fully wired simulation scenario.
+
+    Attributes:
+        floorplan: The office floor with AP sites.
+        channel: The multipath channel.
+        sampler: CSI sampler bound to the AP.
+        ap_position: The AP location in use.
+        rng: The scenario's randomness source.
+    """
+
+    floorplan: Floorplan
+    channel: MultipathChannel
+    sampler: CsiSampler
+    ap_position: np.ndarray
+    rng: np.random.Generator
+
+    def has_los(self, point) -> bool:
+        """Is there a clear line of sight from the AP to a point?"""
+        return self.floorplan.has_los(self.ap_position, np.asarray(point))
+
+
+def make_testbed(
+    seed: int = 0,
+    ap_site: int = 0,
+    n_scatterers: int = 120,
+    n_tx: int = 3,
+    snr_db: Optional[float] = 25.0,
+    packet_loss_rate: float = 0.0,
+    with_walls: bool = True,
+    los_gain: float = 0.5,
+    grid: Optional[SubcarrierGrid] = None,
+    impairments: Optional[ImpairmentConfig] = None,
+) -> Testbed:
+    """Build the standard experimental setup.
+
+    Args:
+        seed: Seed for scatterers, impairments, and downstream noise.
+        ap_site: AP location id from Fig. 10 (0 = far corner, the default
+            used for most experiments).
+        n_scatterers: Scatterer population over the floor.
+        n_tx: AP antenna count (the paper's AP has 3).
+        snr_db: CSI SNR; None disables noise.
+        packet_loss_rate: Packet loss probability per NIC.
+        with_walls: Include the office walls (False = open space).
+        los_gain: Direct-ray amplitude (0 = pure NLOS channels).
+        grid: Tone grid override (e.g. ``make_grid().grouped(30)`` for
+            Intel-5300-style reporting).
+        impairments: Full impairment override; when given, snr_db and
+            packet_loss_rate are ignored.
+
+    Returns:
+        The wired :class:`Testbed`.
+    """
+    rng = np.random.default_rng(seed)
+    floorplan = office_floorplan()
+    if ap_site not in floorplan.ap_sites:
+        raise ValueError(f"unknown AP site {ap_site}; have {sorted(floorplan.ap_sites)}")
+    ap_position = np.asarray(floorplan.ap_sites[ap_site], dtype=np.float64)
+
+    scatterers = uniform_field(
+        floorplan.width, floorplan.height, n_scatterers=n_scatterers, rng=rng
+    )
+    channel = MultipathChannel(
+        scatterers=scatterers,
+        grid=grid or make_grid(),
+        floorplan=floorplan if with_walls else None,
+        los_gain=los_gain,
+    )
+    if impairments is None:
+        impairments = ImpairmentConfig(
+            snr_db=snr_db, packet_loss_rate=packet_loss_rate
+        )
+    sampler = CsiSampler(
+        channel=channel,
+        tx_positions=ap_antenna_positions(ap_position, n_tx=n_tx),
+        impairments=impairments,
+        rng=rng,
+    )
+    return Testbed(
+        floorplan=floorplan,
+        channel=channel,
+        sampler=sampler,
+        ap_position=ap_position,
+        rng=rng,
+    )
+
+
+# Open areas of the synthetic floor where experiments place devices (middle
+# corridor and room centers), mirroring "different locations over the
+# floorplan" (§6.1).
+MEASUREMENT_SPOTS = (
+    (8.0, 14.0),
+    (18.0, 14.0),
+    (28.0, 14.0),
+    (9.0, 7.0),
+    (21.0, 7.0),
+    (31.0, 6.0),
+    (9.0, 22.0),
+    (21.0, 22.0),
+    (30.0, 22.0),
+)

@@ -1,0 +1,107 @@
+"""Using RIM to calibrate inertial sensors (§7, "Fusing inertial sensors").
+
+The paper proposes "applying RIM to calibrate inertial sensors".  Two
+concrete calibrations implemented here:
+
+* **Gyro bias from RIM stillness.**  RIM's movement detection (§4.1) is far
+  more reliable than the IMU's own (Fig. 7); whenever RIM says the device
+  is static, whatever the gyro reads *is* bias.  Averaging those readings
+  (and tracking them over time) removes the dominant gyro error term.
+* **Gyro scale from RIM rotations.**  When RIM measures an in-place
+  rotation, the ratio of RIM's angle to the gyro's integrated angle
+  estimates the gyro scale factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.core.rim import RimResult
+from repro.imu.sensors import ImuReadings
+
+
+@dataclass
+class GyroCalibration:
+    """Estimated gyroscope error parameters.
+
+    Attributes:
+        bias: Estimated constant bias, rad/s (NaN if no static samples).
+        bias_std: Spread of the static readings (quality indicator).
+        n_static_samples: Static samples the bias was estimated from.
+        scale: Estimated scale factor from rotation comparison (1.0 when
+            no rotation event was available).
+    """
+
+    bias: float
+    bias_std: float
+    n_static_samples: int
+    scale: float = 1.0
+
+
+def calibrate_gyro(
+    imu: ImuReadings,
+    rim_result: RimResult,
+    min_static_seconds: float = 0.5,
+) -> GyroCalibration:
+    """Estimate gyro bias (and scale, when possible) using RIM as truth.
+
+    Args:
+        imu: Raw gyro readings over the trace.
+        rim_result: RIM output for the same trace (shared time base).
+        min_static_seconds: Minimum accumulated static time required for a
+            bias estimate.
+
+    Returns:
+        The :class:`GyroCalibration`.
+    """
+    moving = np.interp(
+        imu.times, rim_result.motion.times, rim_result.motion.moving.astype(float)
+    ) > 0.5
+    static = ~moving
+    fs = (imu.times.size - 1) / max(1e-9, imu.times[-1] - imu.times[0])
+    n_needed = int(round(min_static_seconds * fs))
+
+    if static.sum() >= max(2, n_needed):
+        readings = imu.gyro[static]
+        bias = float(np.median(readings))
+        bias_std = float(readings.std())
+        n_static = int(static.sum())
+    else:
+        bias, bias_std, n_static = float("nan"), float("nan"), int(static.sum())
+
+    scale = _scale_from_rotations(imu, rim_result, bias if np.isfinite(bias) else 0.0)
+    return GyroCalibration(
+        bias=bias, bias_std=bias_std, n_static_samples=n_static, scale=scale
+    )
+
+
+def apply_calibration(imu: ImuReadings, calibration: GyroCalibration) -> ImuReadings:
+    """Return corrected readings: gyro' = (gyro - bias) / scale."""
+    bias = calibration.bias if np.isfinite(calibration.bias) else 0.0
+    scale = calibration.scale if calibration.scale > 0 else 1.0
+    return ImuReadings(
+        times=imu.times.copy(),
+        accel=imu.accel.copy(),
+        gyro=(imu.gyro - bias) / scale,
+        mag_heading=imu.mag_heading.copy(),
+    )
+
+
+def _scale_from_rotations(
+    imu: ImuReadings, rim_result: RimResult, bias: float
+) -> float:
+    """Gyro scale factor from RIM-measured rotation events."""
+    dt = np.diff(imu.times, prepend=imu.times[0])
+    dt[0] = 0.0
+    ratios = []
+    for event in rim_result.motion.rotations:
+        t0 = rim_result.motion.times[event.start_index]
+        t1 = rim_result.motion.times[min(event.stop_index, rim_result.motion.times.size - 1)]
+        mask = (imu.times >= t0) & (imu.times <= t1)
+        gyro_angle = float(np.sum((imu.gyro[mask] - bias) * dt[mask]))
+        if abs(event.angle) > np.deg2rad(20.0) and abs(gyro_angle) > 1e-6:
+            ratios.append(gyro_angle / event.angle)
+    if not ratios:
+        return 1.0
+    return float(np.median(ratios))

@@ -1,0 +1,164 @@
+"""Floorplan-constrained particle filter (§6.3.3, Fig. 21).
+
+The paper fuses RIM's distance estimates with gyro heading and corrects the
+residual drift with a particle filter over the digital floorplan: "The PF
+will discard every particle that hits a wall and let others survive."  This
+module implements exactly that: particles dead-reckon with per-particle
+noise on step length and heading, wall-crossing particles die, survivors
+are resampled when the effective sample size collapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.env.floorplan import Floorplan
+
+
+@dataclass
+class ParticleFilterConfig:
+    """Particle filter tuning.
+
+    Attributes:
+        n_particles: Particle count.
+        step_noise: Relative std-dev of per-step distance noise.
+        heading_noise: Std-dev of per-step heading noise, radians.  Must be
+            generous enough to cover gyro bias: when the nominal heading
+            points into a wall, only particles whose sampled heading runs
+            wall-parallel survive — which is precisely how the filter
+            absorbs heading drift instead of freezing against the wall.
+        resample_threshold: Resample when ESS falls below this fraction.
+        min_survivors: If fewer particles survive a step, the dead ones are
+            reinitialized around the survivors instead of being dropped.
+    """
+
+    n_particles: int = 400
+    step_noise: float = 0.1
+    heading_noise: float = np.deg2rad(5.0)
+    resample_threshold: float = 0.5
+    min_survivors: int = 10
+
+
+class ParticleFilter:
+    """Sequential Monte-Carlo tracker constrained by a floorplan."""
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        start,
+        config: Optional[ParticleFilterConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        initial_spread: float = 0.3,
+    ):
+        self.floorplan = floorplan
+        self.config = config or ParticleFilterConfig()
+        self.rng = rng or np.random.default_rng()
+        start = np.asarray(start, dtype=np.float64)
+        n = self.config.n_particles
+        self.particles = start[None, :] + self.rng.normal(0.0, initial_spread, (n, 2))
+        self.weights = np.full(n, 1.0 / n)
+
+    def step(self, distance: float, heading: float) -> np.ndarray:
+        """Advance the filter by one motion increment.
+
+        Args:
+            distance: Step length (from RIM), meters.
+            heading: Step heading (e.g. gyro-integrated), radians.
+
+        Returns:
+            The current state estimate (weighted particle mean).
+        """
+        cfg = self.config
+        n = cfg.n_particles
+        noisy_dist = distance * (1.0 + self.rng.normal(0.0, cfg.step_noise, n))
+        noisy_head = heading + self.rng.normal(0.0, cfg.heading_noise, n)
+        steps = np.stack(
+            [noisy_dist * np.cos(noisy_head), noisy_dist * np.sin(noisy_head)], axis=1
+        )
+        proposed = self.particles + steps
+
+        blocked = self.floorplan.segment_blocked(self.particles, proposed)
+        outside = ~self.floorplan.contains(proposed)
+        dead = blocked | outside
+        survivors = ~dead
+
+        if survivors.any():
+            moved = np.where(dead[:, None], self.particles, proposed)
+            if survivors.sum() >= cfg.min_survivors:
+                self.weights = np.where(dead, 0.0, self.weights)
+            else:
+                # Degenerate geometry (e.g. squeezing through a door): keep
+                # the filter alive by respawning the dead on survivors —
+                # never by letting them through the wall.
+                donors = self.rng.choice(
+                    np.nonzero(survivors)[0], size=int(dead.sum())
+                )
+                moved[dead] = self._jitter(moved[donors], 0.05)
+                self.weights = np.full(n, 1.0 / n)
+            self.particles = moved
+        # With no survivor at all the cloud stays put (hugging the wall).
+
+        total = self.weights.sum()
+        if total <= 0:
+            self.weights = np.full(n, 1.0 / n)
+        else:
+            self.weights = self.weights / total
+
+        ess = 1.0 / np.sum(self.weights**2)
+        if ess < cfg.resample_threshold * n:
+            self._resample()
+        return self.estimate()
+
+    def _resample(self) -> None:
+        n = self.config.n_particles
+        positions = (self.rng.uniform() + np.arange(n)) / n
+        cumulative = np.cumsum(self.weights)
+        cumulative[-1] = 1.0
+        idx = np.searchsorted(cumulative, positions)
+        self.particles = self._jitter(self.particles[idx], 0.02)
+        self.weights = np.full(n, 1.0 / n)
+
+    def _jitter(self, origins: np.ndarray, sigma: float) -> np.ndarray:
+        """Diversity noise that cannot tunnel particles through walls."""
+        proposed = origins + self.rng.normal(0.0, sigma, origins.shape)
+        bad = self.floorplan.segment_blocked(origins, proposed) | ~self.floorplan.contains(
+            proposed
+        )
+        return np.where(bad[:, None], origins, proposed)
+
+    def estimate(self) -> np.ndarray:
+        """Weighted mean of the particle cloud."""
+        return (self.particles * self.weights[:, None]).sum(axis=0)
+
+
+def run_particle_filter(
+    floorplan: Floorplan,
+    start,
+    step_distances: np.ndarray,
+    step_headings: np.ndarray,
+    config: Optional[ParticleFilterConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Track a whole trace through the particle filter.
+
+    Args:
+        floorplan: Wall constraints.
+        start: Known initial position (§6.3.3 provides it).
+        step_distances: (N,) per-step distances.
+        step_headings: (N,) per-step headings, radians.
+
+    Returns:
+        (N + 1, 2) estimated positions including the start.
+    """
+    step_distances = np.asarray(step_distances, dtype=np.float64)
+    step_headings = np.asarray(step_headings, dtype=np.float64)
+    if step_distances.shape != step_headings.shape:
+        raise ValueError("distances and headings must have equal length")
+    pf = ParticleFilter(floorplan, start, config=config, rng=rng)
+    track = [np.asarray(start, dtype=np.float64)]
+    for dist, head in zip(step_distances, step_headings):
+        track.append(pf.step(float(dist), float(head)))
+    return np.asarray(track)

@@ -1,0 +1,139 @@
+"""Inertial dead reckoning — what the paper's baselines actually compute.
+
+These are deliberately *standard* algorithms (double integration, rate
+integration, magnetometer heading) so the comparison against RIM reflects
+the sensors' intrinsic error behavior (§6.2.1, §6.2.3, Fig. 7), not clever
+filtering.  They also feed the RIM+IMU fusion of §6.3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imu.sensors import ImuReadings
+
+
+@dataclass
+class DeadReckoningResult:
+    """Inertial navigation output.
+
+    Attributes:
+        times: (T,) timestamps.
+        positions: (T, 2) double-integrated positions, world frame.
+        distance: (T,) cumulative path length of the integrated track.
+        heading: (T,) gyro-integrated orientation, radians.
+    """
+
+    times: np.ndarray
+    positions: np.ndarray
+    distance: np.ndarray
+    heading: np.ndarray
+
+
+def integrate_imu(
+    readings: ImuReadings,
+    initial_heading: float = 0.0,
+    initial_velocity=(0.0, 0.0),
+) -> DeadReckoningResult:
+    """Strapdown integration of 2D IMU readings.
+
+    The gyro is integrated into orientation; body-frame accelerations are
+    rotated into the world frame and double-integrated into positions.
+    This accumulates the errors the paper describes: bias²/2·t² position
+    drift from the accelerometer and linear heading drift from the gyro.
+
+    Args:
+        readings: Simulated IMU output.
+        initial_heading: True initial orientation (assumed known, as in the
+            paper's tracking experiments).
+        initial_velocity: True initial velocity.
+
+    Returns:
+        :class:`DeadReckoningResult`.
+    """
+    t = readings.times.size
+    dt = np.diff(readings.times, prepend=readings.times[0])
+    dt[0] = 0.0
+
+    heading = initial_heading + np.cumsum(readings.gyro * dt)
+
+    cos, sin = np.cos(heading), np.sin(heading)
+    acc_world = np.stack(
+        [
+            cos * readings.accel[:, 0] - sin * readings.accel[:, 1],
+            sin * readings.accel[:, 0] + cos * readings.accel[:, 1],
+        ],
+        axis=1,
+    )
+    vel = np.asarray(initial_velocity, dtype=np.float64) + np.cumsum(
+        acc_world * dt[:, None], axis=0
+    )
+    positions = np.cumsum(vel * dt[:, None], axis=0)
+    steps = np.linalg.norm(np.diff(positions, axis=0), axis=1)
+    distance = np.concatenate([[0.0], np.cumsum(steps)])
+
+    return DeadReckoningResult(
+        times=readings.times.copy(),
+        positions=positions,
+        distance=distance,
+        heading=heading,
+    )
+
+
+def gyro_rotation_angle(readings: ImuReadings) -> float:
+    """Net rotation angle from gyro integration (the Fig. 13 baseline)."""
+    dt = np.diff(readings.times, prepend=readings.times[0])
+    dt[0] = 0.0
+    return float(np.sum(readings.gyro * dt))
+
+
+def accelerometer_movement_indicator(
+    readings: ImuReadings, window_seconds: float = 0.25
+) -> np.ndarray:
+    """Movement indicator from accelerometer energy (Fig. 7 'Acc' curve).
+
+    The windowed standard deviation of the acceleration magnitude,
+    normalized to [0, 1] over the trace.  Constant-velocity movement
+    produces *no* acceleration, which is exactly why the accelerometer
+    misses the transient stops in Fig. 7.
+    """
+    mag = np.linalg.norm(readings.accel, axis=1)
+    fs = 1.0 / np.median(np.diff(readings.times))
+    win = max(3, int(round(window_seconds * fs)))
+    t = mag.size
+    out = np.empty(t)
+    half = win // 2
+    for k in range(t):
+        lo = max(0, k - half)
+        hi = min(t, k + half + 1)
+        out[k] = mag[lo:hi].std()
+    rng_span = out.max() - out.min()
+    if rng_span > 0:
+        out = (out - out.min()) / rng_span
+    return out
+
+
+def gyroscope_movement_indicator(
+    readings: ImuReadings, window_seconds: float = 0.25
+) -> np.ndarray:
+    """Movement indicator from gyro energy (Fig. 7 'Gyr' curve).
+
+    Pure translation produces no angular rate, so the gyroscope cannot see
+    straight-line motion at all — the other failure mode of Fig. 7.
+    """
+    fs = 1.0 / np.median(np.diff(readings.times))
+    win = max(3, int(round(window_seconds * fs)))
+    mag = np.abs(readings.gyro)
+    t = mag.size
+    out = np.empty(t)
+    half = win // 2
+    for k in range(t):
+        lo = max(0, k - half)
+        hi = min(t, k + half + 1)
+        out[k] = mag[lo:hi].std()
+    rng_span = out.max() - out.min()
+    if rng_span > 0:
+        out = (out - out.min()) / rng_span
+    return out

@@ -1,0 +1,161 @@
+"""MEMS inertial sensor simulators — the baselines RIM is compared against.
+
+The paper contrasts RIM with the accelerometer/gyroscope/magnetometer of a
+Bosch BNO055 unit (§5) and reports:
+
+* accelerometers cannot track distance — double integration of noisy,
+  biased readings blows up to tens of meters (§6.2.1);
+* gyroscopes drift with integration but deliver decent rotating angles
+  (§6.2.3) — yet see *nothing* during sideway movements (§6.3.3);
+* magnetometers report device orientation, not heading, and are easily
+  distorted indoors (§1).
+
+Each simulator follows the standard MEMS stochastic error model: white
+measurement noise plus a bias random walk, with defaults in the range of
+consumer-grade parts (datasheet-level, not calibrated-lab-level, matching
+the "low-cost inertial sensors" the paper refers to [12]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.motionsim.trajectory import Trajectory
+
+GRAVITY = 9.80665
+
+
+@dataclass
+class ImuNoiseModel:
+    """Stochastic error parameters of a consumer MEMS IMU.
+
+    Attributes:
+        accel_noise_density: Accelerometer white noise, m/s² per √Hz.
+        accel_bias_stability: Std-dev of the accelerometer bias random-walk
+            increment per second, m/s².
+        accel_initial_bias: Std-dev of the constant turn-on bias, m/s².
+        gyro_noise_density: Gyroscope white noise, rad/s per √Hz.
+        gyro_bias_stability: Gyro bias random-walk increment per second.
+        gyro_initial_bias: Std-dev of the gyro turn-on bias, rad/s.
+        mag_noise_std: Magnetometer angular noise, radians.
+        mag_distortion_amplitude: Peak indoor soft-iron distortion of the
+            reported orientation, radians (position dependent).
+        mag_distortion_scale: Spatial scale of the distortion field, meters.
+    """
+
+    accel_noise_density: float = 0.003 * GRAVITY
+    accel_bias_stability: float = 0.002
+    accel_initial_bias: float = 0.05
+    gyro_noise_density: float = np.deg2rad(0.02)
+    gyro_bias_stability: float = np.deg2rad(0.01)
+    gyro_initial_bias: float = np.deg2rad(0.3)
+    mag_noise_std: float = np.deg2rad(2.0)
+    mag_distortion_amplitude: float = np.deg2rad(15.0)
+    mag_distortion_scale: float = 4.0
+
+
+@dataclass
+class ImuReadings:
+    """Simulated IMU output along a trajectory.
+
+    Attributes:
+        times: (T,) timestamps, seconds.
+        accel: (T, 2) body-frame linear acceleration, m/s² (gravity
+            removed, as consumer fusion stacks report).
+        gyro: (T,) angular rate about the vertical axis, rad/s.
+        mag_heading: (T,) magnetometer orientation estimate, radians.
+    """
+
+    times: np.ndarray
+    accel: np.ndarray
+    gyro: np.ndarray
+    mag_heading: np.ndarray
+
+
+class ImuSimulator:
+    """Generates noisy IMU readings for a ground-truth trajectory."""
+
+    def __init__(
+        self,
+        noise: Optional[ImuNoiseModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.noise = noise or ImuNoiseModel()
+        self.rng = rng or np.random.default_rng()
+        # Frozen spatial distortion field for the magnetometer: random
+        # sinusoidal pattern over position (steel/rebar in the building).
+        self._mag_phase = self.rng.uniform(0, 2 * np.pi, 4)
+        self._mag_weights = self.rng.standard_normal(4)
+        norm = np.abs(self._mag_weights).sum() or 1.0
+        self._mag_weights /= norm
+
+    def simulate(self, trajectory: Trajectory) -> ImuReadings:
+        """Produce accelerometer/gyro/magnetometer readings.
+
+        Args:
+            trajectory: Ground-truth pose; sampling rate defines the IMU
+                output data rate.
+
+        Returns:
+            :class:`ImuReadings` with the configured noise injected.
+        """
+        t = trajectory.n_samples
+        if t < 3:
+            raise ValueError("need at least 3 samples to differentiate twice")
+        fs = trajectory.sampling_rate
+        dt = 1.0 / fs
+        n = self.noise
+
+        # True world-frame acceleration, then into the body frame.
+        vel = np.gradient(trajectory.positions, trajectory.times, axis=0)
+        acc_world = np.gradient(vel, trajectory.times, axis=0)
+        theta = trajectory.orientations
+        cos, sin = np.cos(theta), np.sin(theta)
+        acc_body = np.stack(
+            [
+                cos * acc_world[:, 0] + sin * acc_world[:, 1],
+                -sin * acc_world[:, 0] + cos * acc_world[:, 1],
+            ],
+            axis=1,
+        )
+        accel = (
+            acc_body
+            + self.rng.normal(0.0, n.accel_initial_bias, (1, 2))
+            + np.cumsum(
+                self.rng.normal(0.0, n.accel_bias_stability * np.sqrt(dt), (t, 2)),
+                axis=0,
+            )
+            + self.rng.normal(0.0, n.accel_noise_density * np.sqrt(fs), (t, 2))
+        )
+
+        # True angular rate + gyro errors.
+        omega = np.gradient(np.unwrap(theta), trajectory.times)
+        gyro = (
+            omega
+            + self.rng.normal(0.0, n.gyro_initial_bias)
+            + np.cumsum(self.rng.normal(0.0, n.gyro_bias_stability * np.sqrt(dt), t))
+            + self.rng.normal(0.0, n.gyro_noise_density * np.sqrt(fs), t)
+        )
+
+        # Magnetometer: true orientation + position-dependent distortion.
+        pos = trajectory.positions
+        scale = 2 * np.pi / n.mag_distortion_scale
+        distortion = n.mag_distortion_amplitude * (
+            self._mag_weights[0] * np.sin(scale * pos[:, 0] + self._mag_phase[0])
+            + self._mag_weights[1] * np.cos(scale * pos[:, 1] + self._mag_phase[1])
+            + self._mag_weights[2] * np.sin(scale * (pos[:, 0] + pos[:, 1]) + self._mag_phase[2])
+            + self._mag_weights[3] * np.cos(scale * (pos[:, 0] - pos[:, 1]) + self._mag_phase[3])
+        )
+        mag_heading = (
+            theta + distortion + self.rng.normal(0.0, n.mag_noise_std, t)
+        )
+
+        return ImuReadings(
+            times=trajectory.times.copy(),
+            accel=accel,
+            gyro=gyro,
+            mag_heading=mag_heading,
+        )

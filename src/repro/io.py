@@ -1,0 +1,79 @@
+"""CSI trace persistence: save/load :class:`CsiTrace` bundles as ``.npz``.
+
+A real deployment records CSI once and reprocesses it many times (tuning
+configs, comparing algorithms), so traces need a stable on-disk format.
+Everything required to rebuild the trace — samples, ground truth, array
+geometry, AP positions — goes into one compressed NumPy archive.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.arrays.geometry import AntennaArray
+from repro.channel.sampler import CsiTrace
+from repro.motionsim.trajectory import Trajectory
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(path, trace: CsiTrace) -> None:
+    """Write a CSI trace to ``path`` (.npz, compressed).
+
+    Args:
+        path: Destination file path (suffix .npz recommended).
+        trace: The trace to persist.
+    """
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        data=trace.data,
+        times=trace.times,
+        tx_positions=trace.tx_positions,
+        carrier_wavelength=np.float64(trace.carrier_wavelength),
+        array_name=np.bytes_(trace.array.name.encode()),
+        array_positions=trace.array.local_positions,
+        array_nics=trace.array.nic_assignment,
+        array_circular=np.bool_(trace.array.circular),
+        traj_times=trace.trajectory.times,
+        traj_positions=trace.trajectory.positions,
+        traj_orientations=trace.trajectory.orientations,
+    )
+
+
+def load_trace(path) -> CsiTrace:
+    """Read a CSI trace written by :func:`save_trace`.
+
+    Raises:
+        ValueError: On unknown format versions or malformed archives.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version} "
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
+        array = AntennaArray(
+            name=bytes(archive["array_name"]).decode(),
+            local_positions=archive["array_positions"],
+            nic_assignment=archive["array_nics"],
+            circular=bool(archive["array_circular"]),
+        )
+        trajectory = Trajectory(
+            times=archive["traj_times"],
+            positions=archive["traj_positions"],
+            orientations=archive["traj_orientations"],
+        )
+        return CsiTrace(
+            data=archive["data"],
+            times=archive["times"],
+            array=array,
+            trajectory=trajectory,
+            tx_positions=archive["tx_positions"],
+            carrier_wavelength=float(archive["carrier_wavelength"]),
+        )

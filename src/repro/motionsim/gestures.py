@@ -1,0 +1,98 @@
+"""Gesture motion generation (§6.3.2, Fig. 19).
+
+The paper's gesture set: move the pointer towards left / right / up / down
+and back, sensed by an L-shaped 3-antenna array.  Each gesture produces a
+distinctive alignment pattern — a speed burst in one direction immediately
+followed by the opposite direction on one specific antenna pair.
+
+Human gestures vary in amplitude, speed, and straightness, so the generator
+randomizes those within realistic bounds per (user, hand) profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.constants import DEFAULT_SAMPLING_RATE
+from repro.motionsim.profiles import back_and_forth_trajectory, still_trajectory
+from repro.motionsim.trajectory import Trajectory
+
+GESTURES = ("left", "right", "up", "down")
+
+_DIRECTIONS_DEG = {
+    "right": 0.0,
+    "up": 90.0,
+    "left": 180.0,
+    "down": -90.0,
+}
+
+
+@dataclass
+class GestureProfile:
+    """Per-user/hand variability of gesture execution.
+
+    Attributes:
+        amplitude: Mean out-and-back reach, meters.
+        amplitude_jitter: Relative std-dev of the reach.
+        speed: Mean hand speed, m/s.
+        speed_jitter: Relative std-dev of the speed.
+        direction_jitter_deg: Std-dev of the aiming error, degrees.
+        lead_in: Still time before the gesture, seconds.
+        lead_out: Still time after the gesture, seconds.
+    """
+
+    amplitude: float = 0.35
+    amplitude_jitter: float = 0.15
+    speed: float = 0.6
+    speed_jitter: float = 0.2
+    direction_jitter_deg: float = 5.0
+    lead_in: float = 0.3
+    lead_out: float = 0.3
+
+
+def gesture_trajectory(
+    gesture: str,
+    start=(0.0, 0.0),
+    profile: Optional[GestureProfile] = None,
+    sampling_rate: float = DEFAULT_SAMPLING_RATE,
+    rng: Optional[np.random.Generator] = None,
+) -> Trajectory:
+    """A single out-and-back gesture with human-like variability.
+
+    Args:
+        gesture: One of :data:`GESTURES`.
+        start: Hand rest position.
+        profile: Execution variability; defaults are moderate.
+        sampling_rate: CSI packet rate.
+        rng: Randomness source.
+
+    Returns:
+        still(lead_in) → out → back → still(lead_out) as one trajectory.
+    """
+    if gesture not in _DIRECTIONS_DEG:
+        raise ValueError(f"unknown gesture {gesture!r}; have {sorted(_DIRECTIONS_DEG)}")
+    profile = profile or GestureProfile()
+    rng = rng or np.random.default_rng()
+
+    amplitude = profile.amplitude * max(
+        0.3, 1.0 + rng.normal(0.0, profile.amplitude_jitter)
+    )
+    speed = profile.speed * max(0.3, 1.0 + rng.normal(0.0, profile.speed_jitter))
+    direction = _DIRECTIONS_DEG[gesture] + rng.normal(0.0, profile.direction_jitter_deg)
+
+    move = back_and_forth_trajectory(
+        start, direction, amplitude, speed, sampling_rate=sampling_rate
+    )
+    lead_in = still_trajectory(start, profile.lead_in, sampling_rate)
+    lead_out = still_trajectory(start, profile.lead_out, sampling_rate)
+    return lead_in.concatenate(move).concatenate(lead_out)
+
+
+def gesture_direction_deg(gesture: str) -> float:
+    """Canonical world direction of a gesture's outward stroke."""
+    if gesture not in _DIRECTIONS_DEG:
+        raise ValueError(f"unknown gesture {gesture!r}")
+    return _DIRECTIONS_DEG[gesture]

@@ -1,0 +1,219 @@
+"""Parametric motion profiles used by the experiments (§6).
+
+Every profile returns a :class:`~repro.motionsim.trajectory.Trajectory`
+sampled at the CSI packet rate.  Orientation semantics matter for RIM:
+
+* translation profiles keep the array orientation *fixed* by default — that
+  is exactly the "sideway movement" regime of §6.3.3 where conventional
+  gyroscopes see nothing;
+* ``rotation_trajectory`` spins the array in place (§6.2.3);
+* ``wobble`` adds lateral swinging to emulate imperfect human retracing
+  (deviated retracing, §3.2/Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.channel.constants import DEFAULT_SAMPLING_RATE
+from repro.env.geometry2d import polyline_length
+from repro.motionsim.trajectory import Trajectory
+
+
+def line_trajectory(
+    start,
+    direction_deg: float,
+    speed: float,
+    duration: float,
+    sampling_rate: float = DEFAULT_SAMPLING_RATE,
+    orientation_deg: float = 0.0,
+    wobble_amplitude: float = 0.0,
+    wobble_frequency: float = 1.0,
+) -> Trajectory:
+    """Constant-speed straight-line motion.
+
+    Args:
+        start: (2,) starting position of the array center, meters.
+        direction_deg: World heading of the motion, degrees.
+        speed: Speed, m/s.
+        duration: Trace duration, seconds.
+        sampling_rate: CSI packet rate, Hz.
+        orientation_deg: Fixed array orientation, degrees.
+        wobble_amplitude: Peak lateral displacement (m) of a sinusoidal
+            swing perpendicular to the motion (deviated retracing).
+        wobble_frequency: Swing frequency, Hz.
+    """
+    _check_motion_args(speed, duration, sampling_rate)
+    n = int(round(duration * sampling_rate)) + 1
+    times = np.arange(n) / sampling_rate
+    theta = np.deg2rad(direction_deg)
+    forward = np.array([np.cos(theta), np.sin(theta)])
+    lateral = np.array([-np.sin(theta), np.cos(theta)])
+    start = np.asarray(start, dtype=np.float64)
+    positions = start[None, :] + np.outer(speed * times, forward)
+    if wobble_amplitude > 0.0:
+        swing = wobble_amplitude * np.sin(2 * np.pi * wobble_frequency * times)
+        positions = positions + np.outer(swing, lateral)
+    orientations = np.full(n, np.deg2rad(orientation_deg))
+    return Trajectory(times=times, positions=positions, orientations=orientations)
+
+
+def polyline_trajectory(
+    waypoints,
+    speed: float,
+    sampling_rate: float = DEFAULT_SAMPLING_RATE,
+    orientation_deg: float = 0.0,
+    face_motion: bool = False,
+) -> Trajectory:
+    """Constant-speed motion along a polyline.
+
+    With the default fixed orientation this directly produces the "sideway
+    movements" of Fig. 20: the cart changes heading without turning the
+    array.  With ``face_motion=True`` the array turns to face the motion —
+    the pushed-cart regime of Fig. 21 where gyro heading is meaningful.
+    """
+    waypoints = np.asarray(waypoints, dtype=np.float64)
+    if waypoints.ndim != 2 or waypoints.shape[1] != 2 or waypoints.shape[0] < 2:
+        raise ValueError(f"waypoints must be (N>=2, 2), got {waypoints.shape}")
+    if speed <= 0 or sampling_rate <= 0:
+        raise ValueError("speed and sampling_rate must be positive")
+    total = polyline_length(waypoints)
+    if total <= 0:
+        raise ValueError("polyline has zero length")
+    duration = total / speed
+    n = int(round(duration * sampling_rate)) + 1
+    times = np.arange(n) / sampling_rate
+    arc = speed * times
+
+    seg = np.linalg.norm(np.diff(waypoints, axis=0), axis=1)
+    cum = np.concatenate([[0.0], np.cumsum(seg)])
+    arc = np.clip(arc, 0.0, cum[-1])
+    xs = np.interp(arc, cum, waypoints[:, 0])
+    ys = np.interp(arc, cum, waypoints[:, 1])
+    positions = np.stack([xs, ys], axis=1)
+    if face_motion:
+        vel = np.gradient(positions, times, axis=0)
+        heading = np.unwrap(np.arctan2(vel[:, 1], vel[:, 0]))
+        orientations = heading
+    else:
+        orientations = np.full(n, np.deg2rad(orientation_deg))
+    return Trajectory(times=times, positions=positions, orientations=orientations)
+
+
+def square_trajectory(
+    origin,
+    side: float,
+    speed: float,
+    sampling_rate: float = DEFAULT_SAMPLING_RATE,
+    orientation_deg: float = 0.0,
+) -> Trajectory:
+    """A closed square loop (the Fig. 5 workload), orientation fixed."""
+    origin = np.asarray(origin, dtype=np.float64)
+    corners = origin + np.array(
+        [[0.0, 0.0], [side, 0.0], [side, side], [0.0, side], [0.0, 0.0]]
+    )
+    return polyline_trajectory(
+        corners, speed, sampling_rate, orientation_deg=orientation_deg
+    )
+
+
+def back_and_forth_trajectory(
+    start,
+    direction_deg: float,
+    distance: float,
+    speed: float,
+    sampling_rate: float = DEFAULT_SAMPLING_RATE,
+    orientation_deg: float = 0.0,
+) -> Trajectory:
+    """Move out ``distance`` meters then retrace back (Fig. 8 workload)."""
+    theta = np.deg2rad(direction_deg)
+    start = np.asarray(start, dtype=np.float64)
+    far = start + distance * np.array([np.cos(theta), np.sin(theta)])
+    return polyline_trajectory(
+        np.stack([start, far, start]), speed, sampling_rate, orientation_deg
+    )
+
+
+def stop_and_go_trajectory(
+    start,
+    direction_deg: float,
+    speed: float,
+    move_durations: Sequence[float],
+    pause_durations: Sequence[float],
+    sampling_rate: float = DEFAULT_SAMPLING_RATE,
+    orientation_deg: float = 0.0,
+) -> Trajectory:
+    """Alternate movement and stillness (the Fig. 7 movement-detection trace).
+
+    ``move_durations[k]`` seconds of motion are followed by
+    ``pause_durations[k]`` seconds at rest (the last pause may be omitted).
+    """
+    if len(move_durations) == 0:
+        raise ValueError("need at least one movement segment")
+    theta = np.deg2rad(direction_deg)
+    forward = np.array([np.cos(theta), np.sin(theta)])
+    dt = 1.0 / sampling_rate
+
+    positions = [np.asarray(start, dtype=np.float64)]
+    for k, move in enumerate(move_durations):
+        n_move = max(1, int(round(move * sampling_rate)))
+        for _ in range(n_move):
+            positions.append(positions[-1] + speed * dt * forward)
+        if k < len(pause_durations):
+            n_pause = max(0, int(round(pause_durations[k] * sampling_rate)))
+            for _ in range(n_pause):
+                positions.append(positions[-1].copy())
+    positions = np.asarray(positions)
+    n = positions.shape[0]
+    times = np.arange(n) * dt
+    orientations = np.full(n, np.deg2rad(orientation_deg))
+    return Trajectory(times=times, positions=positions, orientations=orientations)
+
+
+def rotation_trajectory(
+    center,
+    angle_deg: float,
+    angular_speed_deg: float = 90.0,
+    sampling_rate: float = DEFAULT_SAMPLING_RATE,
+    initial_orientation_deg: float = 0.0,
+) -> Trajectory:
+    """In-place rotation by ``angle_deg`` (§6.2.3 workload).
+
+    The array center stays put; orientation sweeps at constant angular speed
+    (sign of ``angle_deg`` selects the sense).
+    """
+    if angular_speed_deg <= 0:
+        raise ValueError("angular speed must be positive")
+    duration = abs(angle_deg) / angular_speed_deg
+    n = int(round(duration * sampling_rate)) + 1
+    times = np.arange(n) / sampling_rate
+    center = np.asarray(center, dtype=np.float64)
+    positions = np.tile(center, (n, 1))
+    sweep = np.linspace(0.0, np.deg2rad(angle_deg), n)
+    orientations = np.deg2rad(initial_orientation_deg) + sweep
+    return Trajectory(times=times, positions=positions, orientations=orientations)
+
+
+def still_trajectory(
+    position,
+    duration: float,
+    sampling_rate: float = DEFAULT_SAMPLING_RATE,
+    orientation_deg: float = 0.0,
+) -> Trajectory:
+    """No motion at all (negative control for movement detection)."""
+    n = int(round(duration * sampling_rate)) + 1
+    times = np.arange(n) / sampling_rate
+    positions = np.tile(np.asarray(position, dtype=np.float64), (n, 1))
+    orientations = np.full(n, np.deg2rad(orientation_deg))
+    return Trajectory(times=times, positions=positions, orientations=orientations)
+
+
+def _check_motion_args(speed: float, duration: float, sampling_rate: float) -> None:
+    if speed < 0:
+        raise ValueError(f"speed must be non-negative, got {speed}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if sampling_rate <= 0:
+        raise ValueError(f"sampling_rate must be positive, got {sampling_rate}")

@@ -1,0 +1,110 @@
+"""Ground-truth rigid-body trajectories for the moving antenna array.
+
+A :class:`Trajectory` is the pose of the array center sampled at the CSI
+packet rate: positions (T, 2), orientations (T,), and times (T,).  It stands
+in for the paper's camera-based ground-truth rig (§6.1), except that here
+the truth is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """Array-center pose versus time.
+
+    Attributes:
+        times: (T,) sample timestamps, seconds, strictly increasing.
+        positions: (T, 2) world positions of the array center, meters.
+        orientations: (T,) array rotation angle in the world frame, radians.
+    """
+
+    times: np.ndarray
+    positions: np.ndarray
+    orientations: np.ndarray
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=np.float64)
+        positions = np.asarray(self.positions, dtype=np.float64)
+        orientations = np.asarray(self.orientations, dtype=np.float64)
+        if times.ndim != 1:
+            raise ValueError("times must be 1D")
+        if positions.shape != (times.shape[0], 2):
+            raise ValueError(
+                f"positions must be (T, 2) with T={times.shape[0]}, got {positions.shape}"
+            )
+        if orientations.shape != times.shape:
+            raise ValueError("orientations must match times")
+        if times.shape[0] >= 2 and not np.all(np.diff(times) > 0):
+            raise ValueError("times must be strictly increasing")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "positions", positions)
+        object.__setattr__(self, "orientations", orientations)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.times.shape[0])
+
+    @property
+    def duration(self) -> float:
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def sampling_rate(self) -> float:
+        """Mean sampling rate (exact for uniformly sampled trajectories)."""
+        if self.n_samples < 2:
+            raise ValueError("sampling rate undefined for <2 samples")
+        return float((self.n_samples - 1) / self.duration)
+
+    def velocities(self) -> np.ndarray:
+        """(T, 2) central-difference velocity of the array center, m/s."""
+        return np.gradient(self.positions, self.times, axis=0)
+
+    def speeds(self) -> np.ndarray:
+        """(T,) ground-truth speed, m/s."""
+        return np.linalg.norm(self.velocities(), axis=1)
+
+    def headings(self) -> np.ndarray:
+        """(T,) direction of motion, radians; NaN while stationary."""
+        vel = self.velocities()
+        speed = np.linalg.norm(vel, axis=1)
+        heading = np.arctan2(vel[:, 1], vel[:, 0])
+        return np.where(speed > 1e-9, heading, np.nan)
+
+    def cumulative_distance(self) -> np.ndarray:
+        """(T,) arc length traveled by the array center up to each sample."""
+        steps = np.linalg.norm(np.diff(self.positions, axis=0), axis=1)
+        return np.concatenate([[0.0], np.cumsum(steps)])
+
+    @property
+    def total_distance(self) -> float:
+        return float(self.cumulative_distance()[-1])
+
+    def total_rotation(self) -> float:
+        """Net (signed, unwrapped) rotation over the trajectory, radians."""
+        unwrapped = np.unwrap(self.orientations)
+        return float(unwrapped[-1] - unwrapped[0])
+
+    def slice(self, start: int, stop: int) -> "Trajectory":
+        """A contiguous sub-trajectory [start:stop]."""
+        return Trajectory(
+            times=self.times[start:stop],
+            positions=self.positions[start:stop],
+            orientations=self.orientations[start:stop],
+        )
+
+    def concatenate(self, other: "Trajectory") -> "Trajectory":
+        """Append another trajectory, shifting its clock to continue ours."""
+        if other.n_samples == 0:
+            return self
+        dt = 1.0 / self.sampling_rate if self.n_samples >= 2 else 0.005
+        shifted = other.times - other.times[0] + self.times[-1] + dt
+        return Trajectory(
+            times=np.concatenate([self.times, shifted]),
+            positions=np.concatenate([self.positions, other.positions]),
+            orientations=np.concatenate([self.orientations, other.orientations]),
+        )

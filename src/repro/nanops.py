@@ -1,0 +1,33 @@
+"""NaN-tolerant reductions that stay silent on all-NaN slices.
+
+``np.nanmean``/``np.nanmedian`` emit RuntimeWarnings when a slice holds no
+finite value; lost-packet columns make that a routine, expected condition
+here, so these wrappers return NaN quietly instead.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+
+def nanmean(values: np.ndarray, axis=None) -> np.ndarray:
+    """np.nanmean without the all-NaN RuntimeWarning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        return np.nanmean(values, axis=axis)
+
+
+def nanmedian(values: np.ndarray, axis=None) -> np.ndarray:
+    """np.nanmedian without the all-NaN RuntimeWarning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        return np.nanmedian(values, axis=axis)
+
+
+def nanmax(values: np.ndarray, axis=None) -> np.ndarray:
+    """np.nanmax without the all-NaN RuntimeWarning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        return np.nanmax(values, axis=axis)

@@ -1,0 +1,163 @@
+"""Unit tests for alignment matrices (Eqn. 5) and the NaN moving average."""
+
+import numpy as np
+import pytest
+
+from repro.core.alignment import (
+    AlignmentMatrix,
+    alignment_matrix,
+    average_matrices,
+    base_trrs_matrix,
+    nan_moving_average,
+)
+from repro.core.trrs import average_trrs, normalize_csi
+
+
+def _sequence(rng, t=30, n_tx=2, s=16):
+    return normalize_csi(
+        rng.standard_normal((t, n_tx, s)) + 1j * rng.standard_normal((t, n_tx, s))
+    )
+
+
+class TestNanMovingAverage:
+    def test_window_one_is_identity(self, rng):
+        x = rng.standard_normal((10, 3))
+        np.testing.assert_allclose(nan_moving_average(x, 1), x)
+
+    def test_constant_preserved(self):
+        x = np.full((20, 2), 3.0)
+        np.testing.assert_allclose(nan_moving_average(x, 5), 3.0)
+
+    def test_matches_manual_average(self, rng):
+        x = rng.standard_normal(11)
+        out = nan_moving_average(x[:, None], 3)[:, 0]
+        for k in range(1, 10):
+            assert out[k] == pytest.approx(x[k - 1 : k + 2].mean())
+
+    def test_borders_use_partial_windows(self, rng):
+        x = rng.standard_normal(9)
+        out = nan_moving_average(x[:, None], 5)[:, 0]
+        assert out[0] == pytest.approx(x[:3].mean())
+        assert out[-1] == pytest.approx(x[-3:].mean())
+
+    def test_nan_skipped(self):
+        x = np.array([1.0, np.nan, 3.0])
+        out = nan_moving_average(x[:, None], 3)[:, 0]
+        assert out[1] == pytest.approx(2.0)
+
+    def test_all_nan_window_stays_nan(self):
+        x = np.array([np.nan, np.nan, np.nan, 1.0])
+        out = nan_moving_average(x[:, None], 3)[:, 0]
+        assert np.isnan(out[0])
+        assert out[-1] == pytest.approx(1.0)
+
+
+class TestBaseTrrsMatrix:
+    def test_matches_direct_computation(self, rng):
+        a = _sequence(rng)
+        b = _sequence(rng)
+        m = base_trrs_matrix(a, b, max_lag=4)
+        for t in range(6, 12):
+            for lag in range(-4, 5):
+                expected = float(average_trrs(a[t], b[t - lag]))
+                assert m[t, lag + 4] == pytest.approx(expected, rel=1e-5)
+
+    def test_border_nan(self, rng):
+        a = _sequence(rng, t=10)
+        m = base_trrs_matrix(a, a, max_lag=3)
+        assert np.isnan(m[0, 3 + 1])  # lag +1 undefined at t=0
+        assert np.isnan(m[-1, 3 - 1])  # lag -1 undefined at the end
+
+    def test_zero_lag_self_is_one(self, rng):
+        a = _sequence(rng, t=10)
+        m = base_trrs_matrix(a, a, max_lag=2)
+        np.testing.assert_allclose(m[:, 2], 1.0, rtol=1e-5)
+
+    def test_stride_skips_rows(self, rng):
+        a = _sequence(rng, t=20)
+        m = base_trrs_matrix(a, a, max_lag=2, time_stride=4)
+        evaluated = np.isfinite(m).any(axis=1)
+        assert evaluated[::4][1:].all()
+        assert not evaluated[1]
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            base_trrs_matrix(_sequence(rng, t=5), _sequence(rng, t=6), 2)
+
+
+class TestAlignmentMatrix:
+    def test_lags_axis(self, rng):
+        a = _sequence(rng)
+        m = alignment_matrix(a, a, max_lag=5, virtual_window=1, sampling_rate=100.0, normalized=True)
+        np.testing.assert_array_equal(m.lags, np.arange(-5, 6))
+        assert m.max_lag == 5
+
+    def test_lag_index(self, rng):
+        a = _sequence(rng)
+        m = alignment_matrix(a, a, max_lag=5, virtual_window=1, sampling_rate=100.0, normalized=True)
+        assert m.lag_index(0) == 5
+        assert m.lag_index(-5) == 0
+        with pytest.raises(ValueError):
+            m.lag_index(6)
+
+    def test_lag_seconds(self, rng):
+        a = _sequence(rng)
+        m = alignment_matrix(a, a, max_lag=2, virtual_window=1, sampling_rate=200.0, normalized=True)
+        np.testing.assert_allclose(m.lag_seconds(), np.arange(-2, 3) / 200.0)
+
+    def test_virtual_window_smooths(self, rng):
+        a = _sequence(rng, t=60)
+        m1 = alignment_matrix(a, a, max_lag=4, virtual_window=1, sampling_rate=100.0, normalized=True)
+        m9 = alignment_matrix(a, a, max_lag=4, virtual_window=9, sampling_rate=100.0, normalized=True)
+        col = 4 + 2  # lag +2, pure clutter for iid sequences
+        var1 = np.nanvar(m1.values[10:50, col])
+        var9 = np.nanvar(m9.values[10:50, col])
+        assert var9 < var1
+
+    def test_parameter_validation(self, rng):
+        a = _sequence(rng)
+        with pytest.raises(ValueError):
+            alignment_matrix(a, a, max_lag=0, virtual_window=1, sampling_rate=1.0)
+        with pytest.raises(ValueError):
+            alignment_matrix(a, a, max_lag=2, virtual_window=0, sampling_rate=1.0)
+
+    def test_unnormalized_input_accepted(self, rng):
+        raw = rng.standard_normal((20, 2, 16)) + 1j * rng.standard_normal((20, 2, 16))
+        m = alignment_matrix(5 * raw, raw, max_lag=2, virtual_window=1, sampling_rate=1.0)
+        np.testing.assert_allclose(m.values[:, 2], 1.0, rtol=1e-5)
+
+
+class TestAverageMatrices:
+    def _matrix(self, values):
+        return AlignmentMatrix(
+            values=values, lags=np.arange(-1, 2), sampling_rate=1.0, pair=(0, 1)
+        )
+
+    def test_mean_of_two(self):
+        a = self._matrix(np.full((4, 3), 0.2))
+        b = self._matrix(np.full((4, 3), 0.6))
+        avg = average_matrices([a, b])
+        np.testing.assert_allclose(avg.values, 0.4)
+
+    def test_nan_aware(self):
+        a = self._matrix(np.array([[0.2, np.nan, 0.4]]))
+        b = self._matrix(np.array([[0.6, 0.8, np.nan]]))
+        avg = average_matrices([a, b])
+        np.testing.assert_allclose(avg.values, [[0.4, 0.8, 0.4]])
+
+    def test_single_matrix_identity(self):
+        a = self._matrix(np.random.default_rng(0).random((4, 3)))
+        avg = average_matrices([a])
+        np.testing.assert_allclose(avg.values, a.values)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_matrices([])
+
+    def test_shape_mismatch_rejected(self):
+        a = self._matrix(np.zeros((4, 3)))
+        b = AlignmentMatrix(
+            values=np.zeros((4, 5)), lags=np.arange(-2, 3), sampling_rate=1.0, pair=(0, 1)
+        )
+        with pytest.raises(ValueError):
+            average_matrices([a, b])

@@ -1,0 +1,172 @@
+"""Integration tests for the application layer (§6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gesture import GestureDetection, GestureRecognizer, _nearest_gesture
+from repro.apps.handwriting import handwriting_config, summarize, write_letter
+from repro.core.config import RimConfig
+from repro.core.motion import MotionEstimate
+from repro.core.movement import MovementResult
+from repro.core.rim import Rim, RimResult
+from repro.motionsim.gestures import (
+    GESTURES,
+    GestureProfile,
+    gesture_direction_deg,
+    gesture_trajectory,
+)
+from repro.motionsim.handwriting import (
+    available_letters,
+    handwriting_trajectory,
+    letter_waypoints,
+    word_trajectories,
+)
+
+
+class TestHandwritingStrokes:
+    def test_letters_available(self):
+        letters = available_letters()
+        assert "R" in letters
+        assert "I" in letters
+        assert len(letters) >= 10
+
+    def test_waypoints_scaled(self):
+        pts = letter_waypoints("I", height=0.2, origin=(1.0, 2.0))
+        assert pts[:, 1].min() >= 2.0
+        assert pts[:, 1].max() <= 2.0 + 0.2 + 1e-9
+        assert pts[:, 0].min() >= 1.0
+
+    def test_unknown_letter_rejected(self):
+        with pytest.raises(ValueError):
+            letter_waypoints("!")
+
+    def test_case_insensitive(self):
+        np.testing.assert_allclose(letter_waypoints("r"), letter_waypoints("R"))
+
+    def test_trajectory_positive_length(self):
+        traj = handwriting_trajectory("M", origin=(0, 0), pen_speed=0.3)
+        assert traj.total_distance > 0.4
+
+    def test_word_trajectories_advance(self):
+        trajs = word_trajectories("RIM", origin=(0, 0))
+        assert len(trajs) == 3
+        x_starts = [t.positions[:, 0].min() for t in trajs]
+        assert x_starts[0] < x_starts[1] < x_starts[2]
+
+    def test_handwriting_config_scales_window(self):
+        slow = handwriting_config(0.1, 200.0)
+        fast = handwriting_config(1.0, 200.0)
+        assert slow.max_lag > fast.max_lag
+
+
+class TestGestureMotion:
+    def test_gesture_directions(self):
+        assert gesture_direction_deg("right") == 0.0
+        assert gesture_direction_deg("up") == 90.0
+        with pytest.raises(ValueError):
+            gesture_direction_deg("diagonal")
+
+    def test_trajectory_returns_to_start(self, rng):
+        traj = gesture_trajectory("left", start=(2.0, 2.0), rng=rng)
+        np.testing.assert_allclose(traj.positions[0], [2.0, 2.0], atol=1e-9)
+        np.testing.assert_allclose(traj.positions[-1], [2.0, 2.0], atol=1e-6)
+
+    def test_unknown_gesture_rejected(self, rng):
+        with pytest.raises(ValueError):
+            gesture_trajectory("wave", rng=rng)
+
+    def test_variability(self):
+        rng = np.random.default_rng(0)
+        d1 = gesture_trajectory("up", rng=rng).total_distance
+        d2 = gesture_trajectory("up", rng=rng).total_distance
+        assert d1 != d2
+
+
+class TestGestureRecognizer:
+    def _result_with_heading(self, heading_seq, fs=100.0):
+        t = len(heading_seq)
+        motion = MotionEstimate(
+            times=np.arange(t) / fs,
+            moving=np.ones(t, dtype=bool),
+            speed=np.full(t, 0.5),
+            heading=np.asarray(heading_seq, dtype=float),
+            group_choice=np.zeros(t, dtype=np.int64),
+        )
+        movement = MovementResult(
+            indicator=np.zeros(t), moving=motion.moving, threshold=0.9
+        )
+        return RimResult(motion=motion, movement=movement, group_tracks=[])
+
+    def test_out_and_back_detected(self):
+        heading = [0.0] * 30 + [np.pi] * 30
+        detections = GestureRecognizer().recognize(self._result_with_heading(heading))
+        assert len(detections) == 1
+        assert detections[0].gesture == "right"
+
+    def test_one_way_motion_rejected(self):
+        heading = [0.0] * 60
+        detections = GestureRecognizer().recognize(self._result_with_heading(heading))
+        assert detections == []
+
+    def test_up_gesture(self):
+        heading = [np.pi / 2] * 30 + [-np.pi / 2] * 30
+        detections = GestureRecognizer().recognize(self._result_with_heading(heading))
+        assert detections and detections[0].gesture == "up"
+
+    def test_short_episode_ignored(self):
+        heading = [0.0] * 3 + [np.pi] * 3
+        detections = GestureRecognizer(min_samples=10).recognize(
+            self._result_with_heading(heading)
+        )
+        assert detections == []
+
+    def test_nearest_gesture(self):
+        label, err = _nearest_gesture(np.deg2rad(85.0))
+        assert label == "up"
+        assert err == pytest.approx(np.deg2rad(5.0), abs=1e-9)
+
+    def test_end_to_end_recognition(self, fast_sampler, l_array):
+        """Simulated gesture through the full pipeline (Fig. 19)."""
+        rng = np.random.default_rng(11)
+        rim = Rim(RimConfig(max_lag=50))
+        hits = 0
+        cases = [("right", 0), ("up", 1)]
+        for gesture, k in cases:
+            traj = gesture_trajectory(
+                gesture,
+                start=(10.0, 8.0),
+                profile=GestureProfile(direction_jitter_deg=2.0),
+                rng=rng,
+            )
+            trace = fast_sampler.sample(traj, l_array)
+            detections = GestureRecognizer().recognize(rim.process(trace))
+            if detections and detections[0].gesture == gesture:
+                hits += 1
+        assert hits >= 1  # at least one of two small-scale gestures lands
+
+
+class TestHandwritingApp:
+    def test_write_letter_metrics(self, fast_sampler, hexagon):
+        result = write_letter(
+            fast_sampler,
+            hexagon,
+            "I",
+            origin=(10.0, 8.0),
+            height=0.25,
+            pen_speed=0.25,
+        )
+        assert result.letter == "I"
+        assert result.errors.shape[0] == result.estimated.shape[0]
+        assert result.mean_error < 0.25
+
+    def test_summarize(self, fast_sampler, hexagon):
+        r = write_letter(
+            fast_sampler, hexagon, "L", origin=(10.0, 8.0), pen_speed=0.25
+        )
+        stats = summarize([r])
+        assert "median" in stats
+        assert stats["per_letter_mean"]["L"] == r.mean_error
+
+    def test_summarize_empty(self):
+        stats = summarize([])
+        assert np.isnan(stats["median"])

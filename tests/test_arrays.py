@@ -1,0 +1,197 @@
+"""Unit tests for antenna array geometry and pair bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.geometry import (
+    AntennaArray,
+    arc_separation,
+    hexagonal_array,
+    l_shaped_array,
+    linear_array,
+    square_array,
+)
+from repro.arrays.pairs import (
+    adjacent_ring_pairs,
+    all_pairs,
+    best_pair_for_direction,
+    parallel_groups,
+    supported_directions,
+)
+from repro.channel.constants import HALF_WAVELENGTH
+
+
+class TestArrayFactories:
+    def test_linear_spacing(self):
+        arr = linear_array(3, spacing=0.03)
+        assert arr.separation(0, 1) == pytest.approx(0.03)
+        assert arr.separation(0, 2) == pytest.approx(0.06)
+
+    def test_linear_centered(self):
+        arr = linear_array(4)
+        np.testing.assert_allclose(arr.local_positions.mean(axis=0), 0.0, atol=1e-12)
+
+    def test_linear_needs_two(self):
+        with pytest.raises(ValueError):
+            linear_array(1)
+
+    def test_l_shape_right_angle(self):
+        arr = l_shaped_array()
+        v1 = arr.local_positions[1] - arr.local_positions[0]
+        v2 = arr.local_positions[2] - arr.local_positions[0]
+        assert v1 @ v2 == pytest.approx(0.0, abs=1e-12)
+
+    def test_square_four_antennas(self):
+        arr = square_array()
+        assert arr.n_antennas == 4
+        assert arr.circular
+
+    def test_hexagonal_geometry(self):
+        """Regular hexagon: circumradius equals side length (§6.2.3)."""
+        arr = hexagonal_array()
+        assert arr.n_antennas == 6
+        assert arr.radius == pytest.approx(HALF_WAVELENGTH)
+        ring = adjacent_ring_pairs(arr)
+        for pair in ring:
+            assert pair.separation == pytest.approx(HALF_WAVELENGTH, rel=1e-9)
+
+    def test_hexagonal_two_nics(self):
+        arr = hexagonal_array()
+        assert arr.n_nics == 2
+        counts = np.bincount(arr.nic_assignment)
+        np.testing.assert_array_equal(counts, [3, 3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AntennaArray("bad", np.zeros((3, 3)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            AntennaArray("bad", np.zeros((3, 2)), np.zeros(2, dtype=int))
+
+
+class TestWorldPositions:
+    def test_identity_pose(self):
+        arr = linear_array(3)
+        world = arr.world_positions(np.zeros((1, 2)), np.zeros(1))
+        np.testing.assert_allclose(world[0], arr.local_positions)
+
+    def test_translation(self):
+        arr = linear_array(2)
+        world = arr.world_positions(np.array([[5.0, 3.0]]), np.zeros(1))
+        np.testing.assert_allclose(world[0].mean(axis=0), [5.0, 3.0], atol=1e-12)
+
+    def test_rotation_90deg(self):
+        arr = linear_array(2, spacing=1.0)
+        world = arr.world_positions(np.zeros((1, 2)), np.array([np.pi / 2]))
+        # x-axis array rotates onto the y-axis.
+        np.testing.assert_allclose(world[0][:, 0], 0.0, atol=1e-12)
+        np.testing.assert_allclose(sorted(world[0][:, 1]), [-0.5, 0.5], atol=1e-12)
+
+    def test_rotation_preserves_separations(self):
+        arr = hexagonal_array()
+        world = arr.world_positions(np.array([[2.0, 1.0]]), np.array([0.7]))
+        d_world = np.linalg.norm(world[0][0] - world[0][1])
+        assert d_world == pytest.approx(arr.separation(0, 1), rel=1e-12)
+
+    def test_length_mismatch_rejected(self):
+        arr = linear_array(2)
+        with pytest.raises(ValueError):
+            arr.world_positions(np.zeros((2, 2)), np.zeros(3))
+
+
+class TestPairs:
+    def test_pair_count(self):
+        assert len(all_pairs(linear_array(3))) == 3
+        assert len(all_pairs(hexagonal_array())) == 15
+
+    def test_hexagon_supports_12_directions(self):
+        dirs = supported_directions(hexagonal_array())
+        assert len(dirs) == 12
+        degs = np.sort(np.rad2deg(dirs))
+        np.testing.assert_allclose(np.diff(degs), 30.0, atol=1e-6)
+
+    def test_linear_supports_2_directions(self):
+        dirs = supported_directions(linear_array(3))
+        assert len(dirs) == 2
+
+    def test_square_supports_8_directions(self):
+        dirs = supported_directions(square_array())
+        assert len(dirs) == 8
+
+    def test_heading_sign_convention(self):
+        pair = all_pairs(linear_array(2))[0]
+        # Ray 0 -> 1 points along +x.
+        assert pair.heading(+1) == pytest.approx(0.0, abs=1e-12)
+        assert abs(pair.heading(-1)) == pytest.approx(np.pi, abs=1e-12)
+
+    def test_heading_with_orientation(self):
+        pair = all_pairs(linear_array(2))[0]
+        assert pair.heading(+1, orientation=np.pi / 2) == pytest.approx(np.pi / 2)
+
+
+class TestParallelGroups:
+    def test_linear_array_groups(self):
+        groups = parallel_groups(linear_array(3))
+        sizes = sorted(len(g) for g in groups)
+        # (0,1) and (1,2) share separation and axis; (0,2) differs.
+        assert sizes == [1, 2]
+
+    def test_hexagon_group_structure(self):
+        groups = parallel_groups(hexagonal_array())
+        sizes = sorted(len(g) for g in groups)
+        # 3 diameter singletons + 6 groups of two (adjacent + next-adjacent).
+        assert sizes == [1, 1, 1, 2, 2, 2, 2, 2, 2]
+
+    def test_groups_share_separation_and_axis(self):
+        for group in parallel_groups(hexagonal_array()):
+            ref = group[0]
+            for pair in group[1:]:
+                assert pair.separation == pytest.approx(ref.separation, rel=1e-6)
+                delta = np.angle(np.exp(1j * (pair.axis_angle - ref.axis_angle)))
+                assert abs(delta) < 1e-6
+
+    def test_groups_cover_all_pairs(self):
+        arr = hexagonal_array()
+        groups = parallel_groups(arr)
+        seen = {frozenset((p.i, p.j)) for g in groups for p in g}
+        expected = {frozenset((p.i, p.j)) for p in all_pairs(arr)}
+        assert seen == expected
+
+
+class TestRing:
+    def test_ring_pair_count(self):
+        assert len(adjacent_ring_pairs(hexagonal_array())) == 6
+        assert len(adjacent_ring_pairs(square_array())) == 4
+
+    def test_ring_requires_circular(self):
+        with pytest.raises(ValueError):
+            adjacent_ring_pairs(linear_array(3))
+
+    def test_ring_pairs_are_adjacent(self):
+        arr = hexagonal_array()
+        for pair in adjacent_ring_pairs(arr):
+            assert pair.separation == pytest.approx(HALF_WAVELENGTH, rel=1e-9)
+
+    def test_arc_separation_hexagon(self):
+        """Arc between adjacent hexagon antennas is (π/3)·Δd (§4.4)."""
+        arr = hexagonal_array()
+        ring = adjacent_ring_pairs(arr)
+        arc = arc_separation(arr, ring[0].i, ring[0].j)
+        assert arc == pytest.approx(np.pi / 3 * HALF_WAVELENGTH, rel=1e-9)
+
+    def test_arc_separation_requires_circular(self):
+        with pytest.raises(ValueError):
+            arc_separation(linear_array(3), 0, 1)
+
+
+class TestBestPair:
+    def test_exact_axis(self):
+        arr = hexagonal_array()
+        pair, sign = best_pair_for_direction(arr, 0.0)
+        assert pair.heading(sign) == pytest.approx(0.0, abs=1e-9)
+
+    def test_quantization_error_bounded(self):
+        arr = hexagonal_array()
+        for direction in np.deg2rad(np.arange(-180, 180, 7)):
+            pair, sign = best_pair_for_direction(arr, float(direction))
+            err = abs(np.angle(np.exp(1j * (pair.heading(sign) - direction))))
+            assert err <= np.deg2rad(15.0) + 1e-9

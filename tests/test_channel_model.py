@@ -1,0 +1,191 @@
+"""Unit tests for scatterer fields and the multipath channel model."""
+
+import numpy as np
+import pytest
+
+from repro.channel.constants import SPEED_OF_LIGHT, wavelength
+from repro.channel.model import MultipathChannel, _integer_power, _tone_phasor_block
+from repro.channel.ofdm import make_grid
+from repro.channel.scatterers import (
+    ScattererField,
+    clustered_field,
+    ring_field,
+    uniform_field,
+)
+from repro.env.floorplan import Floorplan, Wall
+
+
+class TestConstants:
+    def test_wavelength_default(self):
+        assert wavelength() == pytest.approx(0.05164, rel=1e-3)
+
+    def test_wavelength_invalid(self):
+        with pytest.raises(ValueError):
+            wavelength(0.0)
+
+    def test_half_wavelength_matches_paper(self):
+        from repro.channel.constants import HALF_WAVELENGTH
+
+        assert HALF_WAVELENGTH == pytest.approx(0.0258, abs=2e-4)
+
+
+class TestScattererField:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ScattererField(positions=np.zeros((3, 3)), reflectivity=np.zeros(3))
+        with pytest.raises(ValueError):
+            ScattererField(positions=np.zeros((3, 2)), reflectivity=np.zeros(2))
+
+    def test_excess_defaults_to_zero(self):
+        field = ScattererField(positions=np.zeros((2, 2)), reflectivity=np.ones(2))
+        np.testing.assert_array_equal(field.excess_lengths, [0.0, 0.0])
+
+    def test_negative_excess_rejected(self):
+        with pytest.raises(ValueError):
+            ScattererField(
+                positions=np.zeros((2, 2)),
+                reflectivity=np.ones(2),
+                excess_lengths=np.array([1.0, -0.5]),
+            )
+
+    def test_uniform_field_bounds(self, rng):
+        field = uniform_field(20, 10, n_scatterers=50, rng=rng)
+        assert field.n_scatterers == 50
+        assert (field.positions[:, 0] >= 0).all() and (field.positions[:, 0] <= 20).all()
+        assert (field.positions[:, 1] >= 0).all() and (field.positions[:, 1] <= 10).all()
+
+    def test_uniform_field_needs_scatterers(self):
+        with pytest.raises(ValueError):
+            uniform_field(10, 10, n_scatterers=0)
+
+    def test_ring_field_radius(self, rng):
+        field = ring_field((5, 5), 3.0, n_scatterers=30, radial_jitter=0.0, rng=rng)
+        radii = np.linalg.norm(field.positions - np.array([5, 5]), axis=1)
+        np.testing.assert_allclose(radii, 3.0, rtol=1e-9)
+
+    def test_ring_field_invalid_radius(self):
+        with pytest.raises(ValueError):
+            ring_field((0, 0), -1.0)
+
+    def test_clustered_field_count(self, rng):
+        field = clustered_field(20, 15, n_clusters=4, scatterers_per_cluster=5, rng=rng)
+        assert field.n_scatterers == 20
+
+
+class TestTonePhasors:
+    def test_integer_power_negative(self):
+        base = np.array([np.exp(1j * 0.3)])
+        np.testing.assert_allclose(
+            _integer_power(base, -3), np.exp(-3j * 0.3), rtol=1e-12
+        )
+
+    def test_integer_power_zero(self):
+        base = np.array([2.0 + 0j])
+        np.testing.assert_allclose(_integer_power(base, 0), 1.0)
+
+    def test_phasor_block_matches_direct_exp(self):
+        grid = make_grid().grouped(8)
+        delays = np.array([[5.0, 12.0], [7.5, 30.0]])
+        block = _tone_phasor_block(delays, grid)
+        freqs = grid.frequencies
+        direct = np.exp(
+            -2j * np.pi * delays[:, :, None] * freqs[None, None, :] / SPEED_OF_LIGHT
+        )
+        np.testing.assert_allclose(block, direct.astype(np.complex64), atol=1e-4)
+
+
+class TestMultipathChannel:
+    def _channel(self, rng, **kw):
+        field = ring_field((5, 5), 4.0, n_scatterers=25, rng=rng)
+        return MultipathChannel(scatterers=field, grid=make_grid().grouped(16), **kw)
+
+    def test_cfr_shape(self, rng):
+        ch = self._channel(rng)
+        h = ch.cfr((0.0, 0.0), np.random.default_rng(0).uniform(4, 6, (7, 2)))
+        assert h.shape == (7, 16)
+        assert h.dtype == np.complex64
+
+    def test_cfr_validates_tx_shape(self, rng):
+        ch = self._channel(rng)
+        with pytest.raises(ValueError):
+            ch.cfr((0.0, 0.0, 0.0), np.zeros((3, 2)))
+
+    def test_cfr_validates_rx_shape(self, rng):
+        ch = self._channel(rng)
+        with pytest.raises(ValueError):
+            ch.cfr((0.0, 0.0), np.zeros((3, 3)))
+
+    def test_cfr_deterministic(self, rng):
+        ch = self._channel(rng)
+        pos = np.array([[5.0, 5.0], [5.01, 5.0]])
+        h1 = ch.cfr((0.0, 0.0), pos)
+        h2 = ch.cfr((0.0, 0.0), pos)
+        np.testing.assert_array_equal(h1, h2)
+
+    def test_same_position_same_cfr(self, rng):
+        ch = self._channel(rng)
+        pos = np.array([[5.0, 5.0], [5.0, 5.0]])
+        h = ch.cfr((0.0, 0.0), pos)
+        np.testing.assert_allclose(h[0], h[1], rtol=1e-5)
+
+    def test_spatial_decorrelation(self, rng):
+        """TRRS must decay within ~1 cm of motion (the paper's Fig. 4)."""
+        ch = self._channel(rng, los_gain=0.3)
+        xs = 5.0 + np.arange(0, 40) * 0.005
+        pos = np.stack([xs, np.full_like(xs, 5.0)], axis=1)
+        h = ch.cfr((0.0, 0.0), pos)
+        hn = h / np.linalg.norm(h, axis=1, keepdims=True)
+        corr = np.abs(hn @ hn[0].conj()) ** 2
+        assert corr[0] == pytest.approx(1.0, abs=1e-5)
+        # 2 cm away the channel must have substantially decorrelated.
+        assert corr[4] < 0.85
+
+    def test_wall_reduces_amplitude(self, rng):
+        field = ring_field((8, 5), 2.0, n_scatterers=20, rng=rng)
+        grid = make_grid().grouped(16)
+        wallplan = Floorplan(
+            width=20, height=10, walls=[Wall((4, 0), (4, 10), attenuation=0.3)]
+        )
+        open_ch = MultipathChannel(scatterers=field, grid=grid, los_gain=1.0)
+        wall_ch = MultipathChannel(
+            scatterers=field, grid=grid, floorplan=wallplan, los_gain=1.0
+        )
+        rx = np.array([[8.0, 5.0]])
+        p_open = np.abs(open_ch.cfr((0.0, 5.0), rx)) ** 2
+        p_wall = np.abs(wall_ch.cfr((0.0, 5.0), rx)) ** 2
+        assert p_wall.mean() < p_open.mean()
+
+    def test_los_gain_zero_removes_direct_path(self, rng):
+        field = ScattererField(
+            positions=np.array([[100.0, 100.0]]),
+            reflectivity=np.array([1e-9 + 0j]),
+        )
+        ch = MultipathChannel(
+            scatterers=field, grid=make_grid().grouped(8), los_gain=0.0
+        )
+        h = ch.cfr((0.0, 0.0), np.array([[1.0, 0.0]]))
+        assert np.abs(h).max() < 1e-6
+
+    def test_los_only_amplitude_follows_inverse_distance(self, rng):
+        field = ScattererField(
+            positions=np.array([[500.0, 500.0]]),
+            reflectivity=np.array([0.0 + 0j]),
+        )
+        ch = MultipathChannel(
+            scatterers=field, grid=make_grid().grouped(8), los_gain=1.0
+        )
+        h1 = ch.cfr((0.0, 0.0), np.array([[2.0, 0.0]]))
+        h2 = ch.cfr((0.0, 0.0), np.array([[4.0, 0.0]]))
+        ratio = np.abs(h1).mean() / np.abs(h2).mean()
+        assert ratio == pytest.approx(2.0, rel=1e-3)
+
+    def test_blocks_respect_attenuation_refresh(self, rng):
+        ch = self._channel(rng)
+        ch.attenuation_refresh = 0.05
+        rx = np.stack([np.linspace(4, 6, 300), np.full(300, 5.0)], axis=1)
+        blocks = list(ch._blocks(rx))
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == 300
+        for (s1, e1), (s2, e2) in zip(blocks, blocks[1:]):
+            assert e1 == s2
+        assert len(blocks) > 5

@@ -1,0 +1,139 @@
+"""Tests for CIR-domain utilities and the Eqn.1 ≡ Eqn.2 relationship."""
+
+import numpy as np
+import pytest
+
+from repro.channel.cir import (
+    cfr_to_cir,
+    cir_to_cfr,
+    coherence_bandwidth,
+    power_delay_profile,
+    rms_delay_spread,
+)
+from repro.channel.constants import SPEED_OF_LIGHT
+from repro.channel.ofdm import make_grid
+from repro.core.trrs import trrs_cfr, trrs_cir
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return make_grid()
+
+
+def _multipath_cfr(grid, delays_ns, gains):
+    freqs = grid.baseband_frequencies
+    return (
+        np.asarray(gains)[None, :]
+        * np.exp(-2j * np.pi * freqs[:, None] * np.asarray(delays_ns)[None, :] * 1e-9)
+    ).sum(axis=1)
+
+
+class TestConversions:
+    def test_roundtrip(self, grid, rng):
+        cfr = rng.standard_normal(grid.n_subcarriers) + 1j * rng.standard_normal(
+            grid.n_subcarriers
+        )
+        back = cir_to_cfr(cfr_to_cir(cfr, grid), grid)
+        np.testing.assert_allclose(back, cfr, atol=1e-10)
+
+    def test_roundtrip_batched(self, grid, rng):
+        cfr = rng.standard_normal((4, grid.n_subcarriers)) + 1j * rng.standard_normal(
+            (4, grid.n_subcarriers)
+        )
+        back = cir_to_cfr(cfr_to_cir(cfr, grid), grid)
+        np.testing.assert_allclose(back, cfr, atol=1e-10)
+
+    def test_shape_validation(self, grid):
+        with pytest.raises(ValueError):
+            cfr_to_cir(np.zeros(10, dtype=complex), grid)
+        with pytest.raises(ValueError):
+            cir_to_cfr(np.zeros(10, dtype=complex), grid)
+
+    def test_single_path_peak_at_delay(self, grid):
+        """A single ray's CIR peaks at its propagation delay tap."""
+        delay_ns = 100.0
+        cfr = _multipath_cfr(grid, [delay_ns], [1.0])
+        cir = cfr_to_cir(cfr, grid)
+        tap = int(np.argmax(np.abs(cir)))
+        expected_tap = delay_ns * 1e-9 * grid.bandwidth
+        assert tap == pytest.approx(expected_tap, abs=1.0)
+
+    def test_two_paths_two_peaks(self, grid):
+        cfr = _multipath_cfr(grid, [50.0, 400.0], [1.0, 0.8])
+        cir = np.abs(cfr_to_cir(cfr, grid))
+        taps = np.argsort(cir)[-2:]
+        delays = sorted(taps / grid.bandwidth * 1e9)
+        assert delays[0] == pytest.approx(50.0, abs=30.0)
+        assert delays[1] == pytest.approx(400.0, abs=30.0)
+
+
+class TestDelayStatistics:
+    def test_pdp_normalized_shape(self, grid):
+        cfr = _multipath_cfr(grid, [50.0, 200.0], [1.0, 0.5])
+        delays, pdp = power_delay_profile(cfr, grid)
+        assert delays.shape == pdp.shape
+        assert delays[1] - delays[0] == pytest.approx(1.0 / grid.bandwidth)
+
+    def test_single_path_zero_spread(self, grid):
+        # A rectangular-window IFFT over the occupied tones leaks energy
+        # into sidelobe taps, so "zero" spread shows up as ~100 ns floor.
+        cfr = _multipath_cfr(grid, [100.0], [1.0])
+        assert rms_delay_spread(cfr, grid) < 120e-9
+
+    def test_two_path_spread(self, grid):
+        """Two equal paths τ apart have RMS spread τ/2."""
+        tau = 300e-9
+        cfr = _multipath_cfr(grid, [50.0, 50.0 + tau * 1e9], [1.0, 1.0])
+        assert rms_delay_spread(cfr, grid) == pytest.approx(tau / 2, rel=0.15)
+
+    def test_simulated_channel_has_indoor_spread(self, fast_channel):
+        """The office substrate should show realistic (>50 ns) spread."""
+        from repro.channel.ofdm import make_grid as mk
+
+        full_grid = mk()
+        from repro.channel.model import MultipathChannel
+
+        channel = MultipathChannel(
+            scatterers=fast_channel.scatterers, grid=full_grid, los_gain=0.5
+        )
+        cfr = channel.cfr((1.0, 1.0), np.array([[10.0, 8.0]]))
+        spread = rms_delay_spread(cfr[0], full_grid)
+        assert 30e-9 < spread < 500e-9
+
+    def test_coherence_bandwidth_inverse_to_spread(self, grid):
+        """Longer delay spread ⇒ smaller coherence bandwidth."""
+        short = _multipath_cfr(grid, [50.0, 80.0], [1.0, 1.0])
+        long = _multipath_cfr(grid, [50.0, 800.0], [1.0, 1.0])
+        assert coherence_bandwidth(long, grid) < coherence_bandwidth(short, grid)
+
+
+class TestEqn1MatchesEqn2:
+    def test_trrs_cir_upper_bounds_cfr_form(self, grid, rng):
+        """Eqn. 1 maxes over taps, so κ_CIR ≥ κ_CFR always; they coincide
+        when the channels are time-aligned."""
+        cfr1 = _multipath_cfr(grid, [50.0, 200.0], [1.0, 0.6])
+        cfr2 = _multipath_cfr(grid, [50.0, 200.0], [0.9, 0.7])
+        cir1 = cfr_to_cir(cfr1, grid)
+        cir2 = cfr_to_cir(cfr2, grid)
+        k_cir = trrs_cir(cir1, cir2)
+        k_cfr = trrs_cfr(cfr1, cfr2)
+        assert k_cir >= k_cfr - 1e-9
+
+    def test_aligned_channels_agree(self, grid):
+        cfr1 = _multipath_cfr(grid, [50.0, 220.0], [1.0, 0.5])
+        cfr2 = _multipath_cfr(grid, [50.0, 220.0], [1.0, 0.5])
+        k_cir = trrs_cir(cfr_to_cir(cfr1, grid), cfr_to_cir(cfr2, grid))
+        k_cfr = trrs_cfr(cfr1, cfr2)
+        assert k_cir == pytest.approx(1.0, abs=1e-9)
+        assert k_cfr == pytest.approx(1.0, abs=1e-9)
+
+    def test_cir_form_ignores_timing_offset(self, grid):
+        """The max over convolution taps absorbs an STO-style delay that
+        would destroy the raw CFR inner product — the tap-domain view of
+        why sanitization exists."""
+        cfr1 = _multipath_cfr(grid, [50.0, 200.0], [1.0, 0.6])
+        cfr2 = _multipath_cfr(grid, [150.0, 300.0], [1.0, 0.6])  # +100 ns STO
+        k_cir = trrs_cir(cfr_to_cir(cfr1, grid), cfr_to_cir(cfr2, grid))
+        k_cfr = trrs_cfr(cfr1, cfr2)
+        assert k_cir > 0.9
+        assert k_cfr < 0.5

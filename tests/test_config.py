@@ -1,0 +1,45 @@
+"""Unit tests for RimConfig validation."""
+
+import pytest
+
+from repro.core.config import RimConfig
+
+
+class TestRimConfig:
+    def test_defaults_valid(self):
+        cfg = RimConfig()
+        assert cfg.max_lag == 100
+        assert cfg.virtual_window == 31
+        assert cfg.sanitize
+
+    def test_max_lag_bound(self):
+        with pytest.raises(ValueError):
+            RimConfig(max_lag=1)
+
+    def test_virtual_window_bound(self):
+        with pytest.raises(ValueError):
+            RimConfig(virtual_window=0)
+
+    def test_movement_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            RimConfig(movement_threshold=0.0)
+        with pytest.raises(ValueError):
+            RimConfig(movement_threshold=1.0)
+
+    def test_transition_weight_must_be_negative(self):
+        with pytest.raises(ValueError):
+            RimConfig(transition_weight=0.0)
+
+    def test_min_speed_lag_bound(self):
+        with pytest.raises(ValueError):
+            RimConfig(min_speed_lag=0.5)
+
+    def test_pre_detect_stride_bound(self):
+        with pytest.raises(ValueError):
+            RimConfig(pre_detect_stride=0)
+
+    def test_custom_values_kept(self):
+        cfg = RimConfig(max_lag=42, virtual_window=11, sanitize=False)
+        assert cfg.max_lag == 42
+        assert cfg.virtual_window == 11
+        assert not cfg.sanitize

@@ -1,0 +1,160 @@
+"""Unit tests for aligned-pair detection and group selection (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.pairs import AntennaPair
+from repro.core.alignment import AlignmentMatrix
+from repro.core.pairs import (
+    GroupTrack,
+    PostCheck,
+    path_quality,
+    peak_prominence_score,
+    post_check,
+    select_group_per_sample,
+)
+from repro.core.tracking import TrackedPath, track_peaks
+
+
+def _matrix(values):
+    values = np.asarray(values, dtype=np.float64)
+    w = (values.shape[1] - 1) // 2
+    return AlignmentMatrix(values=values, lags=np.arange(-w, w + 1), sampling_rate=100.0, pair=(0, 1))
+
+
+def _peaky_matrix(t=40, n_lags=11, peak_col=8, peak=0.9, floor=0.2, rng=None):
+    values = np.full((t, n_lags), floor)
+    if rng is not None:
+        values = values + rng.uniform(0, 0.05, (t, n_lags))
+    values[:, peak_col] = peak
+    return _matrix(values)
+
+
+def _track(matrix, pair=None):
+    path = track_peaks(matrix)
+    quality = path_quality(matrix, path, smoothing_window=5)
+    pair = pair or AntennaPair(i=0, j=1, separation=0.026, axis_angle=0.0)
+    return GroupTrack(pairs=[pair], matrix=matrix, path=path, quality=quality)
+
+
+class TestProminence:
+    def test_peaky_beats_flat(self, rng):
+        peaky = _peaky_matrix(rng=rng)
+        flat = _matrix(np.full((40, 11), 0.2) + rng.uniform(0, 0.05, (40, 11)))
+        assert peak_prominence_score(peaky.values) > peak_prominence_score(flat.values)
+
+    def test_moving_mask_restricts_rows(self, rng):
+        values = np.full((40, 11), 0.2)
+        values[:20, 8] = 0.9  # peaks only in the first half
+        moving_first = np.zeros(40, dtype=bool)
+        moving_first[:20] = True
+        s_first = peak_prominence_score(values, moving_first)
+        s_second = peak_prominence_score(values, ~moving_first)
+        assert s_first > 0.5
+        assert s_second < 0.1
+
+    def test_all_nan_scores_zero(self):
+        assert peak_prominence_score(np.full((5, 7), np.nan)) == 0.0
+
+    def test_empty_mask_scores_zero(self, rng):
+        values = rng.random((10, 7))
+        assert peak_prominence_score(values, np.zeros(10, dtype=bool)) == 0.0
+
+
+class TestPathQuality:
+    def test_aligned_quality_high(self, rng):
+        track = _track(_peaky_matrix(rng=rng))
+        assert np.nanmean(track.quality) > 0.4
+
+    def test_unaligned_quality_low(self, rng):
+        flat = _matrix(0.2 + rng.uniform(0, 0.05, (40, 11)))
+        track = _track(flat)
+        assert np.nanmean(track.quality) < 0.15
+
+    def test_quality_length(self, rng):
+        track = _track(_peaky_matrix(t=25, rng=rng))
+        assert track.quality.shape == (25,)
+
+
+class TestPostCheck:
+    def test_accepts_clean_track(self, rng):
+        track = _track(_peaky_matrix(rng=rng))
+        chk = post_check(track.matrix, track.path)
+        assert chk.accepted
+        assert chk.mean_path_trrs > 0.5
+
+    def test_rejects_flat_track(self, rng):
+        flat = _matrix(0.2 + rng.uniform(0, 0.02, (40, 11)))
+        track = _track(flat)
+        chk = post_check(track.matrix, track.path)
+        assert not chk.accepted
+
+    def test_rejects_jittery_track(self, rng):
+        """A path bouncing across the lag axis fails the smoothness check."""
+        from repro.core.tracking import greedy_argmax_path
+
+        values = 0.1 + rng.uniform(0, 0.02, (60, 21))
+        cols = np.where(np.arange(60) % 2 == 0, 1, 19)
+        values[np.arange(60), cols] = 0.95
+        matrix = _matrix(values)
+        path = greedy_argmax_path(matrix)  # follows the bouncing peaks
+        chk = post_check(matrix, path)
+        assert chk.lag_jitter > 5.0
+        assert not chk.accepted
+
+    def test_moving_mask_respected(self, rng):
+        m = _peaky_matrix(rng=rng)
+        track = _track(m)
+        moving = np.zeros(40, dtype=bool)
+        chk = post_check(track.matrix, track.path, moving)
+        assert chk.mean_path_trrs == 0.0
+
+
+class TestSelection:
+    def test_picks_strongest_group(self, rng):
+        strong = _track(_peaky_matrix(peak=0.95, rng=rng))
+        weak = _track(_peaky_matrix(peak=0.4, rng=rng))
+        moving = np.ones(40, dtype=bool)
+        choice = select_group_per_sample([strong, weak], moving)
+        assert (choice == 0).all()
+
+    def test_no_tracks(self):
+        choice = select_group_per_sample([], np.ones(10, dtype=bool))
+        assert (choice == -1).all()
+
+    def test_not_moving_unassigned(self, rng):
+        track = _track(_peaky_matrix(rng=rng))
+        moving = np.zeros(40, dtype=bool)
+        choice = select_group_per_sample([track], moving)
+        assert (choice == -1).all()
+
+    def test_min_quality_gate(self, rng):
+        weak = _track(_matrix(0.2 + rng.uniform(0, 0.01, (40, 11))))
+        moving = np.ones(40, dtype=bool)
+        choice = select_group_per_sample([weak], moving, min_quality=0.3)
+        assert (choice == -1).all()
+
+    def test_hysteresis_prevents_flapping(self, rng):
+        """Two groups with nearly equal quality: the incumbent persists."""
+        t = 60
+        qual_a = 0.5 + 0.01 * np.sin(np.arange(t))
+        qual_b = 0.5 - 0.01 * np.sin(np.arange(t))
+        a = _track(_peaky_matrix(t=t, rng=rng))
+        b = _track(_peaky_matrix(t=t, rng=rng))
+        a.quality[:] = qual_a
+        b.quality[:] = qual_b
+        moving = np.ones(t, dtype=bool)
+        choice = select_group_per_sample([a, b], moving, hysteresis=0.05)
+        switches = np.count_nonzero(np.diff(choice))
+        assert switches == 0
+
+    def test_clear_takeover_switches(self, rng):
+        t = 60
+        a = _track(_peaky_matrix(t=t, rng=rng))
+        b = _track(_peaky_matrix(t=t, rng=rng))
+        a.quality = np.where(np.arange(t) < 30, 0.8, 0.1)
+        b.quality = np.where(np.arange(t) < 30, 0.1, 0.8)
+        moving = np.ones(t, dtype=bool)
+        choice = select_group_per_sample([a, b], moving, hysteresis=0.05)
+        assert (choice[:25] == 0).all()
+        assert (choice[-25:] == 1).all()

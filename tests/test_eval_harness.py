@@ -1,0 +1,117 @@
+"""Tests for the evaluation harness (testbed setup + experiment runners).
+
+Experiment runners are exercised in quick mode; assertions check the
+*shape* of each result (who wins, what improves) rather than absolute
+numbers, mirroring how EXPERIMENTS.md compares against the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.setup import MEASUREMENT_SPOTS, make_testbed
+
+
+class TestTestbed:
+    def test_default_setup(self):
+        bed = make_testbed(seed=0)
+        assert bed.floorplan.width == pytest.approx(36.5)
+        assert bed.sampler.tx_positions.shape == (3, 2)
+        np.testing.assert_allclose(
+            bed.sampler.tx_positions.mean(axis=0), bed.ap_position, atol=1e-9
+        )
+
+    def test_ap_site_selection(self):
+        bed = make_testbed(seed=0, ap_site=3)
+        np.testing.assert_allclose(
+            bed.ap_position, bed.floorplan.ap_sites[3], atol=1e-9
+        )
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            make_testbed(ap_site=9)
+
+    def test_seed_reproducible(self):
+        a = make_testbed(seed=5)
+        b = make_testbed(seed=5)
+        np.testing.assert_array_equal(
+            a.channel.scatterers.positions, b.channel.scatterers.positions
+        )
+
+    def test_seeds_differ(self):
+        a = make_testbed(seed=5)
+        b = make_testbed(seed=6)
+        assert not np.array_equal(
+            a.channel.scatterers.positions, b.channel.scatterers.positions
+        )
+
+    def test_far_corner_is_nlos_for_most_spots(self):
+        bed = make_testbed(seed=0, ap_site=0)
+        nlos = sum(not bed.has_los(s) for s in MEASUREMENT_SPOTS)
+        assert nlos >= len(MEASUREMENT_SPOTS) // 2
+
+    def test_measurement_spots_inside(self):
+        bed = make_testbed(seed=0)
+        for spot in MEASUREMENT_SPOTS:
+            assert bed.floorplan.contains([spot])[0]
+
+    def test_grouped_grid_override(self):
+        from repro.channel.ofdm import make_grid
+
+        bed = make_testbed(seed=0, grid=make_grid().grouped(30))
+        assert bed.channel.grid.n_subcarriers == 30
+
+
+@pytest.mark.slow
+class TestExperimentRunners:
+    """Quick-mode smoke runs of every figure runner."""
+
+    def test_fig4(self):
+        from repro.eval.experiments import run_fig4_trrs_resolution
+
+        r = run_fig4_trrs_resolution(quick=True)
+        m = r["measured"]
+        assert m["self_drop_within_5mm"] > 0.02
+        assert abs(m["cross_peak_at_mm"] - m["expected_peak_mm"]) < 6.0
+
+    def test_fig6(self):
+        from repro.eval.experiments import run_fig6_deviated_retracing
+
+        r = run_fig6_deviated_retracing(quick=True)
+        prom = r["measured"]["prominence_by_deviation"]
+        # Evident peak at 15 deg deviation; clear collapse far beyond it.
+        assert prom[15.0] > 0.05
+        assert prom[45.0] < 0.6 * prom[0.0]
+
+    def test_fig7(self):
+        from repro.eval.experiments import run_fig7_movement_detection
+
+        r = run_fig7_movement_detection(quick=True)
+        m = r["measured"]
+        assert m["rim_accuracy"] > m["accelerometer_accuracy"]
+        assert m["rim_accuracy"] > m["gyroscope_accuracy"]
+
+    def test_fig8(self):
+        from repro.eval.experiments import run_fig8_peak_tracking
+
+        r = run_fig8_peak_tracking(quick=True)
+        m = r["measured"]
+        assert m["sign_flip_detected"]
+        assert abs(abs(m["forward_lag"]) - m["expected_abs_lag"]) < 4.0
+
+    def test_fig16_downsampling_monotone(self):
+        from repro.eval.experiments import run_fig16_sampling_rate
+
+        r = run_fig16_sampling_rate(quick=True)
+        assert r["measured"]["monotone_improvement"]
+
+    def test_fig17_virtual_antennas(self):
+        from repro.eval.experiments import run_fig17_virtual_antennas
+
+        r = run_fig17_virtual_antennas(quick=True)
+        assert r["measured"]["improves_with_v"]
+
+    def test_sec629_complexity(self):
+        from repro.eval.applications import run_sec629_complexity
+
+        r = run_sec629_complexity(quick=True)
+        assert r["measured"]["samples_per_second"] > 0

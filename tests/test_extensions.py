@@ -1,0 +1,249 @@
+"""Tests for the §7 extension features.
+
+Covers WiBall-style direction-free speed (core.wiball), fine direction
+refinement (core.finedirection), packet-loss interpolation
+(channel.interpolation), gyro calibration via RIM (fusion.calibration),
+and the reciprocal moving-TX deployment (§3.2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.interpolation import (
+    interpolate_lost_packets,
+    loss_fraction,
+)
+from repro.core.config import RimConfig
+from repro.core.rim import Rim
+from repro.core.sanitize import sanitize_trace
+from repro.core.wiball import (
+    FIRST_J0_ZERO,
+    WiballSpeedEstimator,
+    speed_from_decay,
+)
+from repro.fusion.calibration import apply_calibration, calibrate_gyro
+from repro.imu.sensors import ImuNoiseModel, ImuSimulator
+from repro.motionsim.profiles import line_trajectory, still_trajectory
+
+
+class TestWiball:
+    def test_speed_from_synthetic_j0_decay(self):
+        """A synthetic J0² curve inverts to the exact speed."""
+        from scipy.special import j0
+
+        fs, wavelength, v = 200.0, 0.0516, 0.8
+        lags = np.arange(0, 60)
+        d = v * lags / fs
+        curve = j0(2 * np.pi * d / wavelength) ** 2
+        est = speed_from_decay(curve, fs, wavelength, smoothing=1, calibration=1.0)
+        assert est == pytest.approx(v, rel=0.15)
+
+    def test_no_decay_gives_nan(self):
+        curve = np.linspace(1.0, 0.99, 30)  # essentially static channel
+        assert np.isnan(speed_from_decay(curve, 200.0, 0.05, smoothing=1))
+
+    def test_estimates_speed_off_axis(self, fast_sampler, three_antenna):
+        """WiBall works in directions the linear array cannot retrace."""
+        traj = line_trajectory((10.0, 8.0), 63.0, 0.8, 3.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        data = sanitize_trace(trace.data)
+        est = WiballSpeedEstimator(wavelength=trace.carrier_wavelength)
+        out = est.estimate(data[:, 0], trace.sampling_rate)
+        speeds = out.speeds[np.isfinite(out.speeds)]
+        assert speeds.size > 0
+        # Decimeter-class accuracy: within a factor ~1.6 of truth.
+        assert 0.5 < np.median(speeds) / 0.8 < 1.6
+
+    def test_distance_integration_positive(self, fast_sampler, three_antenna):
+        traj = line_trajectory((10.0, 8.0), 120.0, 0.8, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        data = sanitize_trace(trace.data)
+        out = WiballSpeedEstimator(trace.carrier_wavelength).estimate(
+            data[:, 0], trace.sampling_rate
+        )
+        assert out.distance > 0.4
+
+    def test_constant_first_zero(self):
+        from scipy.special import j0
+
+        assert FIRST_J0_ZERO == pytest.approx(2.405, abs=0.001)
+        assert j0(FIRST_J0_ZERO) == pytest.approx(0.0, abs=1e-4)
+
+
+class TestFineDirection:
+    def test_on_grid_direction_unchanged(self, fast_sampler, hexagon):
+        """Exactly-aligned motion should not be pulled off the grid much."""
+        traj = line_trajectory((10.0, 8.0), 30.0, 0.5, 1.6)
+        trace = fast_sampler.sample(traj, hexagon)
+        res = Rim(RimConfig(max_lag=50, fine_direction=True)).process(trace)
+        h = res.headings()
+        h = h[np.isfinite(h)]
+        mean = np.rad2deg(np.arctan2(np.mean(np.sin(h)), np.mean(np.cos(h))))
+        assert abs(mean - 30.0) < 12.0
+
+    def test_off_grid_direction_improves_or_matches(self, fast_sampler, hexagon):
+        traj = line_trajectory((10.0, 8.0), 40.0, 0.5, 1.6)
+        errors = {}
+        for fine in (False, True):
+            trace = fast_sampler.sample(traj, hexagon)
+            res = Rim(RimConfig(max_lag=50, fine_direction=fine)).process(trace)
+            h = res.headings()
+            h = h[np.isfinite(h)]
+            mean = np.arctan2(np.mean(np.sin(h)), np.mean(np.cos(h)))
+            errors[fine] = abs(np.rad2deg(mean) - 40.0)
+        # The refinement must not be catastrophically worse than the grid.
+        assert errors[True] <= errors[False] + 10.0
+
+    def test_empty_tracks_passthrough(self):
+        from repro.core.finedirection import refine_headings
+
+        heading = np.array([0.1, 0.2, np.nan])
+        out = refine_headings([], np.array([-1, -1, -1]), heading)
+        np.testing.assert_array_equal(out[:2], heading[:2])
+        assert np.isnan(out[2])
+
+
+class TestInterpolation:
+    def _csi_with_gap(self, rng, t=20, gap=(8, 10)):
+        data = (
+            rng.standard_normal((t, 2, 1, 8)) + 1j * rng.standard_normal((t, 2, 1, 8))
+        ).astype(np.complex64)
+        data[gap[0] : gap[1]] = np.nan
+        return data
+
+    def test_short_gap_filled(self, rng):
+        data = self._csi_with_gap(rng)
+        out = interpolate_lost_packets(data, max_gap=5)
+        assert np.isfinite(out).all()
+
+    def test_long_gap_left_nan(self, rng):
+        data = self._csi_with_gap(rng, gap=(5, 15))
+        out = interpolate_lost_packets(data, max_gap=5)
+        assert np.isnan(out[7]).all()
+
+    def test_border_gap_left_nan(self, rng):
+        data = self._csi_with_gap(rng, gap=(0, 2))
+        out = interpolate_lost_packets(data, max_gap=5)
+        assert np.isnan(out[0]).all()
+
+    def test_phase_aligned_interpolation(self, rng):
+        """A random common phase between anchors must not null the fill."""
+        base = (rng.standard_normal(8) + 1j * rng.standard_normal(8)).astype(
+            np.complex64
+        )
+        data = np.tile(base, (5, 1, 1, 1))
+        data[3] *= np.exp(1j * np.pi * 0.97)  # near-opposite phase anchor
+        data[1:3] = np.nan
+        out = interpolate_lost_packets(data, max_gap=5)
+        # Interpolated magnitude stays near the anchors' magnitude.
+        ratio = np.abs(out[1]).mean() / np.abs(base).mean()
+        assert ratio > 0.8
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            interpolate_lost_packets(np.zeros((5, 2, 8), dtype=np.complex64))
+
+    def test_loss_fraction(self, rng):
+        data = self._csi_with_gap(rng, t=10, gap=(2, 4))
+        assert loss_fraction(data) == pytest.approx(0.2)
+
+    def test_untouched_without_loss(self, rng):
+        data = (
+            rng.standard_normal((6, 1, 1, 4)) + 1j * rng.standard_normal((6, 1, 1, 4))
+        ).astype(np.complex64)
+        out = interpolate_lost_packets(data)
+        np.testing.assert_array_equal(out, data)
+
+    def test_pipeline_with_loss(self, fast_channel, three_antenna):
+        from repro.channel.impairments import ImpairmentConfig
+        from repro.channel.sampler import CsiSampler, ap_antenna_positions
+
+        sampler = CsiSampler(
+            channel=fast_channel,
+            tx_positions=ap_antenna_positions((1.0, 1.0), n_tx=2),
+            impairments=ImpairmentConfig(
+                snr_db=25.0, packet_loss_rate=0.15, loss_burstiness=3.0
+            ),
+            rng=np.random.default_rng(17),
+        )
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = sampler.sample(traj, three_antenna)
+        res = Rim(RimConfig(max_lag=50, interpolate_loss=True)).process(trace)
+        assert abs(res.total_distance - 1.0) < 0.25
+
+
+class TestGyroCalibration:
+    def _rim_result_with_mask(self, times, moving):
+        from repro.core.motion import MotionEstimate
+        from repro.core.movement import MovementResult
+        from repro.core.rim import RimResult
+
+        motion = MotionEstimate(
+            times=times,
+            moving=moving,
+            speed=np.zeros(times.size),
+            heading=np.full(times.size, np.nan),
+            group_choice=np.full(times.size, -1, dtype=np.int64),
+        )
+        return RimResult(
+            motion=motion,
+            movement=MovementResult(np.zeros(times.size), moving, 0.95),
+            group_tracks=[],
+        )
+
+    def test_bias_recovered_from_static_period(self):
+        bias_true = np.deg2rad(1.7)
+        traj = still_trajectory((0, 0), 4.0, sampling_rate=100.0)
+        noise = ImuNoiseModel(
+            gyro_initial_bias=0.0, gyro_bias_stability=0.0, gyro_noise_density=np.deg2rad(0.02)
+        )
+        imu = ImuSimulator(noise, rng=np.random.default_rng(0)).simulate(traj)
+        imu.gyro += bias_true
+        rim_result = self._rim_result_with_mask(
+            traj.times, np.zeros(traj.n_samples, dtype=bool)
+        )
+        cal = calibrate_gyro(imu, rim_result)
+        assert cal.bias == pytest.approx(bias_true, abs=np.deg2rad(0.3))
+        assert cal.n_static_samples == traj.n_samples
+
+    def test_no_static_samples_gives_nan(self):
+        traj = line_trajectory((0, 0), 0, 1.0, 2.0, sampling_rate=100.0)
+        imu = ImuSimulator(rng=np.random.default_rng(1)).simulate(traj)
+        rim_result = self._rim_result_with_mask(
+            traj.times, np.ones(traj.n_samples, dtype=bool)
+        )
+        cal = calibrate_gyro(imu, rim_result)
+        assert np.isnan(cal.bias)
+        assert cal.scale == 1.0
+
+    def test_apply_calibration_removes_bias(self):
+        traj = still_trajectory((0, 0), 3.0, sampling_rate=100.0)
+        noise = ImuNoiseModel(gyro_initial_bias=np.deg2rad(2.0), gyro_bias_stability=0.0)
+        imu = ImuSimulator(noise, rng=np.random.default_rng(2)).simulate(traj)
+        rim_result = self._rim_result_with_mask(
+            traj.times, np.zeros(traj.n_samples, dtype=bool)
+        )
+        cal = calibrate_gyro(imu, rim_result)
+        corrected = apply_calibration(imu, cal)
+        assert abs(corrected.gyro.mean()) < abs(imu.gyro.mean()) * 0.3
+
+
+class TestMovingTx:
+    def test_reciprocity_shape(self, fast_sampler, three_antenna):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 1.0)
+        trace = fast_sampler.sample_moving_tx(traj, three_antenna)
+        assert trace.data.shape[1] == 3  # moving antennas
+        assert trace.data.shape[2] == fast_sampler.tx_positions.shape[0]
+
+    def test_reciprocal_channel_matches_clean(self, clean_sampler, three_antenna):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 0.5)
+        rx_case = clean_sampler.sample(traj, three_antenna)
+        tx_case = clean_sampler.sample_moving_tx(traj, three_antenna)
+        np.testing.assert_allclose(rx_case.data, tx_case.data, rtol=1e-5)
+
+    def test_rim_tracks_a_moving_transmitter(self, fast_sampler, three_antenna):
+        """§3.2: RIM estimates the motion of whichever end is moving."""
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = fast_sampler.sample_moving_tx(traj, three_antenna)
+        res = Rim(RimConfig(max_lag=50)).process(trace)
+        assert abs(res.total_distance - 1.0) < 0.15

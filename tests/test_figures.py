@@ -1,0 +1,69 @@
+"""Tests for the ASCII figure rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import ascii_bars, ascii_cdf, ascii_plot, render_result_figures
+
+
+class TestAsciiPlot:
+    def test_renders_points(self):
+        out = ascii_plot([0, 1, 2], [0, 1, 4], width=20, height=6)
+        assert "*" in out
+        assert out.count("\n") >= 6
+
+    def test_axis_annotations(self):
+        out = ascii_plot([0, 10], [0, 5], x_label="lag", y_label="trrs")
+        assert "lag" in out
+        assert "trrs" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_plot([1, 2, 3], [5, 5, 5])
+        assert "*" in out
+
+    def test_empty_series(self):
+        assert "no finite data" in ascii_plot([], [])
+
+    def test_nan_filtered(self):
+        out = ascii_plot([0, 1, np.nan], [0, np.nan, 1])
+        assert "*" in out
+
+
+class TestAsciiCdf:
+    def test_monotone_staircase(self):
+        out = ascii_cdf([1.0, 2.0, 3.0, 4.0])
+        assert "CDF" in out
+
+    def test_empty(self):
+        assert "no finite data" in ascii_cdf([])
+
+
+class TestAsciiBars:
+    def test_bars_scale(self):
+        out = ascii_bars({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_values_printed(self):
+        out = ascii_bars({"x": 3.14159})
+        assert "3.14" in out
+
+    def test_empty(self):
+        assert "no finite data" in ascii_bars({})
+
+
+class TestRenderResultFigures:
+    def test_dict_metrics_become_bars(self):
+        result = {"measured": {"median_by_v": {1: 3.0, 10: 1.0}}}
+        out = render_result_figures("figX", result)
+        assert "median_by_v" in out
+        assert "#" in out
+
+    def test_error_lists_become_cdfs(self):
+        result = {"measured": {}, "cart_errors": [0.01, 0.02, 0.05, 0.08]}
+        out = render_result_figures("fig11", result)
+        assert "CDF" in out
+
+    def test_nothing_figure_shaped(self):
+        out = render_result_figures("figY", {"measured": {"scalar": 1.0}})
+        assert "nothing figure-shaped" in out

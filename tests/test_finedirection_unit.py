@@ -1,0 +1,122 @@
+"""Unit tests for the fine-direction refinement internals."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.pairs import AntennaPair
+from repro.core.alignment import AlignmentMatrix
+from repro.core.finedirection import _heading_runs, refine_headings
+from repro.core.pairs import GroupTrack
+from repro.core.tracking import TrackedPath
+
+
+def _track(axis_deg, quality_value, lag_sign=1, t=20):
+    pair = AntennaPair(
+        i=0, j=1, separation=0.0258, axis_angle=np.deg2rad(axis_deg)
+    )
+    lags = np.full(t, 10.0 * lag_sign)
+    path = TrackedPath(
+        lag_indices=np.full(t, 10, dtype=np.int64),
+        lags=lags.astype(np.int64),
+        refined_lags=lags,
+        path_trrs=np.full(t, 0.8),
+        score=1.0,
+    )
+    matrix = AlignmentMatrix(
+        values=np.full((t, 21), 0.3),
+        lags=np.arange(-10, 11),
+        sampling_rate=100.0,
+        pair=(0, 1),
+    )
+    return GroupTrack(
+        pairs=[pair],
+        matrix=matrix,
+        path=path,
+        quality=np.full(t, quality_value),
+    )
+
+
+class TestHeadingRuns:
+    def test_single_run(self):
+        choice = np.zeros(5, dtype=np.int64)
+        heading = np.zeros(5)
+        runs = list(_heading_runs(choice, heading))
+        assert runs == [(0, 5)]
+
+    def test_splits_on_group_change(self):
+        choice = np.array([0, 0, 1, 1, 1])
+        heading = np.zeros(5)
+        runs = list(_heading_runs(choice, heading))
+        assert runs == [(0, 2), (2, 5)]
+
+    def test_skips_unassigned(self):
+        choice = np.array([-1, 0, 0, -1])
+        heading = np.array([np.nan, 0.0, 0.0, np.nan])
+        runs = list(_heading_runs(choice, heading))
+        assert runs == [(1, 3)]
+
+
+class TestRefineHeadings:
+    def test_silent_neighbor_keeps_grid(self):
+        own = _track(0.0, quality_value=0.5)
+        neighbor = _track(30.0, quality_value=0.0)
+        t = 20
+        choice = np.zeros(t, dtype=np.int64)
+        base = np.zeros(t)
+        out = refine_headings([own, neighbor], choice, base, floor=0.0)
+        np.testing.assert_allclose(out, 0.0, atol=1e-9)
+
+    def test_equal_qualities_give_midpoint(self):
+        own = _track(0.0, quality_value=0.4)
+        neighbor = _track(30.0, quality_value=0.4)
+        t = 20
+        choice = np.zeros(t, dtype=np.int64)
+        base = np.zeros(t)
+        out = refine_headings([own, neighbor], choice, base, floor=0.0)
+        np.testing.assert_allclose(np.rad2deg(out), 15.0, atol=1e-6)
+
+    def test_weight_proportional_to_neighbor_strength(self):
+        own = _track(0.0, quality_value=0.6)
+        neighbor = _track(30.0, quality_value=0.2)
+        t = 20
+        choice = np.zeros(t, dtype=np.int64)
+        base = np.zeros(t)
+        out = refine_headings([own, neighbor], choice, base, floor=0.0)
+        np.testing.assert_allclose(np.rad2deg(out), 7.5, atol=1e-6)
+
+    def test_neighbor_outside_sector_ignored(self):
+        own = _track(0.0, quality_value=0.5)
+        far = _track(90.0, quality_value=0.5)
+        t = 20
+        choice = np.zeros(t, dtype=np.int64)
+        base = np.zeros(t)
+        out = refine_headings([own, far], choice, base, floor=0.0)
+        np.testing.assert_allclose(out, 0.0, atol=1e-9)
+
+    def test_negative_lag_neighbor_uses_opposite_ray(self):
+        own = _track(0.0, quality_value=0.5)
+        # Axis at 150°, negative lag ⇒ active direction 150° − 180° = −30°.
+        neighbor = _track(150.0, quality_value=0.5, lag_sign=-1)
+        t = 20
+        choice = np.zeros(t, dtype=np.int64)
+        base = np.zeros(t)
+        out = refine_headings([own, neighbor], choice, base, floor=0.0)
+        np.testing.assert_allclose(np.rad2deg(out), -15.0, atol=1e-6)
+
+    def test_floor_subtracted(self):
+        own = _track(0.0, quality_value=0.5)
+        weak = _track(30.0, quality_value=0.1)
+        t = 20
+        choice = np.zeros(t, dtype=np.int64)
+        base = np.zeros(t)
+        out = refine_headings([own, weak], choice, base, floor=0.1)
+        # Neighbor at the floor contributes nothing.
+        np.testing.assert_allclose(out, 0.0, atol=1e-9)
+
+    def test_unassigned_samples_untouched(self):
+        own = _track(0.0, quality_value=0.5)
+        t = 20
+        choice = np.full(t, -1, dtype=np.int64)
+        base = np.full(t, np.nan)
+        out = refine_headings([own], choice, base)
+        assert np.isnan(out).all()

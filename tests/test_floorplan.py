@@ -1,0 +1,111 @@
+"""Unit tests for the floorplan substrate."""
+
+import numpy as np
+import pytest
+
+from repro.env.floorplan import Floorplan, Wall, empty_floorplan, office_floorplan
+
+
+class TestWall:
+    def test_valid_wall(self):
+        wall = Wall((0, 0), (1, 0), attenuation=0.5)
+        assert wall.attenuation == 0.5
+
+    def test_invalid_attenuation(self):
+        with pytest.raises(ValueError):
+            Wall((0, 0), (1, 0), attenuation=0.0)
+        with pytest.raises(ValueError):
+            Wall((0, 0), (1, 0), attenuation=1.5)
+
+
+class TestFloorplan:
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Floorplan(width=0.0, height=5.0)
+
+    def test_contains(self):
+        plan = empty_floorplan(10, 8)
+        inside = plan.contains([(5, 4), (11, 4), (5, -1)])
+        np.testing.assert_array_equal(inside, [True, False, False])
+
+    def test_empty_floorplan_has_los_everywhere(self):
+        plan = empty_floorplan()
+        assert plan.has_los((1, 1), (30, 25))
+
+    def test_wall_blocks_los(self):
+        plan = Floorplan(width=10, height=10, walls=[Wall((5, 0), (5, 10))])
+        assert not plan.has_los((1, 5), (9, 5))
+        assert plan.has_los((1, 1), (4, 9))
+
+    def test_path_attenuation_no_walls(self):
+        plan = empty_floorplan()
+        att = plan.path_attenuation([(0, 0)], [(5, 5)])
+        np.testing.assert_allclose(att, 1.0)
+
+    def test_path_attenuation_one_wall(self):
+        plan = Floorplan(
+            width=10, height=10, walls=[Wall((5, 0), (5, 10), attenuation=0.5)]
+        )
+        att = plan.path_attenuation([(1, 5)], [(9, 5)])
+        np.testing.assert_allclose(att, 0.5)
+
+    def test_path_attenuation_stacks_multiplicatively(self):
+        plan = Floorplan(
+            width=10,
+            height=10,
+            walls=[
+                Wall((3, 0), (3, 10), attenuation=0.5),
+                Wall((6, 0), (6, 10), attenuation=0.4),
+            ],
+        )
+        att = plan.path_attenuation([(1, 5)], [(9, 5)])
+        np.testing.assert_allclose(att, 0.2)
+
+    def test_segment_blocked_vectorized(self):
+        plan = Floorplan(width=10, height=10, walls=[Wall((5, 0), (5, 10))])
+        starts = np.array([(1, 5), (6, 5)], dtype=float)
+        ends = np.array([(9, 5), (9, 5)], dtype=float)
+        blocked = plan.segment_blocked(starts, ends)
+        np.testing.assert_array_equal(blocked, [True, False])
+
+    def test_wall_arrays_shapes(self):
+        plan = office_floorplan()
+        starts, ends, atten = plan.wall_arrays
+        assert starts.shape == ends.shape
+        assert starts.shape[0] == len(plan.walls)
+        assert atten.shape == (len(plan.walls),)
+
+
+class TestOfficeFloorplan:
+    def test_dimensions_match_paper(self):
+        plan = office_floorplan()
+        assert plan.width == pytest.approx(36.5)
+        assert plan.height == pytest.approx(28.0)
+
+    def test_has_seven_ap_sites(self):
+        plan = office_floorplan()
+        assert sorted(plan.ap_sites) == list(range(7))
+
+    def test_ap_sites_inside_floor(self):
+        plan = office_floorplan()
+        for pos in plan.ap_sites.values():
+            assert plan.contains([pos])[0]
+
+    def test_site_zero_is_corner(self):
+        plan = office_floorplan()
+        x, y = plan.ap_sites[0]
+        assert x < plan.width * 0.1
+        assert y > plan.height * 0.9
+
+    def test_far_corner_is_nlos_from_opposite_corner(self):
+        plan = office_floorplan()
+        assert not plan.has_los(plan.ap_sites[0], (plan.width - 2, 2))
+
+    def test_some_los_near_ap(self):
+        plan = office_floorplan()
+        ap = np.asarray(plan.ap_sites[0])
+        assert plan.has_los(ap, ap + np.array([0.5, -0.5]))
+
+    def test_walls_present(self):
+        plan = office_floorplan()
+        assert len(plan.walls) > 10

@@ -1,0 +1,114 @@
+"""Integration tests for RIM + IMU fusion (§6.3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.tracking import track_pure_rim, track_with_imu_fusion
+from repro.core.config import RimConfig
+from repro.core.rim import Rim
+from repro.env.floorplan import empty_floorplan
+from repro.fusion.integration import fuse_rim_gyro
+from repro.imu.sensors import ImuNoiseModel, ImuSimulator
+from repro.motionsim.profiles import line_trajectory, polyline_trajectory
+
+
+@pytest.fixture(scope="module")
+def rim():
+    return Rim(RimConfig(max_lag=50))
+
+
+class TestFuseRimGyro:
+    def test_straight_line_fusion(self, fast_sampler, three_antenna, rim):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        rim_result = rim.process(trace)
+        imu = ImuSimulator(rng=np.random.default_rng(0)).simulate(traj)
+        fused = fuse_rim_gyro(rim_result, imu, initial_heading=0.0, start=(0.0, 0.0))
+        assert fused.positions.shape[1] == 2
+        # End point ~1 m east.
+        assert fused.positions[-1][0] == pytest.approx(1.0, abs=0.2)
+        assert abs(fused.positions[-1][1]) < 0.2
+
+    def test_step_distances_sum_to_total(self, fast_sampler, three_antenna, rim):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        rim_result = rim.process(trace)
+        imu = ImuSimulator(rng=np.random.default_rng(1)).simulate(traj)
+        fused = fuse_rim_gyro(rim_result, imu, initial_heading=0.0)
+        assert fused.step_distances.sum() == pytest.approx(
+            rim_result.total_distance, rel=0.05
+        )
+
+    def test_short_trace_rejected(self, fast_sampler, three_antenna, rim):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 1.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        rim_result = rim.process(trace)
+        rim_result.motion.times = rim_result.motion.times[:1]
+        imu = ImuSimulator(rng=np.random.default_rng(2)).simulate(traj)
+        with pytest.raises(ValueError):
+            fuse_rim_gyro(rim_result, imu, initial_heading=0.0)
+
+
+class TestTrackingApps:
+    def test_pure_rim_outcome_fields(self, fast_sampler, hexagon):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 1.6)
+        outcome = track_pure_rim(
+            fast_sampler, hexagon, traj, rim=Rim(RimConfig(max_lag=50))
+        )
+        assert outcome.estimated.shape == (traj.n_samples, 2)
+        assert outcome.errors.shape == (traj.n_samples,)
+        assert outcome.summary["median"] < 0.5
+
+    def test_fusion_with_turn(self, fast_sampler, three_antenna, rim):
+        wp = np.array([(10.0, 8.0), (11.0, 8.0), (11.0, 9.0)])
+        traj = polyline_trajectory(wp, 0.5, face_motion=True)
+        outcome = track_with_imu_fusion(
+            fast_sampler,
+            three_antenna,
+            traj,
+            floorplan=None,
+            rim=rim,
+            rng=np.random.default_rng(3),
+        )
+        assert outcome.filtered is None
+        assert outcome.errors_filtered is None
+        assert np.median(outcome.errors_dead_reckoned) < 0.6
+
+    def test_fusion_with_particle_filter(self, fast_sampler, three_antenna, rim):
+        wp = np.array([(10.0, 8.0), (12.0, 8.0)])
+        traj = polyline_trajectory(wp, 0.5, face_motion=True)
+        outcome = track_with_imu_fusion(
+            fast_sampler,
+            three_antenna,
+            traj,
+            floorplan=empty_floorplan(width=20, height=15),
+            rim=rim,
+            rng=np.random.default_rng(4),
+        )
+        assert outcome.filtered is not None
+        assert outcome.filtered.shape == outcome.dead_reckoned.shape
+        assert np.median(outcome.errors_filtered) < 0.8
+
+    def test_gyro_drift_hurts_long_fused_tracks(self, fast_sampler, three_antenna, rim):
+        """The Fig. 21 premise: distance is accurate, heading drifts."""
+        wp = np.array([(6.0, 8.0), (14.0, 8.0)])
+        traj = polyline_trajectory(wp, 1.0, face_motion=True)
+        drifty = ImuSimulator(
+            ImuNoiseModel(gyro_initial_bias=np.deg2rad(5.0)),
+            rng=np.random.default_rng(5),
+        )
+        outcome = track_with_imu_fusion(
+            fast_sampler,
+            three_antenna,
+            traj,
+            floorplan=None,
+            rim=rim,
+            imu_simulator=drifty,
+            rng=np.random.default_rng(5),
+        )
+        # Distance along the path is fine...
+        travel = np.linalg.norm(np.diff(outcome.dead_reckoned, axis=0), axis=1).sum()
+        assert travel == pytest.approx(8.0, rel=0.15)
+        # ...but the endpoint drifts laterally from the bias.
+        lateral = abs(outcome.dead_reckoned[-1][1] - 8.0)
+        assert lateral > 0.2

@@ -1,0 +1,124 @@
+"""Unit tests for 2D segment geometry."""
+
+import numpy as np
+import pytest
+
+from repro.env.geometry2d import (
+    crossing_counts,
+    point_segment_distance,
+    polyline_length,
+    resample_polyline,
+    segments_intersect,
+)
+
+
+class TestSegmentsIntersect:
+    def test_crossing_segments(self):
+        hit = segments_intersect([(0, 0)], [(2, 2)], [(0, 2)], [(2, 0)])
+        assert hit.shape == (1, 1)
+        assert hit[0, 0]
+
+    def test_parallel_segments_do_not_intersect(self):
+        hit = segments_intersect([(0, 0)], [(1, 0)], [(0, 1)], [(1, 1)])
+        assert not hit[0, 0]
+
+    def test_collinear_disjoint(self):
+        hit = segments_intersect([(0, 0)], [(1, 0)], [(2, 0)], [(3, 0)])
+        assert not hit[0, 0]
+
+    def test_touching_endpoints_count(self):
+        hit = segments_intersect([(0, 0)], [(1, 1)], [(1, 1)], [(2, 0)])
+        assert hit[0, 0]
+
+    def test_near_miss(self):
+        hit = segments_intersect([(0, 0)], [(1, 0)], [(0.5, 0.01)], [(0.5, 1)])
+        assert not hit[0, 0]
+
+    def test_batched_shapes(self):
+        p1 = np.zeros((3, 2))
+        p2 = np.ones((3, 2))
+        q1 = np.array([[0, 1], [5, 5]], dtype=float)
+        q2 = np.array([[1, 0], [6, 6]], dtype=float)
+        hit = segments_intersect(p1, p2, q1, q2)
+        assert hit.shape == (3, 2)
+        assert hit[:, 0].all()
+        assert not hit[:, 1].any()
+
+    def test_t_junction(self):
+        hit = segments_intersect([(0, -1)], [(0, 1)], [(0, 0)], [(1, 0)])
+        assert hit[0, 0]
+
+
+class TestCrossingCounts:
+    def test_no_walls(self):
+        counts = crossing_counts([(0, 0)], [(1, 1)], np.zeros((0, 2)), np.zeros((0, 2)))
+        np.testing.assert_array_equal(counts, [0])
+
+    def test_single_crossing(self):
+        counts = crossing_counts(
+            [(0, 0.5)], [(2, 0.5)], [(1, 0)], [(1, 1)]
+        )
+        np.testing.assert_array_equal(counts, [1])
+
+    def test_two_walls(self):
+        counts = crossing_counts(
+            [(0, 0.5)], [(3, 0.5)], [(1, 0), (2, 0)], [(1, 1), (2, 1)]
+        )
+        np.testing.assert_array_equal(counts, [2])
+
+    def test_counts_per_path(self):
+        counts = crossing_counts(
+            [(0, 0.5), (1.5, 0.5)],
+            [(3, 0.5), (1.6, 0.5)],
+            [(1, 0), (2, 0)],
+            [(1, 1), (2, 1)],
+        )
+        np.testing.assert_array_equal(counts, [2, 0])
+
+
+class TestPointSegmentDistance:
+    def test_perpendicular_foot_inside(self):
+        d = point_segment_distance([(0.5, 1.0)], (0, 0), (1, 0))
+        assert d[0] == pytest.approx(1.0)
+
+    def test_clamps_to_endpoint(self):
+        d = point_segment_distance([(2.0, 0.0)], (0, 0), (1, 0))
+        assert d[0] == pytest.approx(1.0)
+
+    def test_degenerate_segment(self):
+        d = point_segment_distance([(3.0, 4.0)], (0, 0), (0, 0))
+        assert d[0] == pytest.approx(5.0)
+
+    def test_point_on_segment(self):
+        d = point_segment_distance([(0.25, 0.0)], (0, 0), (1, 0))
+        assert d[0] == pytest.approx(0.0)
+
+
+class TestPolyline:
+    def test_length_of_square(self):
+        pts = [(0, 0), (1, 0), (1, 1), (0, 1), (0, 0)]
+        assert polyline_length(pts) == pytest.approx(4.0)
+
+    def test_length_single_point(self):
+        assert polyline_length([(3, 3)]) == 0.0
+
+    def test_resample_spacing(self):
+        pts = [(0, 0), (10, 0)]
+        out = resample_polyline(pts, 1.0)
+        assert out.shape[0] == 11
+        np.testing.assert_allclose(np.diff(out[:, 0]), 1.0)
+
+    def test_resample_includes_endpoints(self):
+        pts = np.array([(0, 0), (2, 0), (2, 2)], dtype=float)
+        out = resample_polyline(pts, 0.5)
+        np.testing.assert_allclose(out[0], pts[0])
+        np.testing.assert_allclose(out[-1], pts[-1])
+
+    def test_resample_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            resample_polyline([(0, 0), (1, 0)], 0.0)
+
+    def test_resample_preserves_length(self):
+        pts = np.array([(0, 0), (3, 4), (6, 0)], dtype=float)
+        out = resample_polyline(pts, 0.1)
+        assert polyline_length(out) == pytest.approx(10.0, rel=1e-3)

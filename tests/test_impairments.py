@@ -1,0 +1,167 @@
+"""Unit tests for the CSI impairment pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.channel.impairments import CsiImpairer, ImpairmentConfig, clean
+from repro.channel.ofdm import make_grid
+
+
+@pytest.fixture()
+def grid():
+    return make_grid().grouped(16)
+
+
+def _ideal_csi(grid, t=50, n_rx=2, n_tx=2, seed=0):
+    rng = np.random.default_rng(seed)
+    shape = (t, n_rx, n_tx, grid.n_subcarriers)
+    return (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)).astype(
+        np.complex64
+    )
+
+
+class TestCleanConfig:
+    def test_clean_is_identity(self, grid):
+        csi = _ideal_csi(grid)
+        imp = CsiImpairer(clean(), grid, n_rx=2, rng=np.random.default_rng(1))
+        out = imp.apply(csi)
+        np.testing.assert_allclose(out, csi, atol=1e-6)
+
+
+class TestShapes:
+    def test_wrong_ndim_rejected(self, grid):
+        imp = CsiImpairer(clean(), grid, n_rx=2)
+        with pytest.raises(ValueError):
+            imp.apply(np.zeros((5, 2, 16), dtype=np.complex64))
+
+    def test_wrong_rx_count_rejected(self, grid):
+        imp = CsiImpairer(clean(), grid, n_rx=3)
+        with pytest.raises(ValueError):
+            imp.apply(_ideal_csi(grid, n_rx=2))
+
+    def test_wrong_tone_count_rejected(self, grid):
+        imp = CsiImpairer(clean(), grid, n_rx=2)
+        bad = np.zeros((5, 2, 2, grid.n_subcarriers + 1), dtype=np.complex64)
+        with pytest.raises(ValueError):
+            imp.apply(bad)
+
+    def test_output_shape_and_dtype(self, grid):
+        csi = _ideal_csi(grid)
+        imp = CsiImpairer(ImpairmentConfig(), grid, n_rx=2, rng=np.random.default_rng(2))
+        out = imp.apply(csi)
+        assert out.shape == csi.shape
+        assert out.dtype == np.complex64
+
+
+class TestPhaseImpairments:
+    def test_initial_phase_preserves_magnitude(self, grid):
+        cfg = clean()
+        cfg.initial_phase = True
+        csi = _ideal_csi(grid)
+        imp = CsiImpairer(cfg, grid, n_rx=2, rng=np.random.default_rng(3))
+        out = imp.apply(csi)
+        np.testing.assert_allclose(np.abs(out), np.abs(csi), rtol=1e-5)
+
+    def test_initial_phase_is_common_across_tones(self, grid):
+        cfg = clean()
+        cfg.initial_phase = True
+        csi = _ideal_csi(grid)
+        imp = CsiImpairer(cfg, grid, n_rx=2, rng=np.random.default_rng(4))
+        out = imp.apply(csi)
+        rotation = out / csi
+        # Same per-packet rotation on every tone and TX of an RX chain.
+        std = np.angle(rotation / rotation[..., :1]).std()
+        assert std < 1e-5
+
+    def test_timing_jitter_creates_phase_slope(self, grid):
+        cfg = clean()
+        cfg.timing_jitter_std = 0.5
+        csi = np.ones((20, 1, 1, grid.n_subcarriers), dtype=np.complex64)
+        imp = CsiImpairer(cfg, grid, n_rx=1, rng=np.random.default_rng(5))
+        out = imp.apply(csi)
+        phases = np.unwrap(np.angle(out[:, 0, 0, :]), axis=1)
+        slopes = (phases[:, -1] - phases[:, 0]) / (grid.index_array[-1] - grid.index_array[0])
+        assert slopes.std() > 0.001
+
+    def test_cfo_walk_rotates_over_time(self, grid):
+        cfg = clean()
+        cfg.cfo_phase_std = 0.3
+        csi = np.ones((50, 1, 1, grid.n_subcarriers), dtype=np.complex64)
+        imp = CsiImpairer(cfg, grid, n_rx=1, rng=np.random.default_rng(6))
+        out = imp.apply(csi)
+        phases = np.angle(out[:, 0, 0, 0])
+        assert np.abs(np.diff(phases)).max() > 0.05
+
+
+class TestRippleAndNoise:
+    def test_ripple_fixed_over_time(self, grid):
+        cfg = clean()
+        cfg.antenna_ripple = 0.3
+        csi = np.ones((10, 2, 1, grid.n_subcarriers), dtype=np.complex64)
+        imp = CsiImpairer(cfg, grid, n_rx=2, rng=np.random.default_rng(7))
+        out = imp.apply(csi)
+        for a in range(2):
+            ref = out[0, a, 0]
+            for t in range(1, 10):
+                np.testing.assert_allclose(out[t, a, 0], ref, rtol=1e-6)
+
+    def test_ripple_differs_between_antennas(self, grid):
+        cfg = clean()
+        cfg.antenna_ripple = 0.3
+        csi = np.ones((2, 2, 1, grid.n_subcarriers), dtype=np.complex64)
+        imp = CsiImpairer(cfg, grid, n_rx=2, rng=np.random.default_rng(8))
+        out = imp.apply(csi)
+        assert not np.allclose(out[0, 0, 0], out[0, 1, 0], rtol=1e-3)
+
+    def test_noise_snr_calibrated(self, grid):
+        cfg = clean()
+        cfg.snr_db = 20.0
+        csi = _ideal_csi(grid, t=400)
+        imp = CsiImpairer(cfg, grid, n_rx=2, rng=np.random.default_rng(9))
+        out = imp.apply(csi)
+        noise_power = np.mean(np.abs(out - csi) ** 2)
+        signal_power = np.mean(np.abs(csi) ** 2)
+        measured_snr = 10 * np.log10(signal_power / noise_power)
+        assert measured_snr == pytest.approx(20.0, abs=0.5)
+
+
+class TestPacketLoss:
+    def test_loss_rate(self, grid):
+        cfg = clean()
+        cfg.packet_loss_rate = 0.2
+        csi = _ideal_csi(grid, t=2000)
+        imp = CsiImpairer(cfg, grid, n_rx=2, rng=np.random.default_rng(10))
+        out = imp.apply(csi)
+        lost = np.isnan(out.real).any(axis=(1, 2, 3))
+        assert lost.mean() == pytest.approx(0.2, abs=0.05)
+
+    def test_lost_packet_entirely_nan(self, grid):
+        cfg = clean()
+        cfg.packet_loss_rate = 0.5
+        csi = _ideal_csi(grid, t=50)
+        imp = CsiImpairer(cfg, grid, n_rx=2, rng=np.random.default_rng(11))
+        out = imp.apply(csi)
+        lost = np.isnan(out.real).any(axis=(1, 2, 3))
+        for t in np.nonzero(lost)[0]:
+            assert np.isnan(out[t].real).all()
+
+    def test_bursty_loss_produces_runs(self, grid):
+        cfg = clean()
+        cfg.packet_loss_rate = 0.2
+        cfg.loss_burstiness = 8.0
+        csi = _ideal_csi(grid, t=4000)
+        imp = CsiImpairer(cfg, grid, n_rx=2, rng=np.random.default_rng(12))
+        out = imp.apply(csi)
+        lost = np.isnan(out.real).any(axis=(1, 2, 3))
+        # Mean run length of losses should be well above 1 (i.i.d. gives ~1.25).
+        runs = []
+        count = 0
+        for flag in lost:
+            if flag:
+                count += 1
+            elif count:
+                runs.append(count)
+                count = 0
+        if count:
+            runs.append(count)
+        assert np.mean(runs) > 2.5

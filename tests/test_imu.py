@@ -1,0 +1,144 @@
+"""Unit tests for the IMU simulators and dead-reckoning baselines."""
+
+import numpy as np
+import pytest
+
+from repro.imu.deadreckoning import (
+    accelerometer_movement_indicator,
+    gyro_rotation_angle,
+    gyroscope_movement_indicator,
+    integrate_imu,
+)
+from repro.imu.sensors import ImuNoiseModel, ImuSimulator
+from repro.motionsim.profiles import (
+    line_trajectory,
+    polyline_trajectory,
+    rotation_trajectory,
+    still_trajectory,
+    stop_and_go_trajectory,
+)
+
+
+def _noiseless():
+    return ImuNoiseModel(
+        accel_noise_density=0.0,
+        accel_bias_stability=0.0,
+        accel_initial_bias=0.0,
+        gyro_noise_density=0.0,
+        gyro_bias_stability=0.0,
+        gyro_initial_bias=0.0,
+        mag_noise_std=0.0,
+        mag_distortion_amplitude=0.0,
+    )
+
+
+class TestImuSimulator:
+    def test_output_shapes(self):
+        traj = line_trajectory((0, 0), 0, 1.0, 1.0)
+        imu = ImuSimulator(rng=np.random.default_rng(0)).simulate(traj)
+        t = traj.n_samples
+        assert imu.accel.shape == (t, 2)
+        assert imu.gyro.shape == (t,)
+        assert imu.mag_heading.shape == (t,)
+
+    def test_needs_three_samples(self):
+        traj = still_trajectory((0, 0), 0.005, sampling_rate=200.0)
+        with pytest.raises(ValueError):
+            ImuSimulator().simulate(traj.slice(0, 2))
+
+    def test_noiseless_constant_velocity_zero_accel(self):
+        traj = line_trajectory((0, 0), 0, 1.0, 1.0)
+        imu = ImuSimulator(_noiseless(), rng=np.random.default_rng(0)).simulate(traj)
+        assert np.abs(imu.accel[5:-5]).max() < 1e-6
+
+    def test_noiseless_gyro_matches_angular_rate(self):
+        traj = rotation_trajectory((0, 0), 90.0, angular_speed_deg=45.0)
+        imu = ImuSimulator(_noiseless(), rng=np.random.default_rng(0)).simulate(traj)
+        np.testing.assert_allclose(imu.gyro[5:-5], np.deg2rad(45.0), rtol=1e-6)
+
+    def test_noiseless_magnetometer_reports_orientation(self):
+        traj = rotation_trajectory((0, 0), 90.0)
+        imu = ImuSimulator(_noiseless(), rng=np.random.default_rng(0)).simulate(traj)
+        np.testing.assert_allclose(imu.mag_heading, traj.orientations, atol=1e-9)
+
+    def test_magnetometer_distorted_indoors(self):
+        traj = line_trajectory((0, 0), 0, 1.0, 5.0)
+        noise = _noiseless()
+        noise.mag_distortion_amplitude = np.deg2rad(15.0)
+        imu = ImuSimulator(noise, rng=np.random.default_rng(1)).simulate(traj)
+        errors = np.abs(imu.mag_heading - traj.orientations)
+        assert errors.max() > np.deg2rad(3.0)
+
+    def test_gyro_bias_drifts(self):
+        traj = still_trajectory((0, 0), 30.0, sampling_rate=100.0)
+        imu = ImuSimulator(rng=np.random.default_rng(2)).simulate(traj)
+        drift = abs(gyro_rotation_angle(imu))
+        assert drift > 0.0  # a still device should report exactly zero
+
+
+class TestDeadReckoning:
+    def test_noiseless_integration_recovers_straight_track(self):
+        traj = line_trajectory((0, 0), 0, 1.0, 3.0)
+        imu = ImuSimulator(_noiseless(), rng=np.random.default_rng(0)).simulate(traj)
+        result = integrate_imu(imu, initial_heading=0.0, initial_velocity=(1.0, 0.0))
+        err = np.linalg.norm(result.positions[-1] - traj.positions[-1])
+        assert err < 0.05  # numerical integration error only
+
+    def test_noisy_accelerometer_blows_up(self):
+        """§6.2.1: accelerometers produce errors of tens of meters."""
+        traj = line_trajectory((0, 0), 0, 1.0, 30.0)
+        imu = ImuSimulator(rng=np.random.default_rng(3)).simulate(traj)
+        result = integrate_imu(imu, initial_heading=0.0, initial_velocity=(1.0, 0.0))
+        final_err = np.linalg.norm(result.positions[-1] - traj.positions[-1])
+        assert final_err > 1.0
+
+    def test_distance_monotone(self):
+        traj = line_trajectory((0, 0), 0, 1.0, 2.0)
+        imu = ImuSimulator(rng=np.random.default_rng(4)).simulate(traj)
+        result = integrate_imu(imu)
+        assert np.all(np.diff(result.distance) >= 0)
+
+    def test_gyro_rotation_angle_noiseless(self):
+        traj = rotation_trajectory((0, 0), 120.0)
+        imu = ImuSimulator(_noiseless(), rng=np.random.default_rng(5)).simulate(traj)
+        assert np.rad2deg(gyro_rotation_angle(imu)) == pytest.approx(120.0, rel=1e-2)
+
+    def test_gyro_rotation_angle_noisy_still_good(self):
+        """§6.2.3: the gyroscope is good at short rotations."""
+        traj = rotation_trajectory((0, 0), 180.0, angular_speed_deg=120.0)
+        imu = ImuSimulator(rng=np.random.default_rng(6)).simulate(traj)
+        assert np.rad2deg(gyro_rotation_angle(imu)) == pytest.approx(180.0, abs=5.0)
+
+
+class TestMovementIndicators:
+    def test_accelerometer_misses_constant_velocity(self):
+        """Fig. 7: no acceleration during steady motion — the indicator
+        cannot distinguish cruising from stopping."""
+        traj = stop_and_go_trajectory((0, 0), 0, 1.0, [2.0, 2.0], [1.0])
+        imu = ImuSimulator(rng=np.random.default_rng(7)).simulate(traj)
+        ind = accelerometer_movement_indicator(imu)
+        truth = traj.speeds() > 0.05
+        # During cruise (well inside a move segment) the indicator is as low
+        # as during the stop.
+        cruise = ind[truth][50:-50]
+        assert np.median(cruise) < 0.5
+
+    def test_gyroscope_blind_to_translation(self):
+        """The gyro indicator carries no information about translation:
+        its level during movement matches its level during stops."""
+        traj = stop_and_go_trajectory((0, 0), 0, 1.0, [2.0, 2.0], [1.5])
+        imu = ImuSimulator(rng=np.random.default_rng(8)).simulate(traj)
+        ind = gyroscope_movement_indicator(imu)
+        truth = traj.speeds() > 0.05
+        gap = abs(np.median(ind[truth]) - np.median(ind[~truth]))
+        assert gap < 0.25
+
+    def test_indicator_normalized(self):
+        traj = stop_and_go_trajectory((0, 0), 0, 1.0, [1.0, 1.0], [0.5])
+        imu = ImuSimulator(rng=np.random.default_rng(9)).simulate(traj)
+        for ind in (
+            accelerometer_movement_indicator(imu),
+            gyroscope_movement_indicator(imu),
+        ):
+            assert ind.min() >= 0.0
+            assert ind.max() <= 1.0

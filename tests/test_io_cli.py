@@ -1,0 +1,94 @@
+"""Tests for trace persistence (repro.io) and the CLI (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_trace, save_trace
+from repro.motionsim.profiles import line_trajectory
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path, fast_sampler, three_antenna):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 0.5)
+        trace = fast_sampler.sample(traj, three_antenna)
+        path = tmp_path / "trace.npz"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+
+        np.testing.assert_array_equal(loaded.data, trace.data)
+        np.testing.assert_array_equal(loaded.times, trace.times)
+        np.testing.assert_array_equal(
+            loaded.array.local_positions, trace.array.local_positions
+        )
+        assert loaded.array.name == trace.array.name
+        assert loaded.carrier_wavelength == pytest.approx(trace.carrier_wavelength)
+        np.testing.assert_array_equal(
+            loaded.trajectory.positions, trace.trajectory.positions
+        )
+
+    def test_loaded_trace_processes_identically(
+        self, tmp_path, fast_sampler, three_antenna
+    ):
+        from repro.core.config import RimConfig
+        from repro.core.rim import Rim
+
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 1.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        path = tmp_path / "trace.npz"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+
+        rim = Rim(RimConfig(max_lag=40))
+        a = rim.process(trace)
+        b = rim.process(loaded)
+        assert a.total_distance == pytest.approx(b.total_distance, rel=1e-9)
+
+    def test_bad_version_rejected(self, tmp_path, fast_sampler, three_antenna):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 0.2)
+        trace = fast_sampler.sample(traj, three_antenna)
+        path = tmp_path / "trace.npz"
+        save_trace(path, trace)
+        with np.load(path) as archive:
+            contents = {k: archive[k] for k in archive.files}
+        contents["format_version"] = np.int64(99)
+        np.savez_compressed(path, **contents)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_hexagonal_roundtrip_keeps_circular(self, tmp_path, fast_sampler, hexagon):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 0.2)
+        trace = fast_sampler.sample(traj, hexagon)
+        path = tmp_path / "hex.npz"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        assert loaded.array.circular
+        assert loaded.array.n_nics == 2
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out
+        assert "ablation-metric" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_parser_flags(self):
+        args = build_parser().parse_args(["run", "fig11", "--full", "--seed", "3"])
+        assert args.experiment == "fig11"
+        assert args.full
+        assert args.seed == 3
+
+    @pytest.mark.slow
+    def test_run_fig8_quick(self, capsys):
+        assert main(["run", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "sign_flip_detected" in out

@@ -1,0 +1,153 @@
+"""Unit tests for evaluation metrics, reporting, and NaN helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    cdf,
+    circular_mean,
+    detection_counts,
+    distance_error,
+    heading_error_deg,
+    percentile_summary,
+    synchronized_position_errors,
+    trajectory_projection_errors,
+)
+from repro.eval.report import format_value, render_report
+from repro.nanops import nanmax, nanmean, nanmedian
+
+
+class TestScalarMetrics:
+    def test_distance_error(self):
+        assert distance_error(1.2, 1.0) == pytest.approx(0.2)
+        assert distance_error(0.8, 1.0) == pytest.approx(0.2)
+
+    def test_heading_error_wraps(self):
+        assert heading_error_deg(np.deg2rad(170.0), -170.0) == pytest.approx(20.0)
+        assert heading_error_deg(np.deg2rad(-5.0), 5.0) == pytest.approx(10.0)
+
+    def test_heading_error_zero(self):
+        assert heading_error_deg(np.deg2rad(45.0), 45.0) == pytest.approx(0.0)
+
+    def test_circular_mean_wraps(self):
+        angles = np.deg2rad([179.0, -179.0])
+        assert abs(np.rad2deg(circular_mean(angles))) == pytest.approx(180.0, abs=0.1)
+
+    def test_circular_mean_ignores_nan(self):
+        angles = np.array([0.1, np.nan, 0.3])
+        assert circular_mean(angles) == pytest.approx(0.2, abs=1e-6)
+
+    def test_circular_mean_empty(self):
+        assert np.isnan(circular_mean(np.array([np.nan])))
+
+
+class TestCdfAndSummary:
+    def test_cdf_monotone(self):
+        out = cdf([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(out["x"], [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(out["p"], [1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_empty(self):
+        out = cdf([])
+        assert out["x"].size == 0
+
+    def test_percentile_summary(self):
+        s = percentile_summary([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert s["median"] == 3.0
+        assert s["max"] == 100.0
+        assert s["mean"] == pytest.approx(22.0)
+
+    def test_percentile_summary_ignores_nan(self):
+        s = percentile_summary([1.0, np.nan, 3.0])
+        assert s["median"] == pytest.approx(2.0)
+
+    def test_percentile_summary_empty(self):
+        s = percentile_summary([])
+        assert np.isnan(s["median"])
+
+
+class TestTrajectoryErrors:
+    def test_point_on_path_zero_error(self):
+        truth = np.array([(0, 0), (10, 0)], dtype=float)
+        est = np.array([(5, 0)], dtype=float)
+        np.testing.assert_allclose(trajectory_projection_errors(est, truth), 0.0)
+
+    def test_offset_path(self):
+        truth = np.array([(0, 0), (10, 0)], dtype=float)
+        est = np.array([(5, 0.5), (2, -0.3)], dtype=float)
+        np.testing.assert_allclose(
+            trajectory_projection_errors(est, truth), [0.5, 0.3]
+        )
+
+    def test_multi_segment_takes_minimum(self):
+        truth = np.array([(0, 0), (10, 0), (10, 10)], dtype=float)
+        est = np.array([(10.4, 5.0)], dtype=float)
+        np.testing.assert_allclose(trajectory_projection_errors(est, truth), [0.4])
+
+    def test_single_point_truth(self):
+        truth = np.array([(1.0, 1.0)])
+        est = np.array([(4.0, 5.0)])
+        np.testing.assert_allclose(trajectory_projection_errors(est, truth), [5.0])
+
+    def test_synchronized_errors(self):
+        a = np.array([(0, 0), (1, 1)], dtype=float)
+        b = np.array([(0, 1), (1, 1)], dtype=float)
+        np.testing.assert_allclose(synchronized_position_errors(a, b), [1.0, 0.0])
+
+    def test_synchronized_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            synchronized_position_errors(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestDetectionCounts:
+    def test_all_correct(self):
+        out = detection_counts([True, True], [True, True])
+        assert out["detection_rate"] == 1.0
+        assert out["miss_rate"] == 0.0
+
+    def test_misses_counted(self):
+        out = detection_counts([True, False, True, False], [True, False, True, False])
+        assert out["detection_rate"] == 0.5
+        assert out["miss_rate"] == 0.5
+
+    def test_empty(self):
+        out = detection_counts([], [])
+        assert out["detection_rate"] == 0.0
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.123456) == "0.123"
+        assert format_value({"a": 1.0}) == "{a=1}"
+        assert format_value((1.0, 2.0)) == "(1, 2)"
+
+    def test_render_contains_both_columns(self):
+        result = {
+            "measured": {"median_cm": 2.5},
+            "paper": {"median_cm": 2.3, "note": "hello"},
+        }
+        text = render_report("Fig. X", result)
+        assert "Fig. X" in text
+        assert "2.3" in text
+        assert "2.5" in text
+        assert "hello" in text
+
+    def test_render_handles_missing_paper_key(self):
+        text = render_report("T", {"measured": {"only_measured": 1.0}, "paper": {}})
+        assert "only_measured" in text
+
+
+class TestNanOps:
+    def test_nanmean_all_nan_silent(self, recwarn):
+        out = nanmean(np.array([np.nan, np.nan]))
+        assert np.isnan(out)
+        assert len(recwarn) == 0
+
+    def test_nanmedian_axis(self):
+        x = np.array([[1.0, np.nan], [3.0, 5.0]])
+        np.testing.assert_allclose(nanmedian(x, axis=0), [2.0, 5.0])
+
+    def test_nanmax_mixed(self):
+        x = np.array([np.nan, 2.0, 7.0])
+        assert nanmax(x) == 7.0

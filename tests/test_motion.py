@@ -1,0 +1,190 @@
+"""Unit tests for motion reckoning (§4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.motion import (
+    MotionEstimate,
+    RotationEvent,
+    integrate_rotation,
+    smooth_speed,
+    speed_from_lags,
+)
+
+
+class TestSpeedFromLags:
+    def test_basic_conversion(self):
+        v = speed_from_lags(np.array([10.0]), separation=0.0258, sampling_rate=200.0)
+        assert v[0] == pytest.approx(0.516)
+
+    def test_sign_ignored(self):
+        v = speed_from_lags(np.array([-10.0, 10.0]), 0.0258, 200.0)
+        assert v[0] == pytest.approx(v[1])
+
+    def test_min_lag_guard(self):
+        v = speed_from_lags(np.array([0.5, 1.0, 2.0]), 0.0258, 200.0, min_lag=1.5)
+        assert np.isnan(v[0])
+        assert np.isnan(v[1])
+        assert np.isfinite(v[2])
+
+    def test_nan_lag_passthrough(self):
+        v = speed_from_lags(np.array([np.nan]), 0.0258, 200.0)
+        assert np.isnan(v[0])
+
+    def test_subsample_lag(self):
+        v = speed_from_lags(np.array([5.5]), 0.0258, 200.0)
+        assert v[0] == pytest.approx(0.0258 * 200 / 5.5)
+
+
+class TestSmoothSpeed:
+    def test_window_one_identity(self):
+        x = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(smooth_speed(x, 1), x)
+
+    def test_median_rejects_spike(self):
+        x = np.ones(21)
+        x[10] = 50.0
+        out = smooth_speed(x, 5)
+        assert out[10] == pytest.approx(1.0)
+
+    def test_nan_forward_filled(self):
+        x = np.array([1.0, np.nan, np.nan, 1.0, 1.0])
+        out = smooth_speed(x, 3)
+        assert np.isfinite(out).all()
+
+    def test_all_nan_passthrough(self):
+        x = np.full(5, np.nan)
+        out = smooth_speed(x, 3)
+        assert np.isnan(out).all()
+
+
+class TestMotionEstimate:
+    def _estimate(self, speed, heading=None, moving=None, fs=100.0):
+        t = len(speed)
+        times = np.arange(t) / fs
+        return MotionEstimate(
+            times=times,
+            moving=np.ones(t, dtype=bool) if moving is None else moving,
+            speed=np.asarray(speed, dtype=float),
+            heading=np.zeros(t) if heading is None else np.asarray(heading, dtype=float),
+            group_choice=np.zeros(t, dtype=np.int64),
+        )
+
+    def test_distance_integration(self):
+        est = self._estimate([1.0] * 101)
+        assert est.total_distance == pytest.approx(1.0, rel=1e-6)
+
+    def test_distance_ignores_static_samples(self):
+        moving = np.ones(101, dtype=bool)
+        moving[50:] = False
+        est = self._estimate([1.0] * 101, moving=moving)
+        assert est.total_distance == pytest.approx(0.5, rel=5e-2)
+
+    def test_distance_ignores_nan_speed(self):
+        speed = [1.0] * 101
+        speed[10] = np.nan
+        est = self._estimate(speed)
+        assert est.total_distance == pytest.approx(0.99, rel=1e-2)
+
+    def test_positions_straight_line(self):
+        est = self._estimate([1.0] * 101, heading=[0.0] * 101)
+        pos = est.positions()
+        assert pos[-1][0] == pytest.approx(1.0, rel=1e-6)
+        assert pos[-1][1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_positions_follow_heading(self):
+        heading = [np.pi / 2] * 101
+        est = self._estimate([1.0] * 101, heading=heading)
+        pos = est.positions(start=(5.0, 5.0))
+        assert pos[-1][0] == pytest.approx(5.0, abs=1e-9)
+        assert pos[-1][1] == pytest.approx(6.0, rel=1e-6)
+
+    def test_positions_hold_heading_over_gaps(self):
+        heading = np.zeros(101)
+        heading[50:] = np.nan
+        est = self._estimate([1.0] * 101, heading=heading)
+        pos = est.positions()
+        assert pos[-1][0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_initial_heading_override(self):
+        heading = np.full(101, np.nan)
+        est = self._estimate([1.0] * 101, heading=heading)
+        pos = est.positions(initial_heading=np.pi)
+        assert pos[-1][0] == pytest.approx(-1.0, rel=1e-6)
+
+    def test_total_rotation_sums_events(self):
+        est = self._estimate([0.0] * 10)
+        est.rotations = [
+            RotationEvent(0, 5, np.pi / 2),
+            RotationEvent(5, 9, -np.pi / 4),
+        ]
+        assert est.total_rotation == pytest.approx(np.pi / 4)
+
+
+class TestIntegrateRotation:
+    def _times(self, t, fs=200.0):
+        return np.arange(t) / fs
+
+    def test_constant_ccw_rotation(self):
+        t = 200
+        fs = 200.0
+        arc = np.pi / 3 * 0.0258
+        radius = 0.0258
+        lag = 100.0  # 0.5 s to travel one arc
+        ring_lags = np.full((6, t), lag)
+        active = np.ones(t, dtype=bool)
+        angle = integrate_rotation(ring_lags, arc, radius, fs, self._times(t), active)
+        omega = arc * fs / lag / radius
+        assert angle == pytest.approx(omega * (t - 1) / fs, rel=1e-6)
+        assert angle > 0
+
+    def test_cw_rotation_negative(self):
+        t = 100
+        ring_lags = np.full((6, t), -80.0)
+        angle = integrate_rotation(
+            ring_lags, 0.027, 0.0258, 200.0, self._times(t), np.ones(t, dtype=bool)
+        )
+        assert angle < 0
+
+    def test_median_rejects_one_bad_pair(self):
+        t = 100
+        ring_lags = np.full((6, t), 100.0)
+        ring_lags[0] = 2.0  # garbage small lag -> huge implied speed
+        good = integrate_rotation(
+            np.full((6, t), 100.0), 0.027, 0.0258, 200.0, self._times(t), np.ones(t, dtype=bool)
+        )
+        robust = integrate_rotation(
+            ring_lags, 0.027, 0.0258, 200.0, self._times(t), np.ones(t, dtype=bool)
+        )
+        assert robust == pytest.approx(good, rel=0.05)
+
+    def test_gap_interpolated(self):
+        t = 100
+        ring_lags = np.full((6, t), 100.0)
+        ring_lags[:, 40:60] = np.nan  # no pair resolves lags here
+        full = integrate_rotation(
+            np.full((6, t), 100.0), 0.027, 0.0258, 200.0, self._times(t), np.ones(t, dtype=bool)
+        )
+        gappy = integrate_rotation(
+            ring_lags, 0.027, 0.0258, 200.0, self._times(t), np.ones(t, dtype=bool)
+        )
+        assert gappy == pytest.approx(full, rel=1e-6)
+
+    def test_inactive_samples_excluded(self):
+        t = 100
+        ring_lags = np.full((6, t), 100.0)
+        active = np.zeros(t, dtype=bool)
+        active[:50] = True
+        half = integrate_rotation(
+            ring_lags, 0.027, 0.0258, 200.0, self._times(t), active
+        )
+        full = integrate_rotation(
+            ring_lags, 0.027, 0.0258, 200.0, self._times(t), np.ones(t, dtype=bool)
+        )
+        assert half == pytest.approx(full * 49 / 99, rel=0.05)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            integrate_rotation(
+                np.zeros(10), 0.027, 0.0258, 200.0, self._times(10), np.ones(10, dtype=bool)
+            )

@@ -1,0 +1,95 @@
+"""Unit tests for movement detection (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.movement import (
+    MovementResult,
+    detect_movement,
+    movement_fraction,
+    self_trrs_indicator,
+)
+from repro.core.sanitize import sanitize_trace
+from repro.motionsim.profiles import still_trajectory, stop_and_go_trajectory
+
+
+class TestIndicator:
+    def test_static_indicator_near_one(self, fast_sampler, three_antenna):
+        traj = still_trajectory((10.0, 8.0), 1.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        data = sanitize_trace(trace.data)
+        ind = self_trrs_indicator(data[:, 0], lag_samples=20, virtual_window=5)
+        assert np.nanmedian(ind) > 0.97
+
+    def test_moving_indicator_drops(self, line_trace):
+        data = sanitize_trace(line_trace.data)
+        ind = self_trrs_indicator(data[:, 0], lag_samples=20, virtual_window=5)
+        assert np.nanmedian(ind[30:]) < 0.9
+
+    def test_backfill_of_leading_lag(self, line_trace):
+        data = sanitize_trace(line_trace.data)
+        ind = self_trrs_indicator(data[:, 0], lag_samples=15)
+        assert np.isfinite(ind).all()
+
+    def test_invalid_lag(self, line_trace):
+        with pytest.raises(ValueError):
+            self_trrs_indicator(line_trace.data[:, 0], lag_samples=0)
+
+    def test_nan_packets_held(self, rng):
+        data = (
+            rng.standard_normal((40, 2, 8)) + 1j * rng.standard_normal((40, 2, 8))
+        )
+        data[20] = np.nan
+        ind = self_trrs_indicator(data, lag_samples=2)
+        assert np.isfinite(ind).all()
+
+
+class TestDetectMovement:
+    def test_threshold_semantics(self):
+        indicator = np.array([0.99, 0.99, 0.3, 0.3, 0.99])
+        result = detect_movement(indicator, threshold=0.8, min_run=1)
+        np.testing.assert_array_equal(result.moving, [False, False, True, True, False])
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            detect_movement(np.ones(5), threshold=1.5)
+
+    def test_debounce_interior_glitch(self):
+        indicator = np.ones(30) * 0.3
+        indicator[14] = 0.99  # one-sample static glitch mid-movement
+        result = detect_movement(indicator, threshold=0.8, min_run=3)
+        assert result.moving.all()
+
+    def test_debounce_preserves_borders(self):
+        indicator = np.concatenate([np.full(2, 0.3), np.full(20, 0.99)])
+        result = detect_movement(indicator, threshold=0.8, min_run=5)
+        # The short leading run is at the border and must not be flipped.
+        assert result.moving[0]
+        assert not result.moving[10]
+
+    def test_movement_fraction(self):
+        result = MovementResult(
+            indicator=np.zeros(4), moving=np.array([True, True, False, False]), threshold=0.8
+        )
+        assert movement_fraction(result) == pytest.approx(0.5)
+
+    def test_movement_fraction_empty(self):
+        result = MovementResult(
+            indicator=np.zeros(0), moving=np.zeros(0, dtype=bool), threshold=0.8
+        )
+        assert movement_fraction(result) == 0.0
+
+
+class TestEndToEndStopAndGo:
+    def test_transient_stops_detected(self, fast_sampler, three_antenna):
+        """The Fig. 7 behaviour: stops inside a moving trace are caught."""
+        traj = stop_and_go_trajectory(
+            (10.0, 8.0), 0.0, 0.6, [1.0, 1.0], [0.8], sampling_rate=200.0
+        )
+        trace = fast_sampler.sample(traj, three_antenna)
+        data = sanitize_trace(trace.data)
+        ind = self_trrs_indicator(data[:, 0], lag_samples=20, virtual_window=7)
+        result = detect_movement(ind, threshold=0.95, min_run=10)
+        truth = traj.speeds() > 0.05
+        accuracy = (result.moving == truth).mean()
+        assert accuracy > 0.85

@@ -1,0 +1,77 @@
+"""Tests for closed-loop AGV waypoint navigation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.navigation import WaypointNavigator, _update_displacement
+from repro.core.config import RimConfig
+from repro.core.streaming import MotionUpdate
+
+
+class TestUpdateDisplacement:
+    def _update(self, speed, heading, moving=None, fs=100.0):
+        t = len(speed)
+        return MotionUpdate(
+            times=np.arange(t) / fs,
+            speed=np.asarray(speed, dtype=float),
+            heading=np.asarray(heading, dtype=float),
+            moving=np.ones(t, dtype=bool) if moving is None else moving,
+            block_distance=0.0,
+            total_distance=0.0,
+        )
+
+    def test_straight_east(self):
+        u = self._update([1.0] * 101, [0.0] * 101)
+        d = _update_displacement(u)
+        assert d[0] == pytest.approx(1.0, rel=1e-6)
+        assert d[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_heading_hold_through_nan(self):
+        heading = [0.0] * 50 + [np.nan] * 51
+        u = self._update([1.0] * 101, heading)
+        d = _update_displacement(u)
+        assert d[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_static_zero(self):
+        u = self._update([0.0] * 11, [np.nan] * 11, moving=np.zeros(11, dtype=bool))
+        np.testing.assert_allclose(_update_displacement(u), 0.0)
+
+
+class TestNavigator:
+    @pytest.fixture(scope="class")
+    def navigator(self, fast_sampler, hexagon):
+        return WaypointNavigator(
+            fast_sampler,
+            hexagon,
+            config=RimConfig(max_lag=50),
+            rng=np.random.default_rng(3),
+        )
+
+    def test_reaches_single_waypoint(self, navigator):
+        result = navigator.navigate(
+            start=(10.0, 8.0), waypoints=[(12.0, 8.0)], max_steps=40
+        )
+        assert result.reached[0]
+        assert result.arrival_errors[0] < 0.8
+
+    def test_believed_tracks_truth(self, navigator):
+        result = navigator.navigate(
+            start=(10.0, 8.0), waypoints=[(12.0, 8.0)], max_steps=40
+        )
+        gap = np.linalg.norm(result.true_path[-1] - result.believed_path[-1])
+        assert gap < 0.8
+
+    def test_step_budget_respected(self, navigator):
+        result = navigator.navigate(
+            start=(10.0, 8.0), waypoints=[(50.0, 50.0)], max_steps=5
+        )
+        assert not result.reached[0]
+        assert np.isnan(result.arrival_errors[0])
+        assert result.true_path.shape[0] <= 6
+
+    def test_paths_recorded(self, navigator):
+        result = navigator.navigate(
+            start=(10.0, 8.0), waypoints=[(11.0, 8.0)], max_steps=20
+        )
+        assert result.true_path.shape == result.believed_path.shape
+        assert result.total_true_distance > 0.5

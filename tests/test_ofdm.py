@@ -1,0 +1,102 @@
+"""Unit tests for the OFDM subcarrier grid."""
+
+import numpy as np
+import pytest
+
+from repro.channel.ofdm import SubcarrierGrid, make_grid
+
+
+class TestMakeGrid:
+    def test_40mhz_has_114_tones(self):
+        grid = make_grid(bandwidth=40e6)
+        assert grid.n_subcarriers == 114
+
+    def test_20mhz_has_56_tones(self):
+        grid = make_grid(bandwidth=20e6)
+        assert grid.n_subcarriers == 56
+
+    def test_40mhz_spacing_is_3125khz(self):
+        grid = make_grid(bandwidth=40e6)
+        assert grid.spacing == pytest.approx(312500.0)
+
+    def test_20mhz_spacing_is_3125khz(self):
+        grid = make_grid(bandwidth=20e6)
+        assert grid.spacing == pytest.approx(312500.0)
+
+    def test_dc_tones_excluded(self):
+        grid = make_grid(bandwidth=40e6)
+        assert 0 not in grid.indices
+        assert 1 not in grid.indices
+        assert -1 not in grid.indices
+
+    def test_indices_symmetric(self):
+        grid = make_grid(bandwidth=40e6)
+        assert set(grid.indices) == {-i for i in grid.indices}
+
+    def test_edge_tones(self):
+        grid = make_grid(bandwidth=40e6)
+        assert min(grid.indices) == -58
+        assert max(grid.indices) == 58
+
+    def test_unsupported_bandwidth_raises(self):
+        with pytest.raises(ValueError, match="unsupported bandwidth"):
+            make_grid(bandwidth=80e6)
+
+    def test_frequencies_centered_on_carrier(self):
+        grid = make_grid(carrier_frequency=5.8e9)
+        freqs = grid.frequencies
+        assert freqs.mean() == pytest.approx(5.8e9, rel=1e-9)
+
+    def test_frequencies_match_indices(self):
+        grid = make_grid()
+        expected = grid.carrier_frequency + grid.spacing * np.array(grid.indices)
+        np.testing.assert_allclose(grid.frequencies, expected)
+
+    def test_baseband_frequencies_span_bandwidth(self):
+        grid = make_grid(bandwidth=40e6)
+        span = grid.baseband_frequencies.max() - grid.baseband_frequencies.min()
+        assert span == pytest.approx(116 * 312500.0)
+
+
+class TestGrouped:
+    def test_grouped_count(self):
+        grid = make_grid().grouped(30)
+        assert grid.n_subcarriers == 30
+
+    def test_grouped_preserves_span(self):
+        grid = make_grid()
+        grouped = grid.grouped(30)
+        assert min(grouped.indices) == min(grid.indices)
+        assert max(grouped.indices) == max(grid.indices)
+
+    def test_grouped_subset_of_original(self):
+        grid = make_grid()
+        grouped = grid.grouped(30)
+        assert set(grouped.indices) <= set(grid.indices)
+
+    def test_grouped_full_is_identity(self):
+        grid = make_grid()
+        assert grid.grouped(grid.n_subcarriers).indices == grid.indices
+
+    def test_grouped_invalid_raises(self):
+        grid = make_grid()
+        with pytest.raises(ValueError):
+            grid.grouped(0)
+        with pytest.raises(ValueError):
+            grid.grouped(grid.n_subcarriers + 1)
+
+    def test_grouped_keeps_spacing_metadata(self):
+        grid = make_grid()
+        grouped = grid.grouped(10)
+        assert grouped.spacing == grid.spacing
+        assert grouped.carrier_frequency == grid.carrier_frequency
+
+
+class TestIndexArray:
+    def test_index_array_dtype(self):
+        grid = make_grid()
+        assert grid.index_array.dtype == np.float64
+
+    def test_index_array_matches_indices(self):
+        grid = make_grid()
+        np.testing.assert_array_equal(grid.index_array, np.array(grid.indices, dtype=float))

@@ -1,0 +1,92 @@
+"""Unit tests for the floorplan particle filter and fusion (§6.3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.env.floorplan import Floorplan, Wall, empty_floorplan
+from repro.fusion.particle_filter import (
+    ParticleFilter,
+    ParticleFilterConfig,
+    run_particle_filter,
+)
+
+
+class TestParticleFilter:
+    def test_initial_estimate_near_start(self):
+        pf = ParticleFilter(empty_floorplan(), (5.0, 5.0), rng=np.random.default_rng(0))
+        est = pf.estimate()
+        assert np.linalg.norm(est - np.array([5.0, 5.0])) < 0.3
+
+    def test_tracks_straight_motion(self):
+        rng = np.random.default_rng(1)
+        pf = ParticleFilter(empty_floorplan(), (5.0, 5.0), rng=rng)
+        for _ in range(20):
+            est = pf.step(0.25, 0.0)
+        assert est[0] == pytest.approx(10.0, abs=0.5)
+        assert est[1] == pytest.approx(5.0, abs=0.5)
+
+    def test_wall_prunes_hypotheses(self):
+        """Particles trying to cross a wall die; the estimate respects it."""
+        plan = Floorplan(
+            width=20, height=10, walls=[Wall((10, 0), (10, 10))]
+        )
+        rng = np.random.default_rng(2)
+        pf = ParticleFilter(plan, (8.0, 5.0), rng=rng)
+        # Push straight at the wall; true motion stops at it.
+        for _ in range(12):
+            est = pf.step(0.3, 0.0)
+        assert est[0] <= 10.1
+
+    def test_weights_stay_normalized(self):
+        rng = np.random.default_rng(3)
+        pf = ParticleFilter(empty_floorplan(), (5.0, 5.0), rng=rng)
+        for _ in range(10):
+            pf.step(0.2, 0.3)
+            assert pf.weights.sum() == pytest.approx(1.0, rel=1e-9)
+            assert (pf.weights >= 0).all()
+
+    def test_respawn_keeps_filter_alive(self):
+        """Even when nearly all particles die, the filter keeps running."""
+        plan = Floorplan(width=20, height=10, walls=[Wall((10, 0), (10, 10))])
+        rng = np.random.default_rng(4)
+        config = ParticleFilterConfig(n_particles=100)
+        pf = ParticleFilter(plan, (9.7, 5.0), config=config, rng=rng)
+        for _ in range(10):
+            est = pf.step(0.5, 0.0)  # everyone is pushed into the wall
+        assert np.isfinite(est).all()
+
+    def test_heading_correction(self):
+        """With walls forming a corridor, the PF corrects biased heading —
+        the Fig. 21 mechanism."""
+        corridor = Floorplan(
+            width=30,
+            height=10,
+            walls=[Wall((0, 4.0), (30, 4.0)), Wall((0, 6.0), (30, 6.0))],
+        )
+        rng = np.random.default_rng(5)
+        pf = ParticleFilter(corridor, (2.0, 5.0), rng=rng, initial_spread=0.1)
+        biased_heading = np.deg2rad(8.0)  # gyro drift pushes into the wall
+        for _ in range(40):
+            est = pf.step(0.25, biased_heading)
+        # Dead reckoning would exit the corridor (y = 5 + 10*sin(8°) ≈ 6.4).
+        assert 4.0 <= est[1] <= 6.0
+        assert est[0] > 8.0
+
+
+class TestRunParticleFilter:
+    def test_output_length(self):
+        track = run_particle_filter(
+            empty_floorplan(),
+            (1.0, 1.0),
+            np.full(10, 0.2),
+            np.zeros(10),
+            rng=np.random.default_rng(6),
+        )
+        assert track.shape == (11, 2)
+        np.testing.assert_allclose(track[0], [1.0, 1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            run_particle_filter(
+                empty_floorplan(), (0, 0), np.zeros(5), np.zeros(4)
+            )

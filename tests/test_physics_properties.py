@@ -1,0 +1,142 @@
+"""Cross-cutting physics properties of the substrate and kernels.
+
+These pin down relationships the algorithms silently rely on: channel
+reciprocity, the alignment-matrix shift identity, the STAR retracing
+geometry for every array, and TRRS behavior under the exact impairments
+the impairer injects.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrays.geometry import (
+    hexagonal_array,
+    l_shaped_array,
+    linear_array,
+    uniform_circular_array,
+)
+from repro.arrays.pairs import all_pairs, best_pair_for_direction
+from repro.channel.model import MultipathChannel
+from repro.channel.ofdm import make_grid
+from repro.channel.scatterers import ring_field
+from repro.core.alignment import alignment_matrix
+from repro.core.trrs import normalize_csi, trrs_cfr
+
+
+@pytest.fixture(scope="module")
+def channel():
+    rng = np.random.default_rng(31)
+    field = ring_field((5.0, 5.0), 4.0, n_scatterers=30, rng=rng)
+    return MultipathChannel(scatterers=field, grid=make_grid().grouped(20), los_gain=0.4)
+
+
+class TestReciprocity:
+    def test_swapping_tx_rx_gives_same_cfr(self, channel):
+        """H(A→B) = H(B→A) in the ray model (the §3.2 moving-TX basis)."""
+        a = np.array([1.0, 2.0])
+        b = np.array([6.0, 7.0])
+        h_ab = channel.cfr(a, b[None, :])
+        h_ba = channel.cfr(b, a[None, :])
+        np.testing.assert_allclose(h_ab, h_ba, rtol=1e-4)
+
+    def test_reciprocity_with_walls(self):
+        from repro.env.floorplan import Floorplan, Wall
+
+        rng = np.random.default_rng(32)
+        field = ring_field((5.0, 5.0), 4.0, n_scatterers=20, rng=rng)
+        plan = Floorplan(width=12, height=12, walls=[Wall((6, 0), (6, 12), 0.4)])
+        ch = MultipathChannel(
+            scatterers=field, grid=make_grid().grouped(16), floorplan=plan
+        )
+        a = np.array([2.0, 5.0])
+        b = np.array([10.0, 5.0])
+        np.testing.assert_allclose(
+            ch.cfr(a, b[None, :]), ch.cfr(b, a[None, :]), rtol=1e-4
+        )
+
+
+class TestStarGeometryAllArrays:
+    """The retracing identity must hold for every array geometry: moving
+    along a pair's axis, the follower reproduces the leader's channel
+    after the separation distance."""
+
+    @pytest.mark.parametrize(
+        "array",
+        [linear_array(3), l_shaped_array(), hexagonal_array(), uniform_circular_array(8)],
+        ids=["linear", "l-shaped", "hexagonal", "uca8"],
+    )
+    def test_retracing_peak(self, channel, array):
+        pair = all_pairs(array)[0]
+        speed = 0.5
+        fs = 200.0
+        direction = pair.axis_angle  # move along the pair ray i→j
+        n = 120
+        times = np.arange(n) / fs
+        centers = np.array([5.0, 5.0]) + speed * np.outer(
+            times, [np.cos(direction), np.sin(direction)]
+        )
+        world = array.world_positions(centers, np.zeros(n))
+        h_i = channel.cfr((0.0, 0.0), world[:, pair.i, :])
+        h_j = channel.cfr((0.0, 0.0), world[:, pair.j, :])
+
+        lag = int(round(pair.separation / speed * fs))
+        assert lag < n
+        # Antenna j leads along ray i→j, so H_i(t) ≈ H_j(t - lag).
+        peak = trrs_cfr(h_i[lag:], h_j[: n - lag]).mean()
+        clutter = trrs_cfr(h_i[lag:], h_j[lag:]).mean()
+        assert peak > clutter + 0.2
+        assert peak > 0.7
+
+
+class TestAlignmentShiftIdentity:
+    def test_g_ji_is_diagonal_shift_of_g_ij(self, rng):
+        """G_ji[t, l] = G_ij[t − l, −l] — the identity that lets rotation
+        sensing reason about ring-ordered pairs without recomputation."""
+        a = normalize_csi(
+            rng.standard_normal((30, 2, 12)) + 1j * rng.standard_normal((30, 2, 12))
+        )
+        b = normalize_csi(
+            rng.standard_normal((30, 2, 12)) + 1j * rng.standard_normal((30, 2, 12))
+        )
+        g_ij = alignment_matrix(a, b, 4, 1, 100.0, normalized=True)
+        g_ji = alignment_matrix(b, a, 4, 1, 100.0, normalized=True)
+        for t in range(6, 24):
+            for lag in range(-4, 5):
+                expected = g_ij.values[t - lag, g_ij.lag_index(-lag)]
+                got = g_ji.values[t, g_ji.lag_index(lag)]
+                if np.isfinite(expected) and np.isfinite(got):
+                    assert got == pytest.approx(expected, rel=1e-6)
+
+
+class TestImpairmentInvariance:
+    def test_trrs_immune_to_common_phase(self, rng):
+        h = rng.standard_normal(40) + 1j * rng.standard_normal(40)
+        rotated = h * np.exp(1j * rng.uniform(0, 2 * np.pi))
+        assert trrs_cfr(h, rotated) == pytest.approx(1.0, abs=1e-9)
+
+    def test_trrs_hurt_by_phase_slope_then_restored(self, rng):
+        from repro.core.sanitize import remove_phase_slope
+
+        # Smooth multipath-like CFR.
+        tones = np.arange(60)
+        h = sum(
+            (rng.standard_normal() + 1j * rng.standard_normal())
+            * np.exp(-2j * np.pi * tones * tau / 60)
+            for tau in (1.5, 4.2, 9.8)
+        )
+        ramped = h * np.exp(1j * 0.2 * tones)
+        assert trrs_cfr(h, ramped) < 0.6
+        fixed = remove_phase_slope(ramped)
+        base = remove_phase_slope(h)
+        assert trrs_cfr(base, fixed) > 0.95
+
+    def test_best_pair_consistency_with_supported_directions(self):
+        """best_pair_for_direction realizes exactly the advertised grid."""
+        from repro.arrays.pairs import supported_directions
+
+        arr = hexagonal_array()
+        for direction in supported_directions(arr):
+            pair, sign = best_pair_for_direction(arr, float(direction))
+            realized = pair.heading(sign)
+            err = np.abs(np.angle(np.exp(1j * (realized - direction))))
+            assert err < 1e-6

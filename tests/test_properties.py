@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These pin down the mathematical properties the paper's pipeline rests on:
+TRRS bounds and invariances (Eqn. 2), DP optimality (Eqns. 6-8), the
+NaN-aware moving average, and geometric identities of the arrays.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.arrays.geometry import hexagonal_array, linear_array
+from repro.arrays.pairs import _angle_diff, all_pairs, parallel_groups
+from repro.core.alignment import AlignmentMatrix, nan_moving_average
+from repro.core.tracking import track_peaks
+from repro.core.trrs import normalize_csi, trrs_cfr
+from repro.env.geometry2d import polyline_length, resample_polyline
+from repro.eval.metrics import heading_error_deg
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def complex_vectors(n=8):
+    return st.tuples(
+        arrays(np.float64, (n,), elements=finite_floats),
+        arrays(np.float64, (n,), elements=finite_floats),
+    ).map(lambda ab: ab[0] + 1j * ab[1])
+
+
+class TestTrrsProperties:
+    @given(complex_vectors(), complex_vectors())
+    @settings(max_examples=100, deadline=None)
+    def test_bounded(self, h1, h2):
+        v = trrs_cfr(h1, h2)
+        assert 0.0 <= v <= 1.0
+
+    @given(complex_vectors(), complex_vectors())
+    @settings(max_examples=100, deadline=None)
+    def test_symmetric(self, h1, h2):
+        assert trrs_cfr(h1, h2) == pytest.approx(trrs_cfr(h2, h1), abs=1e-9)
+
+    @given(
+        complex_vectors(),
+        st.floats(min_value=0.01, max_value=100.0),
+        st.floats(min_value=-np.pi, max_value=np.pi),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_scale_and_phase_invariance(self, h, mag, phase):
+        if np.abs(h).sum() < 1e-6:
+            return
+        c = mag * np.exp(1j * phase)
+        assert trrs_cfr(h, c * h) == pytest.approx(1.0, abs=1e-6)
+
+    @given(complex_vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_self_trrs_is_one(self, h):
+        if np.abs(h).sum() < 1e-6:
+            return
+        assert trrs_cfr(h, h) == pytest.approx(1.0, abs=1e-9)
+
+    @given(complex_vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_normalize_unit_power(self, h):
+        if np.abs(h).sum() < 1e-6:
+            return
+        n = normalize_csi(h)
+        assert np.sum(np.abs(n) ** 2) == pytest.approx(1.0, rel=1e-9)
+
+
+class TestMovingAverageProperties:
+    @given(
+        arrays(np.float64, (25,), elements=finite_floats),
+        st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_within_minmax(self, x, window):
+        out = nan_moving_average(x[:, None], window)[:, 0]
+        assert (out >= x.min() - 1e-9).all()
+        assert (out <= x.max() + 1e-9).all()
+
+    @given(st.integers(min_value=1, max_value=9), st.floats(min_value=-5, max_value=5, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_constant_fixed_point(self, window, value):
+        x = np.full((20, 1), value)
+        out = nan_moving_average(x, window)
+        np.testing.assert_allclose(out, value, atol=1e-9)
+
+    @given(arrays(np.float64, (15,), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_nanmean_windows(self, x):
+        out = nan_moving_average(x[:, None], 5)[:, 0]
+        for k in range(2, 13):
+            assert out[k] == pytest.approx(np.mean(x[k - 2 : k + 3]), rel=1e-9, abs=1e-9)
+
+
+class TestDpOptimality:
+    @given(
+        arrays(
+            np.float64,
+            (6, 5),
+            elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dp_matches_bruteforce(self, values):
+        """The Bellman recursion finds the globally optimal path."""
+        import itertools
+
+        m = AlignmentMatrix(
+            values=values, lags=np.arange(-2, 3), sampling_rate=100.0, pair=(0, 1)
+        )
+        omega = -1.5
+        out = track_peaks(m, transition_weight=omega, refine=False)
+
+        t, n_lags = values.shape
+
+        def score(path):
+            total = values[0, path[0]]
+            for k in range(1, t):
+                jump = abs(path[k] - path[k - 1]) / (n_lags - 1)
+                total += values[k - 1, path[k - 1]] + values[k, path[k]] + omega * jump
+            return total
+
+        best = max(score(p) for p in itertools.product(range(n_lags), repeat=t))
+        assert out.score == pytest.approx(best, abs=1e-9)
+
+
+class TestGeometryProperties:
+    @given(st.floats(min_value=-np.pi, max_value=np.pi), st.floats(min_value=-np.pi, max_value=np.pi))
+    @settings(max_examples=100, deadline=None)
+    def test_angle_diff_wrapped(self, a, b):
+        d = _angle_diff(a, b)
+        assert -np.pi - 1e-9 <= d <= np.pi + 1e-9
+        assert np.cos(d) == pytest.approx(np.cos(a - b), abs=1e-9)
+
+    @given(st.floats(min_value=-180, max_value=180), st.floats(min_value=-180, max_value=180))
+    @settings(max_examples=100, deadline=None)
+    def test_heading_error_range(self, est_deg, truth):
+        err = heading_error_deg(np.deg2rad(est_deg), truth)
+        assert 0.0 <= err <= 180.0
+
+    @given(st.integers(min_value=2, max_value=8), st.floats(min_value=0.01, max_value=0.1))
+    @settings(max_examples=30, deadline=None)
+    def test_linear_array_pair_count(self, n, spacing):
+        arr = linear_array(n, spacing)
+        assert len(all_pairs(arr)) == n * (n - 1) // 2
+
+    @given(st.floats(min_value=0.005, max_value=0.1))
+    @settings(max_examples=30, deadline=None)
+    def test_hexagon_parallel_groups_scale_invariant(self, spacing):
+        groups = parallel_groups(hexagonal_array(spacing))
+        assert sorted(len(g) for g in groups) == [1, 1, 1, 2, 2, 2, 2, 2, 2]
+
+    @given(
+        st.lists(
+            st.tuples(finite_floats, finite_floats), min_size=2, max_size=8
+        ),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_resample_preserves_endpoints_and_length(self, points, spacing):
+        pts = np.asarray(points, dtype=float)
+        if polyline_length(pts) < 1e-6:
+            return
+        out = resample_polyline(pts, spacing)
+        np.testing.assert_allclose(out[0], pts[0], atol=1e-9)
+        np.testing.assert_allclose(out[-1], pts[-1], atol=1e-9)
+        # Resampling a polyline can only shorten it (chords of the path).
+        assert polyline_length(out) <= polyline_length(pts) + 1e-6

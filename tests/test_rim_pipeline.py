@@ -1,0 +1,173 @@
+"""Integration tests of the full RIM pipeline on simulated CSI."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RimConfig
+from repro.core.rim import Rim
+from repro.motionsim.profiles import (
+    back_and_forth_trajectory,
+    line_trajectory,
+    rotation_trajectory,
+    still_trajectory,
+    stop_and_go_trajectory,
+)
+
+
+@pytest.fixture(scope="module")
+def rim():
+    return Rim(RimConfig(max_lag=50))
+
+
+class TestStatic:
+    def test_still_device_reports_zero(self, fast_sampler, three_antenna, rim):
+        traj = still_trajectory((10.0, 8.0), 1.5)
+        trace = fast_sampler.sample(traj, three_antenna)
+        result = rim.process(trace)
+        assert result.total_distance == pytest.approx(0.0, abs=1e-9)
+        assert not result.motion.moving.any()
+        assert result.total_rotation == 0.0
+
+
+class TestDistance:
+    def test_one_meter_line(self, fast_sampler, three_antenna, rim):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        result = rim.process(trace)
+        err = abs(result.total_distance - traj.total_distance)
+        assert err < 0.10  # paper: cm-scale; generous bound for tiny test setup
+
+    def test_cumulative_distance_monotone(self, fast_sampler, three_antenna, rim):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        result = rim.process(trace)
+        cum = result.cumulative_distance()
+        assert np.all(np.diff(cum) >= -1e-12)
+
+    def test_speed_near_truth(self, fast_sampler, three_antenna, rim):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        result = rim.process(trace)
+        moving_speed = result.motion.speed[result.motion.moving]
+        moving_speed = moving_speed[moving_speed > 0]
+        assert np.median(moving_speed) == pytest.approx(0.5, rel=0.15)
+
+    def test_opposite_direction_same_distance(self, fast_sampler, three_antenna, rim):
+        traj = line_trajectory((10.0, 8.0), 180.0, 0.5, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        result = rim.process(trace)
+        assert abs(result.total_distance - 1.0) < 0.12
+
+    def test_stop_and_go_distance(self, fast_sampler, three_antenna, rim):
+        traj = stop_and_go_trajectory((10.0, 8.0), 0.0, 0.5, [1.0, 1.0], [0.8])
+        trace = fast_sampler.sample(traj, three_antenna)
+        result = rim.process(trace)
+        assert abs(result.total_distance - traj.total_distance) < 0.15
+
+
+class TestHeading:
+    def test_heading_sign_from_lag(self, fast_sampler, three_antenna, rim):
+        """Motion along +x vs -x flips the reported heading."""
+        fwd = fast_sampler.sample(
+            line_trajectory((10.0, 8.0), 0.0, 0.5, 1.6), three_antenna
+        )
+        bwd = fast_sampler.sample(
+            line_trajectory((10.0, 8.0), 180.0, 0.5, 1.6), three_antenna
+        )
+        h_fwd = rim.process(fwd).headings()
+        h_bwd = rim.process(bwd).headings()
+        mean_fwd = np.arctan2(*np.flip([np.nanmean(np.cos(h_fwd)), np.nanmean(np.sin(h_fwd))]))
+        mean_bwd = np.arctan2(*np.flip([np.nanmean(np.cos(h_bwd)), np.nanmean(np.sin(h_bwd))]))
+        assert abs(mean_fwd) < np.deg2rad(20.0)
+        assert abs(abs(mean_bwd) - np.pi) < np.deg2rad(20.0)
+
+    def test_hexagon_resolves_30deg(self, fast_sampler, hexagon):
+        traj = line_trajectory((10.0, 8.0), 30.0, 0.5, 1.6)
+        trace = fast_sampler.sample(traj, hexagon)
+        result = Rim(RimConfig(max_lag=50)).process(trace)
+        h = result.headings()
+        h = h[np.isfinite(h)]
+        assert h.size > 0
+        mean = np.arctan2(np.mean(np.sin(h)), np.mean(np.cos(h)))
+        assert abs(np.rad2deg(mean) - 30.0) < 16.0
+
+    def test_heading_nan_when_still(self, fast_sampler, three_antenna, rim):
+        traj = still_trajectory((10.0, 8.0), 1.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        result = rim.process(trace)
+        assert np.isnan(result.headings()).all()
+
+
+class TestDirectionReversal:
+    def test_back_and_forth_net_displacement(self, fast_sampler, three_antenna, rim):
+        traj = back_and_forth_trajectory((10.0, 8.0), 0.0, 0.5, 0.5)
+        trace = fast_sampler.sample(traj, three_antenna)
+        result = rim.process(trace)
+        # Total path length ~1 m but net displacement ~0.
+        assert abs(result.total_distance - 1.0) < 0.2
+        positions = result.trajectory(start=(0.0, 0.0))
+        assert np.linalg.norm(positions[-1]) < 0.3
+
+
+class TestRotation:
+    def test_rotation_detected(self, fast_sampler, hexagon):
+        traj = rotation_trajectory((10.0, 8.0), 180.0, angular_speed_deg=120.0)
+        trace = fast_sampler.sample(traj, hexagon)
+        result = Rim(RimConfig(max_lag=140)).process(trace)
+        assert len(result.motion.rotations) >= 1
+        assert result.total_rotation > 0
+
+    def test_rotation_sign(self, fast_sampler, hexagon):
+        traj = rotation_trajectory((10.0, 8.0), -150.0, angular_speed_deg=120.0)
+        trace = fast_sampler.sample(traj, hexagon)
+        result = Rim(RimConfig(max_lag=140)).process(trace)
+        assert result.total_rotation < 0
+
+    def test_no_false_rotation_on_translation(self, fast_sampler, hexagon):
+        traj = line_trajectory((10.0, 8.0), 60.0, 0.5, 1.6)
+        trace = fast_sampler.sample(traj, hexagon)
+        result = Rim(RimConfig(max_lag=50)).process(trace)
+        assert len(result.motion.rotations) == 0
+
+    def test_linear_array_never_reports_rotation(self, fast_sampler, three_antenna, rim):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 1.2)
+        trace = fast_sampler.sample(traj, three_antenna)
+        result = rim.process(trace)
+        assert result.ring_tracks == []
+        assert result.motion.rotations == []
+
+
+class TestRobustness:
+    def test_packet_loss_tolerated(self, fast_channel, three_antenna):
+        from repro.channel.impairments import ImpairmentConfig
+        from repro.channel.sampler import CsiSampler, ap_antenna_positions
+
+        sampler = CsiSampler(
+            channel=fast_channel,
+            tx_positions=ap_antenna_positions((1.0, 1.0), n_tx=2),
+            impairments=ImpairmentConfig(snr_db=25.0, packet_loss_rate=0.05),
+            rng=np.random.default_rng(99),
+        )
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = sampler.sample(traj, three_antenna)
+        result = Rim(RimConfig(max_lag=50)).process(trace)
+        assert abs(result.total_distance - 1.0) < 0.2
+
+    def test_trajectory_shape(self, fast_sampler, three_antenna, rim):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 1.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        result = rim.process(trace)
+        positions = result.trajectory(start=(3.0, 4.0))
+        assert positions.shape == (trace.n_samples, 2)
+        np.testing.assert_allclose(positions[0], [3.0, 4.0])
+
+    def test_orientation_rotates_world_frame(self, fast_sampler, three_antenna, rim):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 1.6)
+        trace = fast_sampler.sample(traj, three_antenna)
+        result = rim.process(trace)
+        east = result.trajectory(start=(0.0, 0.0), orientation=0.0)
+        north = result.trajectory(start=(0.0, 0.0), orientation=np.pi / 2)
+        # Rotating the device frame by 90° turns the east track north.
+        np.testing.assert_allclose(
+            north[-1], [-east[-1][1], east[-1][0]], atol=0.05
+        )

@@ -1,0 +1,119 @@
+"""Unit tests for the CSI sampler and trace container."""
+
+import numpy as np
+import pytest
+
+from repro.channel.impairments import ImpairmentConfig
+from repro.channel.sampler import CsiSampler, ap_antenna_positions
+from repro.motionsim.profiles import line_trajectory, still_trajectory
+
+
+class TestApAntennas:
+    def test_count_and_center(self):
+        pos = ap_antenna_positions((3.0, 4.0), n_tx=3, spacing=0.05)
+        assert pos.shape == (3, 2)
+        np.testing.assert_allclose(pos.mean(axis=0), [3.0, 4.0])
+
+    def test_spacing(self):
+        pos = ap_antenna_positions((0, 0), n_tx=2, spacing=0.04)
+        assert np.linalg.norm(pos[1] - pos[0]) == pytest.approx(0.04)
+
+
+class TestCsiTrace:
+    def test_shapes(self, line_trace, three_antenna):
+        assert line_trace.n_rx == 3
+        assert line_trace.n_tx == 2
+        assert line_trace.data.shape == (
+            line_trace.n_samples,
+            3,
+            2,
+            line_trace.n_subcarriers,
+        )
+        assert line_trace.times.shape == (line_trace.n_samples,)
+
+    def test_sampling_rate(self, line_trace):
+        assert line_trace.sampling_rate == pytest.approx(200.0, rel=1e-6)
+
+    def test_carrier_wavelength(self, line_trace):
+        assert line_trace.carrier_wavelength == pytest.approx(0.0516, abs=5e-4)
+
+    def test_lost_mask_no_loss(self, line_trace):
+        assert not line_trace.lost_mask().any()
+
+    def test_downsample(self, line_trace):
+        down = line_trace.downsample(4)
+        assert down.n_samples == int(np.ceil(line_trace.n_samples / 4))
+        assert down.sampling_rate == pytest.approx(50.0, rel=1e-6)
+        np.testing.assert_array_equal(down.data, line_trace.data[::4])
+
+    def test_downsample_invalid(self, line_trace):
+        with pytest.raises(ValueError):
+            line_trace.downsample(0)
+
+
+class TestSampler:
+    def test_clean_sampler_is_noiseless(self, clean_sampler, three_antenna):
+        traj = still_trajectory((10.0, 8.0), 0.2)
+        trace = clean_sampler.sample(traj, three_antenna)
+        # Static and clean: every packet identical.
+        np.testing.assert_allclose(trace.data[0], trace.data[-1], rtol=1e-5)
+
+    def test_different_antennas_see_different_channels(self, clean_sampler, three_antenna):
+        traj = still_trajectory((10.0, 8.0), 0.1)
+        trace = clean_sampler.sample(traj, three_antenna)
+        h0 = trace.data[0, 0, 0]
+        h1 = trace.data[0, 1, 0]
+        corr = np.abs(np.vdot(h0, h1)) ** 2 / (
+            np.vdot(h0, h0).real * np.vdot(h1, h1).real
+        )
+        assert corr < 0.9
+
+    def test_motion_changes_channel(self, clean_sampler, three_antenna):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 0.5)
+        trace = clean_sampler.sample(traj, three_antenna)
+        h_start = trace.data[0, 0, 0]
+        h_end = trace.data[-1, 0, 0]
+        corr = np.abs(np.vdot(h_start, h_end)) ** 2 / (
+            np.vdot(h_start, h_start).real * np.vdot(h_end, h_end).real
+        )
+        assert corr < 0.7
+
+    def test_retracing_antenna_sees_same_channel(self, clean_sampler, three_antenna):
+        """The STAR principle (§3.1): the follower reproduces the leader's
+        channel after traveling the separation distance."""
+        speed = 0.5
+        traj = line_trajectory((10.0, 8.0), 0.0, speed, 1.0)
+        trace = clean_sampler.sample(traj, three_antenna)
+        sep = three_antenna.separation(0, 1)
+        lag = int(round(sep / speed * trace.sampling_rate))
+        # Antenna 0 trails antenna 1 for motion along +x (antenna 1 ahead).
+        h_follower = trace.data[lag, 0, 0]
+        h_leader = trace.data[0, 1, 0]
+        corr = np.abs(np.vdot(h_follower, h_leader)) ** 2 / (
+            np.vdot(h_follower, h_follower).real * np.vdot(h_leader, h_leader).real
+        )
+        assert corr > 0.9
+
+    def test_per_nic_loss_pattern(self, fast_channel):
+        from repro.arrays.geometry import hexagonal_array
+
+        rng = np.random.default_rng(5)
+        sampler = CsiSampler(
+            channel=fast_channel,
+            tx_positions=ap_antenna_positions((1, 1), n_tx=2),
+            impairments=ImpairmentConfig(snr_db=None, packet_loss_rate=0.3),
+            rng=rng,
+        )
+        traj = still_trajectory((10.0, 8.0), 1.0)
+        trace = sampler.sample(traj, hexagonal_array())
+        lost = trace.lost_mask()
+        # All antennas of one NIC lose the same packets.
+        np.testing.assert_array_equal(lost[:, 0], lost[:, 1])
+        np.testing.assert_array_equal(lost[:, 0], lost[:, 2])
+        np.testing.assert_array_equal(lost[:, 3], lost[:, 5])
+        # The two NICs lose independently (almost surely differ somewhere).
+        assert (lost[:, 0] != lost[:, 3]).any()
+
+    def test_tx_positions_validated(self, fast_channel):
+        with pytest.raises(ValueError):
+            CsiSampler(channel=fast_channel, tx_positions=np.zeros((2, 3)))

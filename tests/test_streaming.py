@@ -1,0 +1,103 @@
+"""Tests for the streaming (real-time) RIM estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RimConfig
+from repro.core.rim import Rim
+from repro.core.streaming import StreamingRim
+from repro.motionsim.profiles import line_trajectory, still_trajectory
+
+
+def _stream_trace(stream, trace):
+    updates = []
+    for k in range(trace.n_samples):
+        update = stream.push(trace.data[k], trace.times[k])
+        if update is not None:
+            updates.append(update)
+    final = stream.flush()
+    if final is not None:
+        updates.append(final)
+    return updates
+
+
+class TestStreamingRim:
+    def test_constructor_validation(self, three_antenna):
+        with pytest.raises(ValueError):
+            StreamingRim(three_antenna, sampling_rate=0.0)
+        with pytest.raises(ValueError):
+            StreamingRim(three_antenna, sampling_rate=200.0, block_seconds=0.0)
+
+    def test_packet_shape_validation(self, three_antenna):
+        stream = StreamingRim(three_antenna, 200.0)
+        with pytest.raises(ValueError):
+            stream.push(np.zeros((5, 2, 8), dtype=np.complex64))
+
+    def test_no_update_before_first_block(self, three_antenna, fast_sampler):
+        traj = still_trajectory((10.0, 8.0), 0.2)
+        trace = fast_sampler.sample(traj, three_antenna)
+        stream = StreamingRim(
+            three_antenna, trace.sampling_rate, RimConfig(max_lag=40), block_seconds=1.0
+        )
+        assert stream.push(trace.data[0], trace.times[0]) is None
+
+    def test_matches_offline_distance(self, three_antenna, fast_sampler):
+        cfg = RimConfig(max_lag=50)
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 3.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        offline = Rim(cfg).process(trace).total_distance
+
+        stream = StreamingRim(
+            three_antenna,
+            trace.sampling_rate,
+            cfg,
+            block_seconds=1.0,
+            carrier_wavelength=trace.carrier_wavelength,
+        )
+        _stream_trace(stream, trace)
+        assert stream.total_distance == pytest.approx(offline, abs=0.15)
+        assert stream.total_distance == pytest.approx(traj.total_distance, abs=0.2)
+
+    def test_memory_bounded(self, three_antenna, fast_sampler):
+        cfg = RimConfig(max_lag=40)
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 3.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        stream = StreamingRim(three_antenna, trace.sampling_rate, cfg, block_seconds=0.5)
+        _stream_trace(stream, trace)
+        assert stream.buffered_samples <= stream.context_samples + stream.block_samples
+
+    def test_updates_cover_all_samples_once(self, three_antenna, fast_sampler):
+        cfg = RimConfig(max_lag=40)
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        stream = StreamingRim(three_antenna, trace.sampling_rate, cfg, block_seconds=0.5)
+        updates = _stream_trace(stream, trace)
+        all_times = np.concatenate([u.times for u in updates])
+        np.testing.assert_allclose(all_times, trace.times)
+
+    def test_total_distance_is_cumulative(self, three_antenna, fast_sampler):
+        cfg = RimConfig(max_lag=40)
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        stream = StreamingRim(three_antenna, trace.sampling_rate, cfg, block_seconds=0.5)
+        updates = _stream_trace(stream, trace)
+        running = 0.0
+        for u in updates:
+            running += u.block_distance
+            assert u.total_distance == pytest.approx(running, abs=1e-9)
+
+    def test_still_stream_reports_zero(self, three_antenna, fast_sampler):
+        traj = still_trajectory((10.0, 8.0), 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        stream = StreamingRim(
+            three_antenna, trace.sampling_rate, RimConfig(max_lag=40), block_seconds=0.5
+        )
+        _stream_trace(stream, trace)
+        assert stream.total_distance == pytest.approx(0.0, abs=1e-6)
+
+    def test_default_timestamps(self, three_antenna):
+        stream = StreamingRim(three_antenna, 100.0, RimConfig(max_lag=40))
+        packet = np.ones((3, 2, 8), dtype=np.complex64)
+        for _ in range(5):
+            stream.push(packet)
+        assert stream._times[-1] == pytest.approx(4 / 100.0)

@@ -1,0 +1,149 @@
+"""Unit tests for DP peak tracking (Eqns. 6-8) and sub-sample refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core.alignment import AlignmentMatrix
+from repro.core.tracking import greedy_argmax_path, refine_lags, track_peaks
+
+
+def _matrix(values, fs=100.0):
+    values = np.asarray(values, dtype=np.float64)
+    w = (values.shape[1] - 1) // 2
+    return AlignmentMatrix(
+        values=values, lags=np.arange(-w, w + 1), sampling_rate=fs, pair=(0, 1)
+    )
+
+
+def _peaky(t, n_lags, path, peak=1.0, floor=0.1, rng=None):
+    """Synthesize a matrix with a known peak path plus optional noise."""
+    values = np.full((t, n_lags), floor)
+    if rng is not None:
+        values += rng.uniform(0, 0.1, (t, n_lags))
+    for k, idx in enumerate(path):
+        values[k, idx] = peak
+    return values
+
+
+class TestTrackPeaks:
+    def test_recovers_constant_path(self):
+        path = [7] * 20
+        m = _matrix(_peaky(20, 11, path))
+        out = track_peaks(m)
+        np.testing.assert_array_equal(out.lag_indices, path)
+
+    def test_recovers_drifting_path(self):
+        path = [2 + k // 4 for k in range(20)]
+        m = _matrix(_peaky(20, 11, path))
+        out = track_peaks(m)
+        np.testing.assert_array_equal(out.lag_indices, path)
+
+    def test_rejects_single_outlier(self, rng):
+        """A one-sample glitch peak should not yank the path (the point of
+        the jump cost ω, §4.2)."""
+        path = [5] * 30
+        values = _peaky(30, 11, path, rng=rng)
+        values[15, 5] = 0.2  # true peak weak at t=15...
+        values[15, 0] = 1.0  # ...glitch at a distant lag
+        out = track_peaks(_matrix(values), transition_weight=-2.0)
+        assert out.lag_indices[15] == 5
+
+    def test_greedy_takes_the_outlier(self, rng):
+        path = [5] * 30
+        values = _peaky(30, 11, path, rng=rng)
+        values[15, 5] = 0.2
+        values[15, 0] = 1.0
+        out = greedy_argmax_path(_matrix(values))
+        assert out.lag_indices[15] == 0
+
+    def test_lags_are_shifted_indices(self):
+        path = [8] * 5
+        m = _matrix(_peaky(5, 11, path))
+        out = track_peaks(m)
+        np.testing.assert_array_equal(out.lags, np.array(path) - 5)
+
+    def test_sign_flip_tracked(self):
+        up = [8] * 15
+        down = [2] * 15
+        values = np.vstack([_peaky(15, 11, up), _peaky(15, 11, down)])
+        out = track_peaks(_matrix(values))
+        assert (out.lags[:10] > 0).all()
+        assert (out.lags[-10:] < 0).all()
+
+    def test_nan_treated_as_zero_evidence(self):
+        path = [5] * 20
+        values = _peaky(20, 11, path)
+        values[8] = np.nan
+        out = track_peaks(_matrix(values))
+        # Path continues straight through the hole.
+        assert out.lag_indices[8] == 5
+        assert np.isnan(out.path_trrs[8])
+
+    def test_requires_negative_weight(self):
+        m = _matrix(np.zeros((3, 5)))
+        with pytest.raises(ValueError):
+            track_peaks(m, transition_weight=0.5)
+
+    def test_empty_matrix(self):
+        m = _matrix(np.zeros((0, 5)))
+        out = track_peaks(m)
+        assert out.lags.size == 0
+
+    def test_score_is_sum_along_path(self):
+        path = [3] * 4
+        m = _matrix(_peaky(4, 7, path, peak=1.0, floor=0.0))
+        out = track_peaks(m, transition_weight=-1.0)
+        # 4 e-terms at t plus 3 e-terms at t-1 per transition = e totals:
+        # score = e[0] + sum over steps (e[t-1] + e[t]) = 1 + 3*(1+1) = 7.
+        assert out.score == pytest.approx(7.0)
+
+
+class TestRefineLags:
+    def test_symmetric_peak_unchanged(self):
+        values = np.array([[0.2, 1.0, 0.2]])
+        out = refine_lags(values, np.array([1]))
+        assert out[0] == pytest.approx(1.0)
+
+    def test_asymmetric_peak_shifts_towards_heavier_side(self):
+        values = np.array([[0.2, 1.0, 0.6]])
+        out = refine_lags(values, np.array([1]))
+        assert 1.0 < out[0] < 1.5
+
+    def test_exact_parabola_vertex(self):
+        # y = 1 - (x - 0.3)^2 sampled at x = -1, 0, 1 around index 1.
+        xs = np.array([-1.0, 0.0, 1.0])
+        ys = 1 - (xs - 0.3) ** 2
+        out = refine_lags(ys[None, :], np.array([1]))
+        assert out[0] == pytest.approx(1.3, abs=1e-9)
+
+    def test_border_peak_not_refined(self):
+        values = np.array([[1.0, 0.5, 0.2]])
+        out = refine_lags(values, np.array([0]))
+        assert out[0] == 0.0
+
+    def test_nan_neighbor_not_refined(self):
+        values = np.array([[np.nan, 1.0, 0.5]])
+        out = refine_lags(values, np.array([1]))
+        assert out[0] == 1.0
+
+    def test_shift_clamped_to_half(self):
+        values = np.array([[0.999, 1.0, 0.9999]])
+        out = refine_lags(values, np.array([1]))
+        assert abs(out[0] - 1.0) <= 0.5
+
+
+class TestSubSampleAccuracy:
+    def test_refinement_beats_integer_quantization(self, rng):
+        """Peaks landing between integer lags are recovered to sub-sample
+        accuracy — the mechanism behind super-resolution speed (§3.2)."""
+        true_lag = 5.37
+        lags = np.arange(-10, 11)
+        errors_int, errors_ref = [], []
+        for _ in range(20):
+            row = np.exp(-((lags - true_lag) ** 2) / 4.0) + rng.normal(0, 0.01, lags.size)
+            m = _matrix(np.tile(row, (5, 1)))
+            out = track_peaks(m)
+            errors_int.append(abs(out.lags[2] - true_lag))
+            errors_ref.append(abs(out.refined_lags[2] - true_lag))
+        assert np.mean(errors_ref) < np.mean(errors_int)
+        assert np.mean(errors_ref) < 0.15

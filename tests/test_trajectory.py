@@ -1,0 +1,150 @@
+"""Unit tests for trajectories and motion profiles."""
+
+import numpy as np
+import pytest
+
+from repro.motionsim.profiles import (
+    back_and_forth_trajectory,
+    line_trajectory,
+    polyline_trajectory,
+    rotation_trajectory,
+    square_trajectory,
+    still_trajectory,
+    stop_and_go_trajectory,
+)
+from repro.motionsim.trajectory import Trajectory
+
+
+class TestTrajectoryValidation:
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.arange(3.0), np.zeros((2, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            Trajectory(np.arange(3.0), np.zeros((3, 2)), np.zeros(2))
+
+    def test_times_must_increase(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.array([0.0, 0.0, 1.0]), np.zeros((3, 2)), np.zeros(3))
+
+    def test_sampling_rate(self):
+        traj = line_trajectory((0, 0), 0, 1.0, 1.0, sampling_rate=100.0)
+        assert traj.sampling_rate == pytest.approx(100.0)
+
+    def test_slice(self):
+        traj = line_trajectory((0, 0), 0, 1.0, 1.0, sampling_rate=100.0)
+        sub = traj.slice(10, 20)
+        assert sub.n_samples == 10
+        np.testing.assert_array_equal(sub.positions, traj.positions[10:20])
+
+    def test_concatenate_monotone_times(self):
+        a = still_trajectory((0, 0), 0.5, sampling_rate=100.0)
+        b = line_trajectory((0, 0), 0, 1.0, 0.5, sampling_rate=100.0)
+        joined = a.concatenate(b)
+        assert np.all(np.diff(joined.times) > 0)
+        assert joined.n_samples == a.n_samples + b.n_samples
+
+
+class TestLineTrajectory:
+    def test_total_distance(self):
+        traj = line_trajectory((0, 0), 0, 0.5, 4.0)
+        assert traj.total_distance == pytest.approx(2.0, rel=1e-6)
+
+    def test_direction(self):
+        traj = line_trajectory((0, 0), 90.0, 1.0, 1.0)
+        headings = traj.headings()
+        assert np.nanmedian(headings) == pytest.approx(np.pi / 2, abs=1e-6)
+
+    def test_constant_speed(self):
+        traj = line_trajectory((0, 0), 30.0, 0.7, 2.0)
+        speeds = traj.speeds()
+        np.testing.assert_allclose(speeds[5:-5], 0.7, rtol=1e-6)
+
+    def test_wobble_stays_near_line(self):
+        traj = line_trajectory((0, 0), 0.0, 1.0, 2.0, wobble_amplitude=0.02)
+        assert np.abs(traj.positions[:, 1]).max() == pytest.approx(0.02, rel=1e-2)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            line_trajectory((0, 0), 0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            line_trajectory((0, 0), 0, 1.0, 0.0)
+
+
+class TestPolylineTrajectory:
+    def test_constant_speed_through_corners(self):
+        wp = np.array([(0, 0), (1, 0), (1, 1)], dtype=float)
+        traj = polyline_trajectory(wp, 0.5, sampling_rate=200.0)
+        assert traj.total_distance == pytest.approx(2.0, rel=1e-3)
+        assert traj.duration == pytest.approx(4.0, rel=1e-2)
+
+    def test_fixed_orientation_by_default(self):
+        wp = np.array([(0, 0), (1, 0), (1, 1)], dtype=float)
+        traj = polyline_trajectory(wp, 0.5, orientation_deg=45.0)
+        np.testing.assert_allclose(traj.orientations, np.deg2rad(45.0))
+
+    def test_face_motion_turns_orientation(self):
+        wp = np.array([(0, 0), (1, 0), (1, 1)], dtype=float)
+        traj = polyline_trajectory(wp, 0.5, face_motion=True)
+        assert traj.orientations[5] == pytest.approx(0.0, abs=0.1)
+        assert traj.orientations[-5] == pytest.approx(np.pi / 2, abs=0.1)
+
+    def test_rejects_bad_waypoints(self):
+        with pytest.raises(ValueError):
+            polyline_trajectory(np.zeros((1, 2)), 1.0)
+        with pytest.raises(ValueError):
+            polyline_trajectory(np.zeros((2, 2)), 1.0)  # zero length
+
+
+class TestSquareAndBackForth:
+    def test_square_closes(self):
+        traj = square_trajectory((2, 2), side=1.0, speed=1.0)
+        np.testing.assert_allclose(traj.positions[0], traj.positions[-1], atol=1e-6)
+        assert traj.total_distance == pytest.approx(4.0, rel=1e-3)
+
+    def test_back_and_forth_returns(self):
+        traj = back_and_forth_trajectory((1, 1), 45.0, 0.5, 0.5)
+        np.testing.assert_allclose(traj.positions[0], traj.positions[-1], atol=1e-6)
+        assert traj.total_distance == pytest.approx(1.0, rel=1e-3)
+
+
+class TestStopAndGo:
+    def test_pause_segments_static(self):
+        traj = stop_and_go_trajectory((0, 0), 0, 1.0, [0.5, 0.5], [0.5])
+        speeds = traj.speeds()
+        t = traj.n_samples
+        mid = slice(int(0.45 * t), int(0.55 * t))
+        assert speeds[mid].max() < 0.2
+
+    def test_total_distance_counts_moves_only(self):
+        traj = stop_and_go_trajectory((0, 0), 0, 1.0, [1.0, 1.0], [1.0])
+        assert traj.total_distance == pytest.approx(2.0, rel=1e-2)
+
+    def test_requires_movement(self):
+        with pytest.raises(ValueError):
+            stop_and_go_trajectory((0, 0), 0, 1.0, [], [])
+
+
+class TestRotationAndStill:
+    def test_rotation_in_place(self):
+        traj = rotation_trajectory((3, 3), 180.0, angular_speed_deg=90.0)
+        assert np.abs(traj.positions - traj.positions[0]).max() < 1e-12
+        assert traj.total_rotation() == pytest.approx(np.pi, rel=1e-6)
+
+    def test_negative_rotation(self):
+        traj = rotation_trajectory((3, 3), -90.0)
+        assert traj.total_rotation() == pytest.approx(-np.pi / 2, rel=1e-6)
+
+    def test_rotation_invalid_speed(self):
+        with pytest.raises(ValueError):
+            rotation_trajectory((0, 0), 90.0, angular_speed_deg=0.0)
+
+    def test_still_trajectory(self):
+        traj = still_trajectory((1, 2), 1.0)
+        assert traj.total_distance == 0.0
+        assert np.all(traj.speeds() < 1e-12)
+
+    def test_cumulative_distance_monotone(self):
+        traj = square_trajectory((0, 0), 1.0, 0.5)
+        cum = traj.cumulative_distance()
+        assert np.all(np.diff(cum) >= 0)
+        assert cum[0] == 0.0

@@ -1,0 +1,190 @@
+"""Unit tests for the TRRS metric (Eqns. 1-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.trrs import (
+    average_trrs,
+    massive_trrs,
+    normalize_csi,
+    trrs_cfr,
+    trrs_cir,
+    trrs_series,
+)
+
+
+def _rand_cfr(rng, *shape):
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+class TestTrrsCfr:
+    def test_identical_vectors_give_one(self, rng):
+        h = _rand_cfr(rng, 32)
+        assert trrs_cfr(h, h) == pytest.approx(1.0)
+
+    def test_scale_invariance(self, rng):
+        """κ = 1 iff H1 = c·H2 — the property that kills the PLL phase."""
+        h = _rand_cfr(rng, 32)
+        c = 3.7 * np.exp(1j * 1.234)
+        assert trrs_cfr(h, c * h) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors_give_zero(self):
+        h1 = np.zeros(8, dtype=complex)
+        h2 = np.zeros(8, dtype=complex)
+        h1[0] = 1.0
+        h2[1] = 1.0
+        assert trrs_cfr(h1, h2) == pytest.approx(0.0)
+
+    def test_symmetric(self, rng):
+        h1 = _rand_cfr(rng, 32)
+        h2 = _rand_cfr(rng, 32)
+        assert trrs_cfr(h1, h2) == pytest.approx(trrs_cfr(h2, h1))
+
+    def test_bounded(self, rng):
+        for _ in range(50):
+            h1 = _rand_cfr(rng, 16)
+            h2 = _rand_cfr(rng, 16)
+            v = trrs_cfr(h1, h2)
+            assert 0.0 <= v <= 1.0
+
+    def test_zero_vector_gives_zero(self, rng):
+        h = _rand_cfr(rng, 16)
+        assert trrs_cfr(np.zeros(16, dtype=complex), h) == pytest.approx(0.0)
+
+    def test_batched(self, rng):
+        h1 = _rand_cfr(rng, 5, 16)
+        h2 = _rand_cfr(rng, 5, 16)
+        out = trrs_cfr(h1, h2)
+        assert out.shape == (5,)
+        for k in range(5):
+            assert out[k] == pytest.approx(trrs_cfr(h1[k], h2[k]))
+
+    def test_nan_propagates(self, rng):
+        h1 = _rand_cfr(rng, 16)
+        h2 = _rand_cfr(rng, 16)
+        h1[3] = np.nan
+        assert np.isnan(trrs_cfr(h1, h2))
+
+
+class TestTrrsCir:
+    def test_identical_cirs_give_one(self, rng):
+        h = _rand_cfr(rng, 16)
+        assert trrs_cir(h, h) == pytest.approx(1.0)
+
+    def test_delay_invariance(self, rng):
+        """Eqn. 1 maxes over convolution taps, so pure delays don't hurt."""
+        h = np.zeros(16, dtype=complex)
+        h[:4] = _rand_cfr(rng, 4)
+        delayed = np.roll(h, 3)
+        assert trrs_cir(h, delayed) == pytest.approx(1.0, abs=1e-9)
+
+    def test_matches_cfr_form_for_impulses(self):
+        """For single-tap CIRs both definitions coincide."""
+        h1 = np.zeros(8, dtype=complex)
+        h2 = np.zeros(8, dtype=complex)
+        h1[0] = 1.0
+        h2[0] = 0.5 + 0.5j
+        assert trrs_cir(h1, h2) == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            trrs_cir(_rand_cfr(rng, 8), _rand_cfr(rng, 9))
+
+    def test_zero_denominator(self):
+        assert trrs_cir(np.zeros(4, dtype=complex), np.zeros(4, dtype=complex)) == 0.0
+
+    def test_bounded(self, rng):
+        for _ in range(20):
+            v = trrs_cir(_rand_cfr(rng, 12), _rand_cfr(rng, 12))
+            assert 0.0 <= v <= 1.0
+
+
+class TestAverageTrrs:
+    def test_averages_over_tx(self, rng):
+        h_i = _rand_cfr(rng, 3, 16)
+        h_j = _rand_cfr(rng, 3, 16)
+        expected = np.mean([trrs_cfr(h_i[k], h_j[k]) for k in range(3)])
+        assert average_trrs(h_i, h_j) == pytest.approx(expected)
+
+    def test_identical_gives_one(self, rng):
+        h = _rand_cfr(rng, 3, 16)
+        assert average_trrs(h, h) == pytest.approx(1.0)
+
+    def test_per_tx_phase_immunity(self, rng):
+        """Unsynchronized antennas: arbitrary per-TX phases are harmless."""
+        h = _rand_cfr(rng, 3, 16)
+        phases = np.exp(1j * rng.uniform(0, 2 * np.pi, (3, 1)))
+        assert average_trrs(h, h * phases) == pytest.approx(1.0)
+
+
+class TestMassiveTrrs:
+    def test_window_average(self, rng):
+        p_i = _rand_cfr(rng, 5, 2, 16)
+        p_j = _rand_cfr(rng, 5, 2, 16)
+        expected = np.mean([average_trrs(p_i[v], p_j[v]) for v in range(5)])
+        assert massive_trrs(p_i, p_j) == pytest.approx(expected)
+
+    def test_skips_nan_snapshots(self, rng):
+        p_i = _rand_cfr(rng, 4, 2, 16)
+        p_j = _rand_cfr(rng, 4, 2, 16)
+        p_i[1] = np.nan
+        v = massive_trrs(p_i, p_j)
+        expected = np.mean(
+            [average_trrs(p_i[k], p_j[k]) for k in (0, 2, 3)]
+        )
+        assert v == pytest.approx(expected)
+
+    def test_all_nan_returns_nan(self):
+        p = np.full((3, 2, 8), np.nan, dtype=complex)
+        assert np.isnan(massive_trrs(p, p))
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            massive_trrs(_rand_cfr(rng, 3, 2, 8), _rand_cfr(rng, 4, 2, 8))
+
+
+class TestNormalize:
+    def test_unit_norm(self, rng):
+        h = _rand_cfr(rng, 5, 2, 16)
+        out = normalize_csi(h)
+        norms = np.sqrt((np.abs(out) ** 2).sum(axis=-1))
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-6)
+
+    def test_normalized_inner_product_is_trrs(self, rng):
+        h1 = _rand_cfr(rng, 16)
+        h2 = _rand_cfr(rng, 16)
+        n1 = normalize_csi(h1)
+        n2 = normalize_csi(h2)
+        assert np.abs(np.vdot(n1, n2)) ** 2 == pytest.approx(trrs_cfr(h1, h2))
+
+    def test_zero_vector_becomes_nan(self):
+        out = normalize_csi(np.zeros((2, 4), dtype=complex))
+        assert np.isnan(out).all()
+
+
+class TestTrrsSeries:
+    def test_zero_lag(self, rng):
+        a = _rand_cfr(rng, 10, 2, 8)
+        out = trrs_series(a, a, 0)
+        np.testing.assert_allclose(out, 1.0, rtol=1e-6)
+
+    def test_positive_lag_alignment(self, rng):
+        a = _rand_cfr(rng, 10, 2, 8)
+        b = np.roll(a, 2, axis=0)  # b(t) = a(t-2)
+        out = trrs_series(a, b, -2)  # compare a(t) with b(t+2) = a(t)
+        np.testing.assert_allclose(out[:-2][~np.isnan(out[:-2])], 1.0, rtol=1e-6)
+
+    def test_nan_borders(self, rng):
+        a = _rand_cfr(rng, 10, 2, 8)
+        out = trrs_series(a, a, 3)
+        assert np.isnan(out[:3]).all()
+        assert np.isfinite(out[3:]).all()
+
+    def test_lag_exceeding_length(self, rng):
+        a = _rand_cfr(rng, 5, 2, 8)
+        out = trrs_series(a, a, 10)
+        assert np.isnan(out).all()
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            trrs_series(_rand_cfr(rng, 5, 2, 8), _rand_cfr(rng, 6, 2, 8), 0)
