@@ -48,6 +48,13 @@ from repro.motionsim.profiles import (
     stop_and_go_trajectory,
 )
 from repro.motionsim.trajectory import Trajectory
+from repro.robustness import (
+    FaultPlan,
+    GuardError,
+    HealthReport,
+    StreamGuard,
+    guard_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -56,18 +63,23 @@ __all__ = [
     "CsiImpairer",
     "CsiSampler",
     "CsiTrace",
+    "FaultPlan",
     "Floorplan",
+    "GuardError",
+    "HealthReport",
     "ImpairmentConfig",
     "MultipathChannel",
     "Rim",
     "RimConfig",
     "RimResult",
+    "StreamGuard",
     "SubcarrierGrid",
     "Trajectory",
     "Wall",
     "ap_antenna_positions",
     "back_and_forth_trajectory",
     "empty_floorplan",
+    "guard_trace",
     "hexagonal_array",
     "l_shaped_array",
     "line_trajectory",

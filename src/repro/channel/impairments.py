@@ -60,6 +60,30 @@ class ImpairmentConfig:
     packet_loss_rate: float = 0.0
     loss_burstiness: float = 0.0
 
+    def __post_init__(self) -> None:
+        if self.timing_jitter_std < 0:
+            raise ValueError(
+                f"timing_jitter_std must be >= 0, got {self.timing_jitter_std}"
+            )
+        if self.cfo_phase_std < 0:
+            raise ValueError(f"cfo_phase_std must be >= 0, got {self.cfo_phase_std}")
+        if self.antenna_ripple < 0:
+            raise ValueError(f"antenna_ripple must be >= 0, got {self.antenna_ripple}")
+        if self.ripple_components < 1:
+            raise ValueError(
+                f"ripple_components must be >= 1, got {self.ripple_components}"
+            )
+        if not 0.0 <= self.packet_loss_rate < 1.0:
+            raise ValueError(
+                f"packet_loss_rate must be a probability in [0, 1), "
+                f"got {self.packet_loss_rate}"
+            )
+        if self.loss_burstiness < 0:
+            raise ValueError(
+                f"loss_burstiness must be >= 0 (mean burst packets), "
+                f"got {self.loss_burstiness}"
+            )
+
 
 def clean() -> ImpairmentConfig:
     """An impairment config that leaves the CSI untouched."""

@@ -65,6 +65,24 @@ class CsiTrace:
         """(T, n_rx) True where a packet is missing on an RX chain."""
         return np.isnan(self.data.real).any(axis=(2, 3))
 
+    def chain_liveness(self) -> np.ndarray:
+        """(n_rx,) fraction of packets with finite CSI per RX chain.
+
+        The input guard uses this to tell a dead front-end (liveness near
+        zero) from ordinary packet loss (liveness near one).
+        """
+        if self.n_samples == 0:
+            return np.ones(self.n_rx)
+        return 1.0 - self.lost_mask().mean(axis=0)
+
+    def loss_rate(self, exclude_chains=()) -> float:
+        """Lost-slot fraction, optionally ignoring (e.g. dead) chains."""
+        lost = self.lost_mask()
+        keep = [c for c in range(self.n_rx) if c not in set(exclude_chains)]
+        if not keep or lost.size == 0:
+            return 0.0
+        return float(lost[:, keep].mean())
+
     def downsample(self, factor: int) -> "CsiTrace":
         """Keep every ``factor``-th packet (the Fig. 16 workload)."""
         if factor < 1:

@@ -52,7 +52,7 @@ def _register_runners() -> Dict[str, Callable]:
     }
 
 
-def cmd_demo(_args) -> int:
+def cmd_demo(args) -> int:
     from repro import Rim, RimConfig, linear_array
     from repro.eval.setup import MEASUREMENT_SPOTS, make_testbed
     from repro.motionsim.profiles import line_trajectory
@@ -60,10 +60,19 @@ def cmd_demo(_args) -> int:
     bed = make_testbed(seed=1)
     truth = line_trajectory(MEASUREMENT_SPOTS[0], 0.0, 0.5, 3.0)
     trace = bed.sampler.sample(truth, linear_array(3))
+    fault_spec = getattr(args, "fault_plan", "")
+    if fault_spec:
+        from repro.robustness import FaultPlan
+
+        trace = FaultPlan.from_spec(fault_spec).apply(trace)
+        print(f"injected faults: {fault_spec}")
     result = Rim(RimConfig(max_lag=60)).process(trace)
     err_cm = abs(result.total_distance - truth.total_distance) * 100
     print(f"simulated a {truth.total_distance:.1f} m push past a single unknown AP")
     print(f"RIM estimated {result.total_distance:.3f} m (error {err_cm:.1f} cm)")
+    if result.health is not None:
+        print()
+        print(result.health.summary())
     return 0
 
 
@@ -103,7 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("demo", help="run a 30-second distance-tracking demo")
+    demo = sub.add_parser("demo", help="run a 30-second distance-tracking demo")
+    demo.add_argument(
+        "--fault-plan",
+        default="",
+        metavar="SPEC",
+        help="inject ingestion faults before processing, e.g. "
+        '"dead_chain=1,loss=0.1,burst=12,reorder=0.02" '
+        "(see repro.robustness.FaultPlan.from_spec)",
+    )
     sub.add_parser("list", help="list reproducible figures")
 
     run = sub.add_parser("run", help="regenerate a paper figure")

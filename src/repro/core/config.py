@@ -55,6 +55,17 @@ class RimConfig:
         interpolate_loss: Bridge short packet-loss gaps with phase-aligned
             linear interpolation before processing (§5, §7).
         interpolation_max_gap: Longest gap (packets) to bridge.
+        guard_policy: Input-guard behavior in front of the pipeline
+            (``repro.robustness.guard``): "repair" fixes what it can,
+            "drop" discards offending packets, "raise" refuses bad input,
+            "off" bypasses the guard entirely.
+        guard_min_liveness: RX chains with a smaller finite-packet fraction
+            are declared dead and masked out of the alignment vote.
+        guard_max_drift: Fractional clock drift tolerated before timestamps
+            are resampled onto the nominal grid.
+        health_min_pairs: Minimum usable antenna pairs; below this the
+            degradation policy holds the last good speed and marks heading
+            unresolved instead of estimating from too little geometry.
     """
 
     max_lag: int = 100
@@ -91,6 +102,11 @@ class RimConfig:
     interpolate_loss: bool = True
     interpolation_max_gap: int = 5
 
+    guard_policy: str = "repair"
+    guard_min_liveness: float = 0.2
+    guard_max_drift: float = 0.01
+    health_min_pairs: int = 1
+
     def __post_init__(self) -> None:
         if self.max_lag < 2:
             raise ValueError("max_lag must be >= 2")
@@ -98,9 +114,33 @@ class RimConfig:
             raise ValueError("virtual_window must be >= 1")
         if not 0 < self.movement_threshold < 1:
             raise ValueError("movement_threshold must be in (0, 1)")
+        if self.movement_min_run < 1:
+            raise ValueError("movement_min_run must be >= 1")
         if self.transition_weight >= 0:
             raise ValueError("transition_weight must be negative")
         if self.min_speed_lag < 1:
             raise ValueError("min_speed_lag must be >= 1")
         if self.pre_detect_stride < 1:
             raise ValueError("pre_detect_stride must be >= 1")
+        if self.pre_detect_keep < 1:
+            raise ValueError("pre_detect_keep must be >= 1")
+        if self.quality_smoothing < 1:
+            raise ValueError("quality_smoothing must be >= 1")
+        if self.speed_smoothing < 1:
+            raise ValueError("speed_smoothing must be >= 1")
+        if self.interpolation_max_gap < 0:
+            raise ValueError(
+                f"interpolation_max_gap must be >= 0 (packets), "
+                f"got {self.interpolation_max_gap}"
+            )
+        if self.guard_policy not in ("off", "raise", "drop", "repair"):
+            raise ValueError(
+                f"guard_policy must be one of 'off', 'raise', 'drop', 'repair', "
+                f"got {self.guard_policy!r}"
+            )
+        if not 0.0 <= self.guard_min_liveness <= 1.0:
+            raise ValueError("guard_min_liveness must be in [0, 1]")
+        if self.guard_max_drift <= 0:
+            raise ValueError("guard_max_drift must be positive")
+        if self.health_min_pairs < 0:
+            raise ValueError("health_min_pairs must be >= 0")

@@ -50,6 +50,8 @@ from repro.core.pairs import (
 from repro.core.sanitize import sanitize_trace
 from repro.core.tracking import track_peaks
 from repro.core.trrs import normalize_csi
+from repro.robustness.guard import guard_trace
+from repro.robustness.health import HealthReport, apply_degradation, build_health
 
 
 @dataclass
@@ -60,6 +62,7 @@ class RimResult:
     movement: MovementResult
     group_tracks: List[GroupTrack]
     ring_tracks: List[GroupTrack] = field(default_factory=list)
+    health: Optional[HealthReport] = None
 
     @property
     def total_distance(self) -> float:
@@ -98,10 +101,27 @@ class Rim:
         self.config = config or RimConfig()
 
     def process(self, trace: CsiTrace) -> RimResult:
-        """Run the full RIM pipeline on a CSI trace."""
+        """Run the full RIM pipeline on a CSI trace.
+
+        Input first passes the robustness guard (``config.guard_policy``):
+        malformed packets are repaired or dropped, dead RX chains are
+        detected and their pairs masked out of the alignment vote, and a
+        :class:`~repro.robustness.health.HealthReport` documenting all of
+        it is attached to the result.
+        """
         cfg = self.config
+        guard_report = None
+        if cfg.guard_policy != "off":
+            trace, guard_report = guard_trace(
+                trace,
+                policy=cfg.guard_policy,
+                min_chain_liveness=cfg.guard_min_liveness,
+                max_clock_drift=cfg.guard_max_drift,
+            )
+        dead = set(guard_report.dead_chains) if guard_report else set()
+
         data = trace.data
-        if cfg.interpolate_loss:
+        if cfg.interpolate_loss and cfg.interpolation_max_gap > 0:
             from repro.channel.interpolation import interpolate_lost_packets
 
             data = interpolate_lost_packets(data, max_gap=cfg.interpolation_max_gap)
@@ -109,10 +129,17 @@ class Rim:
         norm = normalize_csi(data)
         fs = trace.sampling_rate
 
-        movement = self._detect_movement(data, fs)
+        groups = parallel_groups(trace.array)
+        groups = [
+            [p for p in g if p.i not in dead and p.j not in dead] for g in groups
+        ]
+        groups = [g for g in groups if g]
+        usable_pairs = sum(len(g) for g in groups)
+
+        movement = self._detect_movement(data, fs, dead)
         moving = movement.moving
 
-        if not moving.any():
+        if not moving.any() or not groups:
             motion = MotionEstimate(
                 times=trace.times,
                 moving=moving,
@@ -120,30 +147,90 @@ class Rim:
                 heading=np.full(trace.n_samples, np.nan),
                 group_choice=np.full(trace.n_samples, -1, dtype=np.int64),
             )
-            return RimResult(motion=motion, movement=movement, group_tracks=[])
+            health = build_health(
+                n_samples=trace.n_samples,
+                n_chains=trace.n_rx,
+                guard_report=guard_report,
+                usable_pairs=usable_pairs,
+                usable_groups=len(groups),
+            )
+            motion = apply_degradation(motion, health, cfg.health_min_pairs)
+            return RimResult(
+                motion=motion, movement=movement, group_tracks=[], health=health
+            )
 
-        groups = parallel_groups(trace.array)
         candidates = self._pre_detect(norm, groups, moving, fs)
         tracks = [self._track_group(norm, g, fs) for g in candidates]
         tracks = self._post_filter(tracks, moving)
 
-        ring_tracks, rotations = self._detect_rotation(trace, norm, moving, fs)
+        ring_tracks, rotations = self._detect_rotation(trace, norm, moving, fs, dead)
 
-        motion = self._reckon(trace, tracks, moving, rotations, fs)
+        motion = self._reckon(
+            trace, tracks, moving, rotations, fs, blind=self._blind_mask(data, dead)
+        )
+        health = build_health(
+            n_samples=trace.n_samples,
+            n_chains=trace.n_rx,
+            guard_report=guard_report,
+            usable_pairs=usable_pairs,
+            usable_groups=len(groups),
+            tracks=tracks,
+            moving=moving,
+        )
+        motion = apply_degradation(motion, health, cfg.health_min_pairs)
         return RimResult(
             motion=motion,
             movement=movement,
             group_tracks=tracks,
             ring_tracks=ring_tracks,
+            health=health,
         )
 
     # -- pipeline stages -------------------------------------------------
 
-    def _detect_movement(self, data: np.ndarray, fs: float) -> MovementResult:
+    def _blind_mask(self, data: np.ndarray, dead: set) -> np.ndarray:
+        """(T,) samples whose virtual-antenna window is starved of data.
+
+        A loss burst longer than the interpolator's reach leaves an all-NaN
+        region; the DP tracker free-runs through it and can latch onto
+        arbitrary small lags, exploding the implied speed.  The same holds
+        for a short clean island wedged between two such bursts — its own
+        packets are fine but the TRRS window around it is empty.  Samples
+        whose surrounding window holds too few finite packets are declared
+        blind; speed/heading there fall back to hold-last-good.
+        """
+        t = data.shape[0]
+        live = [a for a in range(data.shape[1]) if a not in dead]
+        if not live:
+            return np.ones(t, dtype=bool)
+        lost = np.isnan(data.real).any(axis=(2, 3))
+        usable = (~lost[:, live]).any(axis=1).astype(np.float64)
+        if usable.all():
+            return np.zeros(t, dtype=bool)
+        window = max(5, self.config.virtual_window) | 1
+        coverage = np.convolve(usable, np.ones(window) / window, mode="same")
+        return coverage < 0.3
+
+    def _detect_movement(
+        self, data: np.ndarray, fs: float, dead: Optional[set] = None
+    ) -> MovementResult:
         cfg = self.config
+        # An all-NaN (dead) reference chain would blind movement detection;
+        # use the first live one.  With no live chain at all there is no
+        # evidence of movement — report still and let degradation flag it.
+        reference = next(
+            (a for a in range(data.shape[1]) if not dead or a not in dead), None
+        )
+        if reference is None:
+            indicator = np.full(data.shape[0], np.nan)
+            return MovementResult(
+                indicator=indicator,
+                moving=np.zeros(data.shape[0], dtype=bool),
+                threshold=cfg.movement_threshold,
+            )
         lag = max(1, int(round(cfg.movement_lag_seconds * fs)))
         indicator = self_trrs_indicator(
-            data[:, 0], lag, virtual_window=max(1, cfg.virtual_window // 4)
+            data[:, reference], lag, virtual_window=max(1, cfg.virtual_window // 4)
         )
         return detect_movement(
             indicator, threshold=cfg.movement_threshold, min_run=cfg.movement_min_run
@@ -223,6 +310,7 @@ class Rim:
         norm: np.ndarray,
         moving: np.ndarray,
         fs: float,
+        dead: Optional[set] = None,
     ):
         """Concurrent ring-pair alignment ⇒ in-place rotation (§4.4(3))."""
         cfg = self.config
@@ -230,6 +318,14 @@ class Rim:
             return [], []
 
         ring = adjacent_ring_pairs(trace.array)
+        if dead:
+            # Pairs touching a dead chain carry all-NaN TRRS rows; drop
+            # them from the vote.  The near-unanimity requirement below
+            # shrinks with the surviving ring, so rotation sensing keeps
+            # working (at reduced confidence) until too few pairs remain.
+            ring = [p for p in ring if p.i not in dead and p.j not in dead]
+            if len(ring) < 2 * cfg.rotation_min_groups:
+                return [], []
         # Cheap screen first: rotation requires most ring pairs prominent.
         pre_scores = []
         for p in ring:
@@ -417,6 +513,7 @@ class Rim:
         moving: np.ndarray,
         rotations: List[RotationEvent],
         fs: float,
+        blind: Optional[np.ndarray] = None,
     ) -> MotionEstimate:
         cfg = self.config
         t = trace.n_samples
@@ -452,6 +549,10 @@ class Rim:
             heading = refine_headings(
                 tracks, choice, heading, floor=cfg.selection_min_quality
             )
+
+        if blind is not None and blind.any():
+            speed[blind] = np.nan
+            heading[blind] = np.nan
 
         speed = self._fill_speed_episodes(speed, translating)
         speed = smooth_speed(speed, cfg.speed_smoothing)

@@ -25,6 +25,8 @@ from repro.channel.sampler import CsiTrace
 from repro.core.config import RimConfig
 from repro.core.rim import Rim
 from repro.motionsim.trajectory import Trajectory
+from repro.robustness.guard import GuardError, StreamGuard
+from repro.robustness.health import HealthReport
 
 
 @dataclass
@@ -38,6 +40,9 @@ class MotionUpdate:
         moving: (B,) movement mask.
         block_distance: Distance covered within this block, meters.
         total_distance: Cumulative distance since the stream started.
+        health: Health telemetry for this block (loss, liveness, repairs,
+            degradation) — None only when the guard is off and the
+            estimator produced no report.
     """
 
     times: np.ndarray
@@ -46,6 +51,7 @@ class MotionUpdate:
     moving: np.ndarray
     block_distance: float
     total_distance: float
+    health: Optional[HealthReport] = None
 
 
 class StreamingRim:
@@ -86,11 +92,17 @@ class StreamingRim:
         )
 
         self._rim = Rim(self.config)
+        # Packet-level guard: the block buffer must stay strictly monotonic
+        # (a non-monotonic dt corrupts block distance), so duplicates and
+        # late packets are rejected at the door rather than mid-block.
+        self._guard = StreamGuard(policy=self.config.guard_policy)
         self._packets: List[np.ndarray] = []
         self._times: List[float] = []
         self._pending_start = 0  # buffer index where unreported samples begin
         self._total_distance = 0.0
         self._n_pushed = 0
+        self._last_good_speed = 0.0
+        self._clock_resamples = 0
 
     @property
     def total_distance(self) -> float:
@@ -103,6 +115,11 @@ class StreamingRim:
 
     def push(self, packet: np.ndarray, timestamp: Optional[float] = None):
         """Feed one CSI packet; returns a MotionUpdate when a block completes.
+
+        Non-monotonic, duplicate, or non-finite timestamps are handled by
+        the stream guard according to ``config.guard_policy``: rejected
+        quietly under ``"repair"``/``"drop"`` (counted in the next block's
+        health report) or raised as :class:`GuardError` under ``"raise"``.
 
         Args:
             packet: (n_rx, n_tx, S) complex CFRs for this packet (NaN for a
@@ -120,8 +137,12 @@ class StreamingRim:
             )
         if timestamp is None:
             timestamp = self._n_pushed / self.sampling_rate
+        admitted = self._guard.admit(packet, float(timestamp))
+        if admitted is None:
+            return None
+        packet, timestamp = admitted
         self._packets.append(packet)
-        self._times.append(float(timestamp))
+        self._times.append(timestamp)
         self._n_pushed += 1
 
         pending = len(self._packets) - self._pending_start
@@ -142,6 +163,7 @@ class StreamingRim:
         times = np.asarray(self._times)
         t = data.shape[0]
         start_new = self._pending_start
+        times, resampled = self._repair_clock(times)
 
         trace = CsiTrace(
             data=data.astype(np.complex64),
@@ -154,22 +176,41 @@ class StreamingRim:
         result = self._rim.process(trace)
 
         motion = result.motion
+        health = result.health
+        if health is not None:
+            repairs = dict(health.repairs)
+            for key, value in self._guard.drain_counters().items():
+                repairs[key] = repairs.get(key, 0) + value
+            if resampled:
+                repairs["clock_resampled"] = repairs.get("clock_resampled", 0) + 1
+            health.repairs = repairs
+
+        # Graceful degradation: a block with too little usable geometry
+        # holds the last known-good speed instead of the batch default of
+        # zero — motion does not stop because an antenna died mid-stream.
+        speed = motion.speed
+        if health is not None and health.degraded:
+            speed = np.where(motion.moving, self._last_good_speed, 0.0)
+        else:
+            good = motion.moving & np.isfinite(motion.speed)
+            if good.any():
+                self._last_good_speed = float(motion.speed[np.nonzero(good)[0][-1]])
+
         sel = slice(start_new, t)
         dt = np.diff(times, prepend=times[0])
         dt[0] = 0.0
-        speed_used = np.where(
-            motion.moving & np.isfinite(motion.speed), motion.speed, 0.0
-        )
+        speed_used = np.where(motion.moving & np.isfinite(speed), speed, 0.0)
         block_distance = float(np.sum(speed_used[sel] * dt[sel]))
         self._total_distance += block_distance
 
         update = MotionUpdate(
             times=times[sel].copy(),
-            speed=motion.speed[sel].copy(),
+            speed=speed[sel].copy(),
             heading=motion.heading[sel].copy(),
             moving=motion.moving[sel].copy(),
             block_distance=block_distance,
             total_distance=self._total_distance,
+            health=health,
         )
 
         # Trim the buffer down to the context window.
@@ -178,6 +219,28 @@ class StreamingRim:
         self._times = self._times[keep_from:]
         self._pending_start = t - keep_from
         return update
+
+    def _repair_clock(self, times: np.ndarray):
+        """Snap drifted timestamps onto the nominal sampling grid.
+
+        The batch guard cannot see the nominal rate from inside a block
+        (the placeholder trajectory's clock IS the drifted clock), so the
+        stream wrapper — which knows ``sampling_rate`` — checks drift here.
+        """
+        cfg = self.config
+        if cfg.guard_policy == "off" or times.size < 2:
+            return times, False
+        median_dt = float(np.median(np.diff(times)))
+        drift = median_dt * self.sampling_rate - 1.0
+        if abs(drift) <= cfg.guard_max_drift:
+            return times, False
+        if cfg.guard_policy == "raise":
+            raise GuardError(
+                f"stream clock drifted {drift * 1e6:.0f} ppm from the nominal "
+                f"{self.sampling_rate:g} Hz grid"
+            )
+        self._clock_resamples += 1
+        return times[0] + np.arange(times.size) / self.sampling_rate, True
 
 
 def _placeholder_trajectory(times: np.ndarray) -> Trajectory:

@@ -1,0 +1,29 @@
+"""Fault-tolerant CSI ingestion: fault injection, guarding, health.
+
+The paper's pitch is that RIM keeps working where other modalities fail
+(§1, §6.2.9); this package makes the *pipeline* live up to that on messy
+input.  ``faults`` synthesizes realistic ingestion faults, ``guard``
+validates/repairs input in front of both estimators, and ``health``
+reports what happened so callers can trust (or distrust) each estimate.
+"""
+
+from repro.robustness.faults import FaultPlan
+from repro.robustness.guard import GuardError, GuardReport, StreamGuard, guard_trace
+from repro.robustness.health import (
+    HealthReport,
+    alignment_confidence,
+    apply_degradation,
+    build_health,
+)
+
+__all__ = [
+    "FaultPlan",
+    "GuardError",
+    "GuardReport",
+    "HealthReport",
+    "StreamGuard",
+    "alignment_confidence",
+    "apply_degradation",
+    "build_health",
+    "guard_trace",
+]

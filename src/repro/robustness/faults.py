@@ -1,0 +1,260 @@
+"""Deterministic CSI fault injection for robustness testing.
+
+Real COTS CSI ingestion breaks in ways the channel-level impairment model
+(`repro.channel.impairments`) does not cover: RX chains die or flap, loss
+arrives in bursts longer than the interpolator's reach, timestamps come
+back out of order or duplicated, sampling clocks drift, AGC steps the gain
+mid-trace, and packets arrive truncated.  A :class:`FaultPlan` composes
+any subset of these orthogonal fault classes and applies them to a
+:class:`~repro.channel.sampler.CsiTrace` (or replays them as a packet
+stream), seeded so every sweep is reproducible.
+
+The injector perturbs only what a receiver would observe — ``data`` and
+``times`` — never the ground-truth trajectory, so evaluation against truth
+still works on a faulted trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.channel.sampler import CsiTrace
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A composable, seedable description of ingestion faults.
+
+    Attributes:
+        seed: RNG seed; the same plan on the same trace is byte-identical.
+        dead_chains: RX chains that produce no usable CSI at all (NaN for
+            the whole trace) — a dead cable / front-end.
+        flaky_chain: One RX chain that drops out in bursts (loose
+            connector); ``None`` disables.
+        flaky_rate: Fraction of the flaky chain's packets lost.
+        flaky_burst: Mean dropout burst length of the flaky chain, packets.
+        loss_rate: Extra bursty loss applied to *all* chains (congested
+            medium); fraction of packets lost.
+        loss_burst: Mean burst length of that loss, packets — set it above
+            ``RimConfig.interpolation_max_gap`` to defeat interpolation.
+        reorder_fraction: Fraction of packets delivered out of order
+            (swapped with their successor, carrying their true timestamps).
+        duplicate_fraction: Fraction of packets delivered twice (same
+            payload, same timestamp).
+        timestamp_jitter_std: Std-dev of additive timestamp noise, seconds
+            (host-side timestamping jitter).
+        clock_drift: Fractional sampling-clock drift; 100e-6 means the
+            reported timestamps run 100 ppm fast.
+        gain_step_db: Magnitude of AGC gain steps applied to the CSI, dB.
+        n_gain_steps: Number of AGC steps over the trace (0 disables).
+        truncate_fraction: Fraction of packets whose subcarrier tail is
+            corrupted (NaN from a random cut point on) — truncated capture.
+    """
+
+    seed: int = 0
+    dead_chains: Tuple[int, ...] = ()
+    flaky_chain: Optional[int] = None
+    flaky_rate: float = 0.25
+    flaky_burst: int = 4
+    loss_rate: float = 0.0
+    loss_burst: int = 10
+    reorder_fraction: float = 0.0
+    duplicate_fraction: float = 0.0
+    timestamp_jitter_std: float = 0.0
+    clock_drift: float = 0.0
+    gain_step_db: float = 0.0
+    n_gain_steps: int = 0
+    truncate_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("flaky_rate", "loss_rate", "reorder_fraction",
+                     "duplicate_fraction", "truncate_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.flaky_burst < 1 or self.loss_burst < 1:
+            raise ValueError("burst lengths must be >= 1 packet")
+        if self.timestamp_jitter_std < 0:
+            raise ValueError("timestamp_jitter_std must be >= 0")
+        if self.n_gain_steps < 0:
+            raise ValueError("n_gain_steps must be >= 0")
+        if any(c < 0 for c in self.dead_chains):
+            raise ValueError("dead_chains must be non-negative indices")
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the plan injects nothing."""
+        return (
+            not self.dead_chains
+            and self.flaky_chain is None
+            and self.loss_rate == 0.0
+            and self.reorder_fraction == 0.0
+            and self.duplicate_fraction == 0.0
+            and self.timestamp_jitter_std == 0.0
+            and self.clock_drift == 0.0
+            and (self.gain_step_db == 0.0 or self.n_gain_steps == 0)
+            and self.truncate_fraction == 0.0
+        )
+
+    # -- application -------------------------------------------------------
+
+    def apply(self, trace: CsiTrace) -> CsiTrace:
+        """Return a faulted copy of ``trace`` (ground truth untouched)."""
+        if self.is_clean:
+            return trace
+        rng = np.random.default_rng(self.seed)
+        data = np.array(trace.data, dtype=np.complex64, copy=True)
+        times = np.array(trace.times, dtype=np.float64, copy=True)
+        t, n_rx = data.shape[0], data.shape[1]
+
+        for chain in (self.dead_chains or ()):
+            if chain >= n_rx:
+                raise ValueError(f"dead chain {chain} out of range (n_rx={n_rx})")
+
+        # AGC gain steps: piecewise-constant common gain, random step signs.
+        if self.gain_step_db != 0.0 and self.n_gain_steps > 0:
+            gain_db = np.zeros(t)
+            steps = rng.choice(np.arange(1, t), size=min(self.n_gain_steps, t - 1),
+                               replace=False)
+            for at in steps:
+                gain_db[at:] += self.gain_step_db * rng.choice((-1.0, 1.0))
+            data *= (10.0 ** (gain_db / 20.0)).astype(np.float32)[:, None, None, None]
+
+        # Bursty loss on all chains (beyond the interpolator's reach).
+        lost = _burst_mask(rng, t, self.loss_rate, self.loss_burst)
+        if lost.any():
+            data[lost] = np.nan + 1j * np.nan
+
+        # Flaky chain: the same burst process confined to one chain.
+        if self.flaky_chain is not None:
+            if self.flaky_chain >= n_rx:
+                raise ValueError(
+                    f"flaky chain {self.flaky_chain} out of range (n_rx={n_rx})"
+                )
+            flap = _burst_mask(rng, t, self.flaky_rate, self.flaky_burst)
+            data[flap, self.flaky_chain] = np.nan + 1j * np.nan
+
+        # Dead chains: nothing ever arrives.
+        for chain in self.dead_chains:
+            data[:, chain] = np.nan + 1j * np.nan
+
+        # Truncated packets: NaN subcarrier tails from a random cut point.
+        if self.truncate_fraction > 0.0:
+            s = data.shape[3]
+            hit = rng.uniform(size=t) < self.truncate_fraction
+            for k in np.nonzero(hit)[0]:
+                cut = int(rng.integers(max(1, s // 4), max(2, 3 * s // 4)))
+                data[k, :, :, cut:] = np.nan + 1j * np.nan
+
+        # Clock faults: jitter, then drift (both leave packet order intact
+        # in ``data``; jitter may locally invert the reported timestamps).
+        if self.timestamp_jitter_std > 0.0:
+            times = times + rng.normal(0.0, self.timestamp_jitter_std, t)
+        if self.clock_drift != 0.0:
+            times = times[0] + (times - times[0]) * (1.0 + self.clock_drift)
+
+        # Delivery reordering: swap a packet with its successor, each
+        # keeping its own timestamp — the receiver sees time run backwards.
+        if self.reorder_fraction > 0.0:
+            order = np.arange(t)
+            swaps = np.nonzero(rng.uniform(size=t - 1) < self.reorder_fraction)[0]
+            done_until = -1
+            for k in swaps:
+                if k <= done_until:  # keep swaps disjoint
+                    continue
+                order[k], order[k + 1] = order[k + 1], order[k]
+                done_until = k + 1
+            data = data[order]
+            times = times[order]
+
+        # Duplicate delivery: the same packet (and timestamp) twice.
+        if self.duplicate_fraction > 0.0:
+            dup = np.nonzero(rng.uniform(size=data.shape[0]) < self.duplicate_fraction)[0]
+            index = np.sort(np.concatenate([np.arange(data.shape[0]), dup]))
+            data = data[index]
+            times = times[index]
+
+        return replace(trace, data=data, times=times)
+
+    def iter_packets(self, trace: CsiTrace) -> Iterator[Tuple[np.ndarray, float]]:
+        """Replay the faulted trace as an ingestion stream.
+
+        Yields ``(packet, timestamp)`` in delivery order — the exact
+        sequence :meth:`~repro.core.streaming.StreamingRim.push` would see.
+        """
+        faulted = self.apply(trace)
+        for k in range(faulted.data.shape[0]):
+            yield faulted.data[k], float(faulted.times[k])
+
+    # -- parsing -----------------------------------------------------------
+
+    _SPEC_ALIASES = {
+        "loss": "loss_rate",
+        "burst": "loss_burst",
+        "reorder": "reorder_fraction",
+        "duplicate": "duplicate_fraction",
+        "jitter": "timestamp_jitter_std",
+        "drift": "clock_drift",
+        "gain_db": "gain_step_db",
+        "gain_steps": "n_gain_steps",
+        "truncate": "truncate_fraction",
+        "dead_chain": "dead_chains",
+    }
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a compact CLI spec like ``"dead_chain=1,loss=0.1,burst=12"``.
+
+        Keys are field names or their short aliases (``loss``, ``burst``,
+        ``reorder``, ``duplicate``, ``jitter``, ``drift``, ``gain_db``,
+        ``gain_steps``, ``truncate``, ``dead_chain``).  ``dead_chain``
+        accepts ``+``-separated indices (``dead_chain=0+2``).
+        """
+        spec = (spec or "").strip()
+        if not spec:
+            return cls()
+        field_types = {f.name: f.type for f in fields(cls)}
+        kwargs = {}
+        for item in spec.split(","):
+            if "=" not in item:
+                raise ValueError(f"malformed fault spec item {item!r} (want key=value)")
+            key, value = (part.strip() for part in item.split("=", 1))
+            name = cls._SPEC_ALIASES.get(key, key)
+            if name not in field_types:
+                known = sorted(set(field_types) | set(cls._SPEC_ALIASES))
+                raise ValueError(
+                    f"unknown fault spec key {key!r}; known keys: {', '.join(known)}"
+                )
+            if name == "dead_chains":
+                kwargs[name] = tuple(int(v) for v in value.split("+"))
+            elif name in ("seed", "flaky_chain", "flaky_burst", "loss_burst",
+                          "n_gain_steps"):
+                kwargs[name] = int(value)
+            else:
+                kwargs[name] = float(value)
+        return cls(**kwargs)
+
+
+def _burst_mask(
+    rng: np.random.Generator, t: int, rate: float, mean_burst: int
+) -> np.ndarray:
+    """(T,) loss mask with the target rate from geometric-length bursts."""
+    mask = np.zeros(t, dtype=bool)
+    if rate <= 0.0 or t == 0:
+        return mask
+    target = rate * t
+    lost = 0
+    # Cap iterations so a pathological draw can never spin forever.
+    for _ in range(4 * t):
+        if lost >= target:
+            break
+        start = int(rng.integers(0, t))
+        length = 1 + rng.geometric(1.0 / max(1, mean_burst)) - 1
+        stop = min(t, start + max(1, int(length)))
+        fresh = np.count_nonzero(~mask[start:stop])
+        mask[start:stop] = True
+        lost += fresh
+    return mask

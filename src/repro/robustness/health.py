@@ -1,0 +1,158 @@
+"""Per-block health telemetry and the graceful-degradation policy.
+
+Every ``Rim.process`` call (and therefore every ``StreamingRim`` block)
+produces a :class:`HealthReport`: how much input was lost, which RX chains
+are alive, how many antenna pairs the estimator could actually use, how
+confident the alignment vote was, and what the input guard repaired.  A
+serving layer watches these instead of parsing logs.
+
+Degradation policy (:func:`apply_degradation`): when the usable pair count
+falls below ``RimConfig.health_min_pairs`` the estimate is no longer
+trustworthy — speed holds the last known-good value over moving samples
+(a pedestrian does not teleport to a stop because an antenna died) and
+heading is marked unresolved (NaN) rather than reported from noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.robustness.guard import GuardReport
+
+
+@dataclass
+class HealthReport:
+    """Health of one processed trace / stream block.
+
+    Attributes:
+        n_samples: Packets processed (after guarding).
+        n_chains: RX chains in the array.
+        loss_rate: Lost-slot fraction over live chains.
+        chain_liveness: (n_rx,) fraction of finite packets per chain.
+        dead_chains: Chains masked out as dead.
+        usable_pairs: Antenna pairs not touching a dead chain.
+        usable_groups: Parallel-isometric groups with at least one usable pair.
+        alignment_confidence: Mean best-group quality over moving samples
+            (0 when nothing moved or nothing tracked).
+        repairs: Nonzero guard repair counters.
+        degraded: True when the degradation policy kicked in.
+        heading_unresolved: True when headings were withheld as untrustworthy.
+    """
+
+    n_samples: int
+    n_chains: int
+    loss_rate: float = 0.0
+    chain_liveness: Optional[np.ndarray] = None
+    dead_chains: List[int] = field(default_factory=list)
+    usable_pairs: int = 0
+    usable_groups: int = 0
+    alignment_confidence: float = 0.0
+    repairs: Dict[str, int] = field(default_factory=dict)
+    degraded: bool = False
+    heading_unresolved: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the block needed neither repairs nor degradation."""
+        return not self.degraded and not self.repairs and not self.dead_chains
+
+    def summary(self) -> str:
+        """A compact multi-line rendering for CLIs and logs."""
+        if self.degraded:
+            state = "DEGRADED"
+        elif self.dead_chains or self.repairs:
+            state = "impaired"
+        else:
+            state = "ok"
+        lines = [
+            f"health: {state} ({self.n_samples} packets, {self.n_chains} chains)",
+            f"  loss rate        {self.loss_rate:.1%}",
+        ]
+        if self.chain_liveness is not None:
+            live = " ".join(f"{v:.2f}" for v in np.asarray(self.chain_liveness))
+            lines.append(f"  chain liveness   [{live}]")
+        if self.dead_chains:
+            lines.append(f"  dead chains      {self.dead_chains}")
+        lines.append(
+            f"  usable pairs     {self.usable_pairs} in {self.usable_groups} groups"
+        )
+        lines.append(f"  align confidence {self.alignment_confidence:.3f}")
+        if self.repairs:
+            fixes = ", ".join(f"{k}={v}" for k, v in self.repairs.items())
+            lines.append(f"  repairs          {fixes}")
+        if self.heading_unresolved:
+            lines.append("  heading          unresolved (held back by policy)")
+        return "\n".join(lines)
+
+
+def build_health(
+    n_samples: int,
+    n_chains: int,
+    guard_report: Optional[GuardReport],
+    usable_pairs: int,
+    usable_groups: int,
+    tracks: Sequence = (),
+    moving: Optional[np.ndarray] = None,
+    extra_repairs: Optional[Dict[str, int]] = None,
+) -> HealthReport:
+    """Assemble a report from guard output and pipeline state."""
+    report = HealthReport(
+        n_samples=n_samples,
+        n_chains=n_chains,
+        usable_pairs=usable_pairs,
+        usable_groups=usable_groups,
+    )
+    if guard_report is not None:
+        report.loss_rate = guard_report.loss_rate
+        report.chain_liveness = guard_report.chain_liveness
+        report.dead_chains = list(guard_report.dead_chains)
+        report.repairs = guard_report.repairs()
+    if extra_repairs:
+        merged = dict(report.repairs)
+        for key, value in extra_repairs.items():
+            merged[key] = merged.get(key, 0) + value
+        report.repairs = {k: v for k, v in merged.items() if v}
+    report.alignment_confidence = alignment_confidence(tracks, moving)
+    return report
+
+
+def alignment_confidence(
+    tracks: Sequence, moving: Optional[np.ndarray] = None
+) -> float:
+    """Mean best-track quality over moving samples (0 if untracked/still)."""
+    if not tracks:
+        return 0.0
+    quality = np.stack([np.asarray(t.quality, dtype=np.float64) for t in tracks])
+    quality = np.nan_to_num(quality, nan=0.0)
+    best = quality.max(axis=0)
+    if moving is not None:
+        moving = np.asarray(moving, dtype=bool)
+        if not moving.any():
+            return 0.0
+        best = best[moving]
+    return float(best.mean()) if best.size else 0.0
+
+
+def apply_degradation(
+    motion,
+    health: HealthReport,
+    min_pairs: int,
+    last_good_speed: float = 0.0,
+):
+    """Enforce the degradation policy on a MotionEstimate.
+
+    When fewer than ``min_pairs`` antenna pairs are usable, returns a copy
+    of ``motion`` whose speed holds ``last_good_speed`` over moving samples
+    and whose heading is entirely NaN; marks the health report accordingly.
+    Otherwise returns ``motion`` unchanged.
+    """
+    if health.usable_pairs >= min_pairs:
+        return motion
+    health.degraded = True
+    health.heading_unresolved = True
+    speed = np.where(motion.moving, float(last_good_speed), 0.0)
+    heading = np.full(motion.heading.shape, np.nan)
+    return replace(motion, speed=speed, heading=heading)

@@ -43,3 +43,34 @@ class TestRimConfig:
         assert cfg.max_lag == 42
         assert cfg.virtual_window == 11
         assert not cfg.sanitize
+
+    def test_interpolation_max_gap_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            RimConfig(interpolation_max_gap=-1)
+        assert RimConfig(interpolation_max_gap=0).interpolation_max_gap == 0
+
+    def test_smoothing_windows_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RimConfig(quality_smoothing=0)
+        with pytest.raises(ValueError):
+            RimConfig(speed_smoothing=0)
+        with pytest.raises(ValueError):
+            RimConfig(movement_min_run=0)
+        with pytest.raises(ValueError):
+            RimConfig(pre_detect_keep=0)
+
+    def test_guard_policy_validated(self):
+        for policy in ("off", "raise", "drop", "repair"):
+            assert RimConfig(guard_policy=policy).guard_policy == policy
+        with pytest.raises(ValueError, match="guard_policy"):
+            RimConfig(guard_policy="bogus")
+
+    def test_guard_liveness_and_drift_bounds(self):
+        with pytest.raises(ValueError):
+            RimConfig(guard_min_liveness=-0.1)
+        with pytest.raises(ValueError):
+            RimConfig(guard_min_liveness=1.5)
+        with pytest.raises(ValueError):
+            RimConfig(guard_max_drift=0.0)
+        with pytest.raises(ValueError):
+            RimConfig(health_min_pairs=-1)

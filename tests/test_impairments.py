@@ -20,6 +20,36 @@ def _ideal_csi(grid, t=50, n_rx=2, n_tx=2, seed=0):
     )
 
 
+class TestConfigValidation:
+    def test_negative_loss_rate_rejected(self):
+        with pytest.raises(ValueError, match="packet_loss_rate"):
+            ImpairmentConfig(packet_loss_rate=-0.01)
+
+    def test_loss_rate_of_one_rejected(self):
+        with pytest.raises(ValueError, match="packet_loss_rate"):
+            ImpairmentConfig(packet_loss_rate=1.0)
+
+    def test_negative_burstiness_rejected(self):
+        with pytest.raises(ValueError, match="loss_burstiness"):
+            ImpairmentConfig(loss_burstiness=-0.5)
+
+    def test_negative_noise_params_rejected(self):
+        with pytest.raises(ValueError, match="timing_jitter_std"):
+            ImpairmentConfig(timing_jitter_std=-1e-9)
+        with pytest.raises(ValueError, match="cfo_phase_std"):
+            ImpairmentConfig(cfo_phase_std=-0.1)
+        with pytest.raises(ValueError, match="antenna_ripple"):
+            ImpairmentConfig(antenna_ripple=-0.1)
+        with pytest.raises(ValueError, match="ripple_components"):
+            ImpairmentConfig(ripple_components=0)
+
+    def test_boundary_values_accepted(self):
+        cfg = ImpairmentConfig(
+            packet_loss_rate=0.0, loss_burstiness=0.0, timing_jitter_std=0.0
+        )
+        assert cfg.packet_loss_rate == 0.0
+
+
 class TestCleanConfig:
     def test_clean_is_identity(self, grid):
         csi = _ideal_csi(grid)

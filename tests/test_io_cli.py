@@ -65,6 +65,43 @@ class TestTraceIO:
         assert loaded.array.circular
         assert loaded.array.n_nics == 2
 
+    def test_nan_rows_survive_roundtrip(self, tmp_path, fast_sampler, three_antenna):
+        """Lost-packet NaN rows must persist bit-exactly through .npz."""
+        from dataclasses import replace
+
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 0.5)
+        trace = fast_sampler.sample(traj, three_antenna)
+        data = trace.data.copy()
+        data[3:7] = np.nan  # a whole lost burst
+        data[10, 1] = np.nan  # one dead-chain row
+        trace = replace(trace, data=data)
+        path = tmp_path / "lossy.npz"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(
+            np.isnan(loaded.data.real), np.isnan(trace.data.real)
+        )
+        finite = np.isfinite(trace.data.real)
+        np.testing.assert_array_equal(loaded.data[finite], trace.data[finite])
+        assert loaded.data.dtype == trace.data.dtype
+
+    def test_faulted_trace_roundtrip_processes(
+        self, tmp_path, fast_sampler, three_antenna
+    ):
+        from repro import FaultPlan, Rim, RimConfig
+
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 1.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        faulted = FaultPlan(seed=3, loss_rate=0.1, loss_burst=6).apply(trace)
+        path = tmp_path / "faulted.npz"
+        save_trace(path, faulted)
+        loaded = load_trace(path)
+        rim = Rim(RimConfig(max_lag=40))
+        a = rim.process(faulted)
+        b = rim.process(loaded)
+        assert a.total_distance == pytest.approx(b.total_distance, rel=1e-9)
+        assert b.health is not None
+
 
 class TestCli:
     def test_parser_requires_command(self):
@@ -80,6 +117,12 @@ class TestCli:
     def test_run_unknown_experiment(self, capsys):
         assert main(["run", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_demo_fault_plan_flag(self):
+        args = build_parser().parse_args(
+            ["demo", "--fault-plan", "dead_chain=1,loss=0.1"]
+        )
+        assert args.fault_plan == "dead_chain=1,loss=0.1"
 
     def test_run_parser_flags(self):
         args = build_parser().parse_args(["run", "fig11", "--full", "--seed", "3"])

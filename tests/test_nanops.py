@@ -1,0 +1,63 @@
+"""Unit tests for the silent NaN-tolerant reductions in repro.nanops."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.nanops import nanmax, nanmean, nanmedian
+
+ALL_FUNCS = [nanmean, nanmedian, nanmax]
+NUMPY_EQUIV = {nanmean: np.nanmean, nanmedian: np.nanmedian, nanmax: np.nanmax}
+
+
+@pytest.mark.parametrize("func", ALL_FUNCS)
+def test_matches_numpy_on_finite_input(func):
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=(4, 5))
+    np.testing.assert_allclose(func(values), NUMPY_EQUIV[func](values))
+    np.testing.assert_allclose(func(values, axis=0), NUMPY_EQUIV[func](values, axis=0))
+    np.testing.assert_allclose(func(values, axis=1), NUMPY_EQUIV[func](values, axis=1))
+
+
+@pytest.mark.parametrize("func", ALL_FUNCS)
+def test_ignores_scattered_nans(func):
+    values = np.array([[1.0, np.nan, 3.0], [np.nan, 2.0, 4.0]])
+    out = func(values, axis=0)
+    assert np.isfinite(out).all()
+    np.testing.assert_allclose(out, NUMPY_EQUIV[func](values, axis=0))
+
+
+@pytest.mark.parametrize("func", ALL_FUNCS)
+def test_all_nan_input_returns_nan_silently(func):
+    values = np.full((3, 4), np.nan)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # any RuntimeWarning becomes a failure
+        assert np.isnan(func(values))
+        assert np.isnan(func(values, axis=0)).all()
+        assert np.isnan(func(values, axis=1)).all()
+
+
+@pytest.mark.parametrize("func", ALL_FUNCS)
+def test_all_nan_slice_along_axis_is_silent(func):
+    values = np.array([[1.0, np.nan], [2.0, np.nan]])
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        out = func(values, axis=0)
+    assert np.isfinite(out[0])
+    assert np.isnan(out[1])
+
+
+@pytest.mark.parametrize("func", ALL_FUNCS)
+def test_does_not_suppress_warnings_for_caller(func):
+    """The warning filter must not leak outside the wrapper."""
+    func(np.full(3, np.nan))
+    with pytest.warns(RuntimeWarning):
+        warnings.warn("still visible", RuntimeWarning)
+
+
+def test_nanmax_all_nan_no_value_error():
+    # Plain np.nanmax warns (not raises) on all-NaN; the wrapper must too.
+    assert np.isnan(nanmax(np.array([np.nan, np.nan])))

@@ -1,0 +1,342 @@
+"""Fault-matrix tests: the pipeline must degrade, never fall over.
+
+Every fault class of :class:`repro.robustness.FaultPlan` is run through the
+batch and streaming estimators under ``policy="repair"`` asserting
+no-crash, plus targeted checks of the guard policies, the degradation
+policy, and the ISSUE acceptance scenario (bursty loss + dead chain with
+bounded error and a health report flagging both).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FaultPlan, GuardError, Rim, RimConfig, linear_array
+from repro.channel.impairments import ImpairmentConfig
+from repro.channel.model import MultipathChannel
+from repro.channel.ofdm import make_grid
+from repro.channel.sampler import CsiSampler, ap_antenna_positions
+from repro.channel.scatterers import uniform_field
+from repro.core.streaming import StreamingRim
+from repro.motionsim.profiles import line_trajectory
+from repro.robustness.guard import StreamGuard, guard_trace
+from repro.robustness.health import HealthReport, apply_degradation
+
+CFG = RimConfig(max_lag=50)
+
+FAULT_MATRIX = {
+    "dead_chain": FaultPlan(seed=11, dead_chains=(2,)),
+    "flaky_chain": FaultPlan(seed=12, flaky_chain=1, flaky_rate=0.3, flaky_burst=8),
+    "loss_bursts": FaultPlan(seed=13, loss_rate=0.15, loss_burst=12),
+    "reordering": FaultPlan(seed=14, reorder_fraction=0.05),
+    "duplication": FaultPlan(seed=15, duplicate_fraction=0.05),
+    "timestamp_jitter": FaultPlan(seed=16, timestamp_jitter_std=5e-4),
+    "clock_drift": FaultPlan(seed=17, clock_drift=500e-6),
+    "agc_steps": FaultPlan(seed=18, gain_step_db=6.0, n_gain_steps=3),
+    "truncation": FaultPlan(seed=19, truncate_fraction=0.08),
+    "everything": FaultPlan(
+        seed=20,
+        dead_chains=(2,),
+        loss_rate=0.08,
+        loss_burst=10,
+        reorder_fraction=0.02,
+        duplicate_fraction=0.02,
+        timestamp_jitter_std=2e-4,
+        clock_drift=200e-6,
+        gain_step_db=3.0,
+        n_gain_steps=2,
+        truncate_fraction=0.03,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def robust_trace():
+    """A dedicated trace with module-owned RNGs (order-independent)."""
+    rng = np.random.default_rng(777)
+    grid = make_grid().grouped(30)
+    field = uniform_field(20.0, 15.0, n_scatterers=60, rng=rng)
+    channel = MultipathChannel(scatterers=field, grid=grid, los_gain=0.5)
+    sampler = CsiSampler(
+        channel=channel,
+        tx_positions=ap_antenna_positions((1.0, 1.0), n_tx=2),
+        impairments=ImpairmentConfig(snr_db=25.0),
+        rng=np.random.default_rng(778),
+    )
+    trajectory = line_trajectory((10.0, 8.0), 0.0, 0.5, 3.0)
+    return sampler.sample(trajectory, linear_array(3))
+
+
+class TestFaultPlan:
+    def test_clean_plan_is_identity(self, robust_trace):
+        assert FaultPlan().apply(robust_trace) is robust_trace
+
+    def test_deterministic(self, robust_trace):
+        plan = FaultPlan(seed=5, loss_rate=0.1, reorder_fraction=0.05)
+        a = plan.apply(robust_trace)
+        b = plan.apply(robust_trace)
+        np.testing.assert_array_equal(a.times, b.times)
+        np.testing.assert_array_equal(
+            np.isnan(a.data.real), np.isnan(b.data.real)
+        )
+
+    def test_dead_chain_is_all_nan(self, robust_trace):
+        faulted = FaultPlan(seed=1, dead_chains=(1,)).apply(robust_trace)
+        assert np.isnan(faulted.data[:, 1]).all()
+        assert np.isfinite(faulted.data[:, 0]).any()
+
+    def test_duplicates_lengthen_the_stream(self, robust_trace):
+        faulted = FaultPlan(seed=2, duplicate_fraction=0.1).apply(robust_trace)
+        assert faulted.data.shape[0] > robust_trace.data.shape[0]
+        assert np.any(np.diff(faulted.times) == 0.0)
+
+    def test_reordering_breaks_monotonicity(self, robust_trace):
+        faulted = FaultPlan(seed=3, reorder_fraction=0.2).apply(robust_trace)
+        assert np.any(np.diff(faulted.times) < 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(loss_burst=0)
+        with pytest.raises(ValueError):
+            FaultPlan(dead_chains=(-1,))
+
+    def test_from_spec_roundtrip(self):
+        plan = FaultPlan.from_spec("dead_chain=0+2,loss=0.1,burst=12,seed=7")
+        assert plan.dead_chains == (0, 2)
+        assert plan.loss_rate == pytest.approx(0.1)
+        assert plan.loss_burst == 12
+        assert plan.seed == 7
+        assert FaultPlan.from_spec("").is_clean
+
+    def test_from_spec_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown fault spec key"):
+            FaultPlan.from_spec("bogus=1")
+        with pytest.raises(ValueError, match="key=value"):
+            FaultPlan.from_spec("loss")
+
+
+class TestGuardTrace:
+    def test_clean_trace_untouched(self, robust_trace):
+        guarded, report = guard_trace(robust_trace, policy="repair")
+        assert guarded is robust_trace
+        assert report.repairs() == {}
+        assert report.dead_chains == []
+
+    def test_repair_restores_order_and_dedups(self, robust_trace):
+        plan = FaultPlan(seed=4, reorder_fraction=0.1, duplicate_fraction=0.05)
+        faulted = plan.apply(robust_trace)
+        guarded, report = guard_trace(faulted, policy="repair")
+        assert np.all(np.diff(guarded.times) > 0)
+        assert guarded.data.shape[0] == robust_trace.data.shape[0]
+        assert report.duplicates_dropped > 0
+        assert report.reordered_repaired > 0
+        np.testing.assert_allclose(guarded.times, robust_trace.times)
+
+    def test_raise_policy_raises(self, robust_trace):
+        faulted = FaultPlan(seed=4, reorder_fraction=0.1).apply(robust_trace)
+        with pytest.raises(GuardError):
+            guard_trace(faulted, policy="raise")
+
+    def test_drop_policy_keeps_monotonic_subsequence(self, robust_trace):
+        faulted = FaultPlan(seed=4, reorder_fraction=0.1).apply(robust_trace)
+        guarded, report = guard_trace(faulted, policy="drop")
+        assert np.all(np.diff(guarded.times) > 0)
+        assert report.dropped_nonmonotonic > 0
+
+    def test_dead_chain_detected_and_masked(self, robust_trace):
+        faulted = FaultPlan(seed=5, dead_chains=(2,)).apply(robust_trace)
+        guarded, report = guard_trace(faulted, policy="repair")
+        assert report.dead_chains == [2]
+        assert report.chain_liveness[2] == pytest.approx(0.0)
+        assert np.isnan(guarded.data[:, 2]).all()
+
+    def test_truncated_packets_become_losses(self, robust_trace):
+        faulted = FaultPlan(seed=6, truncate_fraction=0.1).apply(robust_trace)
+        guarded, report = guard_trace(faulted, policy="repair")
+        assert report.truncated_packets > 0
+        nan_tones = np.isnan(guarded.data.real)
+        partial = nan_tones.any(axis=(2, 3)) & ~nan_tones.all(axis=(2, 3))
+        assert not partial.any()
+
+    def test_clock_drift_resampled(self, robust_trace):
+        faulted = FaultPlan(seed=7, clock_drift=0.05).apply(robust_trace)
+        guarded, report = guard_trace(faulted, policy="repair")
+        assert report.clock_resampled
+        assert report.drift_estimate == pytest.approx(0.05, rel=0.05)
+        nominal_dt = 1.0 / robust_trace.trajectory.sampling_rate
+        np.testing.assert_allclose(np.diff(guarded.times), nominal_dt, rtol=1e-6)
+
+    def test_loss_rate_excludes_dead_chains(self, robust_trace):
+        plan = FaultPlan(seed=8, dead_chains=(0,), loss_rate=0.1, loss_burst=8)
+        _, report = guard_trace(plan.apply(robust_trace), policy="repair")
+        # A dead chain must not inflate the loss number toward 1/n_rx.
+        assert 0.02 < report.loss_rate < 0.25
+
+    def test_off_policy_is_a_bypass(self, robust_trace):
+        faulted = FaultPlan(seed=4, reorder_fraction=0.1).apply(robust_trace)
+        guarded, report = guard_trace(faulted, policy="off")
+        assert guarded is faulted
+        assert report.policy == "off"
+
+
+class TestStreamGuard:
+    def test_rejects_duplicates_and_late_packets(self):
+        guard = StreamGuard(policy="repair")
+        pkt = np.ones((3, 2, 8), dtype=np.complex64)
+        assert guard.admit(pkt, 0.0) is not None
+        assert guard.admit(pkt, 0.0) is None  # duplicate
+        assert guard.admit(pkt, -1.0) is None  # late
+        assert guard.admit(pkt, 0.01) is not None
+        counters = guard.drain_counters()
+        assert counters["duplicates_dropped"] == 1
+        assert counters["dropped_nonmonotonic"] == 1
+        assert guard.drain_counters() == {}
+
+    def test_raise_policy(self):
+        guard = StreamGuard(policy="raise")
+        pkt = np.ones((3, 2, 8), dtype=np.complex64)
+        guard.admit(pkt, 0.0)
+        with pytest.raises(GuardError):
+            guard.admit(pkt, 0.0)
+        with pytest.raises(GuardError):
+            guard.admit(pkt, np.nan)
+
+    def test_truncated_packet_masked(self):
+        guard = StreamGuard(policy="repair")
+        pkt = np.ones((3, 2, 8), dtype=np.complex64)
+        pkt[1, :, 5:] = np.nan
+        admitted, _ = guard.admit(pkt, 0.0)
+        assert np.isnan(admitted[1]).all()
+        assert np.isfinite(admitted[0]).all()
+        assert guard.drain_counters()["truncated_packets"] == 1
+
+
+class TestFaultMatrix:
+    """Every fault class processes without exception under repair."""
+
+    @pytest.mark.parametrize("fault", sorted(FAULT_MATRIX))
+    def test_batch_no_crash(self, robust_trace, fault):
+        faulted = FAULT_MATRIX[fault].apply(robust_trace)
+        result = Rim(CFG).process(faulted)
+        assert result.health is not None
+        assert np.isfinite(result.total_distance)
+        # A single fault class must never wipe the estimate entirely.
+        assert result.total_distance >= 0.0
+
+    @pytest.mark.parametrize(
+        "fault", ["dead_chain", "loss_bursts", "duplication", "everything"]
+    )
+    def test_stream_no_crash(self, robust_trace, fault):
+        stream = StreamingRim(
+            robust_trace.array,
+            robust_trace.sampling_rate,
+            CFG,
+            block_seconds=1.0,
+            carrier_wavelength=robust_trace.carrier_wavelength,
+        )
+        updates = []
+        for packet, ts in FAULT_MATRIX[fault].iter_packets(robust_trace):
+            update = stream.push(packet, ts)
+            if update is not None:
+                updates.append(update)
+        final = stream.flush()
+        if final is not None:
+            updates.append(final)
+        assert updates
+        assert np.isfinite(stream.total_distance)
+        assert all(u.health is not None for u in updates)
+
+
+class TestAcceptance:
+    """The ISSUE acceptance scenario, end to end."""
+
+    def test_bursty_loss_plus_dead_chain(self, robust_trace):
+        truth = robust_trace.trajectory.total_distance
+        clean_err = abs(Rim(CFG).process(robust_trace).total_distance - truth)
+
+        plan = FaultPlan(seed=4, loss_rate=0.10, loss_burst=10, dead_chains=(2,))
+        result = Rim(CFG).process(plan.apply(robust_trace))
+        fault_err = abs(result.total_distance - truth)
+        assert fault_err <= 2.0 * clean_err
+
+        health = result.health
+        assert health is not None
+        assert 2 in health.dead_chains
+        assert health.chain_liveness[2] == pytest.approx(0.0)
+        assert 0.05 <= health.loss_rate <= 0.20
+        assert health.usable_pairs >= 1
+
+    def test_all_chains_dead_degrades_not_crashes(self, robust_trace):
+        plan = FaultPlan(seed=9, dead_chains=(0, 1, 2))
+        result = Rim(CFG).process(plan.apply(robust_trace))
+        health = result.health
+        assert health.degraded
+        assert health.heading_unresolved
+        assert health.usable_pairs == 0
+        assert np.isnan(result.motion.heading).all()
+        assert result.total_distance == pytest.approx(0.0)
+
+    def test_streaming_holds_last_good_speed(self, robust_trace):
+        """A mid-stream total blackout holds speed instead of zeroing it."""
+        stream = StreamingRim(
+            robust_trace.array,
+            robust_trace.sampling_rate,
+            CFG,
+            block_seconds=1.0,
+            carrier_wavelength=robust_trace.carrier_wavelength,
+        )
+        t = robust_trace.n_samples
+        updates = []
+        for k in range(t):
+            packet = robust_trace.data[k]
+            if k >= 2 * t // 3:  # all chains die for the last third
+                packet = np.full_like(packet, np.nan)
+            update = stream.push(packet, robust_trace.times[k])
+            if update is not None:
+                updates.append(update)
+        final = stream.flush()
+        if final is not None:
+            updates.append(final)
+        degraded = [u for u in updates if u.health is not None and u.health.degraded]
+        assert degraded
+        last = degraded[-1]
+        moving = last.moving
+        assert np.isnan(last.heading[moving]).all()
+        # Held speed comes from the healthy prefix of the walk (~0.5 m/s).
+        assert np.all(last.speed[moving] > 0.2)
+
+
+class TestDegradationPolicy:
+    def test_apply_degradation_holds_speed_and_masks_heading(self):
+        from repro.core.motion import MotionEstimate
+
+        t = 10
+        motion = MotionEstimate(
+            times=np.arange(t) / 10.0,
+            moving=np.ones(t, dtype=bool),
+            speed=np.full(t, 1.0),
+            heading=np.zeros(t),
+            group_choice=np.zeros(t, dtype=np.int64),
+        )
+        health = HealthReport(n_samples=t, n_chains=3, usable_pairs=0)
+        degraded = apply_degradation(motion, health, min_pairs=1, last_good_speed=0.7)
+        assert health.degraded and health.heading_unresolved
+        np.testing.assert_allclose(degraded.speed, 0.7)
+        assert np.isnan(degraded.heading).all()
+
+    def test_no_degradation_when_enough_pairs(self):
+        from repro.core.motion import MotionEstimate
+
+        motion = MotionEstimate(
+            times=np.zeros(1),
+            moving=np.zeros(1, dtype=bool),
+            speed=np.zeros(1),
+            heading=np.zeros(1),
+            group_choice=np.zeros(1, dtype=np.int64),
+        )
+        health = HealthReport(n_samples=1, n_chains=3, usable_pairs=3)
+        assert apply_degradation(motion, health, min_pairs=1) is motion
+        assert not health.degraded

@@ -101,3 +101,96 @@ class TestStreamingRim:
         for _ in range(5):
             stream.push(packet)
         assert stream._times[-1] == pytest.approx(4 / 100.0)
+
+
+class TestStreamingGuard:
+    """push() must reject/repair bad timestamps instead of corrupting blocks."""
+
+    def _packet(self):
+        return np.ones((3, 2, 8), dtype=np.complex64)
+
+    def test_duplicate_timestamp_rejected(self, three_antenna):
+        stream = StreamingRim(three_antenna, 100.0, RimConfig(max_lag=40))
+        packet = self._packet()
+        stream.push(packet, 0.00)
+        stream.push(packet, 0.01)
+        stream.push(packet, 0.01)  # duplicate: silently dropped
+        stream.push(packet, 0.02)
+        assert stream.buffered_samples == 3
+        np.testing.assert_allclose(stream._times, [0.00, 0.01, 0.02])
+
+    def test_nonmonotonic_timestamp_rejected(self, three_antenna):
+        stream = StreamingRim(three_antenna, 100.0, RimConfig(max_lag=40))
+        packet = self._packet()
+        stream.push(packet, 0.00)
+        stream.push(packet, 0.02)
+        stream.push(packet, 0.01)  # late arrival: dropped
+        assert stream.buffered_samples == 2
+        assert np.all(np.diff(stream._times) > 0)
+
+    def test_raise_policy_raises_on_duplicates(self, three_antenna):
+        from repro.robustness import GuardError
+
+        cfg = RimConfig(max_lag=40, guard_policy="raise")
+        stream = StreamingRim(three_antenna, 100.0, cfg)
+        packet = self._packet()
+        stream.push(packet, 0.0)
+        with pytest.raises(GuardError):
+            stream.push(packet, 0.0)
+
+    def test_off_policy_admits_everything(self, three_antenna):
+        cfg = RimConfig(max_lag=40, guard_policy="off")
+        stream = StreamingRim(three_antenna, 100.0, cfg)
+        packet = self._packet()
+        stream.push(packet, 0.0)
+        stream.push(packet, 0.0)
+        assert stream.buffered_samples == 2
+
+    def test_updates_carry_health(self, three_antenna, fast_sampler):
+        cfg = RimConfig(max_lag=50)
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        stream = StreamingRim(
+            three_antenna,
+            trace.sampling_rate,
+            cfg,
+            block_seconds=0.5,
+            carrier_wavelength=trace.carrier_wavelength,
+        )
+        updates = _stream_trace(stream, trace)
+        assert updates
+        for u in updates:
+            assert u.health is not None
+            assert u.health.n_chains == 3
+            assert not u.health.degraded
+
+    def test_repair_counters_reach_health(self, three_antenna, fast_sampler):
+        cfg = RimConfig(max_lag=50)
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        stream = StreamingRim(
+            three_antenna,
+            trace.sampling_rate,
+            cfg,
+            block_seconds=0.5,
+            carrier_wavelength=trace.carrier_wavelength,
+        )
+        updates = []
+        for k in range(trace.n_samples):
+            update = stream.push(trace.data[k], trace.times[k])
+            if update is not None:
+                updates.append(update)
+            if k % 25 == 0:  # replay every 25th packet as a duplicate
+                assert stream.push(trace.data[k], trace.times[k]) is None
+        final = stream.flush()
+        if final is not None:
+            updates.append(final)
+        dupes = sum(
+            u.health.repairs.get("duplicates_dropped", 0)
+            for u in updates
+            if u.health is not None
+        )
+        assert dupes == len([k for k in range(trace.n_samples) if k % 25 == 0])
+        # Duplicates were rejected at the gate, so the estimate is untouched.
+        all_times = np.concatenate([u.times for u in updates])
+        np.testing.assert_allclose(all_times, trace.times)
