@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Perf-baseline harness: profile the RIM pipeline and emit BENCH_perf.json.
+
+Runs the batch and streaming estimators on the standard testbed with the
+``repro.obs`` instrumentation enabled and writes per-stage wall-time
+spans, work counters, and the streaming per-block latency histogram to a
+JSON baseline.  Subsequent optimisation PRs regenerate the file to prove
+the hot paths got faster (never slower).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_baseline.py --quick --out BENCH_perf.json --check
+
+``--check`` validates the structural schema after writing (no timing
+thresholds — CI must stay hardware-independent).  Equivalent CLI verb:
+``python -m repro.cli profile``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_perf.json", help="output path")
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--quick", action="store_true", default=True,
+        help="short trace (default; CI smoke size)",
+    )
+    scale.add_argument(
+        "--full", action="store_true", help="longer, paper-scale workload"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate the written payload's schema and exit non-zero on drift",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.eval.perf import (
+        render_perf_summary,
+        run_perf_baseline,
+        validate_perf_payload,
+        write_perf_baseline,
+    )
+
+    payload = run_perf_baseline(seed=args.seed, quick=not args.full)
+    write_perf_baseline(args.out, payload)
+    print(render_perf_summary(payload))
+    print(f"\nwrote {args.out}")
+    if args.check:
+        validate_perf_payload(payload)
+        print("schema check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

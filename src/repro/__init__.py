@@ -22,6 +22,7 @@ Quickstart::
     print(result.total_distance)
 """
 
+from repro import obs
 from repro.arrays.geometry import (
     AntennaArray,
     hexagonal_array,
@@ -36,6 +37,7 @@ from repro.channel.ofdm import SubcarrierGrid, make_grid
 from repro.channel.sampler import CsiSampler, CsiTrace, ap_antenna_positions
 from repro.core.config import RimConfig
 from repro.core.rim import Rim, RimResult
+from repro.core.streaming import MotionUpdate, StreamingRim
 from repro.core.trrs import trrs_cfr, trrs_cir
 from repro.env.floorplan import Floorplan, Wall, empty_floorplan, office_floorplan
 from repro.motionsim.profiles import (
@@ -68,11 +70,13 @@ __all__ = [
     "GuardError",
     "HealthReport",
     "ImpairmentConfig",
+    "MotionUpdate",
     "MultipathChannel",
     "Rim",
     "RimConfig",
     "RimResult",
     "StreamGuard",
+    "StreamingRim",
     "SubcarrierGrid",
     "Trajectory",
     "Wall",
@@ -85,6 +89,7 @@ __all__ = [
     "line_trajectory",
     "linear_array",
     "make_grid",
+    "obs",
     "office_floorplan",
     "polyline_trajectory",
     "rotation_trajectory",

@@ -3,14 +3,20 @@
 Usage::
 
     python -m repro.cli demo                 # quickstart distance demo
+    python -m repro.cli demo --trace         # ... with pipeline profiling
     python -m repro.cli list                 # list reproducible figures
     python -m repro.cli run fig11 [--full]   # regenerate one figure
     python -m repro.cli run all  [--full]    # regenerate everything
+    python -m repro.cli profile              # emit BENCH_perf.json
+
+``--log-level debug`` surfaces the pipeline's structured logging (guard
+repairs, degradation, clock resampling) on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Callable, Dict
 
@@ -53,7 +59,7 @@ def _register_runners() -> Dict[str, Callable]:
 
 
 def cmd_demo(args) -> int:
-    from repro import Rim, RimConfig, linear_array
+    from repro import Rim, RimConfig, linear_array, obs
     from repro.eval.setup import MEASUREMENT_SPOTS, make_testbed
     from repro.motionsim.profiles import line_trajectory
 
@@ -66,6 +72,9 @@ def cmd_demo(args) -> int:
 
         trace = FaultPlan.from_spec(fault_spec).apply(trace)
         print(f"injected faults: {fault_spec}")
+    if args.trace:
+        obs.reset()
+        obs.enable()
     result = Rim(RimConfig(max_lag=60)).process(trace)
     err_cm = abs(result.total_distance - truth.total_distance) * 100
     print(f"simulated a {truth.total_distance:.1f} m push past a single unknown AP")
@@ -73,6 +82,28 @@ def cmd_demo(args) -> int:
     if result.health is not None:
         print()
         print(result.health.summary())
+    if args.trace and result.stats is not None:
+        obs.disable()
+        print()
+        print(obs.render_span_table(result.stats["spans"]))
+        print()
+        print(obs.METRICS.render_table())
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.eval.perf import (
+        render_perf_summary,
+        run_perf_baseline,
+        validate_perf_payload,
+        write_perf_baseline,
+    )
+
+    payload = run_perf_baseline(seed=args.seed, quick=not args.full)
+    validate_perf_payload(payload)
+    write_perf_baseline(args.out, payload)
+    print(render_perf_summary(payload))
+    print(f"\nwrote {args.out}")
     return 0
 
 
@@ -110,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="RIM (SIGCOMM'19) reproduction: RF-based inertial measurement",
     )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="stderr logging verbosity for the pipeline's structured logs",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     demo = sub.add_parser("demo", help="run a 30-second distance-tracking demo")
@@ -121,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
         '"dead_chain=1,loss=0.1,burst=12,reorder=0.02" '
         "(see repro.robustness.FaultPlan.from_spec)",
     )
+    demo.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable repro.obs instrumentation and print span/metric tables",
+    )
     sub.add_parser("list", help="list reproducible figures")
 
     run = sub.add_parser("run", help="regenerate a paper figure")
@@ -128,12 +170,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--full", action="store_true", help="paper-scale workload")
     run.add_argument("--seed", type=int, default=0, help="scenario seed")
     run.add_argument("--plot", action="store_true", help="render ASCII figures")
+
+    profile = sub.add_parser(
+        "profile", help="profile the pipeline and write a perf baseline"
+    )
+    profile.add_argument(
+        "--out", default="BENCH_perf.json", help="output JSON path"
+    )
+    profile.add_argument("--seed", type=int, default=0, help="scenario seed")
+    profile.add_argument(
+        "--full", action="store_true", help="longer, paper-scale workload"
+    )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"demo": cmd_demo, "list": cmd_list, "run": cmd_run}
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(levelname)s %(name)s: %(message)s",
+    )
+    handlers = {
+        "demo": cmd_demo,
+        "list": cmd_list,
+        "run": cmd_run,
+        "profile": cmd_profile,
+    }
     return handlers[args.command](args)
 
 

@@ -20,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.trrs import normalize_csi
 from repro.nanops import nanmean
 
@@ -176,17 +177,28 @@ def alignment_matrix(
         raise ValueError(f"max_lag must be >= 1, got {max_lag}")
     if virtual_window < 1:
         raise ValueError(f"virtual_window must be >= 1, got {virtual_window}")
-    norm_i = csi_i if normalized else normalize_csi(csi_i)
-    norm_j = csi_j if normalized else normalize_csi(csi_j)
-    base = base_trrs_matrix(norm_i, norm_j, max_lag, time_stride=time_stride)
-    if virtual_window > 1 and time_stride == 1:
-        values = nan_moving_average(base, virtual_window)
-    else:
-        values = base
-    lags = np.arange(-max_lag, max_lag + 1)
-    return AlignmentMatrix(
-        values=values, lags=lags, sampling_rate=sampling_rate, pair=pair
-    )
+    t = int(np.asarray(csi_i).shape[0])
+    n_lags = 2 * max_lag + 1
+    with obs.span(
+        "alignment_matrix",
+        pair=pair,
+        shape=(t, n_lags),
+        virtual_window=virtual_window,
+        time_stride=time_stride,
+    ):
+        norm_i = csi_i if normalized else normalize_csi(csi_i)
+        norm_j = csi_j if normalized else normalize_csi(csi_j)
+        base = base_trrs_matrix(norm_i, norm_j, max_lag, time_stride=time_stride)
+        if virtual_window > 1 and time_stride == 1:
+            values = nan_moving_average(base, virtual_window)
+        else:
+            values = base
+        obs.add("alignment.matrices", 1)
+        obs.add("alignment.cells", len(range(0, t, max(1, time_stride))) * n_lags)
+        lags = np.arange(-max_lag, max_lag + 1)
+        return AlignmentMatrix(
+            values=values, lags=lags, sampling_rate=sampling_rate, pair=pair
+        )
 
 
 def average_matrices(matrices: Sequence[AlignmentMatrix]) -> AlignmentMatrix:

@@ -23,11 +23,13 @@ relative tracker, so world-frame output needs the initial array orientation
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.arrays.pairs import AntennaPair, adjacent_ring_pairs, parallel_groups
 from repro.channel.sampler import CsiTrace
 from repro.core.alignment import alignment_matrix, average_matrices
@@ -53,6 +55,8 @@ from repro.core.trrs import normalize_csi
 from repro.robustness.guard import guard_trace
 from repro.robustness.health import HealthReport, apply_degradation, build_health
 
+logger = logging.getLogger(__name__)
+
 
 @dataclass
 class RimResult:
@@ -63,6 +67,7 @@ class RimResult:
     group_tracks: List[GroupTrack]
     ring_tracks: List[GroupTrack] = field(default_factory=list)
     health: Optional[HealthReport] = None
+    stats: Optional[Dict[str, Any]] = None
 
     @property
     def total_distance(self) -> float:
@@ -108,25 +113,56 @@ class Rim:
         detected and their pairs masked out of the alignment vote, and a
         :class:`~repro.robustness.health.HealthReport` documenting all of
         it is attached to the result.
+
+        When instrumentation is on (:func:`repro.obs.enable`) the result
+        additionally carries ``stats`` — per-stage wall-time spans and the
+        root span metadata — mirroring how ``health`` flows.  Tracing is
+        observational only: it never changes an output bit.
         """
+        span_cm = obs.span(
+            "rim.process", n_samples=trace.n_samples, n_rx=trace.n_rx
+        )
+        root = span_cm.__enter__()
+        try:
+            result = self._run_pipeline(trace)
+        finally:
+            span_cm.__exit__(None, None, None)
+        if root is not None:
+            obs.add("rim.traces_processed", 1)
+            obs.add("rim.samples_processed", trace.n_samples)
+            result.stats = obs.span_stats(root)
+        return result
+
+    def _run_pipeline(self, trace: CsiTrace) -> RimResult:
         cfg = self.config
         guard_report = None
         if cfg.guard_policy != "off":
-            trace, guard_report = guard_trace(
-                trace,
-                policy=cfg.guard_policy,
-                min_chain_liveness=cfg.guard_min_liveness,
-                max_clock_drift=cfg.guard_max_drift,
-            )
+            with obs.span("rim.guard", policy=cfg.guard_policy):
+                trace, guard_report = guard_trace(
+                    trace,
+                    policy=cfg.guard_policy,
+                    min_chain_liveness=cfg.guard_min_liveness,
+                    max_clock_drift=cfg.guard_max_drift,
+                )
+            repairs = guard_report.repairs()
+            if repairs or guard_report.dead_chains:
+                logger.info(
+                    "input guard: repairs=%s dead_chains=%s",
+                    repairs,
+                    guard_report.dead_chains,
+                )
         dead = set(guard_report.dead_chains) if guard_report else set()
 
         data = trace.data
-        if cfg.interpolate_loss and cfg.interpolation_max_gap > 0:
-            from repro.channel.interpolation import interpolate_lost_packets
+        with obs.span("rim.sanitize", shape=data.shape, sanitize=cfg.sanitize):
+            if cfg.interpolate_loss and cfg.interpolation_max_gap > 0:
+                from repro.channel.interpolation import interpolate_lost_packets
 
-            data = interpolate_lost_packets(data, max_gap=cfg.interpolation_max_gap)
-        data = sanitize_trace(data) if cfg.sanitize else data
-        norm = normalize_csi(data)
+                data = interpolate_lost_packets(
+                    data, max_gap=cfg.interpolation_max_gap
+                )
+            data = sanitize_trace(data) if cfg.sanitize else data
+            norm = normalize_csi(data)
         fs = trace.sampling_rate
 
         groups = parallel_groups(trace.array)
@@ -136,10 +172,16 @@ class Rim:
         groups = [g for g in groups if g]
         usable_pairs = sum(len(g) for g in groups)
 
-        movement = self._detect_movement(data, fs, dead)
+        with obs.span("rim.movement_detect", shape=data.shape):
+            movement = self._detect_movement(data, fs, dead)
         moving = movement.moving
 
         if not moving.any() or not groups:
+            logger.debug(
+                "pipeline short-circuit: moving=%s usable_groups=%d",
+                bool(moving.any()),
+                len(groups),
+            )
             motion = MotionEstimate(
                 times=trace.times,
                 moving=moving,
@@ -159,15 +201,26 @@ class Rim:
                 motion=motion, movement=movement, group_tracks=[], health=health
             )
 
-        candidates = self._pre_detect(norm, groups, moving, fs)
-        tracks = [self._track_group(norm, g, fs) for g in candidates]
-        tracks = self._post_filter(tracks, moving)
+        with obs.span("rim.pre_screen", n_groups=len(groups)):
+            candidates = self._pre_detect(norm, groups, moving, fs)
+        with obs.span("rim.track_groups", n_candidates=len(candidates)):
+            tracks = [self._track_group(norm, g, fs) for g in candidates]
+            tracks = self._post_filter(tracks, moving)
 
-        ring_tracks, rotations = self._detect_rotation(trace, norm, moving, fs, dead)
+        with obs.span("rim.rotation_detect", circular=trace.array.circular):
+            ring_tracks, rotations = self._detect_rotation(
+                trace, norm, moving, fs, dead
+            )
 
-        motion = self._reckon(
-            trace, tracks, moving, rotations, fs, blind=self._blind_mask(data, dead)
-        )
+        with obs.span("rim.integrate", n_tracks=len(tracks)):
+            motion = self._reckon(
+                trace,
+                tracks,
+                moving,
+                rotations,
+                fs,
+                blind=self._blind_mask(data, dead),
+            )
         health = build_health(
             n_samples=trace.n_samples,
             n_chains=trace.n_rx,
@@ -178,6 +231,14 @@ class Rim:
             moving=moving,
         )
         motion = apply_degradation(motion, health, cfg.health_min_pairs)
+        logger.debug(
+            "pipeline done: %d samples, %d tracks, %d rotation events, "
+            "distance %.3f m",
+            trace.n_samples,
+            len(tracks),
+            len(rotations),
+            motion.total_distance,
+        )
         return RimResult(
             motion=motion,
             movement=movement,
@@ -258,11 +319,17 @@ class Rim:
                 time_stride=cfg.pre_detect_stride,
                 normalized=True,
             )
-            scored.append((peak_prominence_score(m.values, moving), group))
+            score = peak_prominence_score(m.values, moving)
+            obs.observe(
+                "trrs.peak_prominence", score, bounds=obs.PROMINENCE_BOUNDS
+            )
+            scored.append((score, group))
         scored.sort(key=lambda item: item[0], reverse=True)
         keep = [g for s, g in scored[: cfg.pre_detect_keep] if s >= cfg.pre_detect_min_score]
         if not keep and scored:
             keep = [scored[0][1]]
+        obs.add("rim.groups_prescreened", len(groups))
+        obs.add("rim.groups_confirmed", len(keep))
         return keep
 
     def _track_group(

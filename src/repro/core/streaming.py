@@ -15,11 +15,13 @@ the offline estimate up to block-boundary effects (verified in tests).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.arrays.geometry import AntennaArray
 from repro.channel.sampler import CsiTrace
 from repro.core.config import RimConfig
@@ -27,6 +29,8 @@ from repro.core.rim import Rim
 from repro.motionsim.trajectory import Trajectory
 from repro.robustness.guard import GuardError, StreamGuard
 from repro.robustness.health import HealthReport
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -43,6 +47,8 @@ class MotionUpdate:
         health: Health telemetry for this block (loss, liveness, repairs,
             degradation) — None only when the guard is off and the
             estimator produced no report.
+        stats: Per-block instrumentation (wall time, per-stage spans) when
+            :mod:`repro.obs` is enabled; None otherwise.
     """
 
     times: np.ndarray
@@ -52,6 +58,7 @@ class MotionUpdate:
     block_distance: float
     total_distance: float
     health: Optional[HealthReport] = None
+    stats: Optional[Dict[str, Any]] = None
 
 
 class StreamingRim:
@@ -159,6 +166,33 @@ class StreamingRim:
     # -- internals ---------------------------------------------------------
 
     def _emit_block(self, final: bool = False) -> MotionUpdate:
+        """Process the buffer and emit the new samples, timing the block.
+
+        Per-block latency (the real-time budget: it must stay under
+        ``block_seconds`` to keep up with the packet rate, §5) is recorded
+        in the ``stream.block_latency_s`` histogram and attached to the
+        update's ``stats`` when :mod:`repro.obs` is enabled.
+        """
+        span_cm = obs.span(
+            "stream.block", n_buffered=len(self._packets), final=final
+        )
+        root = span_cm.__enter__()
+        try:
+            update = self._process_block(final)
+        finally:
+            span_cm.__exit__(None, None, None)
+        if root is not None:
+            obs.add("stream.blocks", 1)
+            obs.add("stream.samples_emitted", int(update.times.size))
+            obs.observe(
+                "stream.block_latency_s", root.duration,
+                bounds=obs.LATENCY_BOUNDS_S,
+            )
+            obs.set_gauge("stream.last_block_latency_s", root.duration)
+            update.stats = {"block_latency_s": root.duration, **obs.span_stats(root)}
+        return update
+
+    def _process_block(self, final: bool = False) -> MotionUpdate:
         data = np.stack(self._packets, axis=0)
         times = np.asarray(self._times)
         t = data.shape[0]
@@ -240,6 +274,13 @@ class StreamingRim:
                 f"{self.sampling_rate:g} Hz grid"
             )
         self._clock_resamples += 1
+        logger.warning(
+            "stream clock drifted %.0f ppm; resampled block onto the nominal "
+            "%g Hz grid (resample #%d)",
+            drift * 1e6,
+            self.sampling_rate,
+            self._clock_resamples,
+        )
         return times[0] + np.arange(times.size) / self.sampling_rate, True
 
 

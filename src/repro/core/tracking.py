@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.alignment import AlignmentMatrix
 
 
@@ -70,6 +71,19 @@ def track_peaks(
         empty = np.zeros(0)
         return TrackedPath(empty.astype(int), empty.astype(int), empty, empty, 0.0)
 
+    with obs.span("dp_tracking", pair=matrix.pair, shape=(t, n_lags)):
+        return _track_peaks(matrix, e, transition_weight, refine)
+
+
+def _track_peaks(
+    matrix: AlignmentMatrix,
+    e: np.ndarray,
+    transition_weight: float,
+    refine: bool,
+) -> TrackedPath:
+    t, n_lags = e.shape
+    obs.add("dp.paths_tracked", 1)
+    obs.add("dp.cells", t * n_lags)
     lag_axis = np.arange(n_lags)
     # ω·C(l, n) with C = |l-n| / (2W)  (2W = n_lags - 1 columns span).
     jump_cost = (

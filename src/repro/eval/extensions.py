@@ -25,6 +25,21 @@ from repro.eval.setup import MEASUREMENT_SPOTS, make_testbed
 from repro.motionsim.profiles import line_trajectory
 
 
+def _merge_health(agg: Dict, health) -> None:
+    """Fold one HealthReport into a runner-level aggregate (in place)."""
+    if health is None:
+        return
+    agg["runs"] = agg.get("runs", 0) + 1
+    agg["max_loss_rate"] = max(agg.get("max_loss_rate", 0.0), health.loss_rate)
+    repairs = agg.setdefault("repairs", {})
+    for key, value in health.repairs.items():
+        repairs[key] = repairs.get(key, 0) + value
+    if health.dead_chains:
+        agg.setdefault("dead_chains", []).extend(health.dead_chains)
+    if health.degraded:
+        agg["degraded"] = agg.get("degraded", 0) + 1
+
+
 def run_wiball_vs_rim(seed: int = 30, quick: bool = False) -> Dict:
     """RIM (retracing) vs WiBall (decay) distance on the same traces."""
     n = 2 if quick else 4
@@ -59,6 +74,7 @@ def run_loss_robustness(seed: int = 40, quick: bool = False) -> Dict:
     """Distance error versus packet loss rate (§5/§7 'Packet loss')."""
     rates = [0.0, 0.1, 0.3] if quick else [0.0, 0.05, 0.1, 0.2, 0.3]
     medians = {}
+    health_agg: Dict = {}
     reps = 1 if quick else 2
     for rate in rates:
         errors = []
@@ -73,10 +89,12 @@ def run_loss_robustness(seed: int = 40, quick: bool = False) -> Dict:
             trace = bed.sampler.sample(traj, linear_array(3))
             res = Rim(RimConfig(max_lag=60)).process(trace)
             errors.append(abs(res.total_distance - traj.total_distance))
+            _merge_health(health_agg, res.health)
         medians[rate] = 100 * float(np.median(errors))
     return {
         "measured": {"median_error_cm_by_loss": medians},
         "paper": {"note": "RIM tolerates packet loss to a certain extent (§7)"},
+        "health": health_agg or None,
     }
 
 
@@ -168,11 +186,16 @@ def run_streaming_throughput(seed: int = 80, quick: bool = False) -> Dict:
         block_seconds=1.0,
         carrier_wavelength=trace.carrier_wavelength,
     )
+    health_agg: Dict = {}
     start = time.perf_counter()
     for k in range(trace.n_samples):
-        stream.push(trace.data[k], trace.times[k])
-    stream.flush()
+        update = stream.push(trace.data[k], trace.times[k])
+        if update is not None:
+            _merge_health(health_agg, update.health)
+    update = stream.flush()
     elapsed = time.perf_counter() - start
+    if update is not None:
+        _merge_health(health_agg, update.health)
 
     offline = Rim(cfg).process(trace).total_distance
     return {
@@ -182,6 +205,7 @@ def run_streaming_throughput(seed: int = 80, quick: bool = False) -> Dict:
             "streamed_vs_offline_gap_cm": 100 * abs(stream.total_distance - offline),
         },
         "paper": {"note": "§5: real-time system; §6.2.9 ~6% CPU"},
+        "health": health_agg or None,
     }
 
 

@@ -1,0 +1,216 @@
+"""Performance baseline harness: measure the pipeline, emit ``BENCH_perf.json``.
+
+The paper reports RIM's runtime cost directly (§6.2.9: ~6% CPU on a
+Surface Pro running in real time at 200 Hz).  This harness is our
+equivalent measuring stick: it runs the batch estimator and the streaming
+estimator over a standard testbed workload with :mod:`repro.obs` enabled
+and packages per-stage wall-time spans, work counters, and the per-block
+streaming latency distribution into one JSON payload.  Optimisation PRs
+regenerate the file and diff it against the committed baseline — the
+trajectory to beat.
+
+Entry points:
+
+* :func:`run_perf_baseline` — library API (used by tests and the CLI).
+* ``python -m repro.cli profile`` — writes ``BENCH_perf.json``.
+* ``python benchmarks/perf_baseline.py`` — the same harness as a script
+  (what CI's perf-smoke job runs).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Optional
+
+from repro import obs
+
+SCHEMA = "rim-perf-baseline/v1"
+
+# Stage spans every baseline must contain (the pipeline of §4.4): without
+# them the file cannot answer "where did the time go".
+REQUIRED_BATCH_SPANS = (
+    "rim.process",
+    "rim.sanitize",
+    "rim.movement_detect",
+    "rim.pre_screen",
+    "alignment_matrix",
+    "dp_tracking",
+    "rim.integrate",
+)
+
+
+def run_perf_baseline(
+    seed: int = 0,
+    quick: bool = True,
+    duration_s: Optional[float] = None,
+    block_seconds: float = 1.0,
+) -> Dict[str, Any]:
+    """Profile the batch and streaming pipelines on the standard testbed.
+
+    Args:
+        seed: Scenario seed (scatterers, noise).
+        quick: Short workload for CI smoke runs; full is paper-scale-ish.
+        duration_s: Trajectory duration override, seconds.
+        block_seconds: Streaming emission cadence.
+
+    Returns:
+        The ``BENCH_perf.json`` payload (see :func:`validate_perf_payload`
+        for the schema).  Instrumentation state is restored on exit; the
+        run itself executes with :mod:`repro.obs` enabled and reset.
+    """
+    from repro import Rim, RimConfig, StreamingRim, linear_array
+    from repro.eval.setup import MEASUREMENT_SPOTS, make_testbed
+    from repro.motionsim.profiles import line_trajectory
+
+    if duration_s is None:
+        duration_s = 3.0 if quick else 10.0
+    bed = make_testbed(seed=seed)
+    truth = line_trajectory(MEASUREMENT_SPOTS[0], 0.0, 0.5, duration_s)
+    array = linear_array(3)
+    trace = bed.sampler.sample(truth, array)
+    cfg = RimConfig(max_lag=60)
+
+    was_enabled = obs.enabled()
+    obs.reset()
+    obs.enable()
+    try:
+        # -- batch ---------------------------------------------------------
+        t0 = time.perf_counter()
+        result = Rim(cfg).process(trace)
+        batch_wall = time.perf_counter() - t0
+
+        # -- streaming -----------------------------------------------------
+        stream = StreamingRim(
+            array,
+            trace.sampling_rate,
+            cfg,
+            block_seconds=block_seconds,
+            carrier_wavelength=trace.carrier_wavelength,
+        )
+        t0 = time.perf_counter()
+        n_updates = 0
+        for k in range(trace.n_samples):
+            if stream.push(trace.data[k], float(trace.times[k])) is not None:
+                n_updates += 1
+        if stream.flush() is not None:
+            n_updates += 1
+        stream_wall = time.perf_counter() - t0
+
+        latency = obs.METRICS.get("stream.block_latency_s")
+        metrics_snapshot = obs.METRICS.snapshot()
+    finally:
+        if not was_enabled:
+            obs.disable()
+
+    samples_per_second = trace.n_samples / stream_wall if stream_wall > 0 else 0.0
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "seed": seed,
+        "quick": quick,
+        "workload": {
+            "duration_s": duration_s,
+            "sampling_rate_hz": float(trace.sampling_rate),
+            "n_samples": int(trace.n_samples),
+            "n_rx": int(trace.n_rx),
+            "block_seconds": block_seconds,
+            "truth_distance_m": float(truth.total_distance),
+        },
+        "batch": {
+            "wall_s": batch_wall,
+            "total_distance_m": float(result.total_distance),
+            "spans": result.stats["spans"] if result.stats else [],
+        },
+        "streaming": {
+            "wall_s": stream_wall,
+            "n_blocks": n_updates,
+            "samples_per_second": samples_per_second,
+            "real_time_at_rate": bool(
+                samples_per_second >= float(trace.sampling_rate)
+            ),
+            "total_distance_m": float(stream.total_distance),
+            "block_latency": latency.snapshot() if latency is not None else None,
+            "block_latency_p50_s": (
+                latency.percentile(0.5) if latency and latency.count else None
+            ),
+            "block_latency_p95_s": (
+                latency.percentile(0.95) if latency and latency.count else None
+            ),
+        },
+        "metrics": metrics_snapshot,
+    }
+    return payload
+
+
+def validate_perf_payload(payload: Dict[str, Any]) -> None:
+    """Assert the structural schema of a ``BENCH_perf.json`` payload.
+
+    Checks structure only — never timing thresholds, so CI stays
+    hardware-independent.
+
+    Raises:
+        ValueError: When a required section, stage span, or the streaming
+            latency histogram is missing.
+    """
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"schema mismatch: want {SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    for section in ("workload", "batch", "streaming", "metrics"):
+        if not isinstance(payload.get(section), dict):
+            raise ValueError(f"missing or malformed section {section!r}")
+    spans = payload["batch"].get("spans") or []
+    names = {s.get("name") for s in spans}
+    missing = [n for n in REQUIRED_BATCH_SPANS if n not in names]
+    if missing:
+        raise ValueError(f"batch spans missing required stages: {missing}")
+    for span in spans:
+        if not isinstance(span.get("total_s"), (int, float)):
+            raise ValueError(f"span {span.get('name')!r} lacks total_s")
+    latency = payload["streaming"].get("block_latency")
+    if not latency or latency.get("type") != "histogram":
+        raise ValueError("streaming.block_latency histogram is missing")
+    if not latency.get("count"):
+        raise ValueError("streaming.block_latency histogram is empty")
+
+
+def write_perf_baseline(path, payload: Dict[str, Any]) -> None:
+    """Write the payload as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_perf_summary(payload: Dict[str, Any]) -> str:
+    """Human-readable digest of a perf payload (CLI output)."""
+    from repro.obs.trace import render_span_table
+
+    work = payload["workload"]
+    batch = payload["batch"]
+    stream = payload["streaming"]
+    lines = [
+        f"== perf baseline ({'quick' if payload['quick'] else 'full'}, "
+        f"seed {payload['seed']}) ==",
+        f"workload: {work['n_samples']} samples @ {work['sampling_rate_hz']:g} Hz "
+        f"({work['duration_s']:g} s, {work['n_rx']} antennas)",
+        "",
+        "batch pipeline:",
+        f"  wall time        {batch['wall_s'] * 1e3:.1f} ms "
+        f"({work['n_samples'] / batch['wall_s']:.0f} samples/s)",
+        f"  distance         {batch['total_distance_m']:.3f} m "
+        f"(truth {work['truth_distance_m']:.3f} m)",
+        "",
+        render_span_table(batch["spans"]),
+        "",
+        "streaming pipeline:",
+        f"  wall time        {stream['wall_s'] * 1e3:.1f} ms over "
+        f"{stream['n_blocks']} blocks "
+        f"({stream['samples_per_second']:.0f} samples/s, "
+        f"real-time: {'yes' if stream['real_time_at_rate'] else 'NO'})",
+    ]
+    if stream.get("block_latency_p50_s") is not None:
+        lines.append(
+            f"  block latency    p50 {stream['block_latency_p50_s'] * 1e3:.1f} ms, "
+            f"p95 {stream['block_latency_p95_s'] * 1e3:.1f} ms"
+        )
+    return "\n".join(lines)

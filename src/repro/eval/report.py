@@ -19,15 +19,47 @@ def format_value(value) -> str:
     return str(value)
 
 
+def render_health(health) -> str:
+    """Render health telemetry attached to a runner result.
+
+    Accepts either a :class:`~repro.robustness.health.HealthReport` (its
+    own ``summary()`` is used) or an aggregated dict as produced by
+    runners that process many traces/blocks, e.g. ``{"runs": 6,
+    "repairs": {...}, "degraded": 1, "dead_chains": [2]}``.
+    """
+    if hasattr(health, "summary"):
+        return health.summary()
+    lines = ["health:"]
+    runs = health.get("runs")
+    if runs is not None:
+        lines[0] = f"health: aggregated over {runs} runs"
+    repairs = health.get("repairs") or {}
+    if repairs:
+        fixes = ", ".join(f"{k}={v}" for k, v in sorted(repairs.items()))
+        lines.append(f"  repairs          {fixes}")
+    else:
+        lines.append("  repairs          none")
+    if health.get("max_loss_rate"):
+        lines.append(f"  max loss rate    {health['max_loss_rate']:.1%}")
+    if health.get("dead_chains"):
+        lines.append(f"  dead chains      {sorted(set(health['dead_chains']))}")
+    degraded = health.get("degraded", 0)
+    if degraded:
+        lines.append(f"  degraded         {degraded} run(s) hit the degradation policy")
+    return "\n".join(lines)
+
+
 def render_report(title: str, result: Dict) -> str:
     """Render one experiment's paper-vs-measured comparison.
 
     Args:
         title: Figure/section label, e.g. "Fig. 11".
-        result: A runner output with "measured" and "paper" keys.
+        result: A runner output with "measured" and "paper" keys, and
+            optionally "health" (see :func:`render_health`).
 
     Returns:
-        A multi-line table string.
+        A multi-line table string; health telemetry (notably the PR-1
+        guard repair counters) is appended when the runner recorded any.
     """
     measured = result.get("measured", {})
     paper = result.get("paper", {})
@@ -45,6 +77,8 @@ def render_report(title: str, result: Dict) -> str:
             lines.append(f"{key.ljust(width)}  {p}")
             continue
         lines.append(f"{key.ljust(width)}  {p:>16}  {m:>16}")
+    if result.get("health") is not None:
+        lines.append(render_health(result["health"]))
     return "\n".join(lines)
 
 

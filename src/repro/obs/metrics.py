@@ -1,0 +1,275 @@
+"""Process-wide metrics registry: counters, gauges, and histograms.
+
+Complements :mod:`repro.obs.trace`: spans say where time went, metrics say
+how much work was done — samples processed, alignment-matrix cells
+computed, DP paths tracked, candidate groups pre-screened vs. confirmed,
+TRRS peak-prominence distribution, per-block streaming latency.
+
+Design constraints:
+
+* **Bounded memory.**  Histograms bin into fixed bucket bounds and keep
+  running count/sum/min/max — a week-long stream cannot grow the registry.
+* **Deterministic.**  No reservoir sampling, no RNG: the same workload
+  produces the same snapshot, so BENCH files diff cleanly across PRs.
+* **Serializable.**  The whole registry round-trips through JSONL
+  (:meth:`MetricsRegistry.export_jsonl` / :meth:`MetricsRegistry.from_jsonl`)
+  and renders as a human-readable table (:meth:`MetricsRegistry.render_table`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+# Log-spaced latency bounds: 100 us .. ~30 s, 4 buckets per decade.
+LATENCY_BOUNDS_S = tuple(10.0 ** (-4 + k / 4.0) for k in range(19))
+
+# Linear TRRS-prominence bounds over the metric's [0, 1] range.
+PROMINENCE_BOUNDS = tuple(k / 20.0 for k in range(1, 21))
+
+
+class Counter:
+    """A monotonically increasing count of work done."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Union[int, float] = 0
+
+    def add(self, n: Union[int, float] = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (add {n})")
+        self.value += n
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self.value, "help": self.help}
+
+    def summary(self) -> str:
+        return f"{self.value:g}"
+
+
+class Gauge:
+    """A point-in-time value (last one wins)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self.value, "help": self.help}
+
+    def summary(self) -> str:
+        return f"{self.value:g}"
+
+
+class Histogram:
+    """Fixed-bucket distribution with running stats.
+
+    Args:
+        name: Metric name.
+        bounds: Ascending bucket upper bounds; observations greater than
+            the last bound land in a final overflow bucket.
+        help: One-line description.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, bounds: Optional[Sequence[float]] = None, help: str = ""
+    ):
+        bounds = tuple(float(b) for b in (bounds or LATENCY_BOUNDS_S))
+        if len(bounds) < 1 or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError(f"histogram bounds must be ascending, got {bounds}")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            return
+        k = 0
+        for k, bound in enumerate(self.bounds):
+            if value <= bound:
+                break
+        else:
+            k = len(self.bounds)
+        self.counts[k] += 1
+        self.count += 1
+        self.total += value
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-quantile (bucket upper bound), q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if not self.count:
+            return math.nan
+        target = q * self.count
+        running = 0
+        for k, n in enumerate(self.counts):
+            running += n
+            if running >= target and n:
+                if k < len(self.bounds):
+                    return min(self.bounds[k], self.vmax)
+                return self.vmax
+        return self.vmax
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": None if self.count == 0 else self.vmin,
+            "max": None if self.count == 0 else self.vmax,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "help": self.help,
+        }
+
+    def summary(self) -> str:
+        if not self.count:
+            return "n=0"
+        return (
+            f"n={self.count} mean={self.mean:.4g} p50={self.percentile(0.5):.4g} "
+            f"p95={self.percentile(0.95):.4g} max={self.vmax:.4g}"
+        )
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric in the process."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help=help)
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None, help: str = ""
+    ) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, bounds=bounds, help=help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def _get_or_create(self, cls, name: str, help: str = ""):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help=help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def reset(self) -> None:
+        """Forget every metric (fresh baseline runs start clean)."""
+        self._metrics.clear()
+
+    # -- export -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All metrics as a plain, JSON-friendly dict keyed by name."""
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line: ``{"name": ..., **snapshot}``."""
+        lines = []
+        for name, snap in self.snapshot().items():
+            lines.append(json.dumps({"name": name, **snap}, sort_keys=True))
+        return "\n".join(lines) + ("\n" if self._metrics else "")
+
+    def export_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+
+    @classmethod
+    def from_jsonl(cls, path) -> "MetricsRegistry":
+        """Rebuild a registry from a JSONL export (lossless round-trip)."""
+        registry = cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                name, kind = rec["name"], rec["type"]
+                if kind == "counter":
+                    metric = registry.counter(name, help=rec.get("help", ""))
+                    metric.value = rec["value"]
+                elif kind == "gauge":
+                    metric = registry.gauge(name, help=rec.get("help", ""))
+                    metric.value = rec["value"]
+                elif kind == "histogram":
+                    metric = registry.histogram(
+                        name, bounds=rec["bounds"], help=rec.get("help", "")
+                    )
+                    metric.counts = list(rec["counts"])
+                    metric.count = rec["count"]
+                    metric.total = rec["sum"]
+                    metric.vmin = math.inf if rec["min"] is None else rec["min"]
+                    metric.vmax = -math.inf if rec["max"] is None else rec["max"]
+                else:
+                    raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+        return registry
+
+    def render_table(self) -> str:
+        """Aligned human-readable table of every metric."""
+        if not self._metrics:
+            return "metrics: (none recorded)"
+        rows = [
+            (name, metric.kind, metric.summary())
+            for name, metric in sorted(self._metrics.items())
+        ]
+        w_name = max([len(r[0]) for r in rows] + [len("metric")])
+        w_kind = max([len(r[1]) for r in rows] + [len("type")])
+        lines = [f"{'metric'.ljust(w_name)}  {'type'.ljust(w_kind)}  value"]
+        for name, kind, summary in rows:
+            lines.append(f"{name.ljust(w_name)}  {kind.ljust(w_kind)}  {summary}")
+        return "\n".join(lines)

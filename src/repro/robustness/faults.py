@@ -16,12 +16,15 @@ still works on a faulted trace.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, fields, replace
 from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
 from repro.channel.sampler import CsiTrace
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -105,6 +108,7 @@ class FaultPlan:
         """Return a faulted copy of ``trace`` (ground truth untouched)."""
         if self.is_clean:
             return trace
+        logger.debug("injecting faults into %d-sample trace: %s", trace.n_samples, self)
         rng = np.random.default_rng(self.seed)
         data = np.array(trace.data, dtype=np.complex64, copy=True)
         times = np.array(trace.times, dtype=np.float64, copy=True)

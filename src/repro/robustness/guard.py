@@ -25,6 +25,7 @@ Every action is counted in a :class:`GuardReport` so the health telemetry
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -32,6 +33,8 @@ import numpy as np
 
 from repro.channel.sampler import CsiTrace
 from repro.motionsim.trajectory import Trajectory
+
+logger = logging.getLogger(__name__)
 
 POLICIES = ("off", "raise", "drop", "repair")
 
@@ -242,6 +245,14 @@ def guard_trace(
     if not mutated:
         return trace, report
 
+    logger.info(
+        "guard[%s]: %d -> %d packets, repairs=%s, dead_chains=%s",
+        policy,
+        report.n_input,
+        report.n_output,
+        report.repairs(),
+        report.dead_chains,
+    )
     trajectory = _project_trajectory(trace.trajectory, times)
     guarded = replace(trace, data=data, times=times, trajectory=trajectory)
     return guarded, report
@@ -316,6 +327,7 @@ class StreamGuard:
         self._counters[counter] += 1
         if self.policy == "raise":
             raise GuardError(message)
+        logger.debug("stream guard rejected packet: %s", message)
         return None
 
     def drain_counters(self) -> Dict[str, int]:

@@ -15,12 +15,15 @@ heading is marked unresolved (NaN) rather than reported from noise.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.robustness.guard import GuardReport
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -151,6 +154,13 @@ def apply_degradation(
     """
     if health.usable_pairs >= min_pairs:
         return motion
+    logger.warning(
+        "degradation policy engaged: %d usable pairs < %d; holding speed "
+        "%.3f m/s and withholding headings",
+        health.usable_pairs,
+        min_pairs,
+        float(last_good_speed),
+    )
     health.degraded = True
     health.heading_unresolved = True
     speed = np.where(motion.moving, float(last_good_speed), 0.0)

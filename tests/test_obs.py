@@ -1,0 +1,277 @@
+"""Observability layer: tracer semantics, metrics round-trip, pipeline stats.
+
+Covers the PR-2 acceptance criteria:
+
+* spans nest correctly and aggregate sensibly;
+* a disabled tracer is a true no-op (no attributes, shared null context);
+* the metrics registry round-trips losslessly through JSONL;
+* ``RimResult.stats`` / ``MotionUpdate.stats`` are attached on both the
+  batch and streaming paths, including the per-block latency histogram;
+* instrumentation never perturbs numerics — a traced run is bit-for-bit
+  identical to an untraced run (tier-1 guard for every future obs change).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Rim, RimConfig, StreamingRim, obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_SPAN, Tracer, aggregate_spans, render_span_table
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Every test starts and ends with instrumentation off and empty."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+# -- tracer ---------------------------------------------------------------
+
+
+def test_spans_nest_correctly():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer", shape=(4, 2)) as outer:
+        with tracer.span("inner_a") as inner_a:
+            assert tracer.current is inner_a
+        with tracer.span("inner_b"):
+            with tracer.span("leaf"):
+                pass
+    assert tracer.current is None
+    assert len(tracer.roots) == 1
+    root = tracer.roots[0]
+    assert root is outer
+    assert [c.name for c in root.children] == ["inner_a", "inner_b"]
+    assert [c.name for c in root.children[1].children] == ["leaf"]
+    # Wall time flows down the tree: the parent covers its children.
+    assert root.duration >= sum(c.duration for c in root.children)
+    assert root.self_seconds >= 0.0
+    assert root.meta == {"shape": (4, 2)}
+
+
+def test_span_aggregation_groups_by_name():
+    tracer = Tracer(enabled=True)
+    with tracer.span("root") as root:
+        for k in range(3):
+            with tracer.span("stage", k=k):
+                pass
+    agg = {a["name"]: a for a in aggregate_spans(root)}
+    assert agg["stage"]["calls"] == 3
+    assert agg["root"]["calls"] == 1
+    assert agg["stage"]["total_s"] <= agg["root"]["total_s"]
+    table = render_span_table(aggregate_spans(root))
+    assert "stage" in table and "calls" in table
+
+
+def test_disabled_tracer_is_noop():
+    tracer = Tracer(enabled=False)
+    ctx = tracer.span("anything", big=list(range(10)))
+    assert ctx is NULL_SPAN  # shared singleton: no per-call allocation
+    with ctx as span:
+        assert span is None
+    assert tracer.roots == []
+    assert tracer.current is None
+
+
+def test_disabled_obs_records_nothing():
+    obs.add("some.counter", 5)
+    obs.observe("some.hist", 0.5)
+    obs.set_gauge("some.gauge", 1.0)
+    assert len(obs.METRICS) == 0
+    with obs.span("nothing") as span:
+        assert span is None
+    assert obs.TRACER.roots == []
+
+
+# -- metrics --------------------------------------------------------------
+
+
+def test_metrics_jsonl_roundtrip(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("work.items", help="items processed").add(42)
+    reg.gauge("queue.depth").set(7.5)
+    hist = reg.histogram("latency_s", bounds=(0.01, 0.1, 1.0))
+    for v in (0.005, 0.05, 0.05, 0.5, 5.0):
+        hist.observe(v)
+
+    path = tmp_path / "metrics.jsonl"
+    reg.export_jsonl(path)
+    restored = MetricsRegistry.from_jsonl(path)
+    assert restored.snapshot() == reg.snapshot()
+    # And the restored registry keeps working.
+    restored.counter("work.items").add(1)
+    assert restored.counter("work.items").value == 43
+
+
+def test_histogram_stats_and_percentiles():
+    reg = MetricsRegistry()
+    hist = reg.histogram("h", bounds=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 1.5, 3.0, 10.0):
+        hist.observe(v)
+    assert hist.count == 5
+    assert hist.vmin == 0.5 and hist.vmax == 10.0
+    assert hist.counts == [1, 2, 1, 1]
+    assert hist.percentile(0.5) == 2.0  # bucket upper bound
+    assert hist.percentile(1.0) == 10.0
+    hist.observe(float("nan"))
+    assert hist.count == 5  # NaN observations are ignored
+    assert "n=5" in hist.summary()
+
+
+def test_metric_kind_collision_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+
+
+# -- pipeline stats -------------------------------------------------------
+
+BATCH_STAGES = (
+    "rim.process",
+    "rim.sanitize",
+    "rim.movement_detect",
+    "rim.pre_screen",
+    "alignment_matrix",
+    "dp_tracking",
+    "rim.integrate",
+)
+
+
+def test_rim_result_stats_batch(line_trace):
+    cfg = RimConfig(max_lag=40)
+    obs.enable()
+    result = Rim(cfg).process(line_trace)
+    assert result.stats is not None
+    names = {s["name"] for s in result.stats["spans"]}
+    for stage in BATCH_STAGES:
+        assert stage in names, f"missing stage span {stage}"
+    assert result.stats["wall_s"] > 0.0
+    assert obs.METRICS.counter("rim.samples_processed").value == line_trace.n_samples
+    assert obs.METRICS.counter("alignment.matrices").value > 0
+    assert obs.METRICS.counter("dp.paths_tracked").value > 0
+    prominence = obs.METRICS.get("trrs.peak_prominence")
+    assert prominence is not None and prominence.count > 0
+
+
+def test_rim_result_stats_absent_when_disabled(line_trace):
+    result = Rim(RimConfig(max_lag=40)).process(line_trace)
+    assert result.stats is None
+    assert len(obs.METRICS) == 0
+
+
+def test_streaming_stats_and_latency_histogram(line_trace):
+    cfg = RimConfig(max_lag=40)
+    obs.enable()
+    stream = StreamingRim(
+        line_trace.array,
+        line_trace.sampling_rate,
+        cfg,
+        block_seconds=0.5,
+        carrier_wavelength=line_trace.carrier_wavelength,
+    )
+    updates = []
+    for k in range(line_trace.n_samples):
+        up = stream.push(line_trace.data[k], float(line_trace.times[k]))
+        if up is not None:
+            updates.append(up)
+    up = stream.flush()
+    if up is not None:
+        updates.append(up)
+
+    assert len(updates) >= 2
+    for update in updates:
+        assert update.stats is not None
+        assert update.stats["block_latency_s"] > 0.0
+        assert any(s["name"] == "stream.block" for s in update.stats["spans"])
+        # The batch pipeline's stage spans nest inside the block span.
+        assert any(s["name"] == "rim.process" for s in update.stats["spans"])
+
+    latency = obs.METRICS.get("stream.block_latency_s")
+    assert latency is not None
+    assert latency.count == len(updates)
+    assert obs.METRICS.counter("stream.blocks").value == len(updates)
+    assert (
+        obs.METRICS.counter("stream.samples_emitted").value == line_trace.n_samples
+    )
+
+
+def test_streaming_stats_absent_when_disabled(line_trace):
+    stream = StreamingRim(
+        line_trace.array,
+        line_trace.sampling_rate,
+        RimConfig(max_lag=40),
+        block_seconds=0.5,
+        carrier_wavelength=line_trace.carrier_wavelength,
+    )
+    seen = 0
+    for k in range(line_trace.n_samples):
+        up = stream.push(line_trace.data[k], float(line_trace.times[k]))
+        if up is not None:
+            assert up.stats is None
+            seen += 1
+    assert seen >= 1
+    assert len(obs.METRICS) == 0
+
+
+# -- numeric invariance (tier-1 guard) ------------------------------------
+
+
+def test_tracing_never_perturbs_numerics(line_trace):
+    """Enabled instrumentation must match a disabled run bit-for-bit."""
+    cfg = RimConfig(max_lag=40)
+    baseline = Rim(cfg).process(line_trace)
+
+    obs.enable()
+    traced = Rim(cfg).process(line_trace)
+    obs.disable()
+
+    for attr in ("speed", "heading", "moving", "group_choice", "times"):
+        a = getattr(baseline.motion, attr)
+        b = getattr(traced.motion, attr)
+        assert a.tobytes() == b.tobytes(), f"motion.{attr} diverged under tracing"
+    assert (
+        baseline.movement.indicator.tobytes() == traced.movement.indicator.tobytes()
+    )
+    assert baseline.total_distance == traced.total_distance
+    assert len(baseline.group_tracks) == len(traced.group_tracks)
+    for t0, t1 in zip(baseline.group_tracks, traced.group_tracks):
+        assert t0.path.refined_lags.tobytes() == t1.path.refined_lags.tobytes()
+        assert t0.matrix.values.tobytes() == t1.matrix.values.tobytes()
+
+
+# -- perf baseline schema -------------------------------------------------
+
+
+def test_perf_baseline_payload_schema(tmp_path):
+    from repro.eval.perf import (
+        run_perf_baseline,
+        validate_perf_payload,
+        write_perf_baseline,
+    )
+
+    payload = run_perf_baseline(seed=0, quick=True, duration_s=1.0)
+    validate_perf_payload(payload)  # structural acceptance criterion
+    assert obs.enabled() is False  # harness restores instrumentation state
+
+    out = tmp_path / "BENCH_perf.json"
+    write_perf_baseline(out, payload)
+    import json
+
+    reread = json.loads(out.read_text())
+    validate_perf_payload(reread)
+    assert reread["streaming"]["block_latency"]["count"] >= 1
+
+    with pytest.raises(ValueError):
+        validate_perf_payload({"schema": "bogus"})
+    broken = json.loads(out.read_text())
+    broken["batch"]["spans"] = []
+    with pytest.raises(ValueError):
+        validate_perf_payload(broken)
