@@ -10,15 +10,21 @@ the hot paths got faster (never slower).
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_baseline.py --quick --out BENCH_perf.json --check
+    PYTHONPATH=src python benchmarks/perf_baseline.py --gate BENCH_perf.json
 
 ``--check`` validates the structural schema after writing (no timing
-thresholds — CI must stay hardware-independent).  Equivalent CLI verb:
+thresholds — CI must stay hardware-independent).  ``--gate PATH`` is the
+perf-regression gate: it compares the fresh run against the committed
+baseline at PATH and fails if ``rim.process`` wall time regressed by more
+than ``--max-regression`` (default 25%) or the batched backend stopped
+beating the reference kernel.  Equivalent CLI verb:
 ``python -m repro.cli profile``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -44,9 +50,21 @@ def main(argv=None) -> int:
         "--check", action="store_true",
         help="validate the written payload's schema and exit non-zero on drift",
     )
+    parser.add_argument(
+        "--gate", metavar="PATH", default=None,
+        help="compare against the committed baseline at PATH and fail on "
+        "a perf regression (implies a fresh measurement; nothing is "
+        "overwritten unless --out is also given)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25, metavar="FRAC",
+        help="allowed fractional rim.process slowdown for --gate "
+        "(default 0.25 = +25%%)",
+    )
     args = parser.parse_args(argv)
 
     from repro.eval.perf import (
+        check_perf_regression,
         render_perf_summary,
         run_perf_baseline,
         validate_perf_payload,
@@ -54,12 +72,29 @@ def main(argv=None) -> int:
     )
 
     payload = run_perf_baseline(seed=args.seed, quick=not args.full)
-    write_perf_baseline(args.out, payload)
+    if args.gate is None or args.out != parser.get_default("out"):
+        write_perf_baseline(args.out, payload)
+        wrote = args.out
+    else:
+        wrote = None
     print(render_perf_summary(payload))
-    print(f"\nwrote {args.out}")
+    if wrote:
+        print(f"\nwrote {wrote}")
     if args.check:
         validate_perf_payload(payload)
         print("schema check: ok")
+    if args.gate is not None:
+        with open(args.gate, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = check_perf_regression(
+            payload, baseline, max_regression=args.max_regression
+        )
+        if failures:
+            print(f"\nperf gate vs {args.gate}: FAIL", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"\nperf gate vs {args.gate}: ok (budget +{args.max_regression:.0%})")
     return 0
 
 

@@ -75,7 +75,8 @@ def cmd_demo(args) -> int:
     if args.trace:
         obs.reset()
         obs.enable()
-    result = Rim(RimConfig(max_lag=60)).process(trace)
+    rim = Rim(RimConfig(max_lag=60, kernel_backend=args.kernel))
+    result = rim.process(trace)
     err_cm = abs(result.total_distance - truth.total_distance) * 100
     print(f"simulated a {truth.total_distance:.1f} m push past a single unknown AP")
     print(f"RIM estimated {result.total_distance:.3f} m (error {err_cm:.1f} cm)")
@@ -92,7 +93,10 @@ def cmd_demo(args) -> int:
 
 
 def cmd_profile(args) -> int:
+    import json
+
     from repro.eval.perf import (
+        check_perf_regression,
         render_perf_summary,
         run_perf_baseline,
         validate_perf_payload,
@@ -104,6 +108,18 @@ def cmd_profile(args) -> int:
     write_perf_baseline(args.out, payload)
     print(render_perf_summary(payload))
     print(f"\nwrote {args.out}")
+    if args.gate:
+        with open(args.gate, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = check_perf_regression(
+            payload, baseline, max_regression=args.max_regression
+        )
+        if failures:
+            print(f"perf gate vs {args.gate}: FAIL", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"perf gate vs {args.gate}: ok")
     return 0
 
 
@@ -163,6 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable repro.obs instrumentation and print span/metric tables",
     )
+    demo.add_argument(
+        "--kernel",
+        default="auto",
+        metavar="BACKEND",
+        help='alignment kernel backend ("auto", "reference", "batched"; '
+        "auto honors the RIM_KERNEL env var)",
+    )
     sub.add_parser("list", help="list reproducible figures")
 
     run = sub.add_parser("run", help="regenerate a paper figure")
@@ -180,6 +203,19 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--seed", type=int, default=0, help="scenario seed")
     profile.add_argument(
         "--full", action="store_true", help="longer, paper-scale workload"
+    )
+    profile.add_argument(
+        "--gate",
+        metavar="PATH",
+        default=None,
+        help="fail if the fresh run regresses vs the committed baseline at PATH",
+    )
+    profile.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="allowed fractional rim.process slowdown for --gate (default 0.25)",
     )
     return parser
 

@@ -21,8 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import obs
-from repro.core.trrs import normalize_csi
-from repro.nanops import nanmean
+from repro.core.trrs import normalize_csi, normalized_inner_trrs
 
 
 @dataclass
@@ -137,13 +136,9 @@ def base_trrs_matrix(
             valid = rows[(rows >= (ti.start or 0)) & (rows < (ti.stop if ti.stop is not None else t))]
             if valid.size == 0:
                 continue
-            a = norm_i[valid]
-            b = norm_j[valid - lag]
-            inner = np.einsum("tks,tks->tk", np.conj(a), b)
-            out[valid, col] = (np.abs(inner) ** 2).mean(axis=-1)
+            out[valid, col] = normalized_inner_trrs(norm_i[valid], norm_j[valid - lag])
         else:
-            inner = np.einsum("tks,tks->tk", np.conj(a), b)
-            out[ti, col] = (np.abs(inner) ** 2).mean(axis=-1)
+            out[ti, col] = normalized_inner_trrs(a, b)
     return out
 
 
@@ -213,10 +208,23 @@ def average_matrices(matrices: Sequence[AlignmentMatrix]) -> AlignmentMatrix:
     for m in matrices[1:]:
         if m.values.shape != first.values.shape or m.max_lag != first.max_lag:
             raise ValueError("matrices must share shape and lag window")
-    stack = np.stack([m.values for m in matrices], axis=0)
-    mean = nanmean(stack, axis=0)
+    # Accumulate totals/counts in place instead of stacking all members
+    # first: no (N, T, L) intermediate, one scratch buffer reused per
+    # member.  Sequential accumulation matches nanmean's reduction order
+    # for the small group sizes arrays produce, so values are unchanged.
+    acc = np.zeros_like(first.values, dtype=np.float64)
+    count = np.zeros(first.values.shape, dtype=np.int64)
+    scratch = np.empty_like(acc)
+    for m in matrices:
+        finite = np.isfinite(m.values)
+        np.copyto(scratch, m.values)
+        np.copyto(scratch, 0.0, where=~finite)
+        acc += scratch
+        count += finite
+    with np.errstate(invalid="ignore"):
+        acc /= count  # all-NaN cells: 0/0 -> NaN, matching nanmean
     return AlignmentMatrix(
-        values=mean,
+        values=acc,
         lags=first.lags.copy(),
         sampling_rate=first.sampling_rate,
         pair=first.pair,

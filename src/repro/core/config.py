@@ -66,6 +66,18 @@ class RimConfig:
         health_min_pairs: Minimum usable antenna pairs; below this the
             degradation policy holds the last good speed and marks heading
             unresolved instead of estimating from too little geometry.
+        kernel_backend: Which TRRS kernel backend serves the alignment hot
+            path (``repro.perf``): "reference" (serial per-pair oracle),
+            "batched" (one einsum per lag across all pairs, with row
+            reuse), or "auto" — the ``RIM_KERNEL`` env var when set, else
+            "batched".  All backends are numerically equivalent.
+        kernel_threads: Thread-pool width for the batched backend's
+            per-lag fan-out (the einsum inner products release the GIL);
+            0 means serial.  Ignored by the reference backend.
+        stream_reuse: Let :class:`~repro.core.streaming.StreamingRim`
+            reuse the previous block's TRRS rows instead of recomputing
+            the context window (batched backend only; automatically
+            invalidated when the guard repairs or resamples the context).
     """
 
     max_lag: int = 100
@@ -107,6 +119,10 @@ class RimConfig:
     guard_max_drift: float = 0.01
     health_min_pairs: int = 1
 
+    kernel_backend: str = "auto"
+    kernel_threads: int = 0
+    stream_reuse: bool = True
+
     def __post_init__(self) -> None:
         if self.max_lag < 2:
             raise ValueError("max_lag must be >= 2")
@@ -144,3 +160,10 @@ class RimConfig:
             raise ValueError("guard_max_drift must be positive")
         if self.health_min_pairs < 0:
             raise ValueError("health_min_pairs must be >= 0")
+        if not self.kernel_backend or not isinstance(self.kernel_backend, str):
+            raise ValueError(
+                f"kernel_backend must be a backend name or 'auto', "
+                f"got {self.kernel_backend!r}"
+            )
+        if self.kernel_threads < 0:
+            raise ValueError("kernel_threads must be >= 0")

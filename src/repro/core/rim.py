@@ -32,7 +32,7 @@ import numpy as np
 from repro import obs
 from repro.arrays.pairs import AntennaPair, adjacent_ring_pairs, parallel_groups
 from repro.channel.sampler import CsiTrace
-from repro.core.alignment import alignment_matrix, average_matrices
+from repro.core.alignment import average_matrices
 from repro.core.config import RimConfig
 from repro.core.motion import (
     MotionEstimate,
@@ -52,6 +52,7 @@ from repro.core.pairs import (
 from repro.core.sanitize import sanitize_trace
 from repro.core.tracking import track_peaks
 from repro.core.trrs import normalize_csi
+from repro.perf import get_backend
 from repro.robustness.guard import guard_trace
 from repro.robustness.health import HealthReport, apply_degradation, build_health
 
@@ -104,8 +105,22 @@ class Rim:
 
     def __init__(self, config: Optional[RimConfig] = None):
         self.config = config or RimConfig()
+        # Which TRRS kernel implementation serves the alignment hot path;
+        # resolved once at construction (config > $RIM_KERNEL > default).
+        self._kernel = get_backend(self.config)
 
-    def process(self, trace: CsiTrace) -> RimResult:
+    @property
+    def kernel_backend(self) -> str:
+        """Name of the resolved kernel backend (see ``repro.perf``)."""
+        return self._kernel.name
+
+    def process(
+        self,
+        trace: CsiTrace,
+        *,
+        stream_cache=None,
+        stream_offset: int = 0,
+    ) -> RimResult:
         """Run the full RIM pipeline on a CSI trace.
 
         Input first passes the robustness guard (``config.guard_policy``):
@@ -118,13 +133,23 @@ class Rim:
         additionally carries ``stats`` — per-stage wall-time spans and the
         root span metadata — mirroring how ``health`` flows.  Tracing is
         observational only: it never changes an output bit.
+
+        Args:
+            trace: The CSI trace to process.
+            stream_cache: Cross-block TRRS row cache managed by
+                :class:`~repro.core.streaming.StreamingRim`
+                (:mod:`repro.perf.streamcache`); None for batch use.
+            stream_offset: Global sample index of ``trace``'s first row
+                within the stream the cache is keyed on.
         """
         span_cm = obs.span(
             "rim.process", n_samples=trace.n_samples, n_rx=trace.n_rx
         )
         root = span_cm.__enter__()
         try:
-            result = self._run_pipeline(trace)
+            result = self._run_pipeline(
+                trace, stream_cache=stream_cache, stream_offset=stream_offset
+            )
         finally:
             span_cm.__exit__(None, None, None)
         if root is not None:
@@ -133,7 +158,9 @@ class Rim:
             result.stats = obs.span_stats(root)
         return result
 
-    def _run_pipeline(self, trace: CsiTrace) -> RimResult:
+    def _run_pipeline(
+        self, trace: CsiTrace, stream_cache=None, stream_offset: int = 0
+    ) -> RimResult:
         cfg = self.config
         guard_report = None
         if cfg.guard_policy != "off":
@@ -165,6 +192,23 @@ class Rim:
             norm = normalize_csi(data)
         fs = trace.sampling_rate
 
+        # Per-trace kernel store; in streaming it is seeded with the
+        # previous block's TRRS rows when the retained samples are
+        # guaranteed unchanged (see _stream_cache_safe).
+        store = self._kernel.make_store(norm, cfg.max_lag)
+        cache_ok = False
+        if stream_cache is not None:
+            cache_ok = self._stream_cache_safe(trace.data, guard_report)
+            if cache_ok:
+                seeded_before = stream_cache.seeded_cells
+                self._kernel.seed_store(store, stream_cache, stream_offset)
+                obs.add(
+                    "stream.cache_seeded_cells",
+                    stream_cache.seeded_cells - seeded_before,
+                )
+            else:
+                stream_cache.clear()
+
         groups = parallel_groups(trace.array)
         groups = [
             [p for p in g if p.i not in dead and p.j not in dead] for g in groups
@@ -182,6 +226,10 @@ class Rim:
                 bool(moving.any()),
                 len(groups),
             )
+            if stream_cache is not None:
+                # No matrices were computed this block, so there is nothing
+                # fresh to carry forward; stale rows must not outlive it.
+                stream_cache.clear()
             motion = MotionEstimate(
                 times=trace.times,
                 moving=moving,
@@ -202,15 +250,18 @@ class Rim:
             )
 
         with obs.span("rim.pre_screen", n_groups=len(groups)):
-            candidates = self._pre_detect(norm, groups, moving, fs)
+            candidates = self._pre_detect(store, groups, moving, fs)
         with obs.span("rim.track_groups", n_candidates=len(candidates)):
-            tracks = [self._track_group(norm, g, fs) for g in candidates]
+            tracks = self._track_groups(store, candidates, fs)
             tracks = self._post_filter(tracks, moving)
 
         with obs.span("rim.rotation_detect", circular=trace.array.circular):
             ring_tracks, rotations = self._detect_rotation(
-                trace, norm, moving, fs, dead
+                trace, store, moving, fs, dead
             )
+
+        if stream_cache is not None and cache_ok:
+            self._kernel.export_store(store, stream_cache, stream_offset)
 
         with obs.span("rim.integrate", n_tracks=len(tracks)):
             motion = self._reckon(
@@ -299,26 +350,28 @@ class Rim:
 
     def _pre_detect(
         self,
-        norm: np.ndarray,
+        store,
         groups: List[List[AntennaPair]],
         moving: np.ndarray,
         fs: float,
     ) -> List[List[AntennaPair]]:
-        """Cheap strided screen: keep pair groups with prominent peaks (§4.3)."""
+        """Cheap strided screen: keep pair groups with prominent peaks (§4.3).
+
+        The lead pairs of *all* groups go to the kernel backend in one
+        batched request; the strided ``virtual_window=1`` rows it computes
+        stay in ``store``, so confirmed groups don't pay for them again in
+        the full tracking pass.
+        """
         cfg = self.config
+        mats = self._kernel.matrices(
+            store,
+            [group[0] for group in groups],
+            virtual_window=1,
+            sampling_rate=fs,
+            time_stride=cfg.pre_detect_stride,
+        )
         scored = []
-        for group in groups:
-            pair = group[0]
-            m = alignment_matrix(
-                norm[:, pair.i],
-                norm[:, pair.j],
-                max_lag=cfg.max_lag,
-                virtual_window=1,
-                sampling_rate=fs,
-                pair=(pair.i, pair.j),
-                time_stride=cfg.pre_detect_stride,
-                normalized=True,
-            )
+        for m, group in zip(mats, groups):
             score = peak_prominence_score(m.values, moving)
             obs.observe(
                 "trrs.peak_prominence", score, bounds=obs.PROMINENCE_BOUNDS
@@ -332,31 +385,68 @@ class Rim:
         obs.add("rim.groups_confirmed", len(keep))
         return keep
 
-    def _track_group(
-        self, norm: np.ndarray, group: List[AntennaPair], fs: float
-    ) -> GroupTrack:
+    def _track_groups(
+        self, store, candidates: List[List[AntennaPair]], fs: float
+    ) -> List[GroupTrack]:
+        """Full-resolution matrices and DP tracks for the confirmed groups.
+
+        Every member pair of every candidate group is computed in a single
+        batched kernel request (§4.2's group averaging then happens on the
+        returned per-pair matrices).
+        """
         cfg = self.config
-        members = group if cfg.use_parallel_averaging else group[:1]
-        matrices = [
-            alignment_matrix(
-                norm[:, p.i],
-                norm[:, p.j],
-                max_lag=cfg.max_lag,
-                virtual_window=cfg.virtual_window,
-                sampling_rate=fs,
-                pair=(p.i, p.j),
-                normalized=True,
-            )
-            for p in members
+        members = [
+            group if cfg.use_parallel_averaging else group[:1]
+            for group in candidates
         ]
-        matrix = average_matrices(matrices) if len(matrices) > 1 else matrices[0]
-        path = track_peaks(
-            matrix,
-            transition_weight=cfg.transition_weight,
-            refine=cfg.refine_subsample,
+        mats = self._kernel.matrices(
+            store,
+            [p for mem in members for p in mem],
+            virtual_window=cfg.virtual_window,
+            sampling_rate=fs,
         )
-        quality = path_quality(matrix, path, smoothing_window=cfg.quality_smoothing)
-        return GroupTrack(pairs=list(group), matrix=matrix, path=path, quality=quality)
+        tracks = []
+        cursor = 0
+        for group, mem in zip(candidates, members):
+            group_mats = mats[cursor : cursor + len(mem)]
+            cursor += len(mem)
+            matrix = (
+                average_matrices(group_mats) if len(group_mats) > 1 else group_mats[0]
+            )
+            path = track_peaks(
+                matrix,
+                transition_weight=cfg.transition_weight,
+                refine=cfg.refine_subsample,
+            )
+            quality = path_quality(
+                matrix, path, smoothing_window=cfg.quality_smoothing
+            )
+            tracks.append(
+                GroupTrack(pairs=list(group), matrix=matrix, path=path, quality=quality)
+            )
+        return tracks
+
+    def _stream_cache_safe(self, data: np.ndarray, guard_report) -> bool:
+        """May this block seed from / feed the cross-block TRRS cache?
+
+        A cached cell is only valid if the retained samples' normalized
+        CFRs are bit-identical to what the previous block computed from.
+        Sanitization and normalization are per-sample, so that holds
+        unless (a) the guard modified the buffer this block (repairs,
+        drops, dedup — all counted in the report), or (b) the loss
+        interpolator ran over a buffer containing lost packets, since the
+        interpolant near the seam changes as future samples arrive.
+        """
+        if guard_report is not None and guard_report.repairs():
+            return False
+        cfg = self.config
+        if (
+            cfg.interpolate_loss
+            and cfg.interpolation_max_gap > 0
+            and bool(np.isnan(data.real).any())
+        ):
+            return False
+        return True
 
     def _post_filter(
         self, tracks: List[GroupTrack], moving: np.ndarray
@@ -374,7 +464,7 @@ class Rim:
     def _detect_rotation(
         self,
         trace: CsiTrace,
-        norm: np.ndarray,
+        store,
         moving: np.ndarray,
         fs: float,
         dead: Optional[set] = None,
@@ -394,19 +484,16 @@ class Rim:
             if len(ring) < 2 * cfg.rotation_min_groups:
                 return [], []
         # Cheap screen first: rotation requires most ring pairs prominent.
-        pre_scores = []
-        for p in ring:
-            m = alignment_matrix(
-                norm[:, p.i],
-                norm[:, p.j],
-                max_lag=cfg.max_lag,
-                virtual_window=1,
-                sampling_rate=fs,
-                pair=(p.i, p.j),
-                time_stride=cfg.pre_detect_stride,
-                normalized=True,
-            )
-            pre_scores.append(peak_prominence_score(m.values, moving))
+        # One batched request covers all ring pairs; the strided base rows
+        # it computes stay in the store and are reused by the full pass.
+        pre_mats = self._kernel.matrices(
+            store,
+            ring,
+            virtual_window=1,
+            sampling_rate=fs,
+            time_stride=cfg.pre_detect_stride,
+        )
+        pre_scores = [peak_prominence_score(m.values, moving) for m in pre_mats]
         prominent = sum(s >= cfg.rotation_pre_score for s in pre_scores)
         if prominent < 2 * cfg.rotation_min_groups:
             return [], []
@@ -416,17 +503,11 @@ class Rim:
         # averaging starves.  Widen the window to recover spatial diversity
         # (Eqn. 4's benefit scales with the aperture, not the sample count).
         ring_window = min(4 * cfg.virtual_window, 2 * cfg.max_lag + 1)
+        ring_mats = self._kernel.matrices(
+            store, ring, virtual_window=ring_window, sampling_rate=fs
+        )
         tracks = []
-        for p in ring:
-            matrix = alignment_matrix(
-                norm[:, p.i],
-                norm[:, p.j],
-                max_lag=cfg.max_lag,
-                virtual_window=ring_window,
-                sampling_rate=fs,
-                pair=(p.i, p.j),
-                normalized=True,
-            )
+        for p, matrix in zip(ring, ring_mats):
             path = track_peaks(
                 matrix,
                 transition_weight=cfg.transition_weight,

@@ -27,6 +27,7 @@ from repro.channel.sampler import CsiTrace
 from repro.core.config import RimConfig
 from repro.core.rim import Rim
 from repro.motionsim.trajectory import Trajectory
+from repro.perf.streamcache import StreamAlignmentCache
 from repro.robustness.guard import GuardError, StreamGuard
 from repro.robustness.health import HealthReport
 
@@ -99,6 +100,15 @@ class StreamingRim:
         )
 
         self._rim = Rim(self.config)
+        # Cross-block TRRS row reuse: the previous block's base-alignment
+        # rows for the retained context window are seeded into the next
+        # block's kernel store, so only rows involving freshly pushed
+        # samples are computed (invalidated whenever the guard repairs or
+        # resamples the buffer — see Rim._stream_cache_safe).
+        self._align_cache = (
+            StreamAlignmentCache() if self.config.stream_reuse else None
+        )
+        self._buffer_offset = 0  # global stream index of self._packets[0]
         # Packet-level guard: the block buffer must stay strictly monotonic
         # (a non-monotonic dt corrupts block distance), so duplicates and
         # late packets are rejected at the door rather than mid-block.
@@ -198,6 +208,11 @@ class StreamingRim:
         t = data.shape[0]
         start_new = self._pending_start
         times, resampled = self._repair_clock(times)
+        if resampled and self._align_cache is not None:
+            # The clock repair changes nothing in the CSI data, but it marks
+            # a stream whose buffer composition we no longer trust to match
+            # the previous block sample for sample.
+            self._align_cache.clear()
 
         trace = CsiTrace(
             data=data.astype(np.complex64),
@@ -207,7 +222,11 @@ class StreamingRim:
             tx_positions=np.zeros((data.shape[2], 2)),
             carrier_wavelength=self.carrier_wavelength,
         )
-        result = self._rim.process(trace)
+        result = self._rim.process(
+            trace,
+            stream_cache=self._align_cache,
+            stream_offset=self._buffer_offset,
+        )
 
         motion = result.motion
         health = result.health
@@ -252,6 +271,7 @@ class StreamingRim:
         self._packets = self._packets[keep_from:]
         self._times = self._times[keep_from:]
         self._pending_start = t - keep_from
+        self._buffer_offset += keep_from
         return update
 
     def _repair_clock(self, times: np.ndarray):

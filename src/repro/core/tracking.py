@@ -65,7 +65,11 @@ def track_peaks(
     """
     if transition_weight >= 0:
         raise ValueError(f"transition weight ω must be negative, got {transition_weight}")
-    e = np.nan_to_num(matrix.values, nan=0.0)
+    # One owned copy with NaN -> 0 (lost packets carry no evidence, Eqn. 6).
+    # Leaner than np.nan_to_num, which also scans for ±inf — TRRS values
+    # are in [0, 1] or NaN, never infinite.
+    e = np.array(matrix.values, dtype=np.float64)
+    np.copyto(e, 0.0, where=np.isnan(e))
     t, n_lags = e.shape
     if t == 0:
         empty = np.zeros(0)
@@ -94,13 +98,18 @@ def _track_peaks(
 
     score = e[0].copy()
     backptr = np.zeros((t, n_lags), dtype=np.int32)
+    # The Bellman loop runs T times over an (L, L) candidate table; reusing
+    # preallocated buffers keeps the loop free of large allocations.
+    candidate = np.empty((n_lags, n_lags))
+    base = np.empty(n_lags)
     for step in range(1, t):
         # Transition score from every l to every n (Eqn. 7): the e terms of
         # both endpoints plus the jump penalty.
-        candidate = score[:, None] + e[step - 1][:, None] + jump_cost
+        np.add(score, e[step - 1], out=base)
+        np.add(base[:, None], jump_cost, out=candidate)
         best_prev = np.argmax(candidate, axis=0)
         backptr[step] = best_prev
-        score = candidate[best_prev, lag_axis] + e[step]
+        np.add(candidate[best_prev, lag_axis], e[step], out=score)
 
     lag_indices = np.empty(t, dtype=np.int64)
     lag_indices[-1] = int(np.argmax(score))

@@ -101,14 +101,42 @@ def massive_trrs(p_i: np.ndarray, p_j: np.ndarray) -> float:
     return float(np.nanmean(values))
 
 
+def normalized_inner_trrs(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """TX-averaged TRRS of tone-normalized snapshots: mean_k |⟨a, b⟩|².
+
+    The shared inner reduction of the einsum alignment kernels.  With
+    inputs from :func:`normalize_csi`, Eqn. 3 collapses to a plain inner
+    product per TX antenna; the reference per-pair kernel and the batched
+    backend's gather kernel (:mod:`repro.perf.kernels`) reduce in this
+    same order, so their outputs — including NaN propagation from lost
+    packets — are bit-identical.  The batched backend's BLAS band kernel
+    computes the same quantity via real GEMMs, identical NaN-for-NaN and
+    within a few float64 ulps elsewhere.
+
+    Args:
+        a, b: (..., n_tx, S) unit-normalized CFR snapshots; any number of
+            leading batch axes (time, pair, ...).
+
+    Returns:
+        (...) TRRS values averaged over the TX axis.
+    """
+    inner = np.einsum("...ks,...ks->...k", np.conj(a), b)
+    return (np.abs(inner) ** 2).mean(axis=-1)
+
+
 def normalize_csi(data: np.ndarray) -> np.ndarray:
     """Unit-normalize CFR vectors along the tone axis.
 
     With normalized inputs, TRRS reduces to |⟨H1, H2⟩|², which lets the
     alignment-matrix kernels use plain inner products.  All-NaN or
     zero-power vectors normalize to NaN.
+
+    Always returns complex128: the alignment kernels accumulate thousands
+    of products per cell, where float32 round-off would swamp the 1e-9
+    cross-backend equivalence budget (complex64 buys no einsum speed in
+    return).
     """
-    data = np.asarray(data)
+    data = np.asarray(data, dtype=np.complex128)
     power = np.sqrt((np.abs(data) ** 2).sum(axis=-1, keepdims=True))
     with np.errstate(divide="ignore", invalid="ignore"):
         out = data / power

@@ -25,7 +25,7 @@ from typing import Any, Dict, Optional
 
 from repro import obs
 
-SCHEMA = "rim-perf-baseline/v1"
+SCHEMA = "rim-perf-baseline/v2"
 
 # Stage spans every baseline must contain (the pipeline of §4.4): without
 # them the file cannot answer "where did the time go".
@@ -39,87 +39,59 @@ REQUIRED_BATCH_SPANS = (
     "rim.integrate",
 )
 
+# Kernel backends every baseline profiles (see ``repro.perf``); the
+# primary one feeds the top-level batch/streaming sections.
+PROFILED_BACKENDS = ("reference", "batched")
+PRIMARY_BACKEND = "batched"
 
-def run_perf_baseline(
-    seed: int = 0,
-    quick: bool = True,
-    duration_s: Optional[float] = None,
-    block_seconds: float = 1.0,
+
+def _span_total(spans, name: str) -> float:
+    return float(sum(s["total_s"] for s in spans if s.get("name") == name))
+
+
+def _profile_backend(
+    backend: str,
+    trace,
+    array,
+    block_seconds: float,
 ) -> Dict[str, Any]:
-    """Profile the batch and streaming pipelines on the standard testbed.
+    """Time batch + streaming runs of one kernel backend (obs enabled)."""
+    from repro import Rim, RimConfig, StreamingRim
 
-    Args:
-        seed: Scenario seed (scatterers, noise).
-        quick: Short workload for CI smoke runs; full is paper-scale-ish.
-        duration_s: Trajectory duration override, seconds.
-        block_seconds: Streaming emission cadence.
+    cfg = RimConfig(max_lag=60, kernel_backend=backend)
 
-    Returns:
-        The ``BENCH_perf.json`` payload (see :func:`validate_perf_payload`
-        for the schema).  Instrumentation state is restored on exit; the
-        run itself executes with :mod:`repro.obs` enabled and reset.
-    """
-    from repro import Rim, RimConfig, StreamingRim, linear_array
-    from repro.eval.setup import MEASUREMENT_SPOTS, make_testbed
-    from repro.motionsim.profiles import line_trajectory
-
-    if duration_s is None:
-        duration_s = 3.0 if quick else 10.0
-    bed = make_testbed(seed=seed)
-    truth = line_trajectory(MEASUREMENT_SPOTS[0], 0.0, 0.5, duration_s)
-    array = linear_array(3)
-    trace = bed.sampler.sample(truth, array)
-    cfg = RimConfig(max_lag=60)
-
-    was_enabled = obs.enabled()
     obs.reset()
-    obs.enable()
-    try:
-        # -- batch ---------------------------------------------------------
-        t0 = time.perf_counter()
-        result = Rim(cfg).process(trace)
-        batch_wall = time.perf_counter() - t0
+    # -- batch -------------------------------------------------------------
+    t0 = time.perf_counter()
+    result = Rim(cfg).process(trace)
+    batch_wall = time.perf_counter() - t0
 
-        # -- streaming -----------------------------------------------------
-        stream = StreamingRim(
-            array,
-            trace.sampling_rate,
-            cfg,
-            block_seconds=block_seconds,
-            carrier_wavelength=trace.carrier_wavelength,
-        )
-        t0 = time.perf_counter()
-        n_updates = 0
-        for k in range(trace.n_samples):
-            if stream.push(trace.data[k], float(trace.times[k])) is not None:
-                n_updates += 1
-        if stream.flush() is not None:
+    # -- streaming ---------------------------------------------------------
+    stream = StreamingRim(
+        array,
+        trace.sampling_rate,
+        cfg,
+        block_seconds=block_seconds,
+        carrier_wavelength=trace.carrier_wavelength,
+    )
+    t0 = time.perf_counter()
+    n_updates = 0
+    for k in range(trace.n_samples):
+        if stream.push(trace.data[k], float(trace.times[k])) is not None:
             n_updates += 1
-        stream_wall = time.perf_counter() - t0
+    if stream.flush() is not None:
+        n_updates += 1
+    stream_wall = time.perf_counter() - t0
 
-        latency = obs.METRICS.get("stream.block_latency_s")
-        metrics_snapshot = obs.METRICS.snapshot()
-    finally:
-        if not was_enabled:
-            obs.disable()
-
+    latency = obs.METRICS.get("stream.block_latency_s")
+    spans = result.stats["spans"] if result.stats else []
     samples_per_second = trace.n_samples / stream_wall if stream_wall > 0 else 0.0
-    payload: Dict[str, Any] = {
-        "schema": SCHEMA,
-        "seed": seed,
-        "quick": quick,
-        "workload": {
-            "duration_s": duration_s,
-            "sampling_rate_hz": float(trace.sampling_rate),
-            "n_samples": int(trace.n_samples),
-            "n_rx": int(trace.n_rx),
-            "block_seconds": block_seconds,
-            "truth_distance_m": float(truth.total_distance),
-        },
+    return {
         "batch": {
             "wall_s": batch_wall,
+            "alignment_total_s": _span_total(spans, "alignment_matrix"),
             "total_distance_m": float(result.total_distance),
-            "spans": result.stats["spans"] if result.stats else [],
+            "spans": spans,
         },
         "streaming": {
             "wall_s": stream_wall,
@@ -137,7 +109,102 @@ def run_perf_baseline(
                 latency.percentile(0.95) if latency and latency.count else None
             ),
         },
-        "metrics": metrics_snapshot,
+        "metrics": obs.METRICS.snapshot(),
+    }
+
+
+def run_perf_baseline(
+    seed: int = 0,
+    quick: bool = True,
+    duration_s: Optional[float] = None,
+    block_seconds: float = 1.0,
+) -> Dict[str, Any]:
+    """Profile the batch and streaming pipelines on the standard testbed.
+
+    Every kernel backend in :data:`PROFILED_BACKENDS` is timed over the
+    same trace; the primary (``batched``) backend fills the top-level
+    ``batch``/``streaming``/``metrics`` sections, per-backend digests land
+    under ``backends``, and ``speedup_vs_reference`` holds the wall-time
+    ratios the optimisation PRs are judged on.
+
+    Args:
+        seed: Scenario seed (scatterers, noise).
+        quick: Short workload for CI smoke runs; full is paper-scale-ish.
+        duration_s: Trajectory duration override, seconds.
+        block_seconds: Streaming emission cadence.
+
+    Returns:
+        The ``BENCH_perf.json`` payload (see :func:`validate_perf_payload`
+        for the schema).  Instrumentation state is restored on exit; the
+        run itself executes with :mod:`repro.obs` enabled and reset.
+    """
+    from repro import linear_array
+    from repro.eval.setup import MEASUREMENT_SPOTS, make_testbed
+    from repro.motionsim.profiles import line_trajectory
+
+    if duration_s is None:
+        duration_s = 3.0 if quick else 10.0
+    bed = make_testbed(seed=seed)
+    truth = line_trajectory(MEASUREMENT_SPOTS[0], 0.0, 0.5, duration_s)
+    array = linear_array(3)
+    trace = bed.sampler.sample(truth, array)
+
+    was_enabled = obs.enabled()
+    obs.enable()
+    try:
+        profiles = {
+            backend: _profile_backend(backend, trace, array, block_seconds)
+            for backend in PROFILED_BACKENDS
+        }
+    finally:
+        if not was_enabled:
+            obs.disable()
+
+    primary = profiles[PRIMARY_BACKEND]
+    ref = profiles["reference"]
+
+    def _ratio(old: float, new: float) -> Optional[float]:
+        return old / new if new > 0 else None
+
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "seed": seed,
+        "quick": quick,
+        "primary_backend": PRIMARY_BACKEND,
+        "workload": {
+            "duration_s": duration_s,
+            "sampling_rate_hz": float(trace.sampling_rate),
+            "n_samples": int(trace.n_samples),
+            "n_rx": int(trace.n_rx),
+            "block_seconds": block_seconds,
+            "truth_distance_m": float(truth.total_distance),
+        },
+        "batch": primary["batch"],
+        "streaming": primary["streaming"],
+        "metrics": primary["metrics"],
+        "backends": {
+            name: {
+                "batch_wall_s": p["batch"]["wall_s"],
+                "alignment_total_s": p["batch"]["alignment_total_s"],
+                "stream_wall_s": p["streaming"]["wall_s"],
+                "block_latency_p50_s": p["streaming"]["block_latency_p50_s"],
+                "block_latency_p95_s": p["streaming"]["block_latency_p95_s"],
+                "total_distance_m": p["batch"]["total_distance_m"],
+            }
+            for name, p in profiles.items()
+        },
+        "speedup_vs_reference": {
+            "batch_wall": _ratio(
+                ref["batch"]["wall_s"], primary["batch"]["wall_s"]
+            ),
+            "stream_wall": _ratio(
+                ref["streaming"]["wall_s"], primary["streaming"]["wall_s"]
+            ),
+            "alignment_total": _ratio(
+                ref["batch"]["alignment_total_s"],
+                primary["batch"]["alignment_total_s"],
+            ),
+        },
     }
     return payload
 
@@ -172,6 +239,72 @@ def validate_perf_payload(payload: Dict[str, Any]) -> None:
         raise ValueError("streaming.block_latency histogram is missing")
     if not latency.get("count"):
         raise ValueError("streaming.block_latency histogram is empty")
+    backends = payload.get("backends")
+    if not isinstance(backends, dict):
+        raise ValueError("missing or malformed section 'backends'")
+    absent = [n for n in PROFILED_BACKENDS if n not in backends]
+    if absent:
+        raise ValueError(f"backends section missing kernels: {absent}")
+    for name, digest in backends.items():
+        for key in ("batch_wall_s", "alignment_total_s", "stream_wall_s"):
+            if not isinstance(digest.get(key), (int, float)):
+                raise ValueError(f"backends[{name!r}] lacks {key}")
+    speedups = payload.get("speedup_vs_reference")
+    if not isinstance(speedups, dict):
+        raise ValueError("missing or malformed section 'speedup_vs_reference'")
+    for key in ("batch_wall", "stream_wall", "alignment_total"):
+        if key not in speedups:
+            raise ValueError(f"speedup_vs_reference lacks {key}")
+
+
+def check_perf_regression(
+    payload: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.25,
+) -> list:
+    """Compare a fresh run against the committed baseline (the perf gate).
+
+    The gate watches the quick-baseline ``rim.process`` wall time: a fresh
+    run may not be more than ``max_regression`` (fractional) slower than
+    the committed ``BENCH_perf.json``.  The batched/reference speedup
+    ratios are also checked — they are hardware-independent, so a drop
+    below 1.0 means the "fast" backend stopped being fast regardless of
+    how slow the CI runner is.
+
+    Args:
+        payload: Freshly measured baseline payload.
+        baseline: Previously committed baseline payload.
+        max_regression: Allowed fractional slowdown (0.25 = +25%).
+
+    Returns:
+        A list of human-readable failure strings; empty means the gate
+        passes.
+    """
+
+    def _process_wall(p: Dict[str, Any]) -> float:
+        spans = p.get("batch", {}).get("spans") or []
+        total = _span_total(spans, "rim.process")
+        return total if total > 0 else float(p.get("batch", {}).get("wall_s", 0.0))
+
+    failures = []
+    new_wall = _process_wall(payload)
+    old_wall = _process_wall(baseline)
+    if old_wall > 0 and new_wall > old_wall * (1.0 + max_regression):
+        failures.append(
+            f"rim.process wall time regressed {new_wall / old_wall - 1.0:+.0%} "
+            f"({old_wall * 1e3:.1f} ms -> {new_wall * 1e3:.1f} ms; "
+            f"budget +{max_regression:.0%})"
+        )
+    speedups = payload.get("speedup_vs_reference") or {}
+    for key in ("batch_wall", "alignment_total"):
+        ratio = speedups.get(key)
+        if ratio is not None and ratio < 1.0:
+            failures.append(
+                f"speedup_vs_reference.{key} fell below 1.0 ({ratio:.2f}x): "
+                f"the {payload.get('primary_backend', 'primary')} backend is "
+                "slower than the reference kernel"
+            )
+    return failures
 
 
 def write_perf_baseline(path, payload: Dict[str, Any]) -> None:
@@ -213,4 +346,22 @@ def render_perf_summary(payload: Dict[str, Any]) -> str:
             f"  block latency    p50 {stream['block_latency_p50_s'] * 1e3:.1f} ms, "
             f"p95 {stream['block_latency_p95_s'] * 1e3:.1f} ms"
         )
+    backends = payload.get("backends")
+    if backends:
+        lines += ["", "kernel backends:"]
+        for name, b in backends.items():
+            tag = " (primary)" if name == payload.get("primary_backend") else ""
+            lines.append(
+                f"  {name:<10} batch {b['batch_wall_s'] * 1e3:7.1f} ms  "
+                f"alignment {b['alignment_total_s'] * 1e3:7.1f} ms  "
+                f"stream {b['stream_wall_s'] * 1e3:7.1f} ms{tag}"
+            )
+        speedups = payload.get("speedup_vs_reference") or {}
+        parts = [
+            f"{key} {value:.2f}x"
+            for key, value in speedups.items()
+            if value is not None
+        ]
+        if parts:
+            lines.append(f"  speedup vs reference: {', '.join(parts)}")
     return "\n".join(lines)

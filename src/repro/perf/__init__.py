@@ -1,0 +1,54 @@
+"""``repro.perf`` — kernel backends for the alignment hot path.
+
+The package owns the *kernel backend registry* (which implementation of
+the TRRS/alignment kernels the pipeline runs), the batched kernels
+themselves, and the streaming cross-block row cache:
+
+* :mod:`repro.perf.registry` — backend selection via
+  ``RimConfig.kernel_backend`` / the ``RIM_KERNEL`` env var;
+* :mod:`repro.perf.kernels` — ``reference`` (the serial oracle) and
+  ``batched`` (one einsum per lag across all pairs, with cell reuse);
+* :mod:`repro.perf.streamcache` — incremental reuse of the context
+  window's TRRS rows across streaming blocks.
+
+All backends are numerically equivalent; ``batched`` is the default.
+See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+from repro.perf.kernels import (
+    BaseRowStore,
+    BatchedBackend,
+    KernelBackend,
+    ReferenceBackend,
+)
+from repro.perf.registry import (
+    DEFAULT_BACKEND,
+    RIM_KERNEL_ENV,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+)
+from repro.perf.streamcache import StreamAlignmentCache
+
+register_backend("reference", lambda config: ReferenceBackend())
+register_backend(
+    "batched",
+    lambda config: BatchedBackend(threads=getattr(config, "kernel_threads", 0)),
+)
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "RIM_KERNEL_ENV",
+    "BaseRowStore",
+    "BatchedBackend",
+    "KernelBackend",
+    "ReferenceBackend",
+    "StreamAlignmentCache",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend_name",
+]

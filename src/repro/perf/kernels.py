@@ -1,0 +1,364 @@
+"""TRRS kernel backends: the batched alignment hot path.
+
+The alignment matrices of §3.2 dominate ``Rim.process`` wall time (see
+``BENCH_perf.json``).  The serial path builds each pair's banded matrix
+with one complex einsum per lag *per pair*; this module restructures the
+work around a shared cell store and two batched kernels: contiguous row
+runs are reduced by BLAS band GEMMs (the complex inner product split
+into two real dgemms over interleaved re/im views), and scattered
+strided rows are gathered per lag column and reduced with one einsum
+across **all** requested pairs at once.
+
+The batched backend additionally keeps a per-trace :class:`BaseRowStore`
+of computed cells, which buys two kinds of reuse:
+
+* the strided ``virtual_window=1`` rows computed by the pre-detection
+  screen (§4.3) are *not* recomputed when the full tracking pass later
+  needs the same pair at full resolution;
+* :class:`~repro.core.streaming.StreamingRim` seeds the store with the
+  previous block's rows (see :mod:`repro.perf.streamcache`), so only the
+  cells involving newly pushed samples are evaluated per block.
+
+Every backend must be numerically equivalent to ``reference``: NaN
+propagation from lost packets is identical cell for cell, and values
+agree within 1e-9 (the GEMM accumulation order differs from einsum's by
+a few float64 ulps; the gather kernel is bit-identical).
+``tests/test_kernel_backends.py`` enforces this on clean and
+fault-injected traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.alignment import (
+    AlignmentMatrix,
+    alignment_matrix,
+    nan_moving_average,
+)
+
+
+class KernelBackend:
+    """Interface every kernel backend implements.
+
+    A backend turns batched *pair-matrix requests* into
+    :class:`~repro.core.alignment.AlignmentMatrix` lists.  One *store*
+    (an opaque per-trace object from :meth:`make_store`) is threaded
+    through all requests of a single ``Rim.process`` call so backends
+    can reuse work across pipeline stages.
+    """
+
+    name = "abstract"
+
+    def make_store(self, norm: np.ndarray, max_lag: int):
+        """Per-trace state for one pipeline run over ``norm`` (T,R,K,S)."""
+        raise NotImplementedError
+
+    def matrices(
+        self,
+        store,
+        pairs: Sequence,
+        *,
+        virtual_window: int,
+        sampling_rate: float,
+        time_stride: int = 1,
+    ) -> List[AlignmentMatrix]:
+        """Alignment matrices for ``pairs``, batched however the backend likes."""
+        raise NotImplementedError
+
+    def seed_store(self, store, cache, offset: int) -> None:
+        """Pre-populate ``store`` from a cross-block cache (no-op by default)."""
+
+    def export_store(self, store, cache, offset: int) -> None:
+        """Publish ``store`` rows into a cross-block cache (no-op by default)."""
+
+
+class ReferenceBackend(KernelBackend):
+    """The original serial per-pair path — the numerical oracle.
+
+    Delegates every pair to :func:`repro.core.alignment.alignment_matrix`
+    exactly as the pipeline did before backends existed, including its
+    per-pair ``alignment_matrix`` obs spans and work counters.  No reuse,
+    no caching: what this backend computes is what every other backend
+    must reproduce bit for bit.
+    """
+
+    name = "reference"
+
+    class _Store:
+        __slots__ = ("norm", "max_lag")
+
+        def __init__(self, norm, max_lag):
+            self.norm = norm
+            self.max_lag = max_lag
+
+    def make_store(self, norm, max_lag):
+        return self._Store(norm, max_lag)
+
+    def matrices(self, store, pairs, *, virtual_window, sampling_rate, time_stride=1):
+        return [
+            alignment_matrix(
+                store.norm[:, p.i],
+                store.norm[:, p.j],
+                max_lag=store.max_lag,
+                virtual_window=virtual_window,
+                sampling_rate=sampling_rate,
+                pair=(p.i, p.j),
+                time_stride=time_stride,
+                normalized=True,
+            )
+            for p in pairs
+        ]
+
+
+class BaseRowStore:
+    """Per-trace store of computed base-TRRS cells for antenna pairs.
+
+    For each ordered pair key ``(i, j)`` it holds a ``(T, 2W+1)`` value
+    matrix (NaN where never computed or outside the lag band) and a
+    boolean ``known`` mask of the same shape marking cells that have been
+    evaluated.  Requests only compute cells that are requested, inside
+    the band, and not yet known — which is what makes pre-screen rows,
+    cross-stage rows, and cross-block seeded rows free.
+    """
+
+    def __init__(self, norm: np.ndarray, max_lag: int):
+        self.norm = norm
+        self.max_lag = int(max_lag)
+        self.t = int(norm.shape[0])
+        self.n_lags = 2 * self.max_lag + 1
+        self.values: Dict[Tuple[int, int], np.ndarray] = {}
+        self.known: Dict[Tuple[int, int], np.ndarray] = {}
+        self._band: Optional[np.ndarray] = None
+        self._real: Optional[np.ndarray] = None
+        self._swap: Optional[np.ndarray] = None
+
+    def entry(self, key: Tuple[int, int]) -> Tuple[np.ndarray, np.ndarray]:
+        """The (values, known) arrays of ``key``, created NaN/False on miss."""
+        if key not in self.values:
+            self.values[key] = np.full((self.t, self.n_lags), np.nan)
+            self.known[key] = np.zeros((self.t, self.n_lags), dtype=bool)
+        return self.values[key], self.known[key]
+
+    def band(self) -> np.ndarray:
+        """(T, 2W+1) mask of in-band cells: the partner sample t-l exists."""
+        if self._band is None:
+            partner = (
+                np.arange(self.t)[:, None]
+                - np.arange(-self.max_lag, self.max_lag + 1)[None, :]
+            )
+            self._band = (partner >= 0) & (partner < self.t)
+        return self._band
+
+    def real_views(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-antenna interleaved float64 stacks for the BLAS band kernel.
+
+        Returns ``(real, swap)``, both ``(R, K, T, 2S)`` C-contiguous:
+        ``real[a, k, t]`` is snapshot ``(t, a, k)`` as interleaved
+        ``re, im`` float64 pairs, and ``swap`` holds ``im, -re``.  The
+        complex inner product then falls out of two real GEMMs:
+        ``Re⟨conj(x), y⟩ = x_f · y_f`` and ``Im⟨conj(x), y⟩ = x_f · y_swap``.
+        """
+        if self._real is None:
+            stacked = np.ascontiguousarray(
+                np.asarray(self.norm, dtype=np.complex128).transpose(1, 2, 0, 3)
+            )
+            real = stacked.view(np.float64)
+            swap = np.empty_like(real)
+            swap[..., 0::2] = real[..., 1::2]
+            swap[..., 1::2] = -real[..., 0::2]
+            self._real, self._swap = real, swap
+        return self._real, self._swap
+
+
+class BatchedBackend(KernelBackend):
+    """Batched einsum kernels over a :class:`BaseRowStore`.
+
+    Args:
+        threads: Fan the per-lag columns out over a thread pool of this
+            size (the einsum inner products release the GIL for the bulk
+            of their work).  ``0``/``1`` means serial.
+    """
+
+    name = "batched"
+
+    def __init__(self, threads: int = 0):
+        self.threads = int(threads)
+
+    def make_store(self, norm, max_lag):
+        return BaseRowStore(norm, max_lag)
+
+    def seed_store(self, store, cache, offset):
+        cache.seed(store, offset)
+
+    def export_store(self, store, cache, offset):
+        cache.capture(store, offset)
+
+    def matrices(self, store, pairs, *, virtual_window, sampling_rate, time_stride=1):
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        t, n_lags, w = store.t, store.n_lags, store.max_lag
+        with obs.span(
+            "alignment_matrix",
+            backend=self.name,
+            n_pairs=len(pairs),
+            shape=(t, n_lags),
+            virtual_window=virtual_window,
+            time_stride=time_stride,
+        ):
+            rows = np.arange(0, t, time_stride) if time_stride > 1 else None
+            fresh_cells = _compute_cells(store, pairs, rows, self.threads)
+            obs.add("alignment.matrices", len(pairs))
+            obs.add("alignment.cells", fresh_cells)
+
+            lags = np.arange(-w, w + 1)
+            out = []
+            for p in pairs:
+                vals = store.values[(p.i, p.j)]
+                if rows is not None:
+                    # The store may know more rows than this strided request
+                    # (seeded or computed by another stage); the reference
+                    # semantics are "skipped rows are NaN", so mask them.
+                    masked = np.full((t, n_lags), np.nan)
+                    masked[rows] = vals[rows]
+                    values = masked
+                elif virtual_window > 1:
+                    values = nan_moving_average(vals, virtual_window)
+                else:
+                    values = vals.copy()
+                out.append(
+                    AlignmentMatrix(
+                        values=values,
+                        lags=lags,
+                        sampling_rate=sampling_rate,
+                        pair=(p.i, p.j),
+                    )
+                )
+            return out
+
+
+_GEMM_CHUNK = 128  # rows per BLAS band job: B window (~B+2W rows) stays in cache
+_MIN_GEMM_SPAN = 16  # narrower clusters fall back to the gather kernel
+# The BLAS kernel is >10x cheaper per cell than the per-lag gather, so
+# needed-row clusters separated by small gaps of already-known rows (the
+# pre-screen's stride pattern) are merged and recomputed wholesale rather
+# than handed to the gather kernel row by row.
+_MERGE_GAP = 16
+
+
+def _compute_cells(
+    store: BaseRowStore,
+    pairs: Sequence,
+    rows: Optional[np.ndarray],
+    threads: int,
+) -> int:
+    """Evaluate all requested-but-unknown cells for ``pairs``; count them.
+
+    Rows with at least one unknown requested in-band cell are split into
+    contiguous runs.  Long runs go to the BLAS band kernel: per pair and
+    TX antenna, two real GEMMs against the ``[t-W, t+W]`` partner window
+    produce the re/im inner products of every (row, lag) cell at once —
+    dgemm turns the memory-bound per-lag reduction into a cache-blocked
+    compute kernel several times faster than numpy's complex einsum.
+    Scattered rows (strided pre-screens) are gathered per lag column and
+    reduced with one einsum across all pairs.
+    """
+    t, n_lags, w = store.t, store.n_lags, store.max_lag
+    keys = [(p.i, p.j) for p in pairs]
+    entries = [store.entry(k) for k in keys]
+
+    if rows is None:
+        row_mask = np.ones(t, dtype=bool)
+    else:
+        row_mask = np.zeros(t, dtype=bool)
+        row_mask[rows] = True
+
+    known_all = entries[0][1].copy()
+    for _, known in entries[1:]:
+        known_all &= known
+
+    needed = store.band() & ~known_all & row_mask[:, None]
+    needed_rows = np.nonzero(needed.any(axis=1))[0]
+    if needed_rows.size == 0:
+        return 0
+    fresh = int(needed.sum())
+
+    splits = np.nonzero(np.diff(needed_rows) > _MERGE_GAP)[0] + 1
+    clusters = np.split(needed_rows, splits)
+    gemm_jobs: List[Tuple[int, int]] = []
+    scattered_mask = np.zeros(t, dtype=bool)
+    for cluster in clusters:
+        span0, span1 = int(cluster[0]), int(cluster[-1]) + 1
+        if span1 - span0 >= _MIN_GEMM_SPAN:
+            for r0 in range(span0, span1, _GEMM_CHUNK):
+                gemm_jobs.append((r0, min(span1, r0 + _GEMM_CHUNK)))
+        else:
+            scattered_mask[cluster] = True
+
+    lags_arr = np.arange(-w, w + 1)
+    if gemm_jobs:
+        real, swap = store.real_views()
+
+    def run_gemm(job: Tuple[int, int]) -> None:
+        r0, r1 = job
+        u0, u1 = max(0, r0 - w), min(t, r1 + w)
+        nu = u1 - u0
+        # C[r - r0, u - u0] maps to cell (r, lag) via u = r - lag.
+        j_win = np.arange(r0, r1)[:, None] - lags_arr[None, :] - u0
+        valid = (j_win >= 0) & (j_win < nu)
+        jc = np.clip(j_win, 0, nu - 1)
+        ridx = np.arange(r1 - r0)[:, None]
+        n_k = real.shape[1]
+        for (i, j), (values, known) in zip(keys, entries):
+            acc = None
+            for k in range(n_k):
+                a = real[i, k, r0:r1]
+                re = a @ real[j, k, u0:u1].T
+                im = a @ swap[j, k, u0:u1].T
+                mag = re * re + im * im
+                band_vals = mag[ridx, jc]
+                acc = band_vals if acc is None else acc + band_vals
+            acc /= n_k
+            np.copyto(values[r0:r1], np.where(valid, acc, np.nan))
+            known[r0:r1] |= valid
+
+    # Per-lag gather jobs for the scattered rows.
+    i_idx = [k[0] for k in keys]
+    j_idx = [k[1] for k in keys]
+    einsum_jobs: List[Tuple[int, np.ndarray]] = []
+    if scattered_mask.any():
+        stack_i = np.conj(store.norm[:, i_idx].transpose(1, 0, 2, 3))
+        for col in range(n_lags):
+            rws = np.nonzero(needed[:, col] & scattered_mask)[0]
+            if rws.size:
+                einsum_jobs.append((col, rws))
+
+    def run_einsum(job: Tuple[int, np.ndarray]) -> None:
+        col, rws = job
+        lag = col - w
+        a = stack_i[:, rws].transpose(1, 0, 2, 3)  # (R, P, K, S)
+        b = store.norm[np.ix_(rws - lag, j_idx)]
+        inner = np.einsum("rpks,rpks->rpk", a, b)
+        vals = (np.abs(inner) ** 2).mean(axis=-1)  # (R, P)
+        for p_idx, (values, known) in enumerate(entries):
+            values[rws, col] = vals[:, p_idx]
+            known[rws, col] = True
+
+    jobs = [(run_gemm, j) for j in gemm_jobs] + [
+        (run_einsum, j) for j in einsum_jobs
+    ]
+    if threads > 1 and len(jobs) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        # GEMM jobs own disjoint row ranges and einsum jobs disjoint
+        # (scattered-row, column) sets, so shared arrays are safe.
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            list(pool.map(lambda fj: fj[0](fj[1]), jobs))
+    else:
+        for fn, job in jobs:
+            fn(job)
+    return fresh

@@ -1,0 +1,96 @@
+"""Cross-block reuse of banded TRRS rows for :class:`StreamingRim`.
+
+Every streaming block reprocesses the trailing context window (lag band W
+plus virtual aperture V plus the movement lag), so without reuse the
+alignment kernels recompute the context's TRRS cells on every block.  A
+base-TRRS cell ``(t, l)`` depends on exactly two samples — ``t`` and
+``t - l`` — so a cell computed in the previous block is still valid in
+the next one whenever both samples are still in the buffer and their
+normalized CFRs are unchanged.  :class:`StreamAlignmentCache` holds the
+previous block's per-pair cell matrices (values + known mask) keyed by
+the buffer's *global* sample offset; seeding shifts them into the new
+block's row coordinates, drops cells whose partner sample fell off the
+front of the buffer, and leaves only the genuinely new cells (the pushed
+samples and the seam band reaching into them) for the kernel.
+
+Validity is the caller's responsibility (``Rim`` enforces it): the cache
+must be **cleared** whenever the block's retained samples may differ
+from what the previous block saw —
+
+* the guard repaired/dropped/deduplicated packets this block,
+* the stream clock was resampled onto the nominal grid, or
+* loss interpolation ran over a buffer containing lost packets (the
+  interpolant near the seam changes as future samples arrive).
+
+Under those rules a seeded cell is bit-identical to recomputing it, so
+streamed outputs never depend on block history (enforced by
+``tests/test_kernel_backends.py`` / ``tests/test_streaming.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+class StreamAlignmentCache:
+    """Previous-block base-TRRS cells, per antenna pair, globally indexed."""
+
+    def __init__(self):
+        self.offset = 0  # global sample index of row 0 of the stored arrays
+        self.max_lag = None
+        self.entries: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        self.seeded_cells = 0  # cells served from cache over the stream's life
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def clear(self) -> None:
+        """Drop everything (guard repair / clock resample / config change)."""
+        if self.entries:
+            self.invalidations += 1
+        self.entries = {}
+        self.max_lag = None
+
+    def seed(self, store, offset: int) -> None:
+        """Copy still-valid cached cells into a fresh block's row store.
+
+        Args:
+            store: The block's :class:`~repro.perf.kernels.BaseRowStore`.
+            offset: Global sample index of the block buffer's row 0.
+        """
+        if not self.entries:
+            return
+        shift = offset - self.offset
+        if shift < 0 or self.max_lag != store.max_lag:
+            self.clear()
+            return
+        w = store.max_lag
+        for key, (vals, known) in self.entries.items():
+            n = min(vals.shape[0] - shift, store.t)
+            if n <= 0:
+                continue
+            v_new, k_new = store.entry(key)
+            v_new[:n] = vals[shift : shift + n]
+            k_new[:n] = known[shift : shift + n]
+            # A cached cell (r, lag) referenced partner sample r - lag; rows
+            # dropped off the front of the buffer make small-r positive-lag
+            # partners negative in the new coordinates — those cells are NaN
+            # border cells now, so un-know them.
+            for lag in range(1, w + 1):
+                edge = min(lag, n)
+                col = w + lag
+                v_new[:edge, col] = np.nan
+                k_new[:edge, col] = False
+            self.seeded_cells += int(k_new[:n].sum())
+
+    def capture(self, store, offset: int) -> None:
+        """Snapshot a block's computed cells for the next block to seed from."""
+        self.entries = {
+            key: (store.values[key].copy(), store.known[key].copy())
+            for key in store.values
+        }
+        self.offset = int(offset)
+        self.max_lag = store.max_lag

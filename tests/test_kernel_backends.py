@@ -1,0 +1,226 @@
+"""Kernel-backend registry and batched-vs-reference equivalence tests.
+
+The batched backend (``repro.perf.kernels``) is only admissible if it is
+numerically indistinguishable from the reference per-pair kernels: same
+NaN cells, values within 1e-9, on clean traces AND under injected faults.
+These are the acceptance tests for that contract, plus the registry's
+selection semantics (config > RIM_KERNEL env var > default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Rim, RimConfig, StreamingRim
+from repro.arrays.pairs import all_pairs
+from repro.core.trrs import normalize_csi
+from repro.perf.kernels import BatchedBackend, ReferenceBackend
+from repro.perf.registry import (
+    DEFAULT_BACKEND,
+    RIM_KERNEL_ENV,
+    available_backends,
+    get_backend,
+    resolve_backend_name,
+)
+from repro.robustness import FaultPlan
+
+TOL = 1e-9
+
+# The fault menu of the acceptance criterion: a dead RF chain, bursty
+# packet loss, and truncated (partially-NaN) packets.
+FAULT_PLANS = {
+    "clean": None,
+    "dead_chain": FaultPlan(seed=1, dead_chains=(2,)),
+    "bursty_loss": FaultPlan(seed=2, loss_rate=0.05, loss_burst=8),
+    "truncation": FaultPlan(seed=3, truncate_fraction=0.03),
+}
+
+
+def _faulted(trace, plan_name):
+    plan = FAULT_PLANS[plan_name]
+    return trace if plan is None else plan.apply(trace)
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_registry_lists_builtin_backends():
+    names = available_backends()
+    assert "reference" in names
+    assert "batched" in names
+
+
+def test_resolution_default_is_batched(monkeypatch):
+    monkeypatch.delenv(RIM_KERNEL_ENV, raising=False)
+    assert resolve_backend_name(RimConfig()) == DEFAULT_BACKEND == "batched"
+
+
+def test_resolution_env_var_overrides_default(monkeypatch):
+    monkeypatch.setenv(RIM_KERNEL_ENV, "reference")
+    assert resolve_backend_name(RimConfig()) == "reference"
+    assert Rim(RimConfig()).kernel_backend == "reference"
+
+
+def test_resolution_config_beats_env(monkeypatch):
+    monkeypatch.setenv(RIM_KERNEL_ENV, "reference")
+    cfg = RimConfig(kernel_backend="batched")
+    assert resolve_backend_name(cfg) == "batched"
+    assert Rim(cfg).kernel_backend == "batched"
+
+
+def test_unknown_backend_fails_fast_with_choices():
+    with pytest.raises(ValueError, match="reference"):
+        Rim(RimConfig(kernel_backend="no-such-kernel"))
+
+
+def test_config_rejects_empty_backend_name():
+    with pytest.raises(ValueError):
+        RimConfig(kernel_backend="")
+    with pytest.raises(ValueError):
+        RimConfig(kernel_threads=-1)
+
+
+# -- raw matrix equivalence -------------------------------------------------
+
+
+def _stores(trace, max_lag=25):
+    norm = normalize_csi(trace.data)
+    ref, bat = ReferenceBackend(), BatchedBackend()
+    return (
+        ref,
+        bat,
+        ref.make_store(norm, max_lag),
+        bat.make_store(norm, max_lag),
+    )
+
+
+def _assert_matrices_match(ref_mats, bat_mats):
+    for rm, bm in zip(ref_mats, bat_mats):
+        assert rm.pair == bm.pair
+        assert np.array_equal(rm.lags, bm.lags)
+        ref_nan = np.isnan(rm.values)
+        assert np.array_equal(ref_nan, np.isnan(bm.values)), (
+            f"NaN masks differ for pair {rm.pair}"
+        )
+        assert np.allclose(
+            rm.values, bm.values, rtol=0.0, atol=TOL, equal_nan=True
+        ), f"values differ for pair {rm.pair}"
+
+
+@pytest.mark.parametrize("plan_name", sorted(FAULT_PLANS))
+@pytest.mark.parametrize("virtual_window", [1, 8])
+def test_raw_matrices_match_reference(line_trace, plan_name, virtual_window):
+    trace = _faulted(line_trace, plan_name)
+    pairs = all_pairs(trace.array)
+    ref, bat, rs, bs = _stores(trace)
+    kw = dict(virtual_window=virtual_window, sampling_rate=trace.sampling_rate)
+    _assert_matrices_match(
+        ref.matrices(rs, pairs, **kw), bat.matrices(bs, pairs, **kw)
+    )
+
+
+def test_strided_matrices_match_reference(line_trace):
+    pairs = all_pairs(line_trace.array)
+    ref, bat, rs, bs = _stores(line_trace)
+    kw = dict(
+        virtual_window=1, sampling_rate=line_trace.sampling_rate, time_stride=8
+    )
+    _assert_matrices_match(
+        ref.matrices(rs, pairs, **kw), bat.matrices(bs, pairs, **kw)
+    )
+
+
+def test_strided_then_full_request_reuses_rows(line_trace):
+    """A full request after a strided pre-screen stays exact (row reuse)."""
+    pairs = all_pairs(line_trace.array)
+    ref, bat, rs, bs = _stores(line_trace)
+    kw = dict(virtual_window=1, sampling_rate=line_trace.sampling_rate)
+    bat.matrices(bs, pairs, time_stride=8, **kw)  # warms every 8th row
+    _assert_matrices_match(
+        ref.matrices(rs, pairs, **kw), bat.matrices(bs, pairs, **kw)
+    )
+
+
+def test_threaded_backend_matches_serial(line_trace):
+    pairs = all_pairs(line_trace.array)
+    norm = normalize_csi(line_trace.data)
+    serial, threaded = BatchedBackend(threads=0), BatchedBackend(threads=2)
+    kw = dict(virtual_window=4, sampling_rate=line_trace.sampling_rate)
+    a = serial.matrices(serial.make_store(norm, 25), pairs, **kw)
+    b = threaded.matrices(threaded.make_store(norm, 25), pairs, **kw)
+    for ma, mb in zip(a, b):
+        assert np.array_equal(
+            np.isnan(ma.values), np.isnan(mb.values)
+        )
+        assert np.allclose(
+            ma.values, mb.values, rtol=0.0, atol=TOL, equal_nan=True
+        )
+
+
+# -- end-to-end pipeline equivalence ---------------------------------------
+
+
+def _run(trace, backend, **cfg_kw):
+    cfg = RimConfig(max_lag=25, kernel_backend=backend, **cfg_kw)
+    return Rim(cfg).process(trace)
+
+
+def _assert_results_match(ref, bat):
+    assert np.array_equal(ref.motion.moving, bat.motion.moving)
+    for attr in ("speed", "heading"):
+        a, b = getattr(ref.motion, attr), getattr(bat.motion, attr)
+        assert np.array_equal(np.isnan(a), np.isnan(b)), attr
+        assert np.allclose(a, b, rtol=0.0, atol=TOL, equal_nan=True), attr
+    assert abs(ref.total_distance - bat.total_distance) <= TOL
+
+
+@pytest.mark.parametrize("plan_name", sorted(FAULT_PLANS))
+def test_pipeline_equivalence_linear(line_trace, plan_name):
+    trace = _faulted(line_trace, plan_name)
+    _assert_results_match(
+        _run(trace, "reference"), _run(trace, "batched")
+    )
+
+
+@pytest.mark.parametrize("plan_name", ["clean", "bursty_loss"])
+def test_pipeline_equivalence_hexagon(hex_line_trace, plan_name):
+    """Hexagonal array exercises rotation detection's ring-pair requests."""
+    trace = _faulted(hex_line_trace, plan_name)
+    _assert_results_match(
+        _run(trace, "reference"), _run(trace, "batched")
+    )
+
+
+@pytest.mark.parametrize("plan_name", ["clean", "dead_chain", "bursty_loss"])
+def test_streaming_equivalence(line_trace, three_antenna, plan_name):
+    """Streamed distance must not depend on the backend or the row cache."""
+    trace = _faulted(line_trace, plan_name)
+
+    def stream_distance(backend, stream_reuse):
+        cfg = RimConfig(
+            max_lag=25, kernel_backend=backend, stream_reuse=stream_reuse
+        )
+        stream = StreamingRim(
+            three_antenna,
+            trace.sampling_rate,
+            cfg,
+            block_seconds=0.5,
+            carrier_wavelength=trace.carrier_wavelength,
+        )
+        for k in range(trace.n_samples):
+            stream.push(trace.data[k], float(trace.times[k]))
+        stream.flush()
+        return stream.total_distance
+
+    d_ref = stream_distance("reference", stream_reuse=False)
+    d_bat = stream_distance("batched", stream_reuse=False)
+    d_cached = stream_distance("batched", stream_reuse=True)
+    assert abs(d_bat - d_ref) <= TOL
+    assert abs(d_cached - d_ref) <= TOL
+
+
+def test_get_backend_threads_knob():
+    backend = get_backend(RimConfig(kernel_backend="batched", kernel_threads=3))
+    assert isinstance(backend, BatchedBackend)
+    assert backend.threads == 3

@@ -194,3 +194,82 @@ class TestStreamingGuard:
         # Duplicates were rejected at the gate, so the estimate is untouched.
         all_times = np.concatenate([u.times for u in updates])
         np.testing.assert_allclose(all_times, trace.times)
+
+
+class TestStreamAlignmentCache:
+    """Cross-block TRRS row reuse and its invalidation discipline."""
+
+    def _stream(self, three_antenna, trace, **cfg_kw):
+        # Pin the batched backend: only it implements row seeding, and
+        # these tests must not depend on the ambient RIM_KERNEL setting.
+        cfg = RimConfig(max_lag=25, kernel_backend="batched", **cfg_kw)
+        return StreamingRim(
+            three_antenna,
+            trace.sampling_rate,
+            cfg,
+            block_seconds=0.5,
+            carrier_wavelength=trace.carrier_wavelength,
+        )
+
+    def test_clean_stream_seeds_rows(self, three_antenna, fast_sampler):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        stream = self._stream(three_antenna, trace)
+        _stream_trace(stream, trace)
+        cache = stream._align_cache
+        assert cache is not None
+        assert cache.seeded_cells > 0
+        assert cache.invalidations == 0
+
+    def test_stream_reuse_off_disables_cache(self, three_antenna, fast_sampler):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        stream = self._stream(three_antenna, trace, stream_reuse=False)
+        _stream_trace(stream, trace)
+        assert stream._align_cache is None
+
+    def test_guard_repairs_invalidate_cache(self, three_antenna, fast_sampler):
+        """Truncated packets trip the in-trace guard: no block may seed."""
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        stream = self._stream(three_antenna, trace)
+        for k in range(trace.n_samples):
+            packet = np.array(trace.data[k])
+            if k % 25 == 0:  # corrupt the tail tones of one chain
+                packet[0, :, -5:] = np.nan
+            stream.push(packet, trace.times[k])
+        stream.flush()
+        cache = stream._align_cache
+        # Every block carried guard repairs, so nothing was ever captured.
+        assert cache.seeded_cells == 0
+
+    def test_gate_rejections_do_not_invalidate(self, three_antenna, fast_sampler):
+        """Duplicates rejected at the push gate leave the buffer clean, so
+        the cache must keep seeding — rejection is not an in-trace repair."""
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        stream = self._stream(three_antenna, trace)
+        for k in range(trace.n_samples):
+            stream.push(trace.data[k], trace.times[k])
+            if k % 25 == 0:
+                assert stream.push(trace.data[k], trace.times[k]) is None
+        stream.flush()
+        assert stream._align_cache.seeded_cells > 0
+
+    def test_clock_resample_clears_cache(self, three_antenna, fast_sampler):
+        """Drifted timestamps force a resample, which drops seeded rows."""
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        stream = self._stream(three_antenna, trace)
+        drifted = trace.times * 1.05  # 5% fast clock, way past guard_max_drift
+        # Prime the cache with one clean block first.
+        half = trace.n_samples // 2
+        for k in range(half):
+            stream.push(trace.data[k], trace.times[k])
+        primed = stream._align_cache.seeded_cells
+        for k in range(half, trace.n_samples):
+            stream.push(trace.data[k], float(drifted[k]))
+        stream.flush()
+        assert stream._align_cache.invalidations >= 1
+        # No new seeding happened after the clock went bad.
+        assert stream._align_cache.seeded_cells == primed
