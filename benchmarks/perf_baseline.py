@@ -16,9 +16,10 @@ Usage::
 thresholds — CI must stay hardware-independent).  ``--gate PATH`` is the
 perf-regression gate: it compares the fresh run against the committed
 baseline at PATH and fails if ``rim.process`` wall time regressed by more
-than ``--max-regression`` (default 25%) or the batched backend stopped
-beating the reference kernel.  Equivalent CLI verb:
-``python -m repro.cli profile``.
+than ``--max-regression`` (default 25%), the batched backend stopped
+beating the reference kernel, or multi-session serving throughput
+(``serving.parallel.sessions_per_second``, schema v3) regressed beyond
+the same budget.  Equivalent CLI verb: ``python -m repro.cli profile``.
 """
 
 from __future__ import annotations
@@ -61,6 +62,14 @@ def main(argv=None) -> int:
         help="allowed fractional rim.process slowdown for --gate "
         "(default 0.25 = +25%%)",
     )
+    parser.add_argument(
+        "--sessions", type=int, default=8, metavar="N",
+        help="session count for the multi-session serving profile (default 8)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="thread-pool width for the parallel serving run (default 4)",
+    )
     args = parser.parse_args(argv)
 
     from repro.eval.perf import (
@@ -71,7 +80,12 @@ def main(argv=None) -> int:
         write_perf_baseline,
     )
 
-    payload = run_perf_baseline(seed=args.seed, quick=not args.full)
+    payload = run_perf_baseline(
+        seed=args.seed,
+        quick=not args.full,
+        n_sessions=args.sessions,
+        n_workers=args.workers,
+    )
     if args.gate is None or args.out != parser.get_default("out"):
         write_perf_baseline(args.out, payload)
         wrote = args.out

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli run fig11 [--full]   # regenerate one figure
     python -m repro.cli run all  [--full]    # regenerate everything
     python -m repro.cli profile              # emit BENCH_perf.json
+    python -m repro.cli serve-sim            # concurrent multi-receiver replay
 
 ``--log-level debug`` surfaces the pipeline's structured logging (guard
 repairs, degradation, clock resampling) on stderr.
@@ -123,6 +124,35 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve_sim(args) -> int:
+    from repro.serve.simulate import render_serve_table, run_serve_sim
+
+    result = run_serve_sim(
+        n_sessions=args.sessions,
+        n_workers=args.workers,
+        seed=args.seed,
+        duration_s=args.duration,
+        backpressure=args.policy,
+        queue_capacity=args.queue_capacity,
+        block_seconds=args.block_seconds,
+    )
+    print(
+        f"replaying {args.sessions} simulated receivers over "
+        f"{args.workers} workers (policy {args.policy!r})"
+    )
+    print()
+    print(render_serve_table(result))
+    agg = result["aggregate"]
+    if agg["degraded_blocks"] or agg["rejected"]:
+        print()
+        print(
+            f"warning: {agg['degraded_blocks']} degraded blocks, "
+            f"{agg['rejected']} rejected packets",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_list(_args) -> int:
     runners = _register_runners()
     print("reproducible experiments:")
@@ -217,6 +247,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FRAC",
         help="allowed fractional rim.process slowdown for --gate (default 0.25)",
     )
+
+    serve = sub.add_parser(
+        "serve-sim",
+        help="replay N simulated receivers concurrently through repro.serve",
+    )
+    serve.add_argument(
+        "--sessions", type=int, default=8, help="simulated receiver count"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="worker threads driving sessions"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="testbed seed")
+    serve.add_argument(
+        "--duration", type=float, default=2.0,
+        help="per-receiver trajectory duration, seconds",
+    )
+    serve.add_argument(
+        "--policy", default="block", choices=("block", "drop_oldest", "reject"),
+        help="backpressure policy for a full ingest queue",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=256,
+        help="per-session ingest queue bound (packets)",
+    )
+    serve.add_argument(
+        "--block-seconds", type=float, default=1.0,
+        help="streaming emission cadence, seconds",
+    )
     return parser
 
 
@@ -231,6 +289,7 @@ def main(argv=None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "profile": cmd_profile,
+        "serve-sim": cmd_serve_sim,
     }
     return handlers[args.command](args)
 

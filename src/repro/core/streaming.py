@@ -120,6 +120,8 @@ class StreamingRim:
         self._n_pushed = 0
         self._last_good_speed = 0.0
         self._clock_resamples = 0
+        self._blocks_emitted = 0
+        self._samples_emitted = 0
 
     @property
     def total_distance(self) -> float:
@@ -129,6 +131,21 @@ class StreamingRim:
     @property
     def buffered_samples(self) -> int:
         return len(self._packets)
+
+    @property
+    def pending_samples(self) -> int:
+        """Admitted samples not yet covered by an emitted update."""
+        return len(self._packets) - self._pending_start
+
+    @property
+    def blocks_emitted(self) -> int:
+        """Updates emitted so far (the serving layer's block counter)."""
+        return self._blocks_emitted
+
+    @property
+    def samples_emitted(self) -> int:
+        """Samples covered by emitted updates (throughput accounting)."""
+        return self._samples_emitted
 
     def push(self, packet: np.ndarray, timestamp: Optional[float] = None):
         """Feed one CSI packet; returns a MotionUpdate when a block completes.
@@ -191,6 +208,8 @@ class StreamingRim:
             update = self._process_block(final)
         finally:
             span_cm.__exit__(None, None, None)
+        self._blocks_emitted += 1
+        self._samples_emitted += int(update.times.size)
         if root is not None:
             obs.add("stream.blocks", 1)
             obs.add("stream.samples_emitted", int(update.times.size))

@@ -20,12 +20,13 @@ Entry points:
 from __future__ import annotations
 
 import json
+import os
 import time
 from typing import Any, Dict, Optional
 
 from repro import obs
 
-SCHEMA = "rim-perf-baseline/v2"
+SCHEMA = "rim-perf-baseline/v3"
 
 # Stage spans every baseline must contain (the pipeline of §4.4): without
 # them the file cannot answer "where did the time go".
@@ -113,11 +114,81 @@ def _profile_backend(
     }
 
 
+def _profile_serving(
+    trace,
+    n_sessions: int,
+    n_workers: int,
+    block_seconds: float,
+) -> Dict[str, Any]:
+    """Multi-session throughput: N identical sessions, serial vs pooled.
+
+    The same trace is replayed as ``n_sessions`` independent sessions
+    through :class:`~repro.serve.runner.ParallelRunner`, once serially
+    and once over a thread pool.  Per-session results must be
+    bit-identical between the two schedules (recorded in the payload and
+    asserted by the test suite); the wall-clock ratio is the
+    multi-session speedup.
+
+    CPU-bound sessions gain nothing from oversubscribing cores, so the
+    effective pool width is capped at ``os.cpu_count()`` (both the
+    requested and effective widths are recorded — on a 1-core host the
+    "parallel" schedule legitimately degenerates to serial).
+    """
+    from repro import RimConfig
+    from repro.serve.runner import ParallelRunner
+
+    cfg = RimConfig(max_lag=60, kernel_backend=PRIMARY_BACKEND)
+    traces = [trace] * n_sessions
+    effective_workers = max(1, min(n_workers, os.cpu_count() or 1))
+
+    def _measure(runner: ParallelRunner):
+        t0 = time.perf_counter()
+        results = runner.run(traces, rim_config=cfg, block_seconds=block_seconds)
+        wall = time.perf_counter() - t0
+        return results, wall
+
+    serial_results, serial_wall = _measure(ParallelRunner(mode="serial"))
+    parallel_results, parallel_wall = _measure(
+        ParallelRunner(n_workers=effective_workers, mode="thread")
+    )
+    identical = all(
+        a.same_estimates(b) for a, b in zip(serial_results, parallel_results)
+    )
+    total_samples = int(trace.n_samples) * n_sessions
+
+    def _throughput(wall: float) -> Dict[str, Any]:
+        return {
+            "wall_s": wall,
+            "sessions_per_second": n_sessions / wall if wall > 0 else 0.0,
+            "samples_per_second": total_samples / wall if wall > 0 else 0.0,
+        }
+
+    return {
+        "n_sessions": n_sessions,
+        "n_workers": n_workers,
+        "n_workers_effective": effective_workers,
+        "n_cpus": os.cpu_count(),
+        "mode": "thread",
+        "total_samples": total_samples,
+        "serial": _throughput(serial_wall),
+        "parallel": _throughput(parallel_wall),
+        "parallel_speedup": (
+            serial_wall / parallel_wall if parallel_wall > 0 else None
+        ),
+        "bit_identical": bool(identical),
+        "total_distance_m": float(
+            sum(r.total_distance for r in parallel_results)
+        ),
+    }
+
+
 def run_perf_baseline(
     seed: int = 0,
     quick: bool = True,
     duration_s: Optional[float] = None,
     block_seconds: float = 1.0,
+    n_sessions: int = 8,
+    n_workers: int = 4,
 ) -> Dict[str, Any]:
     """Profile the batch and streaming pipelines on the standard testbed.
 
@@ -127,11 +198,19 @@ def run_perf_baseline(
     under ``backends``, and ``speedup_vs_reference`` holds the wall-time
     ratios the optimisation PRs are judged on.
 
+    The ``serving`` section additionally replays the workload as
+    ``n_sessions`` concurrent sessions through
+    :class:`~repro.serve.runner.ParallelRunner` (serial vs a
+    ``n_workers``-wide thread pool) and records the aggregate
+    multi-session throughput the serving-regression gate watches.
+
     Args:
         seed: Scenario seed (scatterers, noise).
         quick: Short workload for CI smoke runs; full is paper-scale-ish.
         duration_s: Trajectory duration override, seconds.
         block_seconds: Streaming emission cadence.
+        n_sessions: Session count for the multi-session serving profile.
+        n_workers: Thread-pool width for the parallel serving run.
 
     Returns:
         The ``BENCH_perf.json`` payload (see :func:`validate_perf_payload`
@@ -160,6 +239,10 @@ def run_perf_baseline(
         if not was_enabled:
             obs.disable()
 
+    # Serving throughput is measured with instrumentation off — the gate
+    # watches raw multi-session throughput, not span bookkeeping.
+    serving = _profile_serving(trace, n_sessions, n_workers, block_seconds)
+
     primary = profiles[PRIMARY_BACKEND]
     ref = profiles["reference"]
 
@@ -181,6 +264,7 @@ def run_perf_baseline(
         },
         "batch": primary["batch"],
         "streaming": primary["streaming"],
+        "serving": serving,
         "metrics": primary["metrics"],
         "backends": {
             name: {
@@ -223,9 +307,22 @@ def validate_perf_payload(payload: Dict[str, Any]) -> None:
         raise ValueError(
             f"schema mismatch: want {SCHEMA!r}, got {payload.get('schema')!r}"
         )
-    for section in ("workload", "batch", "streaming", "metrics"):
+    for section in ("workload", "batch", "streaming", "serving", "metrics"):
         if not isinstance(payload.get(section), dict):
             raise ValueError(f"missing or malformed section {section!r}")
+    serving = payload["serving"]
+    for key in ("serial", "parallel"):
+        schedule = serving.get(key)
+        if not isinstance(schedule, dict):
+            raise ValueError(f"serving.{key} is missing or malformed")
+        for metric in ("wall_s", "sessions_per_second", "samples_per_second"):
+            if not isinstance(schedule.get(metric), (int, float)):
+                raise ValueError(f"serving.{key} lacks {metric}")
+    if not serving.get("bit_identical"):
+        raise ValueError(
+            "serving.bit_identical is false: pooled sessions diverged from "
+            "serial execution"
+        )
     spans = payload["batch"].get("spans") or []
     names = {s.get("name") for s in spans}
     missing = [n for n in REQUIRED_BATCH_SPANS if n not in names]
@@ -269,7 +366,10 @@ def check_perf_regression(
     the committed ``BENCH_perf.json``.  The batched/reference speedup
     ratios are also checked — they are hardware-independent, so a drop
     below 1.0 means the "fast" backend stopped being fast regardless of
-    how slow the CI runner is.
+    how slow the CI runner is.  When both payloads carry a v3 ``serving``
+    section, multi-session throughput (sessions/sec over the pooled
+    schedule) gets the same ``max_regression`` budget, and a pooled run
+    that diverged from serial execution fails outright.
 
     Args:
         payload: Freshly measured baseline payload.
@@ -304,6 +404,31 @@ def check_perf_regression(
                 f"the {payload.get('primary_backend', 'primary')} backend is "
                 "slower than the reference kernel"
             )
+
+    # Multi-session serving gate (schema v3): compare pooled sessions/sec
+    # against the committed baseline with the same fractional budget.
+    new_serving = payload.get("serving") or {}
+    old_serving = baseline.get("serving") or {}
+    if new_serving and not new_serving.get("bit_identical", True):
+        failures.append(
+            "serving.bit_identical is false: pooled multi-session results "
+            "diverged from serial execution"
+        )
+    new_rate = (new_serving.get("parallel") or {}).get("sessions_per_second")
+    old_rate = (old_serving.get("parallel") or {}).get("sessions_per_second")
+    if (
+        isinstance(new_rate, (int, float))
+        and isinstance(old_rate, (int, float))
+        and old_rate > 0
+        and new_rate < old_rate / (1.0 + max_regression)
+    ):
+        failures.append(
+            f"multi-session throughput regressed "
+            f"{1.0 - new_rate / old_rate:+.0%} "
+            f"({old_rate:.2f} -> {new_rate:.2f} sessions/s at "
+            f"{new_serving.get('n_sessions')} sessions; "
+            f"budget -{max_regression / (1.0 + max_regression):.0%})"
+        )
     return failures
 
 
@@ -346,6 +471,25 @@ def render_perf_summary(payload: Dict[str, Any]) -> str:
             f"  block latency    p50 {stream['block_latency_p50_s'] * 1e3:.1f} ms, "
             f"p95 {stream['block_latency_p95_s'] * 1e3:.1f} ms"
         )
+    serving = payload.get("serving")
+    if serving:
+        speedup = serving.get("parallel_speedup")
+        lines += [
+            "",
+            f"serving ({serving['n_sessions']} sessions, "
+            f"{serving.get('n_workers_effective', serving['n_workers'])}"
+            f"/{serving['n_workers']} thread workers, "
+            f"{serving.get('n_cpus', '?')} cpus):",
+            f"  serial           {serving['serial']['wall_s'] * 1e3:.1f} ms "
+            f"({serving['serial']['sessions_per_second']:.2f} sessions/s, "
+            f"{serving['serial']['samples_per_second']:.0f} samples/s)",
+            f"  parallel         {serving['parallel']['wall_s'] * 1e3:.1f} ms "
+            f"({serving['parallel']['sessions_per_second']:.2f} sessions/s, "
+            f"{serving['parallel']['samples_per_second']:.0f} samples/s)",
+            f"  speedup          "
+            f"{'n/a' if speedup is None else format(speedup, '.2f') + 'x'}, "
+            f"bit-identical: {'yes' if serving.get('bit_identical') else 'NO'}",
+        ]
     backends = payload.get("backends")
     if backends:
         lines += ["", "kernel backends:"]

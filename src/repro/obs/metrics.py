@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, List, Optional, Sequence, Union
+import threading
+from typing import Any, Dict, Optional, Sequence, Union
 
 # Log-spaced latency bounds: 100 us .. ~30 s, 4 buckets per decade.
 LATENCY_BOUNDS_S = tuple(10.0 ** (-4 + k / 4.0) for k in range(19))
@@ -161,10 +162,19 @@ Metric = Union[Counter, Gauge, Histogram]
 
 
 class MetricsRegistry:
-    """Get-or-create home for every metric in the process."""
+    """Get-or-create home for every metric in the process.
+
+    Metric creation is lock-protected so concurrent sessions
+    (:mod:`repro.serve`) can mint per-session metrics from worker threads
+    without racing get-or-create.  Updates on a single metric remain
+    single-writer territory: every per-session metric has exactly one
+    producer (its session), and cross-session aggregates tolerate the
+    GIL's granularity.
+    """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help=help)
@@ -175,22 +185,24 @@ class MetricsRegistry:
     def histogram(
         self, name: str, bounds: Optional[Sequence[float]] = None, help: str = ""
     ) -> Histogram:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = Histogram(name, bounds=bounds, help=help)
-            self._metrics[name] = metric
-        elif not isinstance(metric, Histogram):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(name, bounds=bounds, help=help)
+                self._metrics[name] = metric
+        if not isinstance(metric, Histogram):
             raise TypeError(
                 f"metric {name!r} already registered as {metric.kind}"
             )
         return metric
 
     def _get_or_create(self, cls, name: str, help: str = ""):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, help=help)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help=help)
+                self._metrics[name] = metric
+        if not isinstance(metric, cls):
             raise TypeError(
                 f"metric {name!r} already registered as {metric.kind}"
             )
@@ -241,20 +253,20 @@ class MetricsRegistry:
                 rec = json.loads(line)
                 name, kind = rec["name"], rec["type"]
                 if kind == "counter":
-                    metric = registry.counter(name, help=rec.get("help", ""))
-                    metric.value = rec["value"]
+                    counter = registry.counter(name, help=rec.get("help", ""))
+                    counter.value = rec["value"]
                 elif kind == "gauge":
-                    metric = registry.gauge(name, help=rec.get("help", ""))
-                    metric.value = rec["value"]
+                    gauge = registry.gauge(name, help=rec.get("help", ""))
+                    gauge.value = rec["value"]
                 elif kind == "histogram":
-                    metric = registry.histogram(
+                    hist = registry.histogram(
                         name, bounds=rec["bounds"], help=rec.get("help", "")
                     )
-                    metric.counts = list(rec["counts"])
-                    metric.count = rec["count"]
-                    metric.total = rec["sum"]
-                    metric.vmin = math.inf if rec["min"] is None else rec["min"]
-                    metric.vmax = -math.inf if rec["max"] is None else rec["max"]
+                    hist.counts = list(rec["counts"])
+                    hist.count = rec["count"]
+                    hist.total = rec["sum"]
+                    hist.vmin = math.inf if rec["min"] is None else rec["min"]
+                    hist.vmax = -math.inf if rec["max"] is None else rec["max"]
                 else:
                     raise ValueError(f"unknown metric type {kind!r} for {name!r}")
         return registry

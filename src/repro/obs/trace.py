@@ -19,13 +19,15 @@ Spans measure; they never touch data.  Instrumentation must not perturb
 numerics — a traced run and an untraced run produce bit-identical
 estimates (enforced by ``tests/test_obs.py``).
 
-The tracer is deliberately not thread-safe: RIM's hot path is a single
-stream per estimator.  Give each worker thread its own :class:`Tracer`
-if you shard streams across threads.
+The tracer is thread-aware: the open-span stack is thread-local (spans
+nest within their own thread only) and the shared roots list is guarded
+by a lock, so the serving layer (:mod:`repro.serve`) can run many traced
+sessions across a worker pool — each session's span tree stays intact.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
@@ -108,8 +110,20 @@ class _SpanContext:
         return False
 
 
+class _SpanStack(threading.local):
+    """Per-thread open-span stack (a fresh list in every thread)."""
+
+    def __init__(self):
+        self.stack: List[Span] = []
+
+
 class Tracer:
     """Process-wide span recorder with an explicit on/off switch.
+
+    Span nesting is tracked per thread: spans opened on a worker thread
+    nest under that thread's open spans only, never under another
+    thread's.  Completed top-level spans from all threads land in the
+    shared ``roots`` list (append is lock-protected).
 
     Args:
         enabled: Start enabled (default off — production streams pay
@@ -119,7 +133,8 @@ class Tracer:
     def __init__(self, enabled: bool = False):
         self.enabled = bool(enabled)
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = _SpanStack()
 
     def span(self, name: str, **meta: Any):
         """Open a span context; a no-op singleton when disabled."""
@@ -129,27 +144,34 @@ class Tracer:
 
     @property
     def current(self) -> Optional[Span]:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The innermost span open on the calling thread, if any."""
+        stack = self._local.stack
+        return stack[-1] if stack else None
 
     def reset(self) -> None:
         """Drop all recorded spans (open spans are abandoned)."""
-        self.roots.clear()
-        self._stack.clear()
+        with self._lock:
+            self.roots.clear()
+            # Replacing the thread-local drops every thread's open stack;
+            # each thread lazily re-creates an empty one on next use.
+            self._local = _SpanStack()
 
     # -- span-context plumbing -------------------------------------------
 
     def _push(self, span: Span) -> None:
-        if self._stack:
-            self._stack[-1].children.append(span)
+        stack = self._local.stack
+        if stack:
+            stack[-1].children.append(span)
         else:
-            self.roots.append(span)
-        self._stack.append(span)
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
 
     def _pop(self, now: float) -> None:
-        if not self._stack:  # reset() mid-span: nothing left to close
+        stack = self._local.stack
+        if not stack:  # reset() mid-span: nothing left to close
             return
-        span = self._stack.pop()
+        span = stack.pop()
         span.duration = now - span.started
 
 

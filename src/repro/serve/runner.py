@@ -1,0 +1,202 @@
+"""Fan a batch of traces across a worker pool, bit-identically.
+
+:class:`ParallelRunner` replays each :class:`~repro.channel.sampler.CsiTrace`
+through its own private :class:`~repro.core.streaming.StreamingRim`, so a
+session never shares mutable state with its neighbors and the per-session
+numbers are **bit-identical** no matter how the batch is scheduled
+(serial, thread pool, or process pool — enforced by
+``tests/test_serve.py``).
+
+Threads are the default: the batched TRRS kernels spend their time in
+BLAS band GEMMs and einsums, which release the GIL, so CPU-bound sessions
+overlap on multi-core hosts without pickling anything.  The process pool
+is an opt-in for workloads where the GIL-holding Python glue dominates;
+it requires picklable traces (ours are plain dataclasses of arrays).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.sampler import CsiTrace
+from repro.core.config import RimConfig
+from repro.core.streaming import StreamingRim
+
+RUNNER_MODES = ("serial", "thread", "process")
+
+
+@dataclass
+class SessionRunResult:
+    """Everything one replayed session produced (picklable, comparable).
+
+    Attributes:
+        name: Session id.
+        n_samples: Packets pushed.
+        n_blocks: Updates emitted (including the final flush).
+        total_distance: Cumulative streamed distance, meters.
+        times: Concatenated per-update timestamps.
+        speed: Concatenated speed estimates, m/s.
+        heading: Concatenated device-frame headings, radians.
+        moving: Concatenated movement mask.
+        block_distances: Per-update block distances.
+        degraded_blocks: Updates whose health reported degradation.
+        dead_chains: Union of dead-chain ids across all updates.
+        repairs: Guard/serving repair counters summed across updates.
+        wall_s: Wall-clock seconds this session's replay took.
+    """
+
+    name: str
+    n_samples: int
+    n_blocks: int
+    total_distance: float
+    times: np.ndarray
+    speed: np.ndarray
+    heading: np.ndarray
+    moving: np.ndarray
+    block_distances: np.ndarray
+    degraded_blocks: int
+    dead_chains: Tuple[int, ...]
+    repairs: Dict[str, int]
+    wall_s: float
+
+    def same_estimates(self, other: "SessionRunResult") -> bool:
+        """Bit-identical estimates and health flags versus ``other``."""
+        return bool(
+            self.total_distance == other.total_distance
+            and np.array_equal(self.times, other.times)
+            and np.array_equal(self.speed, other.speed)
+            and np.array_equal(self.heading, other.heading, equal_nan=True)
+            and np.array_equal(self.moving, other.moving)
+            and np.array_equal(self.block_distances, other.block_distances)
+            and self.degraded_blocks == other.degraded_blocks
+            and self.dead_chains == other.dead_chains
+            and self.repairs == other.repairs
+        )
+
+
+def replay_trace(
+    name: str,
+    trace: CsiTrace,
+    rim_config: Optional[RimConfig] = None,
+    block_seconds: float = 1.0,
+) -> SessionRunResult:
+    """Stream one trace through a fresh StreamingRim, packet by packet."""
+    stream = StreamingRim(
+        trace.array,
+        trace.sampling_rate,
+        rim_config,
+        block_seconds=block_seconds,
+        carrier_wavelength=trace.carrier_wavelength,
+    )
+    t0 = time.perf_counter()
+    updates = []
+    for k in range(trace.n_samples):
+        update = stream.push(trace.data[k], float(trace.times[k]))
+        if update is not None:
+            updates.append(update)
+    final = stream.flush()
+    if final is not None:
+        updates.append(final)
+    wall = time.perf_counter() - t0
+
+    repairs: Dict[str, int] = {}
+    dead: set = set()
+    degraded = 0
+    for u in updates:
+        if u.health is None:
+            continue
+        if u.health.degraded:
+            degraded += 1
+        dead.update(u.health.dead_chains)
+        for key, value in u.health.repairs.items():
+            repairs[key] = repairs.get(key, 0) + value
+    if updates:
+        times = np.concatenate([u.times for u in updates])
+        speed = np.concatenate([u.speed for u in updates])
+        heading = np.concatenate([u.heading for u in updates])
+        moving = np.concatenate([u.moving for u in updates])
+    else:
+        times = speed = heading = np.zeros(0)
+        moving = np.zeros(0, dtype=bool)
+    return SessionRunResult(
+        name=name,
+        n_samples=trace.n_samples,
+        n_blocks=len(updates),
+        total_distance=stream.total_distance,
+        times=times,
+        speed=speed,
+        heading=heading,
+        moving=moving,
+        block_distances=np.array([u.block_distance for u in updates]),
+        degraded_blocks=degraded,
+        dead_chains=tuple(sorted(dead)),
+        repairs=repairs,
+        wall_s=wall,
+    )
+
+
+def _replay_job(job: Tuple) -> SessionRunResult:
+    """Module-level worker (picklable for the process pool)."""
+    name, trace, rim_config, block_seconds = job
+    return replay_trace(name, trace, rim_config, block_seconds)
+
+
+class ParallelRunner:
+    """Run many single-session replays over a worker pool.
+
+    Args:
+        n_workers: Pool width; defaults to ``os.cpu_count()``.  Ignored in
+            ``"serial"`` mode.
+        mode: ``"thread"`` (default), ``"process"`` (opt-in, picklable
+            jobs), or ``"serial"`` (a plain loop — the equivalence
+            baseline with zero pool overhead).
+    """
+
+    def __init__(self, n_workers: Optional[int] = None, mode: str = "thread"):
+        if mode not in RUNNER_MODES:
+            raise ValueError(f"mode must be one of {RUNNER_MODES}, got {mode!r}")
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers)
+        self.mode = mode
+
+    def run(
+        self,
+        traces: Sequence[CsiTrace],
+        names: Optional[Sequence[str]] = None,
+        rim_config: Optional[RimConfig] = None,
+        block_seconds: float = 1.0,
+    ) -> List[SessionRunResult]:
+        """Replay every trace; results come back in input order.
+
+        Args:
+            traces: One CsiTrace per session.
+            names: Session ids (default ``rx00..``).
+            rim_config: Estimator config shared by all sessions.
+            block_seconds: Streaming emission cadence.
+        """
+        if names is None:
+            names = [f"rx{k:02d}" for k in range(len(traces))]
+        if len(names) != len(traces):
+            raise ValueError(
+                f"got {len(names)} names for {len(traces)} traces"
+            )
+        jobs = [
+            (name, trace, rim_config, block_seconds)
+            for name, trace in zip(names, traces)
+        ]
+        if self.mode == "serial" or len(jobs) <= 1:
+            return [_replay_job(job) for job in jobs]
+        if self.mode == "thread":
+            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+                return list(pool.map(_replay_job, jobs))
+        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+            return list(pool.map(_replay_job, jobs))

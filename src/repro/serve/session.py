@@ -1,0 +1,413 @@
+"""Named streaming sessions behind bounded ingest queues.
+
+A :class:`ServeSession` wraps one :class:`~repro.core.streaming.StreamingRim`
+with the pieces a serving layer needs and the estimator itself must not
+know about:
+
+* a **bounded ingest queue** — producers can run ahead of the estimator
+  by at most ``queue_capacity`` packets;
+* an explicit **backpressure policy** for a full queue:
+
+  - ``"block"``: the producer pays — the offer call drains the queue
+    through the estimator before admitting the packet (time spent is
+    recorded as block latency);
+  - ``"drop_oldest"``: the oldest queued packet is shed to make room
+    (bounded staleness, unbounded producers);
+  - ``"reject"``: the incoming packet is refused and the producer told
+    so (explicit upstream backpressure);
+
+* **TTL idle tracking** so :class:`SessionManager` can evict sessions
+  whose receiver went away.
+
+Shed / reject / blocked counts are folded into the ``repairs`` dict of
+the next emitted :class:`~repro.robustness.health.HealthReport`, so a
+dashboard watching session health sees load shedding next to guard
+repairs.  When :mod:`repro.obs` is enabled, each session additionally
+publishes queue-depth gauges, shed counters, and block-latency
+histograms tagged by session id.
+
+Thread model: different sessions are fully independent; one session must
+be driven by one producer thread at a time (single-producer).  The
+manager's own bookkeeping is lock-protected.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.arrays.geometry import AntennaArray
+from repro.core.config import RimConfig
+from repro.core.streaming import MotionUpdate, StreamingRim
+
+logger = logging.getLogger(__name__)
+
+BACKPRESSURE_POLICIES = ("block", "drop_oldest", "reject")
+
+# Offer outcomes (returned by ServeSession.offer / SessionManager.push).
+PUSH_ACCEPTED = "accepted"
+PUSH_BLOCKED = "blocked"  # accepted after draining a full queue
+PUSH_SHED_OLDEST = "shed_oldest"  # accepted; the oldest queued packet shed
+PUSH_REJECTED = "rejected"  # refused; producer must back off
+
+
+@dataclass
+class ServeConfig:
+    """Serving-side knobs of one session (estimator knobs live in RimConfig).
+
+    Attributes:
+        queue_capacity: Maximum packets a producer may queue ahead of the
+            estimator before the backpressure policy engages.
+        backpressure: Full-queue policy: ``"block"``, ``"drop_oldest"``,
+            or ``"reject"``.
+        ttl_seconds: Idle time after which :meth:`SessionManager.evict_idle`
+            flushes and removes the session.
+        block_seconds: Streaming emission cadence (passed to
+            :class:`~repro.core.streaming.StreamingRim`).
+    """
+
+    queue_capacity: int = 256
+    backpressure: str = "block"
+    ttl_seconds: float = 300.0
+    block_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+        if self.ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        if self.block_seconds <= 0:
+            raise ValueError("block_seconds must be positive")
+
+
+def _tagged(name: str, session: str) -> str:
+    """Metric name carrying a session label, e.g. ``serve.depth{session=a}``."""
+    return f"{name}{{session={session}}}"
+
+
+class ServeSession:
+    """One named receiver stream: bounded queue + StreamingRim + telemetry.
+
+    Args:
+        name: Session id (unique within a manager).
+        array: Receive antenna array of this receiver.
+        sampling_rate: CSI packet rate, Hz.
+        rim_config: Estimator configuration.
+        serve_config: Queue / backpressure / TTL configuration.
+        carrier_wavelength: Carrier wavelength (CsiTrace metadata).
+        clock: Monotonic time source (injectable for TTL tests).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        array: AntennaArray,
+        sampling_rate: float,
+        rim_config: Optional[RimConfig] = None,
+        serve_config: Optional[ServeConfig] = None,
+        carrier_wavelength: float = 0.0516,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.name = name
+        self.serve_config = serve_config or ServeConfig()
+        self.stream = StreamingRim(
+            array,
+            sampling_rate,
+            rim_config,
+            block_seconds=self.serve_config.block_seconds,
+            carrier_wavelength=carrier_wavelength,
+        )
+        self._clock = clock
+        self.created_at = clock()
+        self.last_activity = self.created_at
+        self._queue: Deque[Tuple[np.ndarray, Optional[float]]] = deque()
+        self._updates: List[MotionUpdate] = []
+        # Serving-side repairs folded into the next health report.
+        self._pending_repairs: Dict[str, int] = {}
+        self.n_offered = 0
+        self.n_processed = 0
+        self.n_shed = 0
+        self.n_rejected = 0
+        self.n_blocked = 0
+        self.n_updates = 0
+        self.degraded_blocks = 0
+        self.block_wait_s = 0.0
+
+    # -- queue state --------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Packets queued ahead of the estimator right now."""
+        return len(self._queue)
+
+    def idle_seconds(self, now: Optional[float] = None) -> float:
+        """Seconds since the last offer/poll touched this session."""
+        return (self._clock() if now is None else now) - self.last_activity
+
+    @property
+    def total_distance(self) -> float:
+        return self.stream.total_distance
+
+    # -- ingest -------------------------------------------------------------
+
+    def offer(self, packet: np.ndarray, timestamp: Optional[float] = None) -> str:
+        """Enqueue one packet, honoring the backpressure policy.
+
+        Returns one of :data:`PUSH_ACCEPTED`, :data:`PUSH_BLOCKED`
+        (admitted after a blocking drain), :data:`PUSH_SHED_OLDEST`
+        (admitted, oldest queued packet shed), or :data:`PUSH_REJECTED`
+        (refused — the producer must retry later or drop).
+        """
+        self.last_activity = self._clock()
+        self.n_offered += 1
+        status = PUSH_ACCEPTED
+        if len(self._queue) >= self.serve_config.queue_capacity:
+            policy = self.serve_config.backpressure
+            if policy == "reject":
+                self.n_rejected += 1
+                self._tally("queue_rejected")
+                obs.add(_tagged("serve.rejected", self.name))
+                self._record_depth()
+                return PUSH_REJECTED
+            if policy == "drop_oldest":
+                self._queue.popleft()
+                self.n_shed += 1
+                self._tally("queue_shed_oldest")
+                obs.add(_tagged("serve.shed_oldest", self.name))
+                status = PUSH_SHED_OLDEST
+            else:  # block: consume the backlog before admitting more
+                t0 = time.perf_counter()
+                self.drain()
+                waited = time.perf_counter() - t0
+                self.n_blocked += 1
+                self.block_wait_s += waited
+                self._tally("queue_blocked")
+                obs.observe(
+                    _tagged("serve.block_wait_s", self.name),
+                    waited,
+                    bounds=obs.LATENCY_BOUNDS_S,
+                )
+                status = PUSH_BLOCKED
+        self._queue.append((packet, timestamp))
+        self._record_depth()
+        return status
+
+    def drain(self, max_packets: Optional[int] = None) -> List[MotionUpdate]:
+        """Feed queued packets to the estimator; return any new updates."""
+        n = len(self._queue) if max_packets is None else min(max_packets, len(self._queue))
+        new: List[MotionUpdate] = []
+        for _ in range(n):
+            packet, timestamp = self._queue.popleft()
+            update = self.stream.push(packet, timestamp)
+            self.n_processed += 1
+            if update is not None:
+                self._absorb(update)
+                new.append(update)
+        self._record_depth()
+        return new
+
+    def poll(self) -> List[MotionUpdate]:
+        """Drain the queue and hand back every update since the last poll."""
+        self.last_activity = self._clock()
+        self.drain()
+        out = self._updates
+        self._updates = []
+        return out
+
+    def flush(self) -> List[MotionUpdate]:
+        """End of stream: drain, flush the estimator, return all updates."""
+        self.drain()
+        final = self.stream.flush()
+        if final is not None:
+            self._absorb(final)
+        out = self._updates
+        self._updates = []
+        return out
+
+    def stats(self) -> Dict[str, object]:
+        """A flat serving-health snapshot (one table row per session)."""
+        return {
+            "session": self.name,
+            "offered": self.n_offered,
+            "processed": self.n_processed,
+            "queued": self.queue_depth,
+            "blocked": self.n_blocked,
+            "shed": self.n_shed,
+            "rejected": self.n_rejected,
+            "updates": self.n_updates,
+            "degraded_blocks": self.degraded_blocks,
+            "distance_m": self.stream.total_distance,
+            "block_wait_s": self.block_wait_s,
+        }
+
+    # -- internals ----------------------------------------------------------
+
+    def _tally(self, key: str, n: int = 1) -> None:
+        self._pending_repairs[key] = self._pending_repairs.get(key, 0) + n
+
+    def _record_depth(self) -> None:
+        obs.set_gauge(_tagged("serve.queue_depth", self.name), len(self._queue))
+
+    def _absorb(self, update: MotionUpdate) -> None:
+        """Fold serving-side telemetry into an estimator update."""
+        self.n_updates += 1
+        if update.health is not None:
+            if self._pending_repairs:
+                merged = dict(update.health.repairs)
+                for key, value in self._pending_repairs.items():
+                    merged[key] = merged.get(key, 0) + value
+                update.health.repairs = merged
+                self._pending_repairs = {}
+            if update.health.degraded:
+                self.degraded_blocks += 1
+        if update.stats is not None:
+            obs.observe(
+                _tagged("serve.block_latency_s", self.name),
+                float(update.stats.get("block_latency_s", 0.0)),
+                bounds=obs.LATENCY_BOUNDS_S,
+            )
+        self._updates.append(update)
+
+
+class SessionManager:
+    """Registry of named sessions: create / push / poll / evict.
+
+    Eviction is cooperative: :meth:`evict_idle` runs on every
+    :meth:`create` and may be called from a housekeeping loop; per-packet
+    pushes never scan the registry.
+
+    Args:
+        rim_config: Default estimator config for new sessions.
+        serve_config: Default serving config for new sessions.
+        clock: Monotonic time source shared with sessions (injectable).
+    """
+
+    def __init__(
+        self,
+        rim_config: Optional[RimConfig] = None,
+        serve_config: Optional[ServeConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._rim_config = rim_config
+        self._serve_config = serve_config or ServeConfig()
+        self._clock = clock
+        self._sessions: Dict[str, ServeSession] = {}
+        self._lock = threading.Lock()
+        self.n_evicted = 0
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._sessions
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def create(
+        self,
+        name: str,
+        array: AntennaArray,
+        sampling_rate: float,
+        rim_config: Optional[RimConfig] = None,
+        serve_config: Optional[ServeConfig] = None,
+        carrier_wavelength: float = 0.0516,
+    ) -> ServeSession:
+        """Register a new session; evicts expired ones first."""
+        self.evict_idle()
+        session = ServeSession(
+            name,
+            array,
+            sampling_rate,
+            rim_config=rim_config or self._rim_config,
+            serve_config=serve_config or self._serve_config,
+            carrier_wavelength=carrier_wavelength,
+            clock=self._clock,
+        )
+        with self._lock:
+            if name in self._sessions:
+                raise ValueError(f"session {name!r} already exists")
+            self._sessions[name] = session
+        obs.set_gauge("serve.sessions", len(self))
+        logger.info("session %s created", name)
+        return session
+
+    def get(self, name: str) -> ServeSession:
+        with self._lock:
+            try:
+                return self._sessions[name]
+            except KeyError:
+                raise KeyError(f"unknown session {name!r}") from None
+
+    def push(
+        self, name: str, packet: np.ndarray, timestamp: Optional[float] = None
+    ) -> str:
+        """Offer one packet to a session; returns the offer status."""
+        status = self.get(name).offer(packet, timestamp)
+        obs.add("serve.pushes")
+        return status
+
+    def poll(self, name: str) -> List[MotionUpdate]:
+        """Drain a session and return its updates since the last poll."""
+        return self.get(name).poll()
+
+    def evict(self, name: str) -> List[MotionUpdate]:
+        """Flush and remove one session; returns its final updates."""
+        with self._lock:
+            session = self._sessions.pop(name, None)
+        if session is None:
+            raise KeyError(f"unknown session {name!r}")
+        updates = session.flush()
+        self.n_evicted += 1
+        obs.add("serve.evictions")
+        obs.set_gauge("serve.sessions", len(self))
+        logger.info("session %s evicted (%d final updates)", name, len(updates))
+        return updates
+
+    def evict_idle(self, now: Optional[float] = None) -> Dict[str, List[MotionUpdate]]:
+        """Evict every session idle longer than its TTL.
+
+        Returns:
+            Final updates of each evicted session, keyed by name.
+        """
+        now = self._clock() if now is None else now
+        with self._lock:
+            expired = [
+                name
+                for name, s in self._sessions.items()
+                if s.idle_seconds(now) > s.serve_config.ttl_seconds
+            ]
+        evicted: Dict[str, List[MotionUpdate]] = {}
+        for name in expired:
+            try:
+                evicted[name] = self.evict(name)
+            except KeyError:  # raced with an explicit evict
+                pass
+        return evicted
+
+    def flush_all(self) -> Dict[str, List[MotionUpdate]]:
+        """Flush every session in place (end of stream, no eviction)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return {s.name: s.flush() for s in sessions}
+
+    def stats(self) -> List[Dict[str, object]]:
+        """Per-session serving-health rows, sorted by session name."""
+        with self._lock:
+            sessions = sorted(self._sessions.values(), key=lambda s: s.name)
+        return [s.stats() for s in sessions]

@@ -1,0 +1,200 @@
+"""Simulated multi-receiver replay: the ``repro.cli serve-sim`` verb.
+
+Builds N simulated receivers walking different lines through the standard
+office testbed, replays them **concurrently** through one
+:class:`~repro.serve.session.SessionManager` (each receiver driven by a
+worker thread, exercising the bounded queues and backpressure policy for
+real), and aggregates throughput and health into one table — the
+smoke-test story for the serving layer, and what CI's concurrency-soak
+job runs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.arrays.geometry import linear_array
+from repro.channel.sampler import CsiTrace
+from repro.core.config import RimConfig
+from repro.serve.session import ServeConfig, SessionManager
+
+
+def simulated_receivers(
+    n_sessions: int,
+    seed: int = 0,
+    duration_s: float = 2.0,
+    speed: float = 0.5,
+) -> List[Tuple[str, CsiTrace]]:
+    """Sample N receiver traces walking different lines over the floor.
+
+    Receivers share one testbed (channel, AP, impairment statistics) but
+    start from different measurement spots with different headings, so the
+    sessions are genuinely independent workloads.
+    """
+    from repro.eval.setup import MEASUREMENT_SPOTS, make_testbed
+    from repro.motionsim.profiles import line_trajectory
+
+    if n_sessions < 1:
+        raise ValueError("n_sessions must be >= 1")
+    bed = make_testbed(seed=seed)
+    array = linear_array(3)
+    receivers = []
+    for k in range(n_sessions):
+        spot = MEASUREMENT_SPOTS[k % len(MEASUREMENT_SPOTS)]
+        heading_deg = (360.0 * k) / n_sessions
+        truth = line_trajectory(spot, heading_deg, speed, duration_s)
+        trace = bed.sampler.sample(truth, array)
+        receivers.append((f"rx{k:02d}", trace))
+    return receivers
+
+
+def _replay_into_manager(
+    manager: SessionManager, name: str, trace: CsiTrace
+) -> Dict[str, Any]:
+    """Push one receiver's packets through its managed session."""
+    statuses: Dict[str, int] = {}
+    t0 = time.perf_counter()
+    for k in range(trace.n_samples):
+        status = manager.push(name, trace.data[k], float(trace.times[k]))
+        statuses[status] = statuses.get(status, 0) + 1
+    updates = manager.poll(name)
+    wall = time.perf_counter() - t0
+    return {
+        "session": name,
+        "n_samples": trace.n_samples,
+        "n_updates": len(updates),
+        "statuses": statuses,
+        "wall_s": wall,
+    }
+
+
+def run_serve_sim(
+    n_sessions: int = 8,
+    n_workers: int = 4,
+    seed: int = 0,
+    duration_s: float = 2.0,
+    backpressure: str = "block",
+    queue_capacity: int = 256,
+    block_seconds: float = 1.0,
+    rim_config: Optional[RimConfig] = None,
+    receivers: Optional[Sequence[Tuple[str, CsiTrace]]] = None,
+) -> Dict[str, Any]:
+    """Replay N simulated receivers concurrently through a SessionManager.
+
+    Args:
+        n_sessions: Number of simulated receivers.
+        n_workers: Worker threads driving the sessions.
+        seed: Testbed seed.
+        duration_s: Per-receiver trajectory duration, seconds.
+        backpressure: Full-queue policy for every session.
+        queue_capacity: Per-session ingest queue bound.
+        block_seconds: Streaming emission cadence.
+        rim_config: Estimator config override.
+        receivers: Pre-sampled ``(name, trace)`` receivers (skips the
+            testbed simulation — used by tests and the perf harness).
+
+    Returns:
+        A dict with ``sessions`` (per-session serving stats + replay
+        wall), ``aggregate`` (wall, sessions/sec, samples/sec, shed /
+        reject / degraded totals), and the run's configuration.
+    """
+    if receivers is None:
+        receivers = simulated_receivers(n_sessions, seed=seed, duration_s=duration_s)
+    n_sessions = len(receivers)
+    serve_config = ServeConfig(
+        queue_capacity=queue_capacity,
+        backpressure=backpressure,
+        block_seconds=block_seconds,
+    )
+    manager = SessionManager(rim_config=rim_config, serve_config=serve_config)
+
+    was_enabled = obs.enabled()
+    obs.enable()
+    try:
+        for name, trace in receivers:
+            manager.create(name, trace.array, trace.sampling_rate,
+                           carrier_wavelength=trace.carrier_wavelength)
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=max(1, n_workers)) as pool:
+            replays = list(
+                pool.map(
+                    lambda rx: _replay_into_manager(manager, rx[0], rx[1]),
+                    receivers,
+                )
+            )
+        manager.flush_all()
+        wall = time.perf_counter() - t0
+    finally:
+        if not was_enabled:
+            obs.disable()
+
+    session_stats = manager.stats()
+    by_name = {r["session"]: r for r in replays}
+    for row in session_stats:
+        replay = by_name.get(str(row["session"]), {})
+        row["n_updates"] = replay.get("n_updates", 0)
+        row["replay_wall_s"] = replay.get("wall_s", 0.0)
+
+    total_samples = sum(trace.n_samples for _, trace in receivers)
+    aggregate = {
+        "n_sessions": n_sessions,
+        "n_workers": n_workers,
+        "wall_s": wall,
+        "sessions_per_second": n_sessions / wall if wall > 0 else 0.0,
+        "samples_per_second": total_samples / wall if wall > 0 else 0.0,
+        "total_samples": total_samples,
+        "total_distance_m": float(
+            sum(float(row["distance_m"]) for row in session_stats)
+        ),
+        "shed": sum(int(row["shed"]) for row in session_stats),
+        "rejected": sum(int(row["rejected"]) for row in session_stats),
+        "blocked": sum(int(row["blocked"]) for row in session_stats),
+        "degraded_blocks": sum(
+            int(row["degraded_blocks"]) for row in session_stats
+        ),
+    }
+    return {
+        "config": {
+            "backpressure": backpressure,
+            "queue_capacity": queue_capacity,
+            "block_seconds": block_seconds,
+            "duration_s": duration_s,
+            "seed": seed,
+        },
+        "sessions": session_stats,
+        "aggregate": aggregate,
+    }
+
+
+def render_serve_table(result: Dict[str, Any]) -> str:
+    """Human-readable per-session health + aggregate throughput table."""
+    rows = result["sessions"]
+    agg = result["aggregate"]
+    header = (
+        f"{'session':<8} {'samples':>8} {'blocks':>7} {'dist m':>8} "
+        f"{'queued':>7} {'blocked':>8} {'shed':>6} {'reject':>7} {'degr':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{str(row['session']):<8} {int(row['processed']):>8} "
+            f"{int(row['updates']):>7} {float(row['distance_m']):>8.3f} "
+            f"{int(row['queued']):>7} {int(row['blocked']):>8} "
+            f"{int(row['shed']):>6} {int(row['rejected']):>7} "
+            f"{int(row['degraded_blocks']):>5}"
+        )
+    lines += [
+        "-" * len(header),
+        f"{agg['n_sessions']} sessions over {agg['n_workers']} workers: "
+        f"{agg['wall_s'] * 1e3:.1f} ms wall "
+        f"({agg['sessions_per_second']:.2f} sessions/s, "
+        f"{agg['samples_per_second']:.0f} samples/s aggregate)",
+        f"policy {result['config']['backpressure']!r} "
+        f"(capacity {result['config']['queue_capacity']}): "
+        f"{agg['blocked']} blocked, {agg['shed']} shed, "
+        f"{agg['rejected']} rejected, {agg['degraded_blocks']} degraded blocks",
+    ]
+    return "\n".join(lines)

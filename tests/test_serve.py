@@ -1,0 +1,321 @@
+"""Tests for the concurrent multi-session serving layer (repro.serve)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.config import RimConfig
+from repro.core.streaming import StreamingRim
+from repro.motionsim.profiles import line_trajectory
+from repro.serve import (
+    PUSH_ACCEPTED,
+    PUSH_BLOCKED,
+    PUSH_REJECTED,
+    PUSH_SHED_OLDEST,
+    ParallelRunner,
+    ServeConfig,
+    SessionManager,
+    render_serve_table,
+    run_serve_sim,
+)
+
+
+@pytest.fixture(scope="module")
+def serve_traces(fast_sampler, three_antenna):
+    """Three short receiver traces with distinct start points/headings."""
+    spots = [((10.0, 8.0), 0.0), ((12.0, 9.0), 20.0), ((14.0, 10.0), -15.0)]
+    traces = []
+    for (spot, heading) in spots:
+        traj = line_trajectory(spot, heading, 0.5, 1.5)
+        traces.append(fast_sampler.sample(traj, three_antenna))
+    return traces
+
+
+def _packet():
+    return np.ones((3, 2, 8), dtype=np.complex64)
+
+
+class TestServeConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(queue_capacity=0)
+        with pytest.raises(ValueError):
+            ServeConfig(backpressure="explode")
+        with pytest.raises(ValueError):
+            ServeConfig(ttl_seconds=0.0)
+        with pytest.raises(ValueError):
+            ServeConfig(block_seconds=-1.0)
+
+
+class TestBackpressure:
+    """Each shed policy: statuses, counters, and a bounded queue."""
+
+    def _manager(self, policy, capacity=4, block_seconds=10.0):
+        cfg = ServeConfig(
+            queue_capacity=capacity,
+            backpressure=policy,
+            block_seconds=block_seconds,
+        )
+        return SessionManager(serve_config=cfg)
+
+    def test_drop_oldest_sheds_and_bounds_queue(self, three_antenna):
+        mgr = self._manager("drop_oldest")
+        s = mgr.create("a", three_antenna, 100.0)
+        statuses = [mgr.push("a", _packet(), k / 100.0) for k in range(10)]
+        assert statuses[:4] == [PUSH_ACCEPTED] * 4
+        assert statuses[4:] == [PUSH_SHED_OLDEST] * 6
+        assert s.queue_depth == 4
+        assert s.n_shed == 6
+        assert s.n_rejected == 0
+
+    def test_drop_oldest_keeps_newest_packets(self, three_antenna):
+        mgr = self._manager("drop_oldest")
+        s = mgr.create("a", three_antenna, 100.0)
+        for k in range(10):
+            mgr.push("a", _packet(), k / 100.0)
+        queued_times = [t for _, t in s._queue]
+        assert queued_times == [k / 100.0 for k in range(6, 10)]
+
+    def test_reject_refuses_when_full(self, three_antenna):
+        mgr = self._manager("reject")
+        s = mgr.create("a", three_antenna, 100.0)
+        statuses = [mgr.push("a", _packet(), k / 100.0) for k in range(7)]
+        assert statuses == [PUSH_ACCEPTED] * 4 + [PUSH_REJECTED] * 3
+        assert s.n_rejected == 3
+        assert s.queue_depth == 4
+        # Rejected packets are gone: the queue still holds the first four.
+        assert [t for _, t in s._queue] == [k / 100.0 for k in range(4)]
+
+    def test_block_drains_through_the_estimator(self, three_antenna):
+        # Small blocks so the drain actually processes full blocks.
+        mgr = self._manager("block", capacity=8, block_seconds=0.1)
+        s = mgr.create("a", three_antenna, 100.0)
+        statuses = [mgr.push("a", _packet(), k / 100.0) for k in range(12)]
+        assert statuses[8] == PUSH_BLOCKED
+        assert s.n_blocked >= 1
+        assert s.n_processed >= 8
+        assert s.queue_depth <= 8
+        assert s.block_wait_s >= 0.0
+
+    def test_shed_counters_reach_health(self, fast_sampler, three_antenna):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 1.5)
+        trace = fast_sampler.sample(traj, three_antenna)
+        cfg = ServeConfig(
+            queue_capacity=100, backpressure="drop_oldest", block_seconds=0.25
+        )
+        mgr = SessionManager(
+            rim_config=RimConfig(max_lag=40), serve_config=cfg
+        )
+        mgr.create("rx", three_antenna, trace.sampling_rate,
+                   carrier_wavelength=trace.carrier_wavelength)
+        for k in range(trace.n_samples):
+            mgr.push("rx", trace.data[k], float(trace.times[k]))
+        updates = mgr.evict("rx")
+        assert updates
+        shed = sum(
+            u.health.repairs.get("queue_shed_oldest", 0)
+            for u in updates
+            if u.health is not None
+        )
+        assert shed == trace.n_samples - 100
+
+
+class TestSessionManager:
+    def test_duplicate_create_rejected(self, three_antenna):
+        mgr = SessionManager()
+        mgr.create("a", three_antenna, 100.0)
+        with pytest.raises(ValueError):
+            mgr.create("a", three_antenna, 100.0)
+
+    def test_unknown_session_raises(self, three_antenna):
+        mgr = SessionManager()
+        with pytest.raises(KeyError):
+            mgr.push("ghost", _packet())
+        with pytest.raises(KeyError):
+            mgr.evict("ghost")
+
+    def test_push_poll_matches_direct_stream(self, serve_traces):
+        """The queue in front of the estimator must not change estimates."""
+        trace = serve_traces[0]
+        cfg = RimConfig(max_lag=50)
+        direct = StreamingRim(
+            trace.array, trace.sampling_rate, cfg, block_seconds=0.5,
+            carrier_wavelength=trace.carrier_wavelength,
+        )
+        for k in range(trace.n_samples):
+            direct.push(trace.data[k], float(trace.times[k]))
+        direct.flush()
+
+        mgr = SessionManager(rim_config=cfg, serve_config=ServeConfig(block_seconds=0.5))
+        mgr.create("rx", trace.array, trace.sampling_rate,
+                   carrier_wavelength=trace.carrier_wavelength)
+        for k in range(trace.n_samples):
+            mgr.push("rx", trace.data[k], float(trace.times[k]))
+        updates = mgr.evict("rx")
+        assert updates
+        assert updates[-1].total_distance == direct.total_distance
+
+    def test_ttl_eviction(self, three_antenna):
+        now = [0.0]
+        mgr = SessionManager(
+            serve_config=ServeConfig(ttl_seconds=10.0),
+            clock=lambda: now[0],
+        )
+        mgr.create("old", three_antenna, 100.0)
+        mgr.create("fresh", three_antenna, 100.0)
+        now[0] = 8.0
+        mgr.push("fresh", _packet(), 0.0)  # touch one session
+        now[0] = 15.0
+        evicted = mgr.evict_idle()
+        assert set(evicted) == {"old"}
+        assert mgr.names() == ["fresh"]
+        assert mgr.n_evicted == 1
+
+    def test_create_runs_idle_eviction(self, three_antenna):
+        now = [0.0]
+        mgr = SessionManager(
+            serve_config=ServeConfig(ttl_seconds=5.0),
+            clock=lambda: now[0],
+        )
+        mgr.create("stale", three_antenna, 100.0)
+        now[0] = 20.0
+        mgr.create("new", three_antenna, 100.0)
+        assert mgr.names() == ["new"]
+
+    def test_serve_metrics_tagged_by_session(self, three_antenna):
+        obs.reset()
+        obs.enable()
+        try:
+            mgr = SessionManager(
+                serve_config=ServeConfig(queue_capacity=2, backpressure="reject")
+            )
+            mgr.create("tagged", three_antenna, 100.0)
+            for k in range(4):
+                mgr.push("tagged", _packet(), k / 100.0)
+            assert "serve.queue_depth{session=tagged}" in obs.METRICS
+            assert "serve.rejected{session=tagged}" in obs.METRICS
+            rejected = obs.METRICS.get("serve.rejected{session=tagged}")
+            assert rejected.value == 2
+        finally:
+            obs.disable()
+            obs.reset()
+
+
+class TestParallelEquivalence:
+    """Pool scheduling must never change per-session numbers."""
+
+    def _run(self, traces, mode, n_workers):
+        cfg = RimConfig(max_lag=50)
+        runner = ParallelRunner(n_workers=n_workers, mode=mode)
+        return runner.run(traces, rim_config=cfg, block_seconds=0.5)
+
+    def test_thread_pool_matches_serial(self, serve_traces):
+        serial = self._run(serve_traces, "serial", 1)
+        one = self._run(serve_traces, "thread", 1)
+        four = self._run(serve_traces, "thread", 4)
+        for a, b, c in zip(serial, one, four):
+            assert a.same_estimates(b)
+            assert a.same_estimates(c)
+            assert a.total_distance == b.total_distance == c.total_distance
+            assert np.array_equal(a.heading, c.heading, equal_nan=True)
+            assert np.array_equal(a.speed, c.speed)
+
+    def test_process_pool_matches_serial(self, serve_traces):
+        serial = self._run(serve_traces, "serial", 1)
+        procs = self._run(serve_traces, "process", 2)
+        for a, b in zip(serial, procs):
+            assert a.same_estimates(b)
+
+    def test_results_in_input_order(self, serve_traces):
+        results = self._run(serve_traces, "thread", 4)
+        assert [r.name for r in results] == ["rx00", "rx01", "rx02"]
+        assert [r.n_samples for r in results] == [
+            t.n_samples for t in serve_traces
+        ]
+
+    def test_health_flags_identical(self, serve_traces):
+        serial = self._run(serve_traces, "serial", 1)
+        threaded = self._run(serve_traces, "thread", 4)
+        for a, b in zip(serial, threaded):
+            assert a.degraded_blocks == b.degraded_blocks
+            assert a.dead_chains == b.dead_chains
+            assert a.repairs == b.repairs
+
+    def test_invalid_runner_args(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(mode="fiber")
+        with pytest.raises(ValueError):
+            ParallelRunner(n_workers=0)
+        with pytest.raises(ValueError):
+            ParallelRunner().run([], names=["a"])
+
+
+class TestServeSim:
+    def test_aggregate_and_table(self, serve_traces):
+        receivers = [(f"rx{k:02d}", t) for k, t in enumerate(serve_traces)]
+        result = run_serve_sim(
+            n_workers=2,
+            receivers=receivers,
+            block_seconds=0.5,
+            rim_config=RimConfig(max_lag=50),
+        )
+        agg = result["aggregate"]
+        assert agg["n_sessions"] == 3
+        assert agg["total_samples"] == sum(t.n_samples for t in serve_traces)
+        assert agg["sessions_per_second"] > 0
+        assert agg["samples_per_second"] > 0
+        assert len(result["sessions"]) == 3
+        assert all(row["updates"] > 0 for row in result["sessions"])
+        table = render_serve_table(result)
+        for name, _ in receivers:
+            assert name in table
+        assert "sessions/s" in table
+
+    def test_reject_policy_surfaces_in_aggregate(self, serve_traces):
+        receivers = [("rx00", serve_traces[0])]
+        result = run_serve_sim(
+            n_workers=1,
+            receivers=receivers,
+            backpressure="reject",
+            queue_capacity=50,
+            block_seconds=0.5,
+            rim_config=RimConfig(max_lag=50),
+        )
+        assert result["aggregate"]["rejected"] > 0
+        assert result["sessions"][0]["rejected"] > 0
+
+
+class TestThreadedTracing:
+    """Spans opened on worker threads must not corrupt each other."""
+
+    def test_thread_local_span_stacks(self):
+        obs.reset()
+        obs.enable()
+        try:
+            barrier = threading.Barrier(2)
+
+            def work(tag):
+                barrier.wait()
+                for _ in range(50):
+                    with obs.span(f"outer.{tag}"):
+                        with obs.span(f"inner.{tag}"):
+                            pass
+
+            threads = [
+                threading.Thread(target=work, args=(t,)) for t in ("a", "b")
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            roots = obs.TRACER.roots
+            assert len(roots) == 100
+            for root in roots:
+                tag = root.name.split(".")[1]
+                assert root.name == f"outer.{tag}"
+                assert [c.name for c in root.children] == [f"inner.{tag}"]
+        finally:
+            obs.disable()
+            obs.reset()
