@@ -17,9 +17,11 @@ thresholds — CI must stay hardware-independent).  ``--gate PATH`` is the
 perf-regression gate: it compares the fresh run against the committed
 baseline at PATH and fails if ``rim.process`` wall time regressed by more
 than ``--max-regression`` (default 25%), the batched backend stopped
-beating the reference kernel, or multi-session serving throughput
+beating the reference kernel, multi-session serving throughput
 (``serving.parallel.sessions_per_second``, schema v3) regressed beyond
-the same budget.  Equivalent CLI verb: ``python -m repro.cli profile``.
+the same budget, or the store write/read bandwidth and replay throughput
+(``store.*``, schema v4) did.  Equivalent CLI verb:
+``python -m repro.cli profile``.
 """
 
 from __future__ import annotations

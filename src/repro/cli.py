@@ -9,6 +9,9 @@ Usage::
     python -m repro.cli run all  [--full]    # regenerate everything
     python -m repro.cli profile              # emit BENCH_perf.json
     python -m repro.cli serve-sim            # concurrent multi-receiver replay
+    python -m repro.cli record --out DIR     # record a simulated receiver
+    python -m repro.cli replay DIR           # integrity-checked store replay
+    python -m repro.cli convert SRC DEST     # legacy .npz <-> chunked store
 
 ``--log-level debug`` surfaces the pipeline's structured logging (guard
 repairs, degradation, clock resampling) on stderr.
@@ -135,9 +138,16 @@ def cmd_serve_sim(args) -> int:
         backpressure=args.policy,
         queue_capacity=args.queue_capacity,
         block_seconds=args.block_seconds,
+        store_dir=args.store_dir,
+        record_dir=args.record_dir,
+    )
+    source = (
+        f"recorded receivers from {args.store_dir}"
+        if args.store_dir
+        else f"{args.sessions} simulated receivers"
     )
     print(
-        f"replaying {args.sessions} simulated receivers over "
+        f"replaying {source} over "
         f"{args.workers} workers (policy {args.policy!r})"
     )
     print()
@@ -150,6 +160,102 @@ def cmd_serve_sim(args) -> int:
             f"{agg['rejected']} rejected packets",
             file=sys.stderr,
         )
+    return 0
+
+
+def cmd_record(args) -> int:
+    from repro.arrays.geometry import linear_array
+    from repro.eval.setup import MEASUREMENT_SPOTS, make_testbed
+    from repro.motionsim.profiles import line_trajectory
+    from repro.store import write_trace
+
+    bed = make_testbed(seed=args.seed)
+    truth = line_trajectory(MEASUREMENT_SPOTS[0], 0.0, 0.5, args.duration)
+    trace = bed.sampler.sample(truth, linear_array(3))
+    if args.fault_plan:
+        from repro.robustness import FaultPlan
+
+        trace = FaultPlan.from_spec(args.fault_plan).apply(trace)
+        print(f"injected faults: {args.fault_plan}")
+    writer = write_trace(args.out, trace, chunk_samples=args.chunk_samples)
+    print(
+        f"recorded {writer.n_samples} samples "
+        f"({truth.total_distance:.1f} m walk) into {args.out}: "
+        f"{writer.n_chunks} chunks, {writer.bytes_written} bytes"
+    )
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.core.config import RimConfig
+    from repro.store import CheckpointedReplayer, TraceReader
+
+    reader = TraceReader(args.store, policy=args.guard)
+    config = RimConfig(guard_policy="repair" if args.guard == "repair" else args.guard)
+    if args.resume:
+        replayer = CheckpointedReplayer.resume(
+            reader, args.resume, config=config, block_seconds=args.block_seconds
+        )
+        print(f"resumed from {args.resume} at chunk {replayer.cursor}")
+    else:
+        replayer = CheckpointedReplayer(
+            reader, config=config, block_seconds=args.block_seconds
+        )
+    updates = replayer.run(max_chunks=args.max_chunks)
+    if args.checkpoint:
+        replayer.save(args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint} at chunk {replayer.cursor}")
+
+    # Store-level repairs come from the reader's report; health reports
+    # carry the same counts (folded in per block), so only the guard's
+    # own repairs are merged from there.
+    repairs: Dict[str, int] = dict(reader.report.repairs())
+    for update in updates:
+        if update.health is not None:
+            for key, value in update.health.repairs.items():
+                if not key.startswith("store_"):
+                    repairs[key] = repairs.get(key, 0) + value
+    report = reader.report
+    print(
+        f"replayed {report.n_chunks_read}/{report.n_chunks} chunks "
+        f"({report.n_samples_read} samples) from {args.store} "
+        f"under guard {args.guard!r}"
+    )
+    print(
+        f"{len(updates)} updates, total distance "
+        f"{replayer.stream.total_distance:.3f} m"
+    )
+    if repairs:
+        print("repairs: " + ", ".join(f"{k}={v}" for k, v in sorted(repairs.items())))
+    missing = [key for key in args.expect_repair if not repairs.get(key)]
+    if missing:
+        print(
+            f"expected repair counters missing or zero: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_convert(args) -> int:
+    from pathlib import Path
+
+    from repro.store import npz_to_store, store_to_npz
+    from repro.store.format import MANIFEST_NAME
+
+    src = Path(args.src)
+    if src.is_dir() and (src / MANIFEST_NAME).is_file():
+        n = store_to_npz(src, args.dest, policy=args.guard)
+        print(f"converted store {src} -> legacy archive {args.dest} ({n} samples)")
+    elif src.is_file():
+        writer = npz_to_store(src, args.dest, chunk_samples=args.chunk_samples)
+        print(
+            f"converted legacy archive {src} -> store {args.dest} "
+            f"({writer.n_chunks} chunks, {writer.n_samples} samples)"
+        )
+    else:
+        print(f"{src} is neither a trace store nor an .npz archive", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -275,6 +381,81 @@ def build_parser() -> argparse.ArgumentParser:
         "--block-seconds", type=float, default=1.0,
         help="streaming emission cadence, seconds",
     )
+    serve.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="replay recorded receivers from this store / fleet directory "
+        "instead of simulating",
+    )
+    serve.add_argument(
+        "--record-dir", default=None, metavar="DIR",
+        help="record every session's ingest into chunked stores under DIR",
+    )
+
+    record = sub.add_parser(
+        "record", help="record a simulated receiver into a chunked trace store"
+    )
+    record.add_argument(
+        "--out", required=True, metavar="DIR", help="store directory to create"
+    )
+    record.add_argument("--seed", type=int, default=1, help="testbed seed")
+    record.add_argument(
+        "--duration", type=float, default=3.0,
+        help="trajectory duration, seconds",
+    )
+    record.add_argument(
+        "--chunk-samples", type=int, default=256, help="packets per chunk file"
+    )
+    record.add_argument(
+        "--fault-plan", default="", metavar="SPEC",
+        help="inject ingestion faults before recording "
+        "(see repro.robustness.FaultPlan.from_spec)",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a recorded store through the streaming estimator",
+    )
+    replay.add_argument("store", help="store directory to replay")
+    replay.add_argument(
+        "--guard", default="repair", choices=("raise", "drop", "repair"),
+        help="fault policy for corrupt/missing chunks (and the stream guard)",
+    )
+    replay.add_argument(
+        "--block-seconds", type=float, default=1.0,
+        help="streaming emission cadence, seconds",
+    )
+    replay.add_argument(
+        "--max-chunks", type=int, default=None, metavar="K",
+        help="stop after K chunks (the checkpoint boundary)",
+    )
+    replay.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a resume checkpoint (.npz) after the run",
+    )
+    replay.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume from a checkpoint written by --checkpoint",
+    )
+    replay.add_argument(
+        "--expect-repair", action="append", default=[], metavar="KEY",
+        help="exit nonzero unless this repair counter is present and nonzero "
+        "(CI assertion; repeatable)",
+    )
+
+    convert = sub.add_parser(
+        "convert", help="convert legacy .npz <-> chunked trace store"
+    )
+    convert.add_argument("src", help=".npz archive or store directory")
+    convert.add_argument("dest", help="destination (direction is inferred)")
+    convert.add_argument(
+        "--chunk-samples", type=int, default=256,
+        help="packets per chunk file (npz -> store direction)",
+    )
+    convert.add_argument(
+        "--guard", default="raise", choices=("raise", "drop", "repair"),
+        help="store read policy (store -> npz direction); the default "
+        "refuses to archive a corrupt store",
+    )
     return parser
 
 
@@ -290,6 +471,9 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "profile": cmd_profile,
         "serve-sim": cmd_serve_sim,
+        "record": cmd_record,
+        "replay": cmd_replay,
+        "convert": cmd_convert,
     }
     return handlers[args.command](args)
 

@@ -190,6 +190,122 @@ class StreamingRim:
             return None
         return self._emit_block(final=True)
 
+    # -- checkpoint / resume ------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Everything needed to resume this stream bit-identically.
+
+        Captures the retained packet buffer (context window + pending
+        samples), the global buffer offset, the motion accumulator and
+        degradation state, the cumulative emission counters, the stream
+        guard's admission state, and the cross-block alignment cache.
+        :class:`~repro.core.rim.Rim` itself holds no cross-call state, so
+        config + array (which the caller must reconstruct the object
+        with) complete the picture.  Arrays are copied; the snapshot
+        stays valid as the stream moves on.
+        """
+        packets = (
+            np.stack(self._packets, axis=0).astype(np.complex64)
+            if self._packets
+            else None
+        )
+        return {
+            "version": 1,
+            "packets": packets,
+            "times": np.asarray(self._times, dtype=np.float64),
+            "pending_start": int(self._pending_start),
+            "buffer_offset": int(self._buffer_offset),
+            "total_distance": float(self._total_distance),
+            "n_pushed": int(self._n_pushed),
+            "last_good_speed": float(self._last_good_speed),
+            "clock_resamples": int(self._clock_resamples),
+            "blocks_emitted": int(self._blocks_emitted),
+            "samples_emitted": int(self._samples_emitted),
+            "guard": self._guard.state_dict(),
+            "align_cache": (
+                None if self._align_cache is None else self._align_cache.state_dict()
+            ),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output into this (compatible) stream.
+
+        The receiving object must be built with the same array, sampling
+        rate, and config as the checkpointed one — geometry mismatches
+        are rejected, semantic config differences are the caller's
+        responsibility.  Cumulative counters (``blocks_emitted``,
+        ``samples_emitted``, ``total_distance``, pushed/pending
+        accounting) are restored too, so a resumed session keeps
+        reporting stream-lifetime totals rather than restarting from
+        zero.
+        """
+        version = int(state.get("version", 0))
+        if version != 1:
+            raise ValueError(
+                f"unsupported StreamingRim state version {version} "
+                "(this build reads version 1)"
+            )
+        packets = state["packets"]
+        if packets is None:
+            restored: List[np.ndarray] = []
+        else:
+            packets = np.asarray(packets)
+            if packets.ndim != 4 or packets.shape[1] != self.array.n_antennas:
+                raise ValueError(
+                    f"checkpoint buffer shape {packets.shape} does not match "
+                    f"an (n, n_rx={self.array.n_antennas}, n_tx, S) stream"
+                )
+            restored = [
+                packets[k].astype(np.complex64) for k in range(packets.shape[0])
+            ]
+        times = np.asarray(state["times"], dtype=np.float64)
+        if times.shape != (len(restored),):
+            raise ValueError(
+                f"checkpoint holds {len(restored)} packets but "
+                f"{times.size} timestamps"
+            )
+        self._packets = restored
+        self._times = [float(t) for t in times]
+        self._pending_start = int(state["pending_start"])
+        self._buffer_offset = int(state["buffer_offset"])
+        self._total_distance = float(state["total_distance"])
+        self._n_pushed = int(state["n_pushed"])
+        self._last_good_speed = float(state["last_good_speed"])
+        self._clock_resamples = int(state["clock_resamples"])
+        self._blocks_emitted = int(state["blocks_emitted"])
+        self._samples_emitted = int(state["samples_emitted"])
+        self._guard.load_state_dict(state["guard"])
+        cache_state = state.get("align_cache")
+        if self._align_cache is not None:
+            if cache_state is None:
+                self._align_cache.reset()
+            else:
+                self._align_cache.load_state_dict(cache_state)
+        # A checkpoint taken with stream_reuse on, loaded into a stream
+        # with it off, is fine: the cache is a pure accelerator.
+
+    def reset(self) -> None:
+        """Return to the just-constructed state for a fresh stream.
+
+        Clears the packet buffer, motion accumulator, emission counters,
+        guard watermark, and — coherently — the perf row cache, so a
+        replay can reuse this object without leaking state (previously
+        only reachable by rebuilding it).
+        """
+        self._packets = []
+        self._times = []
+        self._pending_start = 0
+        self._buffer_offset = 0
+        self._total_distance = 0.0
+        self._n_pushed = 0
+        self._last_good_speed = 0.0
+        self._clock_resamples = 0
+        self._blocks_emitted = 0
+        self._samples_emitted = 0
+        self._guard = StreamGuard(policy=self.config.guard_policy)
+        if self._align_cache is not None:
+            self._align_cache.reset()
+
     # -- internals ---------------------------------------------------------
 
     def _emit_block(self, final: bool = False) -> MotionUpdate:

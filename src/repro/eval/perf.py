@@ -22,11 +22,12 @@ from __future__ import annotations
 import json
 import os
 import time
+from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro import obs
 
-SCHEMA = "rim-perf-baseline/v3"
+SCHEMA = "rim-perf-baseline/v4"
 
 # Stage spans every baseline must contain (the pipeline of §4.4): without
 # them the file cannot answer "where did the time go".
@@ -182,6 +183,62 @@ def _profile_serving(
     }
 
 
+def _profile_store(trace, block_seconds: float) -> Dict[str, Any]:
+    """Store throughput: chunked write, integrity-checked read, replay.
+
+    Measures the three data-path costs of :mod:`repro.store` on the same
+    workload trace the estimator profiles use: sequential chunked write
+    (CRC computation included), full CRC-verified read-back, and an
+    end-to-end :class:`~repro.store.checkpoint.CheckpointedReplayer` pass
+    through the streaming estimator.  Write/read are reported in MB/s of
+    on-disk bytes, replay in samples/sec — the v4 quantities the perf
+    gate watches.
+    """
+    import shutil
+    import tempfile
+
+    from repro import RimConfig
+    from repro.store import CheckpointedReplayer, TraceReader, write_trace
+
+    root = Path(tempfile.mkdtemp(prefix="rim-perf-store-")) / "store"
+    try:
+        t0 = time.perf_counter()
+        writer = write_trace(root, trace, chunk_samples=256)
+        write_wall = time.perf_counter() - t0
+        mb = writer.bytes_written / 1e6
+
+        t0 = time.perf_counter()
+        with TraceReader(root, policy="raise") as reader:
+            n_read = sum(r.times.size for r in reader.iter_chunks())
+        read_wall = time.perf_counter() - t0
+
+        cfg = RimConfig(max_lag=60, kernel_backend=PRIMARY_BACKEND)
+        reader = TraceReader(root, policy="repair")
+        t0 = time.perf_counter()
+        replayer = CheckpointedReplayer(
+            reader, config=cfg, block_seconds=block_seconds
+        )
+        updates = replayer.run()
+        replay_wall = time.perf_counter() - t0
+        return {
+            "n_chunks": writer.n_chunks,
+            "n_samples": n_read,
+            "bytes": writer.bytes_written,
+            "write_wall_s": write_wall,
+            "read_wall_s": read_wall,
+            "replay_wall_s": replay_wall,
+            "write_mb_per_s": mb / write_wall if write_wall > 0 else 0.0,
+            "read_mb_per_s": mb / read_wall if read_wall > 0 else 0.0,
+            "replay_samples_per_second": (
+                n_read / replay_wall if replay_wall > 0 else 0.0
+            ),
+            "replay_n_updates": len(updates),
+            "replay_total_distance_m": float(replayer.stream.total_distance),
+        }
+    finally:
+        shutil.rmtree(root.parent, ignore_errors=True)
+
+
 def run_perf_baseline(
     seed: int = 0,
     quick: bool = True,
@@ -239,9 +296,10 @@ def run_perf_baseline(
         if not was_enabled:
             obs.disable()
 
-    # Serving throughput is measured with instrumentation off — the gate
-    # watches raw multi-session throughput, not span bookkeeping.
+    # Serving and store throughput are measured with instrumentation off —
+    # the gate watches raw throughput, not span bookkeeping.
     serving = _profile_serving(trace, n_sessions, n_workers, block_seconds)
+    store = _profile_store(trace, block_seconds)
 
     primary = profiles[PRIMARY_BACKEND]
     ref = profiles["reference"]
@@ -265,6 +323,7 @@ def run_perf_baseline(
         "batch": primary["batch"],
         "streaming": primary["streaming"],
         "serving": serving,
+        "store": store,
         "metrics": primary["metrics"],
         "backends": {
             name: {
@@ -307,9 +366,16 @@ def validate_perf_payload(payload: Dict[str, Any]) -> None:
         raise ValueError(
             f"schema mismatch: want {SCHEMA!r}, got {payload.get('schema')!r}"
         )
-    for section in ("workload", "batch", "streaming", "serving", "metrics"):
+    sections = ("workload", "batch", "streaming", "serving", "store", "metrics")
+    for section in sections:
         if not isinstance(payload.get(section), dict):
             raise ValueError(f"missing or malformed section {section!r}")
+    store = payload["store"]
+    for metric in (
+        "write_mb_per_s", "read_mb_per_s", "replay_samples_per_second"
+    ):
+        if not isinstance(store.get(metric), (int, float)):
+            raise ValueError(f"store section lacks {metric}")
     serving = payload["serving"]
     for key in ("serial", "parallel"):
         schedule = serving.get(key)
@@ -429,6 +495,30 @@ def check_perf_regression(
             f"{new_serving.get('n_sessions')} sessions; "
             f"budget -{max_regression / (1.0 + max_regression):.0%})"
         )
+
+    # Store throughput gate (schema v4): write/read MB/s and replay
+    # samples/sec under the same fractional budget, when both payloads
+    # carry a store section (a v3 baseline simply skips this gate).
+    new_store = payload.get("store") or {}
+    old_store = baseline.get("store") or {}
+    for metric, unit in (
+        ("write_mb_per_s", "MB/s"),
+        ("read_mb_per_s", "MB/s"),
+        ("replay_samples_per_second", "samples/s"),
+    ):
+        new_value = new_store.get(metric)
+        old_value = old_store.get(metric)
+        if (
+            isinstance(new_value, (int, float))
+            and isinstance(old_value, (int, float))
+            and old_value > 0
+            and new_value < old_value / (1.0 + max_regression)
+        ):
+            failures.append(
+                f"store.{metric} regressed "
+                f"({old_value:.1f} -> {new_value:.1f} {unit}; "
+                f"budget -{max_regression / (1.0 + max_regression):.0%})"
+            )
     return failures
 
 
@@ -489,6 +579,20 @@ def render_perf_summary(payload: Dict[str, Any]) -> str:
             f"  speedup          "
             f"{'n/a' if speedup is None else format(speedup, '.2f') + 'x'}, "
             f"bit-identical: {'yes' if serving.get('bit_identical') else 'NO'}",
+        ]
+    store = payload.get("store")
+    if store:
+        lines += [
+            "",
+            f"store ({store['n_chunks']} chunks, "
+            f"{store['bytes'] / 1e6:.1f} MB):",
+            f"  write            {store['write_wall_s'] * 1e3:.1f} ms "
+            f"({store['write_mb_per_s']:.0f} MB/s)",
+            f"  verified read    {store['read_wall_s'] * 1e3:.1f} ms "
+            f"({store['read_mb_per_s']:.0f} MB/s)",
+            f"  replay           {store['replay_wall_s'] * 1e3:.1f} ms "
+            f"({store['replay_samples_per_second']:.0f} samples/s over "
+            f"{store['replay_n_updates']} updates)",
         ]
     backends = payload.get("backends")
     if backends:

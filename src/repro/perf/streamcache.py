@@ -47,6 +47,51 @@ class StreamAlignmentCache:
     def __len__(self) -> int:
         return len(self.entries)
 
+    def reset(self) -> None:
+        """Forget everything including position and lifetime stats.
+
+        :meth:`clear` keeps the reuse statistics (it marks an
+        invalidation mid-stream); ``reset`` is for starting a genuinely
+        new stream in the same object.
+        """
+        self.offset = 0
+        self.max_lag = None
+        self.entries = {}
+        self.seeded_cells = 0
+        self.invalidations = 0
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable snapshot (checkpoint/resume support).
+
+        Entry arrays are copied, so the snapshot stays valid when the
+        live cache moves on.
+        """
+        return {
+            "offset": int(self.offset),
+            "max_lag": self.max_lag,
+            "seeded_cells": int(self.seeded_cells),
+            "invalidations": int(self.invalidations),
+            "entries": {
+                key: (vals.copy(), known.copy())
+                for key, (vals, known) in self.entries.items()
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output bit-exactly."""
+        self.offset = int(state["offset"])  # type: ignore[arg-type]
+        max_lag = state["max_lag"]
+        self.max_lag = None if max_lag is None else int(max_lag)  # type: ignore[arg-type]
+        self.seeded_cells = int(state["seeded_cells"])  # type: ignore[arg-type]
+        self.invalidations = int(state["invalidations"])  # type: ignore[arg-type]
+        self.entries = {
+            (int(key[0]), int(key[1])): (
+                np.asarray(vals, dtype=np.float64),
+                np.asarray(known, dtype=bool),
+            )
+            for key, (vals, known) in state["entries"].items()  # type: ignore[union-attr]
+        }
+
     def clear(self) -> None:
         """Drop everything (guard repair / clock resample / config change)."""
         if self.entries:

@@ -337,6 +337,31 @@ class StreamGuard:
             self._counters[k] = 0
         return out
 
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable admission state (checkpoint/resume support).
+
+        Captures the monotonicity watermark and the not-yet-drained repair
+        counters, so a resumed stream rejects exactly the packets the
+        uninterrupted one would and its next health report carries the
+        same counts.
+        """
+        return {
+            "policy": self.policy,
+            "last_timestamp": float(self.last_timestamp),
+            "counters": dict(self._counters),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output (policy must match)."""
+        if state.get("policy") != self.policy:
+            raise ValueError(
+                f"checkpoint guard policy {state.get('policy')!r} does not "
+                f"match this stream's {self.policy!r}"
+            )
+        self.last_timestamp = float(state["last_timestamp"])  # type: ignore[arg-type]
+        for key in self._counters:
+            self._counters[key] = int(state["counters"].get(key, 0))  # type: ignore[union-attr]
+
 
 def _project_trajectory(trajectory: Trajectory, times: np.ndarray) -> Trajectory:
     """Re-interpolate ground truth onto the guarded timestamps.

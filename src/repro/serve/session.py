@@ -38,6 +38,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -46,6 +47,7 @@ from repro import obs
 from repro.arrays.geometry import AntennaArray
 from repro.core.config import RimConfig
 from repro.core.streaming import MotionUpdate, StreamingRim
+from repro.store.writer import TraceWriter
 
 logger = logging.getLogger(__name__)
 
@@ -108,6 +110,12 @@ class ServeSession:
         serve_config: Queue / backpressure / TTL configuration.
         carrier_wavelength: Carrier wavelength (CsiTrace metadata).
         clock: Monotonic time source (injectable for TTL tests).
+        recorder: Optional :class:`~repro.store.writer.TraceWriter` —
+            record-on-ingest: every offered packet is appended to the
+            store *before* backpressure or guarding touches it, so the
+            recording is the ground truth of what the receiver sent
+            (replaying it reproduces the ingest, including the packets a
+            loaded server shed).  Closed by :meth:`flush`.
     """
 
     def __init__(
@@ -119,6 +127,7 @@ class ServeSession:
         serve_config: Optional[ServeConfig] = None,
         carrier_wavelength: float = 0.0516,
         clock: Callable[[], float] = time.monotonic,
+        recorder: Optional[TraceWriter] = None,
     ):
         self.name = name
         self.serve_config = serve_config or ServeConfig()
@@ -129,6 +138,7 @@ class ServeSession:
             block_seconds=self.serve_config.block_seconds,
             carrier_wavelength=carrier_wavelength,
         )
+        self.recorder = recorder
         self._clock = clock
         self.created_at = clock()
         self.last_activity = self.created_at
@@ -172,6 +182,8 @@ class ServeSession:
         """
         self.last_activity = self._clock()
         self.n_offered += 1
+        if self.recorder is not None:
+            self.recorder.append(np.asarray(packet), timestamp)
         status = PUSH_ACCEPTED
         if len(self._queue) >= self.serve_config.queue_capacity:
             policy = self.serve_config.backpressure
@@ -227,11 +239,17 @@ class ServeSession:
         return out
 
     def flush(self) -> List[MotionUpdate]:
-        """End of stream: drain, flush the estimator, return all updates."""
+        """End of stream: drain, flush the estimator, return all updates.
+
+        Also finalizes the ingest recording (if any): the store's
+        manifest is marked closed and its tail chunk drained.
+        """
         self.drain()
         final = self.stream.flush()
         if final is not None:
             self._absorb(final)
+        if self.recorder is not None:
+            self.recorder.close()
         out = self._updates
         self._updates = []
         return out
@@ -292,6 +310,10 @@ class SessionManager:
         rim_config: Default estimator config for new sessions.
         serve_config: Default serving config for new sessions.
         clock: Monotonic time source shared with sessions (injectable).
+        record_dir: When set, every new session records its ingest into
+            a chunked store at ``record_dir/<session-name>`` (see
+            :class:`~repro.store.writer.TraceWriter`); replay later with
+            ``python -m repro.cli replay`` or ``serve-sim --store-dir``.
     """
 
     def __init__(
@@ -299,10 +321,12 @@ class SessionManager:
         rim_config: Optional[RimConfig] = None,
         serve_config: Optional[ServeConfig] = None,
         clock: Callable[[], float] = time.monotonic,
+        record_dir=None,
     ):
         self._rim_config = rim_config
         self._serve_config = serve_config or ServeConfig()
         self._clock = clock
+        self.record_dir = None if record_dir is None else Path(record_dir)
         self._sessions: Dict[str, ServeSession] = {}
         self._lock = threading.Lock()
         self.n_evicted = 0
@@ -328,8 +352,20 @@ class SessionManager:
         serve_config: Optional[ServeConfig] = None,
         carrier_wavelength: float = 0.0516,
     ) -> ServeSession:
-        """Register a new session; evicts expired ones first."""
+        """Register a new session; evicts expired ones first.
+
+        With a manager-level ``record_dir``, the session's ingest is
+        recorded to ``record_dir/<name>``.
+        """
         self.evict_idle()
+        recorder = None
+        if self.record_dir is not None:
+            recorder = TraceWriter(
+                self.record_dir / name,
+                array,
+                carrier_wavelength=carrier_wavelength,
+                sampling_rate=sampling_rate,
+            )
         session = ServeSession(
             name,
             array,
@@ -338,6 +374,7 @@ class SessionManager:
             serve_config=serve_config or self._serve_config,
             carrier_wavelength=carrier_wavelength,
             clock=self._clock,
+            recorder=recorder,
         )
         with self._lock:
             if name in self._sessions:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
@@ -20,6 +21,8 @@ from repro.arrays.geometry import linear_array
 from repro.channel.sampler import CsiTrace
 from repro.core.config import RimConfig
 from repro.serve.session import ServeConfig, SessionManager
+from repro.store.format import MANIFEST_NAME, StoreError
+from repro.store.reader import TraceReader
 
 
 def simulated_receivers(
@@ -48,6 +51,37 @@ def simulated_receivers(
         truth = line_trajectory(spot, heading_deg, speed, duration_s)
         trace = bed.sampler.sample(truth, array)
         receivers.append((f"rx{k:02d}", trace))
+    return receivers
+
+
+def store_receivers(
+    store_dir, policy: str = "repair"
+) -> List[Tuple[str, CsiTrace]]:
+    """Load recorded receivers from a directory of chunked trace stores.
+
+    Accepts either one store (``store_dir`` itself holds a manifest) or a
+    fleet directory whose sub-directories are stores — the layout
+    ``SessionManager(record_dir=...)`` records.  Session names are the
+    store directory names.
+
+    Args:
+        store_dir: Store or fleet directory.
+        policy: Store read policy (corrupt chunks NaN-filled by default).
+    """
+    root = Path(store_dir)
+    if (root / MANIFEST_NAME).is_file():
+        stores = [root]
+    else:
+        stores = sorted(
+            p for p in root.iterdir()
+            if p.is_dir() and (p / MANIFEST_NAME).is_file()
+        )
+    if not stores:
+        raise StoreError(f"{root} holds no trace stores (no {MANIFEST_NAME})")
+    receivers = []
+    for store in stores:
+        with TraceReader(store, policy=policy) as reader:
+            receivers.append((store.name, reader.read_trace()))
     return receivers
 
 
@@ -81,6 +115,8 @@ def run_serve_sim(
     block_seconds: float = 1.0,
     rim_config: Optional[RimConfig] = None,
     receivers: Optional[Sequence[Tuple[str, CsiTrace]]] = None,
+    store_dir=None,
+    record_dir=None,
 ) -> Dict[str, Any]:
     """Replay N simulated receivers concurrently through a SessionManager.
 
@@ -95,6 +131,11 @@ def run_serve_sim(
         rim_config: Estimator config override.
         receivers: Pre-sampled ``(name, trace)`` receivers (skips the
             testbed simulation — used by tests and the perf harness).
+        store_dir: Replay recorded receivers from this store / fleet
+            directory (see :func:`store_receivers`) instead of
+            simulating; overrides ``n_sessions``/``seed``/``duration_s``.
+        record_dir: Record every session's ingest into chunked stores
+            under this directory (``record_dir/<session>``).
 
     Returns:
         A dict with ``sessions`` (per-session serving stats + replay
@@ -102,14 +143,21 @@ def run_serve_sim(
         reject / degraded totals), and the run's configuration.
     """
     if receivers is None:
-        receivers = simulated_receivers(n_sessions, seed=seed, duration_s=duration_s)
+        if store_dir is not None:
+            receivers = store_receivers(store_dir)
+        else:
+            receivers = simulated_receivers(
+                n_sessions, seed=seed, duration_s=duration_s
+            )
     n_sessions = len(receivers)
     serve_config = ServeConfig(
         queue_capacity=queue_capacity,
         backpressure=backpressure,
         block_seconds=block_seconds,
     )
-    manager = SessionManager(rim_config=rim_config, serve_config=serve_config)
+    manager = SessionManager(
+        rim_config=rim_config, serve_config=serve_config, record_dir=record_dir
+    )
 
     was_enabled = obs.enabled()
     obs.enable()

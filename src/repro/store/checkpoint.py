@@ -1,0 +1,298 @@
+"""Checkpointed replay of a recorded store: stop at chunk *k*, resume bit-identically.
+
+:class:`CheckpointedReplayer` drives a :class:`~repro.store.reader.
+TraceReader` through a :class:`~repro.core.streaming.StreamingRim`, one
+chunk at a time.  Its :meth:`~CheckpointedReplayer.state_dict` captures
+the replay cursor plus the stream's full state (buffer, alignment cache,
+guard watermark, motion accumulator), so::
+
+    run(max_chunks=k) ; checkpoint ; resume ; run()
+
+yields exactly the same :class:`~repro.core.streaming.MotionUpdate`
+sequence as a single uninterrupted ``run()`` — enforced by
+``tests/test_checkpoint.py`` under both kernel backends.
+
+Checkpoints serialize to a single ``.npz`` via :func:`save_checkpoint` /
+:func:`load_checkpoint`: scalars and guard state travel as a JSON string
+(Python float repr round-trips exactly; ``-Infinity`` is legal there),
+buffers and cached TRRS rows as raw float64/complex64/bool arrays — so
+restoring is bit-exact, which the bit-identity guarantee depends on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import RimConfig
+from repro.core.streaming import MotionUpdate, StreamingRim
+from repro.store.format import StoreError
+from repro.store.reader import TraceReader
+
+CHECKPOINT_VERSION = 1
+SUPPORTED_CHECKPOINT_VERSIONS = (1,)
+
+
+class CheckpointedReplayer:
+    """Replay a recorded store through a streaming estimator, resumably.
+
+    Args:
+        reader: Open store reader (its policy governs how corrupt chunks
+            are handled during replay; per-chunk store repairs fold into
+            the next emitted update's ``HealthReport.repairs``).
+        config: RIM configuration for the streaming estimator.
+        block_seconds: Streaming emission cadence.
+
+    Raises:
+        StoreError: When the store's manifest records no sampling rate
+            (an unclosed recording that never learned its clock).
+    """
+
+    def __init__(
+        self,
+        reader: TraceReader,
+        config: Optional[RimConfig] = None,
+        block_seconds: float = 1.0,
+    ):
+        if reader.sampling_rate is None or reader.sampling_rate <= 0:
+            raise StoreError(
+                f"{reader.root} records no sampling rate; replay needs the "
+                "nominal clock (re-record with sampling_rate, or close the "
+                "writer so it estimates one)"
+            )
+        self.reader = reader
+        self.stream = StreamingRim(
+            reader.array,
+            reader.sampling_rate,
+            config=config,
+            block_seconds=block_seconds,
+            carrier_wavelength=reader.carrier_wavelength,
+        )
+        self._cursor = 0  # next reader entry index to feed
+        self._last_time: Optional[float] = None
+        self._exhausted = False
+        self._flushed = False
+        # Open-time structural repairs (torn tail truncated, sequence gaps,
+        # duplicates dropped) happened before any chunk flows, so seed them
+        # here — they fold into the first emitted update's health report.
+        # Read-time repairs arrive per record and are folded as they occur.
+        self._pending_repairs: Dict[str, int] = dict(reader.report.repairs())
+
+    @property
+    def cursor(self) -> int:
+        """Next store entry index to feed (== chunks already consumed)."""
+        return self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every store entry has been consumed."""
+        return self._exhausted
+
+    def step(self) -> Optional[List[MotionUpdate]]:
+        """Feed the next chunk into the stream.
+
+        Returns:
+            The updates that chunk completed (possibly empty), or None
+            when the store is exhausted.
+        """
+        if self._exhausted:
+            return None
+        gen = self.reader.iter_chunks(start=self._cursor, last_time=self._last_time)
+        try:
+            record = next(gen)
+        except StopIteration:
+            self._cursor = self.reader.n_entries
+            self._exhausted = True
+            return None
+        finally:
+            gen.close()
+        self._cursor = record.index + 1
+        for key, value in record.repairs.items():
+            self._pending_repairs[key] = self._pending_repairs.get(key, 0) + value
+        updates: List[MotionUpdate] = []
+        for k in range(record.times.size):
+            update = self.stream.push(record.data[k], float(record.times[k]))
+            if update is not None:
+                updates.append(self._absorb(update))
+        if record.times.size:
+            self._last_time = float(record.times[-1])
+        if self._cursor >= self.reader.n_entries:
+            self._exhausted = True
+        return updates
+
+    def run(
+        self, max_chunks: Optional[int] = None, flush: bool = True
+    ) -> List[MotionUpdate]:
+        """Replay up to ``max_chunks`` chunks (all remaining by default).
+
+        Args:
+            max_chunks: Stop after this many chunks — the checkpoint
+                boundary.  None replays to the end of the store.
+            flush: Flush the stream's tail once the store is exhausted
+                (ignored while chunks remain, so a bounded run can be
+                checkpointed and resumed without a spurious early flush).
+        """
+        updates: List[MotionUpdate] = []
+        fed = 0
+        while max_chunks is None or fed < max_chunks:
+            step = self.step()
+            if step is None:
+                break
+            updates.extend(step)
+            fed += 1
+        if flush and self._exhausted and not self._flushed:
+            tail = self.stream.flush()
+            self._flushed = True
+            if tail is not None:
+                updates.append(self._absorb(tail))
+        return updates
+
+    def _absorb(self, update: MotionUpdate) -> MotionUpdate:
+        """Fold accumulated store repairs into the next healthy update."""
+        if update.health is not None and self._pending_repairs:
+            repairs = dict(update.health.repairs)
+            for key, value in self._pending_repairs.items():
+                repairs[key] = repairs.get(key, 0) + value
+            update.health.repairs = repairs
+            self._pending_repairs = {}
+        return update
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Replay cursor + full stream state (see module docstring)."""
+        return {
+            "version": CHECKPOINT_VERSION,
+            "cursor": int(self._cursor),
+            "last_time": self._last_time,
+            "exhausted": bool(self._exhausted),
+            "flushed": bool(self._flushed),
+            "pending_repairs": dict(self._pending_repairs),
+            "stream": self.stream.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output into this replayer."""
+        version = int(state.get("version", 0))
+        if version not in SUPPORTED_CHECKPOINT_VERSIONS:
+            raise ValueError(
+                f"unsupported replay checkpoint version {version} (this "
+                f"build reads versions {sorted(SUPPORTED_CHECKPOINT_VERSIONS)})"
+            )
+        self._cursor = int(state["cursor"])
+        last_time = state["last_time"]
+        self._last_time = None if last_time is None else float(last_time)
+        self._exhausted = bool(state["exhausted"])
+        self._flushed = bool(state["flushed"])
+        self._pending_repairs = {
+            str(k): int(v) for k, v in dict(state["pending_repairs"]).items()
+        }
+        self.stream.load_state_dict(state["stream"])
+
+    def save(self, path) -> None:
+        """Serialize :meth:`state_dict` to ``path`` (.npz)."""
+        save_checkpoint(path, self.state_dict())
+
+    @classmethod
+    def resume(
+        cls,
+        reader: TraceReader,
+        checkpoint,
+        config: Optional[RimConfig] = None,
+        block_seconds: float = 1.0,
+    ) -> "CheckpointedReplayer":
+        """Rebuild a replayer from a checkpoint file or state dict.
+
+        The caller supplies the same ``reader``/``config``/cadence the
+        checkpointed replayer was built with; the checkpoint supplies
+        everything mutable.
+        """
+        replayer = cls(reader, config=config, block_seconds=block_seconds)
+        if not isinstance(checkpoint, dict):
+            checkpoint = load_checkpoint(checkpoint)
+        replayer.load_state_dict(checkpoint)
+        return replayer
+
+
+# -- .npz serialization --------------------------------------------------------
+
+
+def save_checkpoint(path, state: Dict[str, Any]) -> None:
+    """Write a replayer (or bare stream) state dict to one ``.npz`` file.
+
+    Arrays (packet buffer, timestamps, cached TRRS rows) are stored as
+    native npz entries; everything scalar rides in a JSON ``meta`` string.
+    """
+    if "stream" in state:
+        stream = state["stream"]
+        meta: Dict[str, Any] = {
+            key: value for key, value in state.items() if key != "stream"
+        }
+    else:  # a bare StreamingRim.state_dict()
+        stream = state
+        meta = {"version": CHECKPOINT_VERSION}
+    arrays: Dict[str, np.ndarray] = {}
+    stream_meta = {
+        key: value
+        for key, value in stream.items()
+        if key not in ("packets", "times", "align_cache")
+    }
+    if stream.get("packets") is not None:
+        arrays["packets"] = np.asarray(stream["packets"], dtype=np.complex64)
+    arrays["times"] = np.asarray(stream["times"], dtype=np.float64)
+    cache = stream.get("align_cache")
+    cache_meta: Optional[Dict[str, Any]] = None
+    if cache is not None:
+        cache_meta = {
+            key: value for key, value in cache.items() if key != "entries"
+        }
+        cache_meta["keys"] = sorted(list(key) for key in cache["entries"])
+        for (i, j), (vals, known) in cache["entries"].items():
+            arrays[f"cache_vals_{i}_{j}"] = np.asarray(vals, dtype=np.float64)
+            arrays[f"cache_known_{i}_{j}"] = np.asarray(known, dtype=bool)
+    meta["stream"] = stream_meta
+    meta["align_cache"] = cache_meta
+    meta["has_packets"] = "packets" in arrays
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:  # handle, not path: stops savez suffix-munging
+        np.savez(fh, meta=np.str_(json.dumps(meta)), **arrays)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path) -> Dict[str, Any]:
+    """Inverse of :func:`save_checkpoint`; bit-exact array round-trip."""
+    with np.load(path, allow_pickle=False) as archive:
+        if "meta" not in archive.files:
+            raise StoreError(f"{path} is not a replay checkpoint (no meta)")
+        meta = json.loads(str(archive["meta"]))
+        version = int(meta.get("version", 0))
+        if version not in SUPPORTED_CHECKPOINT_VERSIONS:
+            raise ValueError(
+                f"unsupported replay checkpoint version {version} (this "
+                f"build reads versions {sorted(SUPPORTED_CHECKPOINT_VERSIONS)})"
+            )
+        stream: Dict[str, Any] = dict(meta.pop("stream"))
+        stream["packets"] = (
+            archive["packets"].copy() if meta.pop("has_packets") else None
+        )
+        stream["times"] = archive["times"].copy()
+        cache_meta = meta.pop("align_cache")
+        if cache_meta is None:
+            stream["align_cache"] = None
+        else:
+            keys = [(int(i), int(j)) for i, j in cache_meta.pop("keys")]
+            cache_meta["entries"] = {
+                (i, j): (
+                    archive[f"cache_vals_{i}_{j}"].copy(),
+                    archive[f"cache_known_{i}_{j}"].copy(),
+                )
+                for i, j in keys
+            }
+            stream["align_cache"] = cache_meta
+        meta["stream"] = stream
+        return meta

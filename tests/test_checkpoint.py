@@ -1,0 +1,223 @@
+"""Checkpoint/resume bit-identity: the acceptance test for ISSUE 5 (3).
+
+Replaying a store with a stop/checkpoint/resume at an arbitrary chunk
+boundary must yield a ``MotionUpdate`` stream *equal* — not just close —
+to the uninterrupted run, under both kernel backends.  Also covers the
+satellite fixes: cumulative counter accounting across
+``load_state_dict()`` and the coherent ``StreamingRim.reset()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import RimConfig
+from repro.core.streaming import StreamingRim
+from repro.store import CheckpointedReplayer, TraceReader, write_trace
+
+BACKENDS = ("reference", "batched")
+CHUNK = 64
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory, line_trace):
+    root = tmp_path_factory.mktemp("ckpt") / "store"
+    write_trace(root, line_trace, chunk_samples=CHUNK)
+    return root
+
+
+def _config(backend):
+    return RimConfig(guard_policy="repair", kernel_backend=backend)
+
+
+def _replay_full(recorded, config, block_seconds=0.5):
+    reader = TraceReader(recorded, policy="repair")
+    return CheckpointedReplayer(
+        reader, config=config, block_seconds=block_seconds
+    ).run()
+
+
+def _assert_updates_equal(a, b):
+    assert len(a) == len(b)
+    for u1, u2 in zip(a, b):
+        assert np.array_equal(u1.times, u2.times)
+        assert np.array_equal(u1.speed, u2.speed, equal_nan=True)
+        assert np.array_equal(u1.heading, u2.heading, equal_nan=True)
+        assert np.array_equal(u1.moving, u2.moving)
+        assert u1.block_distance == u2.block_distance
+        assert u1.total_distance == u2.total_distance
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("stop_after", (1, 3, 6))
+def test_resume_is_bit_identical(recorded, backend, stop_after, tmp_path):
+    """stop at chunk k -> serialize -> new process-equivalent -> resume."""
+    config = _config(backend)
+    full = _replay_full(recorded, config)
+
+    first = CheckpointedReplayer(
+        TraceReader(recorded, policy="repair"), config=config, block_seconds=0.5
+    )
+    head = first.run(max_chunks=stop_after)
+    ckpt = tmp_path / "state.npz"
+    first.save(ckpt)
+
+    # A brand-new reader + replayer, as after a restart: only the
+    # checkpoint file carries state across.
+    second = CheckpointedReplayer.resume(
+        TraceReader(recorded, policy="repair"), ckpt,
+        config=config, block_seconds=0.5,
+    )
+    assert second.cursor == first.cursor
+    tail = second.run()
+    _assert_updates_equal(full, head + tail)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_double_checkpoint_round(recorded, backend, tmp_path):
+    """Two interruptions compose: stop at 2, then at 5, then run out."""
+    config = _config(backend)
+    full = _replay_full(recorded, config)
+    updates = []
+    replayer = CheckpointedReplayer(
+        TraceReader(recorded, policy="repair"), config=config, block_seconds=0.5
+    )
+    for k, boundary in enumerate((2, 3)):
+        updates += replayer.run(max_chunks=boundary)
+        ckpt = tmp_path / f"state{k}.npz"
+        replayer.save(ckpt)
+        replayer = CheckpointedReplayer.resume(
+            TraceReader(recorded, policy="repair"), ckpt,
+            config=config, block_seconds=0.5,
+        )
+    updates += replayer.run()
+    _assert_updates_equal(full, updates)
+
+
+def test_resume_without_stream_reuse_cache(recorded, tmp_path):
+    """A checkpoint from a cache-enabled stream loads into one without."""
+    on = _config("batched")
+    off = RimConfig(guard_policy="repair", kernel_backend="batched",
+                    stream_reuse=False)
+    full = _replay_full(recorded, off)
+    first = CheckpointedReplayer(
+        TraceReader(recorded, policy="repair"), config=on, block_seconds=0.5
+    )
+    head = first.run(max_chunks=3)
+    ckpt = tmp_path / "state.npz"
+    first.save(ckpt)
+    second = CheckpointedReplayer.resume(
+        TraceReader(recorded, policy="repair"), ckpt,
+        config=off, block_seconds=0.5,
+    )
+    tail = second.run()
+    # The cache is a pure accelerator, so even a cache-on head + cache-off
+    # tail equals the cache-off uninterrupted run bit for bit.
+    _assert_updates_equal(full, head + tail)
+
+
+def test_cumulative_counters_across_resume(recorded, tmp_path):
+    """Resumed sessions report stream-lifetime totals, not restart-local ones."""
+    config = _config("batched")
+    first = CheckpointedReplayer(
+        TraceReader(recorded, policy="repair"), config=config, block_seconds=0.5
+    )
+    first.run(max_chunks=4)
+    ckpt = tmp_path / "state.npz"
+    first.save(ckpt)
+    second = CheckpointedReplayer.resume(
+        TraceReader(recorded, policy="repair"), ckpt,
+        config=config, block_seconds=0.5,
+    )
+    assert second.stream.blocks_emitted == first.stream.blocks_emitted
+    assert second.stream.samples_emitted == first.stream.samples_emitted
+    assert second.stream.pending_samples == first.stream.pending_samples
+    before_blocks = second.stream.blocks_emitted
+    second.run()
+    full = _replay_full(recorded, config)
+    full_stream_blocks = len(full)
+    assert second.stream.blocks_emitted == full_stream_blocks
+    assert second.stream.blocks_emitted > before_blocks
+    assert second.stream.samples_emitted == sum(u.times.size for u in full)
+
+
+def test_checkpoint_version_rejected(recorded, tmp_path):
+    from repro.store.checkpoint import load_checkpoint, save_checkpoint
+
+    replayer = CheckpointedReplayer(
+        TraceReader(recorded, policy="repair"), config=_config("batched")
+    )
+    state = replayer.state_dict()
+    state["version"] = 99
+    path = tmp_path / "bad.npz"
+    save_checkpoint(path, state)
+    with pytest.raises(ValueError, match="version 99"):
+        load_checkpoint(path)
+
+
+def test_guard_policy_mismatch_rejected(recorded, tmp_path):
+    repair = CheckpointedReplayer(
+        TraceReader(recorded, policy="repair"),
+        config=RimConfig(guard_policy="repair"),
+    )
+    repair.run(max_chunks=2)
+    ckpt = tmp_path / "state.npz"
+    repair.save(ckpt)
+    with pytest.raises(ValueError, match="policy"):
+        CheckpointedReplayer.resume(
+            TraceReader(recorded, policy="repair"), ckpt,
+            config=RimConfig(guard_policy="drop"),
+        )
+
+
+def test_streaming_reset_clears_everything(line_trace):
+    config = RimConfig(guard_policy="repair", kernel_backend="batched")
+    stream = StreamingRim(
+        line_trace.array, line_trace.sampling_rate, config=config,
+        block_seconds=0.5,
+    )
+    first = []
+    for k in range(line_trace.n_samples):
+        u = stream.push(line_trace.data[k], float(line_trace.times[k]))
+        if u is not None:
+            first.append(u)
+    tail = stream.flush()
+    if tail is not None:
+        first.append(tail)
+    assert stream.total_distance > 0
+    stream.reset()
+    assert stream.total_distance == 0.0
+    assert stream.buffered_samples == 0
+    assert stream.blocks_emitted == 0
+    assert stream.samples_emitted == 0
+    # A fresh stream and a reset stream produce identical outputs — the
+    # perf row cache was cleared coherently, not left pointing at stale
+    # global offsets.
+    second = []
+    for k in range(line_trace.n_samples):
+        u = stream.push(line_trace.data[k], float(line_trace.times[k]))
+        if u is not None:
+            second.append(u)
+    tail = stream.flush()
+    if tail is not None:
+        second.append(tail)
+    _assert_updates_equal(first, second)
+
+
+def test_state_dict_snapshot_is_isolated(line_trace):
+    """Mutating the live stream after state_dict() must not corrupt it."""
+    config = RimConfig(guard_policy="repair")
+    stream = StreamingRim(
+        line_trace.array, line_trace.sampling_rate, config=config,
+        block_seconds=0.5,
+    )
+    n = line_trace.n_samples // 2
+    for k in range(n):
+        stream.push(line_trace.data[k], float(line_trace.times[k]))
+    state = stream.state_dict()
+    frozen = None if state["packets"] is None else state["packets"].copy()
+    for k in range(n, line_trace.n_samples):
+        stream.push(line_trace.data[k], float(line_trace.times[k]))
+    if frozen is not None:
+        assert np.array_equal(state["packets"], frozen)
