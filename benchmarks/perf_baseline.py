@@ -19,9 +19,10 @@ baseline at PATH and fails if ``rim.process`` wall time regressed by more
 than ``--max-regression`` (default 25%), the batched backend stopped
 beating the reference kernel, multi-session serving throughput
 (``serving.parallel.sessions_per_second``, schema v3) regressed beyond
-the same budget, or the store write/read bandwidth and replay throughput
-(``store.*``, schema v4) did.  Equivalent CLI verb:
-``python -m repro.cli profile``.
+the same budget, the store write/read bandwidth and replay throughput
+(``store.*``, schema v4) did, or the network front-end ingest throughput
+and reconnect-recovery time (``net.*``, schema v5) did.  Equivalent CLI
+verb: ``python -m repro.cli profile``.
 """
 
 from __future__ import annotations

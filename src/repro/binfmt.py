@@ -1,0 +1,116 @@
+"""Shared binary-framing primitives: fixed-size headers and CRC-32 integrity.
+
+Two subsystems put structured binary records on untrusted media — the
+chunked trace store (:mod:`repro.store.format`, records on disk) and the
+network ingestion front-end (:mod:`repro.net.framing`, frames on a TCP
+stream).  Both need the same three things:
+
+* a **fixed-size little-endian header** opening with a 4-byte magic and a
+  format-version field, rejected loudly when either is wrong;
+* a **CRC-32 checksum** (zlib flavor) over the protected bytes;
+* container-specific **corruption errors** so each layer's fault policy
+  keeps its own vocabulary (:class:`~repro.store.format.StoreCorruptionError`
+  vs :class:`~repro.net.framing.FrameError`).
+
+This module is the one implementation both layers share.  It is pure
+stdlib and knows nothing about stores or sockets: a :class:`HeaderCodec`
+owns the struct layout, magic, and accepted versions; :func:`crc32_of` /
+:func:`verify_crc32` own the checksum.  The store's on-disk layout
+pre-dates this module and is byte-identical to what it produced before
+the extraction (locked down by tests/test_net_properties.py).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Sequence, Tuple, Type
+
+
+def crc32_of(*parts: bytes) -> int:
+    """CRC-32 (zlib) over the concatenation of ``parts``, as unsigned."""
+    crc = 0
+    for part in parts:
+        crc = zlib.crc32(part, crc)
+    return crc & 0xFFFFFFFF
+
+
+def verify_crc32(
+    expected: int,
+    *parts: bytes,
+    error_cls: Type[Exception] = ValueError,
+    where: str = "payload",
+) -> None:
+    """Raise ``error_cls`` unless ``parts`` checksum to ``expected``."""
+    if crc32_of(*parts) != (expected & 0xFFFFFFFF):
+        raise error_cls(f"{where}: CRC-32 mismatch")
+
+
+class HeaderCodec:
+    """Pack/unpack a fixed-size header whose first fields are magic+version.
+
+    The struct format must be little-endian and start with ``4s`` (magic)
+    followed by an integer version field; the remaining fields are the
+    caller's.  Decoding validates length, magic, and version and maps
+    every failure onto the caller's corruption-error class, so "this is
+    not one of my records" reads the same at every layer.
+
+    Args:
+        magic: The 4-byte magic opening every record.
+        fmt: Full ``struct`` format, magic and version fields included
+            (e.g. ``"<4sHHQIIQI"``).
+        supported_versions: Format versions this build decodes.
+        error_cls: Exception type raised on malformed headers.
+    """
+
+    def __init__(
+        self,
+        magic: bytes,
+        fmt: str,
+        supported_versions: Sequence[int],
+        error_cls: Type[Exception] = ValueError,
+    ):
+        if len(magic) != 4:
+            raise ValueError(f"magic must be 4 bytes, got {magic!r}")
+        if not fmt.startswith("<4s"):
+            raise ValueError(
+                f"header format must be little-endian and open with the 4s "
+                f"magic field, got {fmt!r}"
+            )
+        self.magic = bytes(magic)
+        self.struct = struct.Struct(fmt)
+        self.supported_versions = tuple(int(v) for v in supported_versions)
+        self.error_cls = error_cls
+
+    @property
+    def size(self) -> int:
+        """Header size in bytes."""
+        return self.struct.size
+
+    def pack(self, version: int, *fields: int) -> bytes:
+        """Encode one header: magic + ``version`` + the caller's fields."""
+        return self.struct.pack(self.magic, version, *fields)
+
+    def unpack(self, buf: bytes, where: str = "header") -> Tuple[int, ...]:
+        """Decode and validate a header.
+
+        Returns:
+            ``(version, *fields)`` — the fields after magic, validated.
+
+        Raises:
+            The codec's ``error_cls`` on short buffers, bad magic, or an
+            unsupported format version.
+        """
+        if len(buf) < self.size:
+            raise self.error_cls(
+                f"{where}: truncated header ({len(buf)} < {self.size} bytes)"
+            )
+        magic, version, *fields = self.struct.unpack(buf[: self.size])
+        if magic != self.magic:
+            raise self.error_cls(f"{where}: bad magic {magic!r}")
+        if version not in self.supported_versions:
+            raise self.error_cls(
+                f"{where}: unsupported format version {version} (this build "
+                f"reads versions {sorted(self.supported_versions)})"
+            )
+        return (int(version), *(int(f) for f in fields))

@@ -12,9 +12,18 @@ Usage::
     python -m repro.cli record --out DIR     # record a simulated receiver
     python -m repro.cli replay DIR           # integrity-checked store replay
     python -m repro.cli convert SRC DEST     # legacy .npz <-> chunked store
+    python -m repro.cli net-serve            # TCP ingestion server
+    python -m repro.cli net-load             # network load client (loopback
+                                             # by default; --fault-plan for
+                                             # wire faults)
 
 ``--log-level debug`` surfaces the pipeline's structured logging (guard
 repairs, degradation, clock resampling) on stderr.
+
+The long-runners (``serve-sim``, ``record``, ``replay``, ``net-serve``,
+``net-load``) handle SIGINT/SIGTERM gracefully: the first signal drains
+sessions, flushes writers, and prints the final health/metrics table; a
+second signal aborts hard.
 """
 
 from __future__ import annotations
@@ -129,18 +138,27 @@ def cmd_profile(args) -> int:
 
 def cmd_serve_sim(args) -> int:
     from repro.serve.simulate import render_serve_table, run_serve_sim
+    from repro.shutdown import GracefulShutdown
 
-    result = run_serve_sim(
-        n_sessions=args.sessions,
-        n_workers=args.workers,
-        seed=args.seed,
-        duration_s=args.duration,
-        backpressure=args.policy,
-        queue_capacity=args.queue_capacity,
-        block_seconds=args.block_seconds,
-        store_dir=args.store_dir,
-        record_dir=args.record_dir,
-    )
+    with GracefulShutdown() as stop:
+        result = run_serve_sim(
+            n_sessions=args.sessions,
+            n_workers=args.workers,
+            seed=args.seed,
+            duration_s=args.duration,
+            backpressure=args.policy,
+            queue_capacity=args.queue_capacity,
+            block_seconds=args.block_seconds,
+            store_dir=args.store_dir,
+            record_dir=args.record_dir,
+            should_stop=stop.stopper(),
+        )
+    if stop.triggered:
+        print(
+            f"{stop.signal_name}: replay stopped early; sessions drained "
+            "and flushed",
+            file=sys.stderr,
+        )
     source = (
         f"recorded receivers from {args.store_dir}"
         if args.store_dir
@@ -167,17 +185,43 @@ def cmd_record(args) -> int:
     from repro.arrays.geometry import linear_array
     from repro.eval.setup import MEASUREMENT_SPOTS, make_testbed
     from repro.motionsim.profiles import line_trajectory
-    from repro.store import write_trace
+    from repro.shutdown import GracefulShutdown
+    from repro.store import TraceWriter
 
-    bed = make_testbed(seed=args.seed)
-    truth = line_trajectory(MEASUREMENT_SPOTS[0], 0.0, 0.5, args.duration)
-    trace = bed.sampler.sample(truth, linear_array(3))
-    if args.fault_plan:
-        from repro.robustness import FaultPlan
+    # The guard covers the whole command: a signal during the (long)
+    # trace simulation still ends in a closed, replayable store.
+    with GracefulShutdown() as stop:
+        bed = make_testbed(seed=args.seed)
+        truth = line_trajectory(MEASUREMENT_SPOTS[0], 0.0, 0.5, args.duration)
+        trace = bed.sampler.sample(truth, linear_array(3))
+        if args.fault_plan:
+            from repro.robustness import FaultPlan
 
-        trace = FaultPlan.from_spec(args.fault_plan).apply(trace)
-        print(f"injected faults: {args.fault_plan}")
-    writer = write_trace(args.out, trace, chunk_samples=args.chunk_samples)
+            trace = FaultPlan.from_spec(args.fault_plan).apply(trace)
+            print(f"injected faults: {args.fault_plan}")
+        # Stream packet-by-packet (instead of one bulk write) so an
+        # interrupt leaves a valid store: whole chunks on disk, manifest
+        # closed.
+        writer = TraceWriter(
+            args.out,
+            trace.array,
+            carrier_wavelength=trace.carrier_wavelength,
+            chunk_samples=args.chunk_samples,
+            tx_positions=trace.tx_positions,
+            trajectory=trace.trajectory,
+            sampling_rate=trace.sampling_rate if trace.n_samples >= 2 else None,
+        )
+        with writer:
+            for k in range(trace.n_samples):
+                if stop.should_stop():
+                    break
+                writer.append(trace.data[k], float(trace.times[k]))
+    if stop.triggered:
+        print(
+            f"{stop.signal_name}: recording stopped early; store flushed "
+            "and manifest closed",
+            file=sys.stderr,
+        )
     print(
         f"recorded {writer.n_samples} samples "
         f"({truth.total_distance:.1f} m walk) into {args.out}: "
@@ -188,6 +232,7 @@ def cmd_record(args) -> int:
 
 def cmd_replay(args) -> int:
     from repro.core.config import RimConfig
+    from repro.shutdown import GracefulShutdown
     from repro.store import CheckpointedReplayer, TraceReader
 
     reader = TraceReader(args.store, policy=args.guard)
@@ -201,7 +246,16 @@ def cmd_replay(args) -> int:
         replayer = CheckpointedReplayer(
             reader, config=config, block_seconds=args.block_seconds
         )
-    updates = replayer.run(max_chunks=args.max_chunks)
+    with GracefulShutdown() as stop:
+        updates = replayer.run(
+            max_chunks=args.max_chunks, should_stop=stop.stopper()
+        )
+    if stop.triggered:
+        print(
+            f"{stop.signal_name}: replay stopped at chunk {replayer.cursor} "
+            "(checkpointable boundary)",
+            file=sys.stderr,
+        )
     if args.checkpoint:
         replayer.save(args.checkpoint)
         print(f"checkpoint written to {args.checkpoint} at chunk {replayer.cursor}")
@@ -234,6 +288,127 @@ def cmd_replay(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def cmd_net_serve(args) -> int:
+    import time
+    from pathlib import Path
+
+    from repro.net import NetServer, NetServerConfig, render_net_table
+    from repro.serve.session import ServeConfig
+    from repro.shutdown import GracefulShutdown
+
+    config = NetServerConfig(
+        host=args.host,
+        port=args.port,
+        reorder_window=args.reorder_window,
+        heartbeat_s=args.heartbeat,
+        idle_timeout_s=args.idle_timeout,
+    )
+    serve_config = ServeConfig(
+        backpressure=args.policy,
+        queue_capacity=args.queue_capacity,
+        block_seconds=args.block_seconds,
+    )
+    server = NetServer(config=config, serve_config=serve_config)
+    if args.record_dir:
+        server.manager.record_dir = Path(args.record_dir)
+    server.start()
+    print(f"net server listening on {config.host}:{server.port}")
+    with GracefulShutdown() as stop:
+        try:
+            while not stop.should_stop():
+                time.sleep(0.2)
+        finally:
+            server.close()
+    if stop.triggered:
+        print(
+            f"{stop.signal_name}: server stopped; sessions flushed",
+            file=sys.stderr,
+        )
+    rows = server.session_stats()
+    if rows:
+        print()
+        print(
+            render_net_table(
+                {
+                    "sessions": rows,
+                    "baseline_match": None,
+                    "aggregate": {
+                        "n_sessions": len(rows),
+                        "n_samples": sum(int(r["offered"]) for r in rows),
+                        "wall_s": 0.0,
+                        "samples_per_second": 0.0,
+                        "reconnects": sum(
+                            int(r.get("reconnects", 0)) for r in rows
+                        ),
+                        "recovery_s_max": 0.0,
+                    },
+                }
+            )
+        )
+    return 0
+
+
+def cmd_net_load(args) -> int:
+    from repro.net import NetFaultPlan, render_net_table, run_net_load
+    from repro.serve.session import ServeConfig
+    from repro.serve.simulate import simulated_receivers, store_receivers
+    from repro.shutdown import GracefulShutdown
+
+    if args.store_dir:
+        receivers = store_receivers(args.store_dir)
+        source = f"recorded receivers from {args.store_dir}"
+    else:
+        receivers = simulated_receivers(
+            args.sessions, seed=args.seed, duration_s=args.duration
+        )
+        source = f"{args.sessions} simulated receivers"
+    plan = NetFaultPlan.from_spec(args.fault_plan) if args.fault_plan else None
+    serve_config = ServeConfig(
+        backpressure=args.policy,
+        queue_capacity=args.queue_capacity,
+        block_seconds=args.block_seconds,
+    )
+    loopback = args.host is None
+    print(
+        f"streaming {source} over "
+        f"{'a loopback server' if loopback else f'{args.host}:{args.port}'}"
+        + (f" with wire faults: {args.fault_plan}" if args.fault_plan else "")
+    )
+    with GracefulShutdown() as stop:
+        result = run_net_load(
+            receivers,
+            fault_plan=plan,
+            serve_config=serve_config,
+            host=args.host,
+            port=args.port,
+            check_baseline=loopback and not args.no_baseline,
+            should_stop=stop.stopper(),
+        )
+    if stop.triggered:
+        print(
+            f"{stop.signal_name}: load stopped early; streams closed with "
+            "BYE and sessions flushed",
+            file=sys.stderr,
+        )
+    print()
+    print(render_net_table(result))
+    if result["baseline_match"] is False:
+        print(
+            "network stream DIVERGED from the in-process baseline",
+            file=sys.stderr,
+        )
+        return 1
+    if args.expect_recovery:
+        agg = result["aggregate"]
+        if not result.get("stopped_early") and agg["reconnects"] < 1:
+            print(
+                "expected at least one reconnect-resume, saw none",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -442,6 +617,95 @@ def build_parser() -> argparse.ArgumentParser:
         "(CI assertion; repeatable)",
     )
 
+    net_serve = sub.add_parser(
+        "net-serve", help="run the TCP CSI ingestion server"
+    )
+    net_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    net_serve.add_argument(
+        "--port", type=int, default=7316, help="bind port (0 = ephemeral)"
+    )
+    net_serve.add_argument(
+        "--policy", default="block", choices=("block", "drop_oldest", "reject"),
+        help="backpressure policy for a full ingest queue",
+    )
+    net_serve.add_argument(
+        "--queue-capacity", type=int, default=256,
+        help="per-session ingest queue bound (packets)",
+    )
+    net_serve.add_argument(
+        "--block-seconds", type=float, default=1.0,
+        help="streaming emission cadence, seconds",
+    )
+    net_serve.add_argument(
+        "--reorder-window", type=int, default=64,
+        help="out-of-order samples buffered before a gap is skipped",
+    )
+    net_serve.add_argument(
+        "--heartbeat", type=float, default=2.0,
+        help="per-connection PING cadence, seconds",
+    )
+    net_serve.add_argument(
+        "--idle-timeout", type=float, default=30.0,
+        help="close connections idle this long, seconds",
+    )
+    net_serve.add_argument(
+        "--record-dir", default=None, metavar="DIR",
+        help="record every session's ingest into chunked stores under DIR",
+    )
+
+    net_load = sub.add_parser(
+        "net-load",
+        help="stream receivers through the network front-end "
+        "(loopback server by default)",
+    )
+    net_load.add_argument(
+        "--host", default=None,
+        help="send to an already-running server (default: spin up loopback)",
+    )
+    net_load.add_argument(
+        "--port", type=int, default=7316, help="server port (with --host)"
+    )
+    net_load.add_argument(
+        "--sessions", type=int, default=2, help="simulated receiver count"
+    )
+    net_load.add_argument("--seed", type=int, default=0, help="testbed seed")
+    net_load.add_argument(
+        "--duration", type=float, default=2.0,
+        help="per-receiver trajectory duration, seconds",
+    )
+    net_load.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="replay recorded receivers from this store / fleet directory "
+        "instead of simulating",
+    )
+    net_load.add_argument(
+        "--fault-plan", default="", metavar="SPEC",
+        help="wire faults injected between client and server, e.g. "
+        '"drop=0.05,reorder=0.1,corrupt=0.02,disconnect=100" '
+        "(see repro.net.NetFaultPlan.from_spec)",
+    )
+    net_load.add_argument(
+        "--policy", default="block", choices=("block", "drop_oldest", "reject"),
+        help="backpressure policy for a full ingest queue",
+    )
+    net_load.add_argument(
+        "--queue-capacity", type=int, default=256,
+        help="per-session ingest queue bound (packets)",
+    )
+    net_load.add_argument(
+        "--block-seconds", type=float, default=1.0,
+        help="streaming emission cadence, seconds",
+    )
+    net_load.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the bit-identity comparison against the in-process run",
+    )
+    net_load.add_argument(
+        "--expect-recovery", action="store_true",
+        help="exit nonzero unless at least one reconnect-resume happened "
+        "(CI assertion for disconnect fault plans)",
+    )
+
     convert = sub.add_parser(
         "convert", help="convert legacy .npz <-> chunked trace store"
     )
@@ -474,6 +738,8 @@ def main(argv=None) -> int:
         "record": cmd_record,
         "replay": cmd_replay,
         "convert": cmd_convert,
+        "net-serve": cmd_net_serve,
+        "net-load": cmd_net_load,
     }
     return handlers[args.command](args)
 

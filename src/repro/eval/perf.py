@@ -27,7 +27,12 @@ from typing import Any, Dict, Optional
 
 from repro import obs
 
-SCHEMA = "rim-perf-baseline/v4"
+SCHEMA = "rim-perf-baseline/v5"
+
+# Absolute slack on the reconnect-recovery gate, seconds: recovery times
+# are a few milliseconds, so a purely fractional budget would make the
+# gate a scheduler-jitter lottery on loaded CI runners.
+RECOVERY_GATE_SLACK_S = 0.25
 
 # Stage spans every baseline must contain (the pipeline of §4.4): without
 # them the file cannot answer "where did the time go".
@@ -239,6 +244,56 @@ def _profile_store(trace, block_seconds: float) -> Dict[str, Any]:
         shutil.rmtree(root.parent, ignore_errors=True)
 
 
+def _profile_net(trace, block_seconds: float) -> Dict[str, Any]:
+    """Network front-end throughput: loopback ingest + reconnect recovery.
+
+    Two measured runs over the same workload trace through a real
+    ``repro.net`` loopback server (framing, CRC, seq tracking, and the
+    serving layer all on the clock):
+
+    * a **clean** run — net ingest samples/sec, the v5 throughput the
+      perf gate watches;
+    * a **faulted** run with one forced mid-stream disconnect — the
+      reconnect-recovery time (detection to WELCOME) the availability
+      gate watches.
+
+    Baseline bit-identity is deliberately not re-checked here (the test
+    suite and the CI network-soak job own that assertion); the harness
+    measures cost only.
+    """
+    from repro.net import NetClientConfig, NetFaultPlan, run_net_load
+    from repro.serve.session import ServeConfig
+
+    serve_config = ServeConfig(block_seconds=block_seconds)
+    clean = run_net_load(
+        [("net00", trace)],
+        serve_config=serve_config,
+        check_baseline=False,
+    )
+    disconnect_after = max(2, int(trace.n_samples) // 2)
+    faulted = run_net_load(
+        [("net00", trace)],
+        fault_plan=NetFaultPlan(disconnect_after=disconnect_after),
+        serve_config=serve_config,
+        client_config=NetClientConfig(backoff_base_s=0.02),
+        check_baseline=False,
+    )
+    agg = clean["aggregate"]
+    fagg = faulted["aggregate"]
+    return {
+        "n_samples": int(agg["n_samples"]),
+        "n_frames_sent": int(agg["n_frames_sent"]),
+        "ingest_wall_s": float(agg["wall_s"]),
+        "ingest_samples_per_second": float(agg["samples_per_second"]),
+        "reconnect": {
+            "disconnect_after": disconnect_after,
+            "reconnects": int(fagg["reconnects"]),
+            "recovery_s": float(fagg["recovery_s_max"]),
+            "wall_s": float(fagg["wall_s"]),
+        },
+    }
+
+
 def run_perf_baseline(
     seed: int = 0,
     quick: bool = True,
@@ -296,10 +351,12 @@ def run_perf_baseline(
         if not was_enabled:
             obs.disable()
 
-    # Serving and store throughput are measured with instrumentation off —
-    # the gate watches raw throughput, not span bookkeeping.
+    # Serving, store, and network throughput are measured with
+    # instrumentation off — the gate watches raw throughput, not span
+    # bookkeeping.
     serving = _profile_serving(trace, n_sessions, n_workers, block_seconds)
     store = _profile_store(trace, block_seconds)
+    net = _profile_net(trace, block_seconds)
 
     primary = profiles[PRIMARY_BACKEND]
     ref = profiles["reference"]
@@ -324,6 +381,7 @@ def run_perf_baseline(
         "streaming": primary["streaming"],
         "serving": serving,
         "store": store,
+        "net": net,
         "metrics": primary["metrics"],
         "backends": {
             name: {
@@ -366,7 +424,9 @@ def validate_perf_payload(payload: Dict[str, Any]) -> None:
         raise ValueError(
             f"schema mismatch: want {SCHEMA!r}, got {payload.get('schema')!r}"
         )
-    sections = ("workload", "batch", "streaming", "serving", "store", "metrics")
+    sections = (
+        "workload", "batch", "streaming", "serving", "store", "net", "metrics"
+    )
     for section in sections:
         if not isinstance(payload.get(section), dict):
             raise ValueError(f"missing or malformed section {section!r}")
@@ -376,6 +436,19 @@ def validate_perf_payload(payload: Dict[str, Any]) -> None:
     ):
         if not isinstance(store.get(metric), (int, float)):
             raise ValueError(f"store section lacks {metric}")
+    net = payload["net"]
+    if not isinstance(net.get("ingest_samples_per_second"), (int, float)):
+        raise ValueError("net section lacks ingest_samples_per_second")
+    reconnect = net.get("reconnect")
+    if not isinstance(reconnect, dict):
+        raise ValueError("net.reconnect is missing or malformed")
+    if not isinstance(reconnect.get("recovery_s"), (int, float)):
+        raise ValueError("net.reconnect lacks recovery_s")
+    if not int(reconnect.get("reconnects", 0)) >= 1:
+        raise ValueError(
+            "net.reconnect.reconnects is zero: the forced disconnect never "
+            "exercised reconnect-resume"
+        )
     serving = payload["serving"]
     for key in ("serial", "parallel"):
         schedule = serving.get(key)
@@ -519,6 +592,40 @@ def check_perf_regression(
                 f"({old_value:.1f} -> {new_value:.1f} {unit}; "
                 f"budget -{max_regression / (1.0 + max_regression):.0%})"
             )
+
+    # Network front-end gate (schema v5): loopback ingest samples/sec
+    # under the same fractional budget, and reconnect-recovery time under
+    # the budget plus an absolute slack (recovery is milliseconds-scale,
+    # so a bare fractional bound would fail on scheduler jitter alone).
+    # A v4 baseline carries no net section and simply skips this gate.
+    new_net = payload.get("net") or {}
+    old_net = baseline.get("net") or {}
+    new_rate = new_net.get("ingest_samples_per_second")
+    old_rate = old_net.get("ingest_samples_per_second")
+    if (
+        isinstance(new_rate, (int, float))
+        and isinstance(old_rate, (int, float))
+        and old_rate > 0
+        and new_rate < old_rate / (1.0 + max_regression)
+    ):
+        failures.append(
+            f"net ingest throughput regressed "
+            f"({old_rate:.0f} -> {new_rate:.0f} samples/s; "
+            f"budget -{max_regression / (1.0 + max_regression):.0%})"
+        )
+    new_rec = (new_net.get("reconnect") or {}).get("recovery_s")
+    old_rec = (old_net.get("reconnect") or {}).get("recovery_s")
+    if (
+        isinstance(new_rec, (int, float))
+        and isinstance(old_rec, (int, float))
+        and new_rec > old_rec * (1.0 + max_regression) + RECOVERY_GATE_SLACK_S
+    ):
+        failures.append(
+            f"net reconnect recovery regressed "
+            f"({old_rec * 1e3:.1f} ms -> {new_rec * 1e3:.1f} ms; "
+            f"budget +{max_regression:.0%} "
+            f"plus {RECOVERY_GATE_SLACK_S * 1e3:.0f} ms slack)"
+        )
     return failures
 
 
@@ -593,6 +700,17 @@ def render_perf_summary(payload: Dict[str, Any]) -> str:
             f"  replay           {store['replay_wall_s'] * 1e3:.1f} ms "
             f"({store['replay_samples_per_second']:.0f} samples/s over "
             f"{store['replay_n_updates']} updates)",
+        ]
+    net = payload.get("net")
+    if net:
+        reconnect = net.get("reconnect") or {}
+        lines += [
+            "",
+            f"network front-end ({net['n_samples']} samples over loopback):",
+            f"  ingest           {net['ingest_wall_s'] * 1e3:.1f} ms "
+            f"({net['ingest_samples_per_second']:.0f} samples/s)",
+            f"  reconnect        {reconnect.get('reconnects', 0)} forced, "
+            f"recovery {reconnect.get('recovery_s', 0.0) * 1e3:.1f} ms",
         ]
     backends = payload.get("backends")
     if backends:

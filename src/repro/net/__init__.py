@@ -1,0 +1,50 @@
+"""Fault-tolerant network ingestion front-end (wire protocol + endpoints).
+
+The paper's deployment streams CSI from a moving receiver to a consumer
+over a real link; this package is that link's repo equivalent, built
+robustness-first: CRC-framed packets with monotonic seqs
+(:mod:`repro.net.framing`), a resyncing asyncio server that restores
+order and feeds the serving layer (:mod:`repro.net.server`), a client
+with capped-backoff reconnect and seq-ack resume
+(:mod:`repro.net.client`), deterministic wire-fault injection
+(:mod:`repro.net.faults`), and a store-replay load generator with an
+exact in-process baseline (:mod:`repro.net.loadgen`).  Wire format and
+recovery semantics are specified in ``docs/network.md``.
+"""
+
+from repro.net.client import NetClient, NetClientConfig, NetClientError
+from repro.net.faults import NetFaultPlan, WireFaultInjector
+from repro.net.framing import (
+    Frame,
+    FrameDecoder,
+    FrameError,
+    pack_frame,
+    unpack_frame,
+)
+from repro.net.loadgen import (
+    baseline_updates,
+    render_net_table,
+    run_net_load,
+    updates_equal,
+)
+from repro.net.server import NetServer, NetServerConfig, SeqTracker
+
+__all__ = [
+    "Frame",
+    "FrameDecoder",
+    "FrameError",
+    "NetClient",
+    "NetClientConfig",
+    "NetClientError",
+    "NetFaultPlan",
+    "NetServer",
+    "NetServerConfig",
+    "SeqTracker",
+    "WireFaultInjector",
+    "baseline_updates",
+    "pack_frame",
+    "render_net_table",
+    "run_net_load",
+    "unpack_frame",
+    "updates_equal",
+]

@@ -1,0 +1,404 @@
+"""Synchronous ingest client: retry, backoff, and seq-ack resume.
+
+:class:`NetClient` streams CSI samples to a :class:`~repro.net.server.NetServer`
+and is built for links that fail: every sample is held in a retransmit
+buffer until the server's cumulative ACK covers it, and any transport
+error — including a mid-stream disconnect injected by a
+:class:`~repro.net.faults.NetFaultPlan` — triggers a reconnect loop with
+capped exponential backoff plus jitter.  The reconnect HELLO names the
+same session; the server's WELCOME carries ``resume_seq`` (its delivered
+high-water mark) and the client resends only the buffered samples after
+it.  Resent frames pass through the same deterministic fault injector,
+and the server suppresses duplicates by seq, so no sample is ever
+replayed into the estimator twice.
+
+Backoff schedule: attempt ``k`` sleeps
+``min(cap, base * 2**k) * (1 + jitter * u)`` with ``u ~ U[0, 1)`` from a
+seeded generator — deterministic in tests, desynchronized in fleets.
+
+The client is synchronous and single-threaded: sends drain incoming
+ACK / UPDATE / PING frames opportunistically, and :meth:`finish` blocks
+until the server answers the BYE (flushing the estimator and returning
+the final updates).  Received :class:`~repro.core.streaming.MotionUpdate`
+frames accumulate in :attr:`updates`.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.arrays.geometry import AntennaArray
+from repro.core.streaming import MotionUpdate
+from repro.io import array_to_manifest
+from repro.net import framing
+from repro.net.faults import NetFaultPlan, WireFaultInjector
+from repro.net.framing import FrameDecoder, FrameError
+
+logger = logging.getLogger(__name__)
+
+
+class NetClientError(ConnectionError):
+    """The client gave up: retries exhausted or the server refused us."""
+
+
+@dataclass
+class NetClientConfig:
+    """Client-side transport knobs.
+
+    Attributes:
+        connect_timeout_s: Per-attempt TCP connect + WELCOME deadline.
+        io_timeout_s: Blocking-read deadline inside :meth:`finish`.
+        max_connect_attempts: Connect attempts per (re)connect burst
+            before :class:`NetClientError`.
+        backoff_base_s: First retry delay.
+        backoff_cap_s: Upper bound on any single retry delay.
+        backoff_jitter: Multiplicative jitter fraction on each delay.
+        jitter_seed: Seed of the jitter generator (determinism in tests).
+    """
+
+    connect_timeout_s: float = 5.0
+    io_timeout_s: float = 10.0
+    max_connect_attempts: int = 8
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    backoff_jitter: float = 0.5
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_connect_attempts < 1:
+            raise ValueError("max_connect_attempts must be >= 1")
+        if self.backoff_base_s <= 0 or self.backoff_cap_s <= 0:
+            raise ValueError("backoff delays must be positive")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
+
+
+class NetClient:
+    """One session's sending side (see module docstring).
+
+    Args:
+        host, port: Server address.
+        name: Session name (HELLO identity; reconnects reuse it).
+        array: Receive array geometry, shipped in the HELLO manifest.
+        sampling_rate: CSI packet rate, Hz.
+        sample_shape: Per-sample (n_rx, n_tx, S).
+        carrier_wavelength: Carrier wavelength (CsiTrace metadata).
+        config: Retry/backoff configuration.
+        fault_plan: Optional wire-fault injection between framing and
+            the socket (the server under test sees damaged traffic).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        name: str,
+        array: AntennaArray,
+        sampling_rate: float,
+        sample_shape: Tuple[int, ...],
+        carrier_wavelength: float = 0.0516,
+        config: Optional[NetClientConfig] = None,
+        fault_plan: Optional[NetFaultPlan] = None,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.name = name
+        self.array = array
+        self.sampling_rate = float(sampling_rate)
+        self.sample_shape = tuple(int(v) for v in sample_shape)
+        self.carrier_wavelength = float(carrier_wavelength)
+        self.config = config or NetClientConfig()
+        self.injector = WireFaultInjector(fault_plan or NetFaultPlan())
+        self._jitter_rng = np.random.default_rng(self.config.jitter_seed)
+
+        self._sock: Optional[socket.socket] = None
+        self._decoder = FrameDecoder()
+        self._next_seq = 0
+        # Retransmit buffer: encoded DATA payloads not yet covered by ack.
+        self._unacked: Dict[int, bytes] = {}
+        self.session_id = 0
+        self.acked = -1
+        self.updates: List[MotionUpdate] = []
+        self.finished = False
+        self.n_reconnects = 0
+        self.n_sent_frames = 0
+        self.recovery_times_s: List[float] = []
+        self._down_since: Optional[float] = None
+
+    # -- connection management ---------------------------------------------
+
+    def connect(self) -> int:
+        """(Re)connect, HELLO, await WELCOME; returns the resume seq.
+
+        Retries with capped exponential backoff + jitter up to
+        ``max_connect_attempts`` times, then raises :class:`NetClientError`.
+        """
+        last_error: Optional[Exception] = None
+        for attempt in range(self.config.max_connect_attempts):
+            if attempt > 0:
+                time.sleep(self._backoff_delay(attempt - 1))
+            try:
+                resume_seq = self._connect_once()
+            except (OSError, FrameError, TimeoutError) as exc:
+                last_error = exc
+                logger.warning(
+                    "connect attempt %d/%d failed: %s",
+                    attempt + 1,
+                    self.config.max_connect_attempts,
+                    exc,
+                )
+                self._teardown_socket()
+                continue
+            if self._down_since is not None:
+                recovery = time.perf_counter() - self._down_since
+                self.recovery_times_s.append(recovery)
+                self._down_since = None
+                obs.observe("net.recovery_s", recovery)
+            return resume_seq
+        raise NetClientError(
+            f"could not reach {self.host}:{self.port} after "
+            f"{self.config.max_connect_attempts} attempts: {last_error}"
+        )
+
+    def _connect_once(self) -> int:
+        self._teardown_socket()
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.config.connect_timeout_s
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._decoder = FrameDecoder()
+        hello = {
+            "name": self.name,
+            "sampling_rate": self.sampling_rate,
+            "carrier_wavelength": self.carrier_wavelength,
+            "sample_shape": list(self.sample_shape),
+            "array": array_to_manifest(self.array),
+        }
+        sock.sendall(
+            framing.pack_frame(
+                framing.FRAME_HELLO,
+                0,
+                0,
+                framing.pack_json_payload(hello),
+            )
+        )
+        frame = self._read_frame_blocking(self.config.connect_timeout_s)
+        if frame.frame_type == framing.FRAME_ERROR:
+            detail = framing.unpack_json_payload(frame.payload, where="ERROR")
+            raise NetClientError(f"server refused session: {detail.get('error')}")
+        if frame.frame_type != framing.FRAME_WELCOME:
+            raise FrameError(f"expected WELCOME, got {frame.type_name}")
+        welcome = framing.unpack_json_payload(frame.payload, where="WELCOME")
+        self.session_id = int(welcome["session_id"])
+        resume_seq = int(welcome["resume_seq"])
+        self.acked = max(self.acked, resume_seq)
+        self._prune_acked()
+        sock.settimeout(0.0)  # non-blocking from here on
+        return resume_seq
+
+    def _backoff_delay(self, retry_index: int) -> float:
+        base = min(
+            self.config.backoff_cap_s,
+            self.config.backoff_base_s * (2.0**retry_index),
+        )
+        return base * (1.0 + self.config.backoff_jitter * float(self._jitter_rng.uniform()))
+
+    def _teardown_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        self._teardown_socket()
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, timestamp: float, packet: np.ndarray) -> int:
+        """Buffer and transmit one CSI sample; returns its seq.
+
+        Transparently survives transport failure: on a socket error (or
+        an injected disconnect) the client reconnects with backoff and
+        resends every buffered sample past the server's resume seq.
+        """
+        if self.finished:
+            raise NetClientError("stream already finished")
+        seq = self._next_seq
+        self._next_seq += 1
+        self._unacked[seq] = framing.pack_data_payload(timestamp, packet)
+        self._transmit(seq)
+        self._drain_incoming()
+        return seq
+
+    def _transmit(self, seq: int) -> None:
+        frame = framing.pack_frame(
+            framing.FRAME_DATA, self.session_id, seq, self._unacked[seq]
+        )
+        for damaged, delay in self.injector.admit(seq, frame):
+            if delay > 0:
+                time.sleep(delay)
+            self._write_or_reconnect(damaged)
+            if self.injector.should_disconnect():
+                logger.info("fault plan: forcing mid-stream disconnect")
+                obs.add("net.forced_disconnects")
+                self._handle_disconnect()
+
+    def _write_or_reconnect(self, data: bytes) -> None:
+        while True:
+            if self._sock is None:
+                self._handle_disconnect()
+            try:
+                assert self._sock is not None
+                self._sock.sendall(data)
+                self.n_sent_frames += 1
+                return
+            except (OSError, BrokenPipeError):
+                self._handle_disconnect()
+
+    def _handle_disconnect(self) -> None:
+        """Reconnect-resume: backoff, HELLO, resend past the resume seq."""
+        if self._down_since is None:
+            self._down_since = time.perf_counter()
+        self._teardown_socket()
+        self.injector.reset_stream()
+        self.n_reconnects += 1
+        obs.add("net.client_reconnects")
+        resume_seq = self.connect()
+        resend = sorted(s for s in self._unacked if s > resume_seq)
+        logger.info(
+            "resuming session %s after seq %d (%d samples to resend)",
+            self.name,
+            resume_seq,
+            len(resend),
+        )
+        for seq in resend:
+            frame = framing.pack_frame(
+                framing.FRAME_DATA, self.session_id, seq, self._unacked[seq]
+            )
+            for damaged, delay in self.injector.admit(seq, frame):
+                if delay > 0:
+                    time.sleep(delay)
+                assert self._sock is not None
+                try:
+                    self._sock.sendall(damaged)
+                    self.n_sent_frames += 1
+                except (OSError, BrokenPipeError):
+                    # The link died again mid-resume: recurse via the
+                    # outer reconnect path.
+                    self._handle_disconnect()
+                    return
+        for damaged, _delay in self.injector.flush():
+            try:
+                assert self._sock is not None
+                self._sock.sendall(damaged)
+                self.n_sent_frames += 1
+            except (OSError, BrokenPipeError):
+                self._handle_disconnect()
+                return
+
+    # -- receiving ----------------------------------------------------------
+
+    def _drain_incoming(self) -> None:
+        """Non-blocking read of whatever ACK/UPDATE/PING frames arrived."""
+        if self._sock is None:
+            return
+        try:
+            while True:
+                data = self._sock.recv(1 << 16)
+                if not data:
+                    raise ConnectionResetError("server closed the connection")
+                self._decoder.feed(data)
+        except (BlockingIOError, socket.timeout):
+            pass
+        except (OSError, ConnectionResetError):
+            self._handle_disconnect()
+            return
+        self._process_frames()
+
+    def _read_frame_blocking(self, timeout: float) -> framing.Frame:
+        """Read exactly one frame, blocking up to ``timeout`` seconds."""
+        assert self._sock is not None
+        deadline = time.perf_counter() + timeout
+        while True:
+            for frame in self._decoder.frames():
+                return frame
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                raise TimeoutError("timed out waiting for a frame")
+            self._sock.settimeout(remaining)
+            data = self._sock.recv(1 << 16)
+            if not data:
+                raise ConnectionResetError("server closed the connection")
+            self._decoder.feed(data)
+
+    def _process_frames(self) -> Optional[int]:
+        """Handle buffered frames; returns a terminal frame type if seen."""
+        for frame in self._decoder.frames():
+            if frame.frame_type == framing.FRAME_ACK:
+                self.acked = max(self.acked, frame.seq - 1)
+                self._prune_acked()
+            elif frame.frame_type == framing.FRAME_UPDATE:
+                self.updates.append(framing.decode_update(frame.payload))
+            elif frame.frame_type == framing.FRAME_PING:
+                self.acked = max(self.acked, frame.seq - 1)
+                self._prune_acked()
+                try:
+                    assert self._sock is not None
+                    self._sock.sendall(
+                        framing.pack_frame(framing.FRAME_PONG, self.session_id)
+                    )
+                except (OSError, BrokenPipeError):
+                    pass  # heartbeat reply lost; server will time us out
+            elif frame.frame_type == framing.FRAME_BYE:
+                return framing.FRAME_BYE
+            elif frame.frame_type == framing.FRAME_ERROR:
+                detail = framing.unpack_json_payload(frame.payload, where="ERROR")
+                raise NetClientError(f"server error: {detail.get('error')}")
+        return None
+
+    def _prune_acked(self) -> None:
+        for seq in [s for s in self._unacked if s <= self.acked]:
+            del self._unacked[seq]
+
+    # -- stream end ---------------------------------------------------------
+
+    def finish(self) -> List[MotionUpdate]:
+        """Flush faults, send BYE, and block for the final updates + BYE.
+
+        Returns every update received over the stream's lifetime.
+        """
+        if self.finished:
+            return self.updates
+        for damaged, _delay in self.injector.flush():
+            self._write_or_reconnect(damaged)
+        self._write_or_reconnect(
+            framing.pack_frame(framing.FRAME_BYE, self.session_id)
+        )
+        assert self._sock is not None
+        deadline = time.perf_counter() + self.config.io_timeout_s
+        try:
+            while True:
+                if self._process_frames() == framing.FRAME_BYE:
+                    break
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise TimeoutError("timed out waiting for the final BYE")
+                self._sock.settimeout(remaining)
+                data = self._sock.recv(1 << 16)
+                if not data:
+                    break  # server closed right after its BYE
+                self._decoder.feed(data)
+        finally:
+            self.finished = True
+            self._teardown_socket()
+        return self.updates

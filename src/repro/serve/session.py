@@ -254,6 +254,16 @@ class ServeSession:
         self._updates = []
         return out
 
+    def note_repair(self, key: str, n: int = 1) -> None:
+        """Record an ingest-side repair (e.g. ``net_*`` transport faults).
+
+        Counts fold into the ``repairs`` dict of the next emitted
+        :class:`~repro.robustness.health.HealthReport`, exactly like the
+        session's own backpressure tallies.
+        """
+        if n:
+            self._tally(key, n)
+
     def stats(self) -> Dict[str, object]:
         """A flat serving-health snapshot (one table row per session)."""
         return {

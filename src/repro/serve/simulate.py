@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.arrays.geometry import linear_array
@@ -86,12 +86,17 @@ def store_receivers(
 
 
 def _replay_into_manager(
-    manager: SessionManager, name: str, trace: CsiTrace
+    manager: SessionManager,
+    name: str,
+    trace: CsiTrace,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> Dict[str, Any]:
     """Push one receiver's packets through its managed session."""
     statuses: Dict[str, int] = {}
     t0 = time.perf_counter()
     for k in range(trace.n_samples):
+        if should_stop is not None and should_stop():
+            break
         status = manager.push(name, trace.data[k], float(trace.times[k]))
         statuses[status] = statuses.get(status, 0) + 1
     updates = manager.poll(name)
@@ -117,6 +122,7 @@ def run_serve_sim(
     receivers: Optional[Sequence[Tuple[str, CsiTrace]]] = None,
     store_dir=None,
     record_dir=None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> Dict[str, Any]:
     """Replay N simulated receivers concurrently through a SessionManager.
 
@@ -136,6 +142,9 @@ def run_serve_sim(
             simulating; overrides ``n_sessions``/``seed``/``duration_s``.
         record_dir: Record every session's ingest into chunked stores
             under this directory (``record_dir/<session>``).
+        should_stop: Polled between packets by every replay worker;
+            returning True stops the replays early — queued packets are
+            still drained and sessions flushed (graceful shutdown).
 
     Returns:
         A dict with ``sessions`` (per-session serving stats + replay
@@ -169,7 +178,9 @@ def run_serve_sim(
         with ThreadPoolExecutor(max_workers=max(1, n_workers)) as pool:
             replays = list(
                 pool.map(
-                    lambda rx: _replay_into_manager(manager, rx[0], rx[1]),
+                    lambda rx: _replay_into_manager(
+                        manager, rx[0], rx[1], should_stop=should_stop
+                    ),
                     receivers,
                 )
             )

@@ -1,0 +1,97 @@
+"""Cooperative SIGINT/SIGTERM handling for long-running CLI verbs.
+
+The long-runners (``serve-sim``, ``record``, ``replay``, ``net-serve``,
+``net-load``) hold state that must not be torn mid-operation: sessions
+with queued packets, a :class:`~repro.store.writer.TraceWriter` holding a
+partial chunk, live network connections.  :class:`GracefulShutdown`
+converts the first SIGINT/SIGTERM into a flag the work loops poll
+(``should_stop``), so each verb drains its sessions, flushes its writer,
+and prints the final health/metrics table instead of dying mid-chunk.
+A second signal restores the previous handlers and raises
+``KeyboardInterrupt`` — the escape hatch when draining itself hangs.
+
+Usage::
+
+    with GracefulShutdown() as stop:
+        while not stop.should_stop():
+            ...
+    if stop.triggered:
+        print("interrupted: drained and flushed before exit")
+
+Only the main thread can install signal handlers; constructed anywhere
+else (e.g. inside a worker or a test harness thread) the context manager
+degrades to an inert flag that can still be set programmatically with
+:meth:`request_stop`.
+"""
+
+from __future__ import annotations
+
+import logging
+import signal
+import threading
+from typing import Callable, Dict, Optional
+
+logger = logging.getLogger(__name__)
+
+_HANDLED = (signal.SIGINT, signal.SIGTERM)
+
+
+class GracefulShutdown:
+    """Flag-based shutdown: first signal asks, second signal insists."""
+
+    def __init__(self) -> None:
+        self._stop = threading.Event()
+        self._previous: Dict[int, object] = {}
+        self._installed = False
+        self.signal_name: Optional[str] = None
+
+    # -- the polling surface -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once a shutdown signal has been received (or requested)."""
+        return self._stop.is_set()
+
+    def should_stop(self) -> bool:
+        """Poll hook for work loops (also handed to library code)."""
+        return self._stop.is_set()
+
+    def request_stop(self) -> None:
+        """Programmatic trigger (tests, or an internal stop condition)."""
+        self._stop.set()
+
+    def stopper(self) -> Callable[[], bool]:
+        """A bare ``should_stop`` callable, safe to pass across layers."""
+        return self.should_stop
+
+    # -- signal plumbing -----------------------------------------------------
+
+    def __enter__(self) -> "GracefulShutdown":
+        if threading.current_thread() is threading.main_thread():
+            for sig in _HANDLED:
+                self._previous[sig] = signal.getsignal(sig)
+                signal.signal(sig, self._handle)
+            self._installed = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._installed:
+            for sig, previous in self._previous.items():
+                signal.signal(sig, previous)  # type: ignore[arg-type]
+            self._previous.clear()
+            self._installed = False
+
+    def _handle(self, signum, _frame) -> None:
+        if self._stop.is_set():
+            # Second signal: give up on draining, restore and re-raise.
+            for sig, previous in self._previous.items():
+                signal.signal(sig, previous)  # type: ignore[arg-type]
+            self._installed = False
+            raise KeyboardInterrupt
+        self.signal_name = signal.Signals(signum).name
+        logger.warning(
+            "%s received: finishing the current step, draining, and "
+            "flushing (send again to abort hard)",
+            self.signal_name,
+        )
+        self._stop.set()

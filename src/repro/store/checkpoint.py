@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -125,7 +125,10 @@ class CheckpointedReplayer:
         return updates
 
     def run(
-        self, max_chunks: Optional[int] = None, flush: bool = True
+        self,
+        max_chunks: Optional[int] = None,
+        flush: bool = True,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> List[MotionUpdate]:
         """Replay up to ``max_chunks`` chunks (all remaining by default).
 
@@ -135,10 +138,16 @@ class CheckpointedReplayer:
             flush: Flush the stream's tail once the store is exhausted
                 (ignored while chunks remain, so a bounded run can be
                 checkpointed and resumed without a spurious early flush).
+            should_stop: Polled between chunks; returning True stops the
+                replay at the next chunk boundary — the same clean state
+                a ``max_chunks`` stop leaves, so the run can be
+                checkpointed and resumed (graceful shutdown).
         """
         updates: List[MotionUpdate] = []
         fed = 0
         while max_chunks is None or fed < max_chunks:
+            if should_stop is not None and should_stop():
+                break
             step = self.step()
             if step is None:
                 break

@@ -38,21 +38,17 @@ does in front of the estimators.
 
 from __future__ import annotations
 
-import struct
-import zlib
 from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np
 
+from repro.binfmt import HeaderCodec, crc32_of, verify_crc32
 from repro.robustness.guard import GuardError
 
 MAGIC = b"RIMC"
 FORMAT_VERSION = 1
 SUPPORTED_CHUNK_VERSIONS = (1,)
-
-HEADER_STRUCT = struct.Struct("<4sHHQIIQI")
-HEADER_SIZE = HEADER_STRUCT.size  # 36 bytes
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_FORMAT = "rim-trace-store"
@@ -77,6 +73,15 @@ class StoreCorruptionError(StoreError, GuardError):
     Subclasses :class:`~repro.robustness.guard.GuardError` so the store's
     ``raise`` policy composes with existing ``except GuardError`` handlers.
     """
+
+
+# Header layout shared with the module docstring table; the codec is the
+# common implementation from repro.binfmt (also behind repro.net framing).
+HEADER_CODEC = HeaderCodec(
+    MAGIC, "<4sHHQIIQI", SUPPORTED_CHUNK_VERSIONS, error_cls=StoreCorruptionError
+)
+HEADER_STRUCT = HEADER_CODEC.struct
+HEADER_SIZE = HEADER_CODEC.size  # 36 bytes
 
 
 @dataclass(frozen=True)
@@ -131,15 +136,14 @@ def pack_chunk(seq: int, data: np.ndarray, times: np.ndarray) -> bytes:
             f"chunk times must be ({data.shape[0]},), got {times.shape}"
         )
     payload = times.tobytes() + data.tobytes()
-    header = HEADER_STRUCT.pack(
-        MAGIC,
+    header = HEADER_CODEC.pack(
         FORMAT_VERSION,
         0,
         seq,
         data.shape[0],
         0,
         len(payload),
-        zlib.crc32(payload) & 0xFFFFFFFF,
+        crc32_of(payload),
     )
     return header + payload
 
@@ -151,20 +155,9 @@ def unpack_header(buf: bytes, where: str = "chunk") -> ChunkHeader:
         StoreCorruptionError: On short reads, bad magic, or an unknown
             chunk format version.
     """
-    if len(buf) < HEADER_SIZE:
-        raise StoreCorruptionError(
-            f"{where}: truncated header ({len(buf)} < {HEADER_SIZE} bytes)"
-        )
-    magic, version, flags, seq, n_samples, reserved, payload_bytes, crc = (
-        HEADER_STRUCT.unpack(buf[:HEADER_SIZE])
+    version, flags, seq, n_samples, reserved, payload_bytes, crc = (
+        HEADER_CODEC.unpack(buf, where=where)
     )
-    if magic != MAGIC:
-        raise StoreCorruptionError(f"{where}: bad magic {magic!r}")
-    if version not in SUPPORTED_CHUNK_VERSIONS:
-        raise StoreCorruptionError(
-            f"{where}: unsupported chunk format version {version} "
-            f"(this build reads versions {sorted(SUPPORTED_CHUNK_VERSIONS)})"
-        )
     if flags != 0 or reserved != 0:
         raise StoreCorruptionError(
             f"{where}: nonzero reserved header fields "
@@ -216,8 +209,9 @@ def unpack_payload(
             f"{where}: torn payload ({len(payload)} of "
             f"{header.payload_bytes} bytes)"
         )
-    if (zlib.crc32(payload) & 0xFFFFFFFF) != header.payload_crc:
-        raise StoreCorruptionError(f"{where}: payload CRC-32 mismatch")
+    verify_crc32(
+        header.payload_crc, payload, error_cls=StoreCorruptionError, where=where
+    )
     split = n * np.dtype(TIME_DTYPE).itemsize
     times = np.frombuffer(payload, dtype=TIME_DTYPE, count=n)
     data = np.frombuffer(payload, dtype=SAMPLE_DTYPE, offset=split).reshape(

@@ -1,0 +1,538 @@
+"""Tests for the fault-tolerant network ingestion front-end (repro.net)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import MotionUpdate
+from repro.motionsim.profiles import line_trajectory
+from repro.net import (
+    FrameDecoder,
+    FrameError,
+    NetClient,
+    NetClientConfig,
+    NetFaultPlan,
+    NetServer,
+    NetServerConfig,
+    SeqTracker,
+    WireFaultInjector,
+    baseline_updates,
+    pack_frame,
+    render_net_table,
+    run_net_load,
+    unpack_frame,
+    updates_equal,
+)
+from repro.net import framing
+from repro.robustness.health import HealthReport
+from repro.serve.session import ServeConfig
+from repro.shutdown import GracefulShutdown
+
+
+@pytest.fixture(scope="module")
+def net_trace(fast_sampler, three_antenna):
+    """One short receiver trace for loopback runs."""
+    traj = line_trajectory((10.0, 8.0), 30.0, 0.5, 1.5)
+    return fast_sampler.sample(traj, three_antenna)
+
+
+def _packet(seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.normal(size=(3, 2, 8)) + 1j * rng.normal(size=(3, 2, 8))
+    ).astype(np.complex64)
+
+
+# -- framing -------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_round_trip_all_types(self):
+        for frame_type in framing.FRAME_TYPES:
+            raw = pack_frame(frame_type, session_id=7, seq=42, payload=b"xyz")
+            frame = unpack_frame(raw)
+            assert frame.frame_type == frame_type
+            assert frame.session_id == 7
+            assert frame.seq == 42
+            assert frame.payload == b"xyz"
+
+    def test_unknown_type_and_oversize_rejected(self):
+        with pytest.raises(FrameError):
+            pack_frame(99)
+        with pytest.raises(FrameError):
+            pack_frame(
+                framing.FRAME_DATA,
+                payload=b"\0" * (framing.MAX_PAYLOAD_BYTES + 1),
+            )
+
+    def test_payload_corruption_detected(self):
+        raw = bytearray(pack_frame(framing.FRAME_DATA, seq=3, payload=b"abcdef"))
+        raw[framing.HEADER_SIZE + 2] ^= 0xFF
+        with pytest.raises(FrameError, match="CRC"):
+            unpack_frame(bytes(raw))
+
+    def test_seq_corruption_detected(self):
+        # seq lives at header offset 12; the CRC covers it.
+        raw = bytearray(pack_frame(framing.FRAME_DATA, seq=3, payload=b"abc"))
+        raw[12] ^= 0x01
+        with pytest.raises(FrameError, match="CRC"):
+            unpack_frame(bytes(raw))
+
+    def test_truncation_detected(self):
+        raw = pack_frame(framing.FRAME_DATA, payload=b"abcdef")
+        with pytest.raises(FrameError):
+            unpack_frame(raw[:-2])
+
+    def test_data_payload_round_trip_bit_exact(self):
+        packet = _packet(3)
+        payload = framing.pack_data_payload(1.25, packet)
+        ts, decoded = framing.unpack_data_payload(payload, packet.shape)
+        assert ts == 1.25
+        assert decoded.dtype == np.complex64
+        np.testing.assert_array_equal(decoded, packet)
+
+    def test_data_payload_shape_mismatch_rejected(self):
+        payload = framing.pack_data_payload(0.0, _packet())
+        with pytest.raises(FrameError):
+            framing.unpack_data_payload(payload, (3, 2, 9))
+
+    def test_update_round_trip(self):
+        health = HealthReport(
+            n_samples=10,
+            n_chains=3,
+            loss_rate=0.1,
+            chain_liveness=np.array([1.0, 0.5, 0.0]),
+            dead_chains=[2],
+            usable_pairs=2,
+            usable_groups=1,
+            alignment_confidence=0.9,
+            repairs={"net_gap_samples": 4},
+            degraded=True,
+            heading_unresolved=False,
+        )
+        update = MotionUpdate(
+            times=np.array([0.0, 0.1, np.nan]),
+            speed=np.array([0.5, np.nan, 0.25]),
+            heading=np.array([30.0, -12.5, np.nan]),
+            moving=np.array([True, False, True]),
+            block_distance=0.125,
+            total_distance=1.75,
+            health=health,
+        )
+        decoded = framing.decode_update(framing.encode_update(update))
+        assert updates_equal([update], [decoded])
+        assert decoded.health is not None
+        assert decoded.health.repairs == {"net_gap_samples": 4}
+        assert decoded.health.degraded is True
+        np.testing.assert_array_equal(
+            decoded.health.chain_liveness, health.chain_liveness
+        )
+
+    def test_update_without_health(self):
+        update = MotionUpdate(
+            times=np.array([0.0]),
+            speed=np.array([0.1]),
+            heading=np.array([0.0]),
+            moving=np.array([True]),
+            block_distance=0.0,
+            total_distance=0.0,
+            health=None,
+        )
+        assert framing.decode_update(framing.encode_update(update)).health is None
+
+
+class TestFrameDecoder:
+    def test_incremental_feed(self):
+        raw = b"".join(
+            pack_frame(framing.FRAME_DATA, seq=k, payload=bytes([k]) * 5)
+            for k in range(4)
+        )
+        decoder = FrameDecoder()
+        seen = []
+        for at in range(0, len(raw), 7):  # drip-feed in odd-sized chunks
+            decoder.feed(raw[at : at + 7])
+            seen.extend(decoder.frames())
+        assert [f.seq for f in seen] == [0, 1, 2, 3]
+        assert decoder.n_frames == 4
+        assert decoder.n_crc_dropped == 0
+
+    def test_resync_after_junk(self):
+        good = pack_frame(framing.FRAME_DATA, seq=9, payload=b"ok")
+        decoder = FrameDecoder()
+        decoder.feed(b"\x00garbage-without-magic\xff" + good)
+        frames = list(decoder.frames())
+        assert [f.seq for f in frames] == [9]
+        assert decoder.n_resyncs >= 1
+
+    def test_corrupt_frame_dropped_next_recovered(self):
+        bad = bytearray(pack_frame(framing.FRAME_DATA, seq=1, payload=b"abcd"))
+        bad[framing.HEADER_SIZE] ^= 0x5A
+        good = pack_frame(framing.FRAME_DATA, seq=2, payload=b"efgh")
+        decoder = FrameDecoder()
+        decoder.feed(bytes(bad) + good)
+        frames = list(decoder.frames())
+        assert [f.seq for f in frames] == [2]
+        assert decoder.n_crc_dropped == 1
+
+    def test_never_yields_wrong_data(self):
+        # Flip every single byte of a frame in turn: decode must give
+        # either the pristine frame (flip in a later frame's bytes) or
+        # nothing from the damaged one — never altered content.
+        payload = b"payload-bytes"
+        raw = pack_frame(framing.FRAME_DATA, seq=5, payload=payload)
+        for at in range(len(raw)):
+            damaged = bytearray(raw)
+            damaged[at] ^= 0x01
+            decoder = FrameDecoder()
+            decoder.feed(bytes(damaged))
+            for frame in decoder.frames():
+                assert frame.seq == 5
+                assert frame.payload == payload
+
+
+# -- sequence tracking ---------------------------------------------------------
+
+
+class TestSeqTracker:
+    def test_in_order(self):
+        tracker = SeqTracker(window=4)
+        out = []
+        for seq in range(5):
+            out.extend(tracker.admit(seq, float(seq), _packet()))
+        assert [seq for seq, _, _ in out] == [0, 1, 2, 3, 4]
+        assert tracker.ack == 4
+        assert tracker.n_duplicates == 0
+        assert tracker.n_gap_samples == 0
+
+    def test_reorder_within_window(self):
+        tracker = SeqTracker(window=4)
+        out = list(tracker.admit(1, 1.0, _packet()))
+        assert out == []
+        out = tracker.admit(0, 0.0, _packet())
+        assert [seq for seq, _, _ in out] == [0, 1]
+        assert tracker.ack == 1
+
+    def test_duplicates_suppressed(self):
+        tracker = SeqTracker(window=4)
+        tracker.admit(0, 0.0, _packet())
+        assert tracker.admit(0, 0.0, _packet()) == []
+        tracker.admit(2, 2.0, _packet())  # pending
+        assert tracker.admit(2, 2.0, _packet()) == []
+        assert tracker.n_duplicates == 2
+
+    def test_gap_advance_past_window(self):
+        tracker = SeqTracker(window=2)
+        # seq 0 never arrives; 1..3 overflow the 2-sample window.
+        assert tracker.admit(1, 1.0, _packet()) == []
+        assert tracker.admit(2, 2.0, _packet()) == []
+        out = tracker.admit(3, 3.0, _packet())
+        assert [seq for seq, _, _ in out] == [1, 2, 3]
+        assert tracker.n_gap_samples == 1
+        assert tracker.ack == 3
+
+    def test_flush_counts_gaps(self):
+        tracker = SeqTracker(window=8)
+        tracker.admit(0, 0.0, _packet())
+        tracker.admit(3, 3.0, _packet())
+        out = tracker.flush()
+        assert [seq for seq, _, _ in out] == [3]
+        assert tracker.n_gap_samples == 2  # seqs 1 and 2 lost
+        assert tracker.ack == 3
+
+
+# -- fault plans ---------------------------------------------------------------
+
+
+class TestNetFaultPlan:
+    def test_decisions_deterministic(self):
+        plan = NetFaultPlan(seed=3, drop_fraction=0.3, corrupt_fraction=0.2)
+        for seq in range(64):
+            assert plan.drops(seq) == plan.drops(seq)
+            assert plan.corrupts(seq) == plan.corrupts(seq)
+        again = NetFaultPlan(seed=3, drop_fraction=0.3, corrupt_fraction=0.2)
+        assert plan.delivered_seqs(200) == again.delivered_seqs(200)
+
+    def test_swaps_only_even(self):
+        plan = NetFaultPlan(reorder_fraction=1.0)
+        assert all(plan.swaps_with_next(seq) for seq in range(0, 10, 2))
+        assert not any(plan.swaps_with_next(seq) for seq in range(1, 10, 2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetFaultPlan(drop_fraction=1.5)
+        with pytest.raises(ValueError):
+            NetFaultPlan(delay_s=-1.0)
+        with pytest.raises(ValueError):
+            NetFaultPlan(disconnect_after=0)
+
+    def test_is_clean(self):
+        assert NetFaultPlan().is_clean
+        assert not NetFaultPlan(drop_fraction=0.1).is_clean
+        assert not NetFaultPlan(disconnect_after=5).is_clean
+
+    def test_from_spec(self):
+        plan = NetFaultPlan.from_spec(
+            "drop=0.05,dup=0.1,reorder=0.2,corrupt=0.01,delay=0.02,"
+            "disconnect=40,seed=7"
+        )
+        assert plan.drop_fraction == 0.05
+        assert plan.duplicate_fraction == 0.1
+        assert plan.reorder_fraction == 0.2
+        assert plan.corrupt_fraction == 0.01
+        assert plan.delay_fraction == 0.02
+        assert plan.disconnect_after == 40
+        assert plan.seed == 7
+        assert NetFaultPlan.from_spec("") == NetFaultPlan()
+        with pytest.raises(ValueError, match="unknown net fault spec key"):
+            NetFaultPlan.from_spec("bogus=1")
+        with pytest.raises(ValueError, match="malformed"):
+            NetFaultPlan.from_spec("drop")
+
+    def test_corrupt_bytes_header_intact(self):
+        plan = NetFaultPlan(corrupt_fraction=1.0)
+        raw = pack_frame(framing.FRAME_DATA, seq=4, payload=b"x" * 32)
+        mangled = plan.corrupt_bytes(4, raw)
+        assert mangled != raw
+        assert mangled[: framing.HEADER_SIZE] == raw[: framing.HEADER_SIZE]
+        with pytest.raises(FrameError, match="CRC"):
+            unpack_frame(mangled)
+
+    def test_expected_repairs_consistent(self):
+        plan = NetFaultPlan(seed=1, drop_fraction=0.2, corrupt_fraction=0.1)
+        n = 100
+        repairs = plan.expected_repairs(n)
+        delivered = plan.delivered_seqs(n)
+        assert repairs["net_crc_dropped"] == sum(
+            1 for s in range(n) if plan.corrupts(s)
+        )
+        high = max(delivered)
+        assert repairs["net_gap_samples"] == sum(
+            1 for s in range(high + 1) if s not in delivered
+        )
+
+
+class TestWireFaultInjector:
+    def test_clean_passthrough(self):
+        injector = WireFaultInjector(NetFaultPlan())
+        frame = pack_frame(framing.FRAME_DATA, seq=0, payload=b"a")
+        assert injector.admit(0, frame) == [(frame, 0.0)]
+
+    def test_swap_held_and_released(self):
+        injector = WireFaultInjector(NetFaultPlan(reorder_fraction=1.0))
+        f0 = pack_frame(framing.FRAME_DATA, seq=0, payload=b"0")
+        f1 = pack_frame(framing.FRAME_DATA, seq=1, payload=b"1")
+        assert injector.admit(0, f0) == []  # held
+        out = injector.admit(1, f1)
+        assert [w for w, _ in out] == [f1, f0]
+        assert injector.n_reordered == 1
+
+    def test_flush_releases_end_of_stream_hold(self):
+        injector = WireFaultInjector(NetFaultPlan(reorder_fraction=1.0))
+        f0 = pack_frame(framing.FRAME_DATA, seq=0, payload=b"0")
+        assert injector.admit(0, f0) == []
+        assert [w for w, _ in injector.flush()] == [f0]
+        assert injector.flush() == []
+
+    def test_disconnect_fires_once(self):
+        injector = WireFaultInjector(NetFaultPlan(disconnect_after=2))
+        assert not injector.should_disconnect()
+        assert injector.should_disconnect()
+        assert not injector.should_disconnect()
+
+
+# -- loopback integration ------------------------------------------------------
+
+
+def _sum_net_repairs(updates):
+    totals = {}
+    for update in updates:
+        if update.health is None:
+            continue
+        for key, value in update.health.repairs.items():
+            if key.startswith("net_"):
+                totals[key] = totals.get(key, 0) + int(value)
+    return totals
+
+
+class TestLoopback:
+    def test_clean_run_bit_identical(self, net_trace):
+        result = run_net_load([("rx00", net_trace)])
+        assert result["baseline_match"] is True
+        agg = result["aggregate"]
+        assert agg["n_samples"] == net_trace.n_samples
+        assert agg["n_delivered"] == net_trace.n_samples
+        assert agg["reconnects"] == 0
+        table = render_net_table(result)
+        assert "bit-identical" in table
+
+    def test_faulted_run_bit_identical_with_accounted_repairs(self, net_trace):
+        plan = NetFaultPlan(
+            seed=2,
+            drop_fraction=0.05,
+            duplicate_fraction=0.05,
+            reorder_fraction=0.1,
+            corrupt_fraction=0.03,
+        )
+        result = run_net_load([("rx00", net_trace)], fault_plan=plan)
+        assert result["baseline_match"] is True
+        expected = plan.expected_repairs(net_trace.n_samples)
+        repairs = _sum_net_repairs(result["updates"]["rx00"])
+        # Gaps are exact; corrupt/duplicate counts can only grow (resent
+        # frames are re-faulted, wire dups of the same seq pile up).
+        assert repairs.get("net_gap_samples", 0) == expected["net_gap_samples"]
+        assert (
+            repairs.get("net_crc_dropped", 0) >= expected["net_crc_dropped"]
+        )
+        assert (
+            repairs.get("net_duplicate_dropped", 0)
+            >= expected["net_duplicate_dropped"]
+        )
+
+    def test_reconnect_resume_bit_identical(self, net_trace):
+        plan = NetFaultPlan(disconnect_after=max(2, net_trace.n_samples // 3))
+        result = run_net_load(
+            [("rx00", net_trace)],
+            fault_plan=plan,
+            client_config=NetClientConfig(backoff_base_s=0.01),
+        )
+        assert result["baseline_match"] is True
+        assert result["aggregate"]["reconnects"] >= 1
+        assert result["aggregate"]["recovery_s_max"] > 0.0
+        # Resume must not replay acked samples: the estimator saw each
+        # delivered seq exactly once, so the stream equals the clean one.
+        clean = baseline_updates("rx00", net_trace)
+        assert updates_equal(result["updates"]["rx00"], clean)
+
+    def test_faults_plus_disconnect(self, net_trace):
+        plan = NetFaultPlan(
+            seed=5,
+            drop_fraction=0.05,
+            reorder_fraction=0.1,
+            corrupt_fraction=0.02,
+            disconnect_after=max(2, net_trace.n_samples // 2),
+        )
+        result = run_net_load(
+            [("rx00", net_trace)],
+            fault_plan=plan,
+            client_config=NetClientConfig(backoff_base_s=0.01),
+        )
+        assert result["baseline_match"] is True
+        assert result["aggregate"]["reconnects"] >= 1
+
+    def test_multi_session(self, net_trace):
+        result = run_net_load([("rx00", net_trace), ("rx01", net_trace)])
+        assert result["baseline_match"] is True
+        assert result["aggregate"]["n_sessions"] == 2
+        assert len(result["sessions"]) == 2
+
+    def test_backpressure_reject_reaches_wire_sessions(self, net_trace):
+        # A tiny reject queue still yields a clean protocol run; the
+        # serve-layer policy applies to network pushes like local ones.
+        result = run_net_load(
+            [("rx00", net_trace)],
+            serve_config=ServeConfig(queue_capacity=8, backpressure="block"),
+        )
+        assert result["baseline_match"] is True
+
+    def test_should_stop_ends_cleanly(self, net_trace):
+        calls = {"n": 0}
+
+        def stop_soon():
+            calls["n"] += 1
+            return calls["n"] > 10
+
+        result = run_net_load(
+            [("rx00", net_trace)], should_stop=stop_soon, check_baseline=True
+        )
+        assert result["stopped_early"] is True
+        assert result["baseline_match"] is None  # skipped when stopped
+        # The stream still finished with a BYE: final updates arrived.
+        assert isinstance(result["updates"]["rx00"], list)
+
+    def test_explicit_server_client_resume_state(self, net_trace):
+        server = NetServer(
+            config=NetServerConfig(port=0, ack_every=8)
+        ).start()
+        try:
+            client = NetClient(
+                server.config.host,
+                server.port,
+                "rx00",
+                net_trace.array,
+                net_trace.sampling_rate,
+                sample_shape=tuple(net_trace.data.shape[1:]),
+                carrier_wavelength=net_trace.carrier_wavelength,
+            )
+            client.connect()
+            try:
+                for k in range(net_trace.n_samples):
+                    client.send(float(net_trace.times[k]), net_trace.data[k])
+                updates = client.finish()
+            finally:
+                client.close()
+            assert updates_equal(updates, baseline_updates("rx00", net_trace))
+            rows = server.session_stats()
+            assert len(rows) == 1
+            assert int(rows[0]["acked"]) == net_trace.n_samples - 1
+        finally:
+            server.close()
+
+
+# -- graceful shutdown ---------------------------------------------------------
+
+
+class TestGracefulShutdown:
+    def test_request_stop_and_stopper(self):
+        stop = GracefulShutdown()
+        assert not stop.triggered
+        assert not stop.should_stop()
+        stop.request_stop()
+        assert stop.triggered
+        assert stop.stopper()()
+
+    def test_inert_off_main_thread(self):
+        seen = {}
+
+        def worker():
+            with GracefulShutdown() as stop:
+                seen["installed"] = stop._installed
+                stop.request_stop()
+                seen["stops"] = stop.should_stop()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen == {"installed": False, "stops": True}
+
+    def test_serve_sim_should_stop(self, fast_sampler, three_antenna):
+        from repro.serve import run_serve_sim
+
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 1.0)
+        trace = fast_sampler.sample(traj, three_antenna)
+        result = run_serve_sim(
+            receivers=[("rx00", trace)], n_workers=1, should_stop=lambda: True
+        )
+        # Stopped before any push: sessions exist and drained cleanly.
+        assert result["sessions"][0]["processed"] == 0
+
+    def test_checkpoint_replay_should_stop(self, tmp_path, net_trace):
+        from repro.store import CheckpointedReplayer, TraceReader, write_trace
+
+        root = tmp_path / "store"
+        write_trace(root, net_trace, chunk_samples=64)
+        with TraceReader(root) as reader:
+            replayer = CheckpointedReplayer(reader, block_seconds=1.0)
+            calls = {"n": 0}
+
+            def stop_after_two():
+                calls["n"] += 1
+                return calls["n"] > 2
+
+            replayer.run(should_stop=stop_after_two)
+            assert replayer.cursor == 2  # stopped at a chunk boundary
+            assert not replayer.exhausted
+            # Resumable: finishing the run matches an uninterrupted one.
+            tail = replayer.run()
+            assert replayer.exhausted
+            assert isinstance(tail, list)
