@@ -6,26 +6,40 @@ buffer until the server's cumulative ACK covers it, and any transport
 error — including a mid-stream disconnect injected by a
 :class:`~repro.net.faults.NetFaultPlan` — triggers a reconnect loop with
 capped exponential backoff plus jitter.  The reconnect HELLO names the
-same session; the server's WELCOME carries ``resume_seq`` (its delivered
-high-water mark) and the client resends only the buffered samples after
-it.  Resent frames pass through the same deterministic fault injector,
-and the server suppresses duplicates by seq, so no sample is ever
-replayed into the estimator twice.
+same session and presents the resume token issued in the first WELCOME;
+the server's WELCOME carries ``resume_seq`` (its delivered high-water
+mark) and the client resends only the buffered samples after it.  Resent
+frames pass through the same deterministic fault injector, and the
+server suppresses duplicates by seq, so no sample is ever replayed into
+the estimator twice.
+
+The update stream is protected the same way in reverse: UPDATE frames
+carry a monotonic update seq, the client acknowledges its high-water
+mark with UACK frames, and a server resend after reconnect is
+deduplicated by seq — updates in flight when the link dies arrive
+exactly once anyway.
 
 Backoff schedule: attempt ``k`` sleeps
 ``min(cap, base * 2**k) * (1 + jitter * u)`` with ``u ~ U[0, 1)`` from a
 seeded generator — deterministic in tests, desynchronized in fleets.
 
-The client is synchronous and single-threaded: sends drain incoming
-ACK / UPDATE / PING frames opportunistically, and :meth:`finish` blocks
-until the server answers the BYE (flushing the estimator and returning
-the final updates).  Received :class:`~repro.core.streaming.MotionUpdate`
-frames accumulate in :attr:`updates`.
+The client is synchronous and single-threaded.  The socket stays
+*blocking* with ``io_timeout_s`` as a write deadline: a peer that cannot
+drain a frame within it is treated as dead and the reconnect path takes
+over (``sendall`` on a non-blocking socket would instead surface
+transient backpressure as a bogus connection failure).  Reads are
+opportunistic — :meth:`send` drains whatever ACK / UPDATE / PING frames
+already arrived, polled via :func:`select.select` so an empty receive
+buffer never blocks the send path — and :meth:`finish` blocks until the
+server answers the BYE (flushing the estimator and returning the final
+updates).  Received :class:`~repro.core.streaming.MotionUpdate` frames
+accumulate in :attr:`updates`.
 """
 
 from __future__ import annotations
 
 import logging
+import select
 import socket
 import time
 from dataclasses import dataclass
@@ -54,7 +68,10 @@ class NetClientConfig:
 
     Attributes:
         connect_timeout_s: Per-attempt TCP connect + WELCOME deadline.
-        io_timeout_s: Blocking-read deadline inside :meth:`finish`.
+        io_timeout_s: Blocking I/O deadline — the per-``sendall`` write
+            budget on the connected socket and the read deadline inside
+            :meth:`finish`.  A peer that cannot drain a frame within it
+            is treated as disconnected.
         max_connect_attempts: Connect attempts per (re)connect burst
             before :class:`NetClientError`.
         backoff_base_s: First retry delay.
@@ -126,6 +143,11 @@ class NetClient:
         self.session_id = 0
         self.acked = -1
         self.updates: List[MotionUpdate] = []
+        # Update-stream bookkeeping: next expected update seq (resent
+        # duplicates below it are dropped) and the last UACK we framed.
+        self._update_next = 0
+        self._uack_sent = -1
+        self._token: Optional[str] = None
         self.finished = False
         self.n_reconnects = 0
         self.n_sent_frames = 0
@@ -139,6 +161,8 @@ class NetClient:
 
         Retries with capped exponential backoff + jitter up to
         ``max_connect_attempts`` times, then raises :class:`NetClientError`.
+        A server *refusal* (ERROR answer to the HELLO) is not retried —
+        it is deterministic — and raises immediately.
         """
         last_error: Optional[Exception] = None
         for attempt in range(self.config.max_connect_attempts):
@@ -146,6 +170,9 @@ class NetClient:
                 time.sleep(self._backoff_delay(attempt - 1))
             try:
                 resume_seq = self._connect_once()
+            except NetClientError:
+                self._teardown_socket()
+                raise
             except (OSError, FrameError, TimeoutError) as exc:
                 last_error = exc
                 logger.warning(
@@ -182,6 +209,8 @@ class NetClient:
             "sample_shape": list(self.sample_shape),
             "array": array_to_manifest(self.array),
         }
+        if self._token is not None:
+            hello["token"] = self._token
         sock.sendall(
             framing.pack_frame(
                 framing.FRAME_HELLO,
@@ -198,10 +227,21 @@ class NetClient:
             raise FrameError(f"expected WELCOME, got {frame.type_name}")
         welcome = framing.unpack_json_payload(frame.payload, where="WELCOME")
         self.session_id = int(welcome["session_id"])
+        token = welcome.get("token")
+        if token is not None:
+            self._token = str(token)
         resume_seq = int(welcome["resume_seq"])
         self.acked = max(self.acked, resume_seq)
         self._prune_acked()
-        sock.settimeout(0.0)  # non-blocking from here on
+        # Refresh the server's view of our update high-water mark: an
+        # UACK lost with the old connection would otherwise leave it
+        # resending updates we already hold (harmlessly, but forever).
+        self._uack_sent = -1
+        # Keep the socket *blocking*, with the configured write budget:
+        # a full send buffer then waits instead of surfacing spurious
+        # BlockingIOError "failures", and a peer stalled past the budget
+        # is treated as dead by the reconnect path.
+        sock.settimeout(self.config.io_timeout_s)
         return resume_seq
 
     def _backoff_delay(self, retry_index: int) -> float:
@@ -262,18 +302,34 @@ class NetClient:
                 self._sock.sendall(data)
                 self.n_sent_frames += 1
                 return
-            except (OSError, BrokenPipeError):
+            except OSError:
                 self._handle_disconnect()
 
     def _handle_disconnect(self) -> None:
-        """Reconnect-resume: backoff, HELLO, resend past the resume seq."""
-        if self._down_since is None:
-            self._down_since = time.perf_counter()
-        self._teardown_socket()
-        self.injector.reset_stream()
-        self.n_reconnects += 1
-        obs.add("net.client_reconnects")
-        resume_seq = self.connect()
+        """Reconnect-resume: backoff, HELLO, resend past the resume seq.
+
+        Iterates (never recurses) until one resend pass completes with
+        the link still up; each individual (re)connect burst is bounded
+        by ``max_connect_attempts``, which caps the loop via the
+        :class:`NetClientError` it raises on exhaustion.
+        """
+        while True:
+            if self._down_since is None:
+                self._down_since = time.perf_counter()
+            self._teardown_socket()
+            self.injector.reset_stream()
+            self.n_reconnects += 1
+            obs.add("net.client_reconnects")
+            resume_seq = self.connect()
+            if self._resend_unacked(resume_seq):
+                return
+            # The link died again mid-resume: loop for another pass.
+
+    def _resend_unacked(self, resume_seq: int) -> bool:
+        """Resend buffered samples past ``resume_seq``; False if the
+        link died underneath the resend (caller reconnects again)."""
+        sock = self._sock
+        assert sock is not None
         resend = sorted(s for s in self._unacked if s > resume_seq)
         logger.info(
             "resuming session %s after seq %d (%d samples to resend)",
@@ -288,39 +344,38 @@ class NetClient:
             for damaged, delay in self.injector.admit(seq, frame):
                 if delay > 0:
                     time.sleep(delay)
-                assert self._sock is not None
                 try:
-                    self._sock.sendall(damaged)
+                    sock.sendall(damaged)
                     self.n_sent_frames += 1
-                except (OSError, BrokenPipeError):
-                    # The link died again mid-resume: recurse via the
-                    # outer reconnect path.
-                    self._handle_disconnect()
-                    return
+                except OSError:
+                    return False
         for damaged, _delay in self.injector.flush():
             try:
-                assert self._sock is not None
-                self._sock.sendall(damaged)
+                sock.sendall(damaged)
                 self.n_sent_frames += 1
-            except (OSError, BrokenPipeError):
-                self._handle_disconnect()
-                return
+            except OSError:
+                return False
+        return True
 
     # -- receiving ----------------------------------------------------------
 
     def _drain_incoming(self) -> None:
-        """Non-blocking read of whatever ACK/UPDATE/PING frames arrived."""
-        if self._sock is None:
+        """Read whatever ACK/UPDATE/PING frames already arrived.
+
+        Readability is polled with a zero-timeout :func:`select.select`,
+        so the blocking socket never stalls the send path when the
+        receive buffer is empty.
+        """
+        sock = self._sock
+        if sock is None:
             return
         try:
-            while True:
-                data = self._sock.recv(1 << 16)
+            while select.select([sock], [], [], 0.0)[0]:
+                data = sock.recv(1 << 16)
                 if not data:
                     raise ConnectionResetError("server closed the connection")
                 self._decoder.feed(data)
-        except (BlockingIOError, socket.timeout):
-            pass
-        except (OSError, ConnectionResetError):
+        except OSError:
             self._handle_disconnect()
             return
         self._process_frames()
@@ -343,28 +398,50 @@ class NetClient:
 
     def _process_frames(self) -> Optional[int]:
         """Handle buffered frames; returns a terminal frame type if seen."""
+        terminal: Optional[int] = None
         for frame in self._decoder.frames():
             if frame.frame_type == framing.FRAME_ACK:
                 self.acked = max(self.acked, frame.seq - 1)
                 self._prune_acked()
             elif frame.frame_type == framing.FRAME_UPDATE:
-                self.updates.append(framing.decode_update(frame.payload))
+                # Updates carry their own seq; a resend after reconnect
+                # duplicates ones we already hold — drop those by seq.
+                if frame.seq >= self._update_next:
+                    self.updates.append(framing.decode_update(frame.payload))
+                    self._update_next = frame.seq + 1
             elif frame.frame_type == framing.FRAME_PING:
                 self.acked = max(self.acked, frame.seq - 1)
                 self._prune_acked()
-                try:
-                    assert self._sock is not None
-                    self._sock.sendall(
-                        framing.pack_frame(framing.FRAME_PONG, self.session_id)
-                    )
-                except (OSError, BrokenPipeError):
-                    pass  # heartbeat reply lost; server will time us out
+                self._send_best_effort(
+                    framing.pack_frame(framing.FRAME_PONG, self.session_id)
+                )  # reply lost => server times us out
             elif frame.frame_type == framing.FRAME_BYE:
-                return framing.FRAME_BYE
+                terminal = framing.FRAME_BYE
+                break
             elif frame.frame_type == framing.FRAME_ERROR:
                 detail = framing.unpack_json_payload(frame.payload, where="ERROR")
                 raise NetClientError(f"server error: {detail.get('error')}")
-        return None
+        if self._update_next > self._uack_sent:
+            # Confirm the update high-water mark so the server can drop
+            # its retransmit copies (advisory: a lost UACK only means a
+            # dedup'd resend later).
+            if self._send_best_effort(
+                framing.pack_frame(
+                    framing.FRAME_UACK, self.session_id, self._update_next
+                )
+            ):
+                self._uack_sent = self._update_next
+        return terminal
+
+    def _send_best_effort(self, data: bytes) -> bool:
+        """Write a frame, swallowing transport errors; True on success."""
+        if self._sock is None:
+            return False
+        try:
+            self._sock.sendall(data)
+            return True
+        except OSError:
+            return False
 
     def _prune_acked(self) -> None:
         for seq in [s for s in self._unacked if s <= self.acked]:

@@ -11,8 +11,9 @@ offset  size  field        meaning
 4       2     version      wire format version (this build speaks 1)
 6       2     frame_type   one of the ``FRAME_*`` constants
 8       4     session_id   server-assigned numeric session id (0 in HELLO)
-12      8     seq          monotonic CSI sample seq (DATA) / cumulative
-                           ack seq + 1 (ACK, PING, BYE) / 0 otherwise
+12      8     seq          monotonic CSI sample seq (DATA) / monotonic
+                           update seq (UPDATE) / cumulative ack seq + 1
+                           (ACK, PING, BYE, UACK) / 0 otherwise
 20      4     payload_len  payload length in bytes
 24      4     crc32        CRC-32 over header[0:24] + payload
 ======  ====  ===========  ==============================================
@@ -27,13 +28,19 @@ so one mangled frame costs exactly that frame, not the connection.
 Payloads:
 
 * ``HELLO`` / ``WELCOME`` / ``ERROR`` — UTF-8 JSON (session name, array
-  geometry, resume seq, ...).
+  geometry, resume seq + resume token, ...).
 * ``DATA`` — 8-byte float64 timestamp followed by the complex64 CSI
   packet bytes (shape fixed per session by the HELLO).
 * ``UPDATE`` — one :class:`~repro.core.streaming.MotionUpdate`, encoded
   by :func:`encode_update` (raw float64/uint8 arrays + JSON health tail;
   decoding is bit-exact, which the reconnect-resume guarantee relies on).
-* ``ACK`` / ``PING`` / ``PONG`` / ``BYE`` — empty.
+  The ``seq`` header field carries the update's own monotonic seq: the
+  server retains every update until the client's cumulative ``UACK``
+  covers it, resending unacked updates after a reconnect, and the client
+  suppresses resent duplicates by seq — so the update stream survives a
+  mid-flight disconnect without loss or duplication.
+* ``ACK`` / ``PING`` / ``PONG`` / ``BYE`` / ``UACK`` — empty (the seq
+  header field carries the cumulative ack + 1 where applicable).
 """
 
 from __future__ import annotations
@@ -63,6 +70,7 @@ FRAME_PING = 6  # server -> client: heartbeat (carries the current ack)
 FRAME_PONG = 7  # client -> server: heartbeat reply
 FRAME_BYE = 8  # either: graceful end of stream
 FRAME_ERROR = 9  # server -> client: fatal protocol error (JSON payload)
+FRAME_UACK = 10  # client -> server: cumulative update-stream ack (seq field)
 
 FRAME_TYPES = (
     FRAME_HELLO,
@@ -74,6 +82,7 @@ FRAME_TYPES = (
     FRAME_PONG,
     FRAME_BYE,
     FRAME_ERROR,
+    FRAME_UACK,
 )
 
 FRAME_NAMES = {
@@ -86,6 +95,7 @@ FRAME_NAMES = {
     FRAME_PONG: "PONG",
     FRAME_BYE: "BYE",
     FRAME_ERROR: "ERROR",
+    FRAME_UACK: "UACK",
 }
 
 # Frames larger than this are treated as header corruption: no legitimate

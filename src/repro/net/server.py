@@ -18,29 +18,47 @@ consumers need the other: ``net.*`` obs metrics (connection-level), and
 
 Reconnect-resume: the server keeps a per-session *attachment* (sequence
 tracker + session handle) alive across connections.  A client re-HELLOing
-an existing session name gets a WELCOME carrying ``resume_seq`` — the
-cumulative ack — and resends only what came after; anything duplicated in
-flight is suppressed by seq, so no sample ever reaches the estimator
-twice.
+an existing session name — presenting the resume token issued in the
+first WELCOME and the same geometry — gets a WELCOME carrying
+``resume_seq`` — the cumulative ack — and resends only what came after;
+anything duplicated in flight is suppressed by seq, so no sample ever
+reaches the estimator twice.
+
+The update stream is reliable in the other direction too: every emitted
+``MotionUpdate`` is assigned a monotonic update seq and retained until
+the client's cumulative UACK covers it.  After a reconnect the server
+rewinds its send cursor to the acked mark and retransmits everything
+unacked; the client suppresses resent duplicates by seq.  An update
+written to a connection that dies mid-flight is therefore redelivered,
+not lost — which is what makes the "bit-identical to an uninterrupted
+run" guarantee hold under forced disconnects.
 
 Liveness: the server PINGs each connection every ``heartbeat_s`` (the
 PING carries the current ack, doubling as an ack refresh) and closes
 connections idle past ``idle_timeout_s``; the client's reconnect loop
 handles the rest.
 
-The asyncio loop runs on a daemon thread so synchronous code (CLI,
-tests, benchmarks) can drive the server with plain calls; all session
-state is touched only from the loop thread, preserving the serve layer's
-single-producer contract.
+Thread model: the asyncio loop runs on a daemon thread so synchronous
+code (CLI, tests, benchmarks) can drive the server with plain calls.
+Transport state — decoder, sequence tracker, ack/update bookkeeping — is
+touched only from the loop thread.  Estimator work
+(``SessionManager.push``, ``ServeSession.poll``/``flush``) runs on a
+dedicated single-thread executor per session, preserving the serve
+layer's single-producer contract while keeping the event loop free: a
+slow estimator block (notably ``backpressure="block"``, whose offer
+drains the whole queue synchronously) stalls only its own session, never
+heartbeats, acks, or other sessions' I/O.
 """
 
 from __future__ import annotations
 
 import asyncio
 import logging
+import secrets
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -168,6 +186,9 @@ class _Attachment:
     session: ServeSession
     tracker: SeqTracker
     sample_shape: Tuple[int, ...]
+    array_manifest: Any  # HELLO geometry, revalidated on reattach
+    token: str  # resume token a reattaching HELLO must present
+    executor: ThreadPoolExecutor  # single-thread estimator lane
     acked_sent: int = -1  # last ack value actually framed to the client
     delivered_since_ack: int = 0
     crc_noted: int = 0  # decoder CRC drops already folded into repairs
@@ -178,9 +199,20 @@ class _Attachment:
     writer: Optional[asyncio.StreamWriter] = None
     repairs_noted: Dict[str, int] = field(default_factory=dict)
     final_updates: list = field(default_factory=list)
+    # Update-stream reliability: every emitted update gets a monotonic
+    # seq and stays buffered until the client's cumulative UACK covers
+    # it; a reconnect rewinds update_sent to update_acked so anything
+    # unacked is retransmitted on the new connection.
+    update_seq: int = 0  # next update seq to assign
+    update_sent: int = -1  # highest seq written to the live connection
+    update_acked: int = -1  # highest seq the client confirmed (UACK)
+    unacked_updates: Dict[int, bytes] = field(default_factory=dict)
 
     def fold_repairs(self) -> None:
-        """Sync tracker/decoder fault counters into session repairs."""
+        """Sync tracker/decoder fault counters into session repairs.
+
+        Runs on the session's ingest thread (it mutates session state).
+        """
         counts = {
             "net_duplicate_dropped": self.tracker.n_duplicates,
             "net_gap_samples": self.tracker.n_gap_samples,
@@ -191,6 +223,11 @@ class _Attachment:
             if fresh > 0:
                 self.session.note_repair(key, fresh)
                 self.repairs_noted[key] = total
+
+    def prune_updates(self) -> None:
+        """Drop buffered updates the client has confirmed receiving."""
+        for seq in [s for s in self.unacked_updates if s <= self.update_acked]:
+            del self.unacked_updates[seq]
 
 
 class NetServer:
@@ -253,10 +290,12 @@ class NetServer:
         loop.call_soon_threadsafe(loop.stop)
         if self._thread is not None:
             self._thread.join(timeout=10.0)
-        if flush_sessions:
-            for att in self._attachments.values():
-                if not att.finished:
-                    self._finish_stream(att)
+        # With the loop stopped, drain each session's ingest lane before
+        # touching its estimator from this thread.
+        for att in self._attachments.values():
+            att.executor.shutdown(wait=True)
+            if flush_sessions and not att.finished:
+                self._finish_stream(att)
 
     def __enter__(self) -> "NetServer":
         return self.start()
@@ -335,6 +374,9 @@ class NetServer:
                     break  # peer closed
                 last_rx = asyncio.get_running_loop().time()
                 decoder.feed(data)
+                # Tracker-released samples accumulate here and go to the
+                # ingest thread in one batch per read.
+                batch: List[Tuple[int, float, np.ndarray]] = []
                 done = False
                 for frame in decoder.frames():
                     obs.add("net.frames_rx")
@@ -348,12 +390,16 @@ class NetServer:
                             self._heartbeat(att, writer)
                         )
                         continue
-                    if self._handle_frame(att, frame, writer):
+                    status = await self._handle_frame(
+                        att, frame, writer, batch, decoder
+                    )
+                    if status:
                         done = True
                         break
-                if att is not None:
+                if att is not None and not done:
                     self._note_decoder_faults(att, decoder)
-                    self._pump_session(att, writer)
+                    await self._deliver(att, batch)
+                    await self._pump_session(att, writer)
                 await writer.drain()
                 if done:
                     break
@@ -381,7 +427,8 @@ class NetServer:
         try:
             hello = framing.unpack_json_payload(frame.payload, where="HELLO")
             name = str(hello["name"])
-        except (FrameError, KeyError) as exc:
+            sample_shape = tuple(int(v) for v in hello["sample_shape"])
+        except (FrameError, KeyError, TypeError, ValueError) as exc:
             self._send_error(writer, f"malformed HELLO: {exc}")
             return None
 
@@ -389,6 +436,26 @@ class NetServer:
         if att is not None:
             if att.finished:
                 self._send_error(writer, f"session {name!r} already finished")
+                return None
+            # A reattach must prove it is the same client before it can
+            # supersede the live connection: the resume token issued in
+            # the first WELCOME, and identical geometry (a mismatched
+            # shape would have every DATA frame silently dropped by the
+            # payload-length check).
+            if hello.get("token") != att.token:
+                self._send_error(
+                    writer, f"bad resume token for session {name!r}"
+                )
+                return None
+            if (
+                sample_shape != att.sample_shape
+                or hello.get("array") != att.array_manifest
+            ):
+                self._send_error(
+                    writer,
+                    f"HELLO geometry mismatch for session {name!r}: "
+                    f"sample_shape {sample_shape} vs {att.sample_shape}",
+                )
                 return None
             if att.connected and att.writer is not None:
                 # A reconnecting client usually beats our detection of
@@ -403,8 +470,10 @@ class NetServer:
                 except (OSError, RuntimeError):
                     pass
             # Reattach: held out-of-order samples are forgotten (the
-            # client resends everything past the ack anyway).
+            # client resends everything past the ack anyway), and the
+            # update cursor rewinds so unacked updates are resent.
             att.tracker.reset_pending()
+            att.update_sent = att.update_acked
             att.n_reconnects += 1
             obs.add("net.reconnects")
             logger.info(
@@ -413,7 +482,6 @@ class NetServer:
         else:
             try:
                 array = array_from_manifest(hello["array"])
-                sample_shape = tuple(int(v) for v in hello["sample_shape"])
                 session = self.manager.create(
                     name,
                     array,
@@ -433,6 +501,11 @@ class NetServer:
                 session=session,
                 tracker=SeqTracker(self.config.reorder_window),
                 sample_shape=sample_shape,
+                array_manifest=hello.get("array"),
+                token=secrets.token_hex(16),
+                executor=ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"rim-net-ingest-{name}"
+                ),
             )
             self._next_session_id += 1
             self._attachments[name] = att
@@ -446,16 +519,29 @@ class NetServer:
                 att.session_id,
                 0,
                 framing.pack_json_payload(
-                    {"session_id": att.session_id, "resume_seq": att.tracker.ack}
+                    {
+                        "session_id": att.session_id,
+                        "resume_seq": att.tracker.ack,
+                        "token": att.token,
+                    }
                 ),
             )
         )
         return att
 
-    def _handle_frame(
-        self, att: _Attachment, frame: Frame, writer: asyncio.StreamWriter
+    async def _handle_frame(
+        self,
+        att: _Attachment,
+        frame: Frame,
+        writer: asyncio.StreamWriter,
+        batch: List[Tuple[int, float, np.ndarray]],
+        decoder: FrameDecoder,
     ) -> bool:
-        """Dispatch one post-HELLO frame; True ends the connection."""
+        """Dispatch one post-HELLO frame; True ends the connection.
+
+        DATA frames only extend ``batch`` (delivered to the ingest
+        thread once per read); everything else is handled in place.
+        """
         if frame.frame_type == framing.FRAME_DATA:
             obs.add("net.data_rx")
             try:
@@ -468,16 +554,25 @@ class NetServer:
                 att.crc_noted += 1
                 obs.add("net.crc_dropped")
                 return False
-            for _seq, ts, pkt in att.tracker.admit(frame.seq, timestamp, packet):
-                self.manager.push(att.name, pkt, ts)
-                att.delivered_since_ack += 1
+            batch.extend(att.tracker.admit(frame.seq, timestamp, packet))
+            return False
+        if frame.frame_type == framing.FRAME_UACK:
+            att.update_acked = max(att.update_acked, frame.seq - 1)
+            att.prune_updates()
             return False
         if frame.frame_type == framing.FRAME_PONG:
             return False
         if frame.frame_type == framing.FRAME_BYE:
-            self._finish_stream(att)
-            self._pump_session(att, writer, force_ack=True)
+            await self._deliver(att, batch)
+            batch.clear()
+            self._note_decoder_faults(att, decoder)
+            await self._finish_stream_async(att)
+            await self._pump_session(att, writer, force_ack=True)
             writer.write(framing.pack_frame(framing.FRAME_BYE, att.session_id))
+            # The BYE rides behind the final updates on the same stream,
+            # and a finished session cannot be reattached: the unacked
+            # buffer has done its job.
+            att.unacked_updates.clear()
             return True
         if frame.frame_type == framing.FRAME_HELLO:
             self._send_error(writer, "duplicate HELLO on open session")
@@ -485,20 +580,66 @@ class NetServer:
         logger.warning("ignoring unexpected %s frame", frame.type_name)
         return False
 
-    def _finish_stream(self, att: _Attachment) -> None:
+    # -- estimator offload (per-session ingest thread) ----------------------
+
+    async def _deliver(
+        self, att: _Attachment, batch: List[Tuple[int, float, np.ndarray]]
+    ) -> None:
+        """Push tracker-released samples on the session's ingest thread."""
+        if not batch:
+            return
+        await asyncio.get_running_loop().run_in_executor(
+            att.executor, self._ingest_samples, att, list(batch)
+        )
+        att.delivered_since_ack += len(batch)
+
+    def _ingest_samples(
+        self, att: _Attachment, batch: List[Tuple[int, float, np.ndarray]]
+    ) -> None:
+        """Ingest-thread body: feed delivered samples to the session."""
+        for _seq, timestamp, packet in batch:
+            self.manager.push(att.name, packet, timestamp)
+
+    async def _finish_stream_async(self, att: _Attachment) -> None:
         """Deliver held samples, flush the estimator, mark finished."""
         if att.finished:
             return
-        for _seq, ts, pkt in att.tracker.flush():
-            self.manager.push(att.name, pkt, ts)
-            att.delivered_since_ack += 1
+        held = att.tracker.flush()
+        await asyncio.get_running_loop().run_in_executor(
+            att.executor, self._finish_session, att, held
+        )
+        att.delivered_since_ack += len(held)
+        att.finished = True
+
+    def _finish_session(
+        self, att: _Attachment, held: List[Tuple[int, float, np.ndarray]]
+    ) -> None:
+        """Ingest-thread body of the finish: push, fold, flush."""
+        for _seq, timestamp, packet in held:
+            self.manager.push(att.name, packet, timestamp)
         # Fold transport faults in *before* the estimator flush so the
         # final block's HealthReport carries the net_* repairs.
         att.fold_repairs()
         att.final_updates.extend(att.session.flush())
+
+    def _finish_stream(self, att: _Attachment) -> None:
+        """Synchronous finish, for :meth:`close` after the loop stopped
+        (the session's executor must already be drained)."""
+        if att.finished:
+            return
+        self._finish_session(att, att.tracker.flush())
         att.finished = True
 
-    def _note_decoder_faults(self, att: _Attachment, decoder: FrameDecoder) -> None:
+    def _poll_session(self, att: _Attachment) -> list:
+        """Ingest-thread body of a poll: fold repairs, drain, collect."""
+        att.fold_repairs()
+        return att.session.poll()
+
+    # -- frame emission ------------------------------------------------------
+
+    def _note_decoder_faults(
+        self, att: _Attachment, decoder: FrameDecoder
+    ) -> None:
         """Attribute this connection's decode faults to its session."""
         fresh_crc = decoder.n_crc_dropped - getattr(decoder, "_crc_seen", 0)
         fresh_resync = decoder.n_resyncs - getattr(decoder, "_resync_seen", 0)
@@ -510,27 +651,43 @@ class NetServer:
         decoder._crc_seen = decoder.n_crc_dropped  # type: ignore[attr-defined]
         decoder._resync_seen = decoder.n_resyncs  # type: ignore[attr-defined]
 
-    def _pump_session(
+    async def _pump_session(
         self,
         att: _Attachment,
         writer: asyncio.StreamWriter,
         force_ack: bool = False,
     ) -> None:
-        """Stream pending updates and (maybe) a cumulative ACK."""
+        """Queue fresh updates, stream unsent ones, and (maybe) ACK.
+
+        Fresh updates are sequenced into the unacked buffer whether or
+        not they can be written right now.  Writes go only to the
+        session's *live* connection: a stale handler (superseded by a
+        reconnect mid-await) still queues, but leaves transmission to
+        the current connection, so nothing is marked sent on a dead
+        socket.
+        """
         if att.finished:
-            updates = att.final_updates
+            fresh = att.final_updates
             att.final_updates = []
         else:
-            att.fold_repairs()
-            updates = att.session.poll()
-        for update in updates:
+            fresh = await asyncio.get_running_loop().run_in_executor(
+                att.executor, self._poll_session, att
+            )
+        for update in fresh:
+            att.unacked_updates[att.update_seq] = framing.encode_update(update)
+            att.update_seq += 1
+        if att.writer is not writer or writer.is_closing():
+            return
+        while att.update_sent + 1 < att.update_seq:
+            seq = att.update_sent + 1
+            att.update_sent = seq
+            payload = att.unacked_updates.get(seq)
+            if payload is None:
+                continue  # UACKed while unsent (ack outran a rewind)
             obs.add("net.updates_tx")
             writer.write(
                 framing.pack_frame(
-                    framing.FRAME_UPDATE,
-                    att.session_id,
-                    0,
-                    framing.encode_update(update),
+                    framing.FRAME_UPDATE, att.session_id, seq, payload
                 )
             )
         if force_ack or att.delivered_since_ack >= self.config.ack_every:

@@ -12,6 +12,7 @@ from repro.net import (
     FrameError,
     NetClient,
     NetClientConfig,
+    NetClientError,
     NetFaultPlan,
     NetServer,
     NetServerConfig,
@@ -449,6 +450,168 @@ class TestLoopback:
         assert result["baseline_match"] is None  # skipped when stopped
         # The stream still finished with a BYE: final updates arrived.
         assert isinstance(result["updates"]["rx00"], list)
+
+    def test_updates_resent_after_midstream_socket_loss(self, net_trace):
+        # UPDATE frames written while the link dies must be redelivered
+        # after reconnect (update seq + UACK resend), not lost: kill the
+        # socket after the full send — with updates potentially still in
+        # flight — and the resumed stream must match the clean baseline.
+        server = NetServer(config=NetServerConfig(port=0, ack_every=4)).start()
+        try:
+            client = NetClient(
+                server.config.host,
+                server.port,
+                "rx00",
+                net_trace.array,
+                net_trace.sampling_rate,
+                sample_shape=tuple(net_trace.data.shape[1:]),
+                carrier_wavelength=net_trace.carrier_wavelength,
+                config=NetClientConfig(backoff_base_s=0.01),
+            )
+            client.connect()
+            try:
+                for k in range(net_trace.n_samples):
+                    client.send(float(net_trace.times[k]), net_trace.data[k])
+                client._sock.close()  # hard-kill without draining updates
+                client._handle_disconnect()
+                updates = client.finish()
+            finally:
+                client.close()
+            assert client.n_reconnects >= 1
+            assert updates_equal(updates, baseline_updates("rx00", net_trace))
+        finally:
+            server.close()
+
+    def test_client_suppresses_resent_update_duplicates(self, net_trace):
+        # A server resend after a lost UACK duplicates updates on the
+        # wire; the client must keep exactly one copy per update seq.
+        update = MotionUpdate(
+            times=np.array([0.0, 0.5]),
+            speed=np.array([0.25, 0.5]),
+            heading=np.array([10.0, 20.0]),
+            moving=np.array([True, True]),
+            block_distance=0.5,
+            total_distance=0.5,
+            health=None,
+        )
+        client = NetClient(
+            "127.0.0.1",
+            0,
+            "rx00",
+            net_trace.array,
+            net_trace.sampling_rate,
+            sample_shape=tuple(net_trace.data.shape[1:]),
+        )
+        payload = framing.encode_update(update)
+        for seq in (0, 1, 0, 1, 2):  # seqs 0 and 1 resent
+            client._decoder.feed(
+                pack_frame(framing.FRAME_UPDATE, 1, seq, payload)
+            )
+        client._process_frames()
+        assert len(client.updates) == 3
+        assert client._update_next == 3
+
+    def test_reattach_requires_resume_token(self, net_trace):
+        # Without the WELCOME's resume token, a second client claiming a
+        # live session name is refused — and the live connection is not
+        # superseded by the failed attempt.
+        server = NetServer(config=NetServerConfig(port=0)).start()
+        try:
+            first = NetClient(
+                server.config.host,
+                server.port,
+                "rx00",
+                net_trace.array,
+                net_trace.sampling_rate,
+                sample_shape=tuple(net_trace.data.shape[1:]),
+            )
+            first.connect()
+            try:
+                first.send(float(net_trace.times[0]), net_trace.data[0])
+                intruder = NetClient(
+                    server.config.host,
+                    server.port,
+                    "rx00",
+                    net_trace.array,
+                    net_trace.sampling_rate,
+                    sample_shape=tuple(net_trace.data.shape[1:]),
+                    config=NetClientConfig(max_connect_attempts=1),
+                )
+                with pytest.raises(NetClientError, match="resume token"):
+                    intruder.connect()
+                intruder.close()
+                # The live session is untouched: sending still works.
+                first.send(float(net_trace.times[1]), net_trace.data[1])
+                first.finish()
+            finally:
+                first.close()
+        finally:
+            server.close()
+
+    def test_reattach_geometry_mismatch_refused(self, net_trace):
+        # Even with the right token, a reattach declaring a different
+        # sample shape is refused instead of having every DATA frame
+        # silently dropped by the payload-length check.
+        server = NetServer(config=NetServerConfig(port=0)).start()
+        try:
+            first = NetClient(
+                server.config.host,
+                server.port,
+                "rx00",
+                net_trace.array,
+                net_trace.sampling_rate,
+                sample_shape=tuple(net_trace.data.shape[1:]),
+            )
+            first.connect()
+            try:
+                for k in range(2):
+                    first.send(float(net_trace.times[k]), net_trace.data[k])
+                shape = tuple(net_trace.data.shape[1:])
+                mismatched = NetClient(
+                    server.config.host,
+                    server.port,
+                    "rx00",
+                    net_trace.array,
+                    net_trace.sampling_rate,
+                    sample_shape=shape[:-1] + (shape[-1] + 1,),
+                    config=NetClientConfig(max_connect_attempts=1),
+                )
+                mismatched._token = first._token  # token alone is not enough
+                with pytest.raises(NetClientError, match="geometry mismatch"):
+                    mismatched.connect()
+                mismatched.close()
+                first.finish()
+            finally:
+                first.close()
+        finally:
+            server.close()
+
+    def test_socket_stays_blocking_with_write_budget(self, net_trace):
+        # The connected socket must stay blocking (with io_timeout_s as
+        # the write budget): a non-blocking socket would turn send-buffer
+        # backpressure into spurious reconnect storms.
+        server = NetServer(config=NetServerConfig(port=0)).start()
+        try:
+            client = NetClient(
+                server.config.host,
+                server.port,
+                "rx00",
+                net_trace.array,
+                net_trace.sampling_rate,
+                sample_shape=tuple(net_trace.data.shape[1:]),
+                config=NetClientConfig(io_timeout_s=3.5),
+            )
+            client.connect()
+            try:
+                assert client._sock.gettimeout() == 3.5
+                for k in range(2):
+                    client.send(float(net_trace.times[k]), net_trace.data[k])
+                assert client._sock.gettimeout() == 3.5
+                client.finish()
+            finally:
+                client.close()
+        finally:
+            server.close()
 
     def test_explicit_server_client_resume_state(self, net_trace):
         server = NetServer(
