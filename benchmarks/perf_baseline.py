@@ -20,9 +20,10 @@ than ``--max-regression`` (default 25%), the batched backend stopped
 beating the reference kernel, multi-session serving throughput
 (``serving.parallel.sessions_per_second``, schema v3) regressed beyond
 the same budget, the store write/read bandwidth and replay throughput
-(``store.*``, schema v4) did, or the network front-end ingest throughput
-and reconnect-recovery time (``net.*``, schema v5) did.  Equivalent CLI
-verb: ``python -m repro.cli profile``.
+(``store.*``, schema v4) did, the network front-end ingest throughput
+and reconnect-recovery time (``net.*``, schema v5) did, or the telemetry
+A/B overhead (``obs_overhead.overhead_frac``, schema v6) exceeded the
+budget.  Equivalent CLI verb: ``python -m repro.cli profile``.
 """
 
 from __future__ import annotations

@@ -16,9 +16,19 @@ Usage::
     python -m repro.cli net-load             # network load client (loopback
                                              # by default; --fault-plan for
                                              # wire faults)
+    python -m repro.cli obs-top              # live per-session telemetry
 
 ``--log-level debug`` surfaces the pipeline's structured logging (guard
-repairs, degradation, clock resampling) on stderr.
+repairs, degradation, clock resampling) on stderr; the level propagates
+to every ``repro.*`` module logger and records carry a ``[session]``
+tag when the emitting layer knows one.
+
+The long-runners accept telemetry flags (``--metrics-port``,
+``--telemetry-jsonl``, ``--metrics-out``, ``--flight-dir``); any of
+them enables :mod:`repro.obs` for the run, serves / exports registry
+snapshots, and dumps the fault flight recorder on exit.  ``obs-top``
+renders a per-session dashboard from a live ``--endpoint`` or an
+exported ``--file``.
 
 The long-runners (``serve-sim``, ``record``, ``replay``, ``net-serve``,
 ``net-load``) handle SIGINT/SIGTERM gracefully: the first signal drains
@@ -29,11 +39,118 @@ second signal aborts hard.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import logging
 import sys
 from typing import Callable, Dict
 
 from repro.eval.report import render_report
+
+
+class _SessionTagFilter(logging.Filter):
+    """Default ``record.session`` so the root format never KeyErrors.
+
+    Layers that know their session pass ``extra={"session": name}``;
+    everything else renders as ``[-]``.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "session"):
+            record.session = "-"
+        return True
+
+
+#: Module loggers the CLI verbosity is propagated to explicitly, so a
+#: library embedder's own root configuration cannot swallow ``--log-level
+#: debug`` for the pipeline's structured logs.
+_LOG_MODULES = (
+    "repro.core",
+    "repro.robustness",
+    "repro.net",
+    "repro.serve",
+    "repro.store",
+    "repro.obs",
+)
+
+
+def configure_logging(level: str) -> None:
+    """Install the stderr handler and propagate *level* to repro loggers."""
+    numeric = getattr(logging, level.upper())
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s [%(session)s]: %(message)s")
+    )
+    handler.addFilter(_SessionTagFilter())
+    root = logging.getLogger()
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    for name in _LOG_MODULES:
+        logging.getLogger(name).setLevel(numeric)
+
+
+def _add_telemetry_flags(sub_parser) -> None:
+    group = sub_parser.add_argument_group(
+        "telemetry", "any of these enables repro.obs for the run"
+    )
+    group.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve live metrics over HTTP on this port (0 = ephemeral); "
+        "paths: /metrics, /metrics.json, /flight.json, /healthz",
+    )
+    group.add_argument(
+        "--telemetry-jsonl", default=None, metavar="PATH",
+        help="append periodic registry snapshots to PATH as JSONL",
+    )
+    group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a final Prometheus-style exposition to PATH on exit",
+    )
+    group.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="dump flight-recorder artifacts into DIR (on protocol "
+        "errors, guard escalations, and exit)",
+    )
+
+
+@contextlib.contextmanager
+def _telemetry(args):
+    """Wire the telemetry flags around a long-running verb.
+
+    Yields the live :class:`~repro.obs.MetricsHTTPServer` (or None), so
+    callers can print its URL; tears everything down — final JSONL
+    snapshot, exposition file, flight dump — on the way out even when
+    the verb raises.
+    """
+    from repro import obs
+
+    flag_names = ("metrics_port", "telemetry_jsonl", "metrics_out", "flight_dir")
+    if all(getattr(args, name, None) is None for name in flag_names):
+        yield None
+        return
+    was_enabled = obs.enabled()
+    obs.enable()
+    if args.flight_dir:
+        obs.FLIGHT.configure(args.flight_dir)
+    exporter = server = None
+    try:
+        if args.telemetry_jsonl:
+            exporter = obs.TelemetryExporter(args.telemetry_jsonl).start()
+        if args.metrics_port is not None:
+            server = obs.MetricsHTTPServer(port=args.metrics_port).start()
+            print(f"metrics endpoint: {server.url}/metrics", file=sys.stderr)
+        yield server
+    finally:
+        if exporter is not None:
+            exporter.stop()
+        if server is not None:
+            server.stop()
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(obs.render_exposition())
+        if args.flight_dir:
+            obs.FLIGHT.auto_dump("cli-exit")
+        if not was_enabled:
+            obs.disable()
 
 
 def _register_runners() -> Dict[str, Callable]:
@@ -140,7 +257,7 @@ def cmd_serve_sim(args) -> int:
     from repro.serve.simulate import render_serve_table, run_serve_sim
     from repro.shutdown import GracefulShutdown
 
-    with GracefulShutdown() as stop:
+    with _telemetry(args), GracefulShutdown() as stop:
         result = run_serve_sim(
             n_sessions=args.sessions,
             n_workers=args.workers,
@@ -314,14 +431,15 @@ def cmd_net_serve(args) -> int:
     server = NetServer(config=config, serve_config=serve_config)
     if args.record_dir:
         server.manager.record_dir = Path(args.record_dir)
-    server.start()
-    print(f"net server listening on {config.host}:{server.port}")
-    with GracefulShutdown() as stop:
-        try:
-            while not stop.should_stop():
-                time.sleep(0.2)
-        finally:
-            server.close()
+    with _telemetry(args):
+        server.start()
+        print(f"net server listening on {config.host}:{server.port}")
+        with GracefulShutdown() as stop:
+            try:
+                while not stop.should_stop():
+                    time.sleep(0.2)
+            finally:
+                server.close()
     if stop.triggered:
         print(
             f"{stop.signal_name}: server stopped; sessions flushed",
@@ -377,7 +495,7 @@ def cmd_net_load(args) -> int:
         f"{'a loopback server' if loopback else f'{args.host}:{args.port}'}"
         + (f" with wire faults: {args.fault_plan}" if args.fault_plan else "")
     )
-    with GracefulShutdown() as stop:
+    with _telemetry(args), GracefulShutdown() as stop:
         result = run_net_load(
             receivers,
             fault_plan=plan,
@@ -410,6 +528,55 @@ def cmd_net_load(args) -> int:
             )
             return 1
     return 0
+
+
+def cmd_obs_top(args) -> int:
+    import json
+    import time
+    from urllib.request import urlopen
+
+    from repro.obs.export import (
+        read_last_snapshot,
+        render_dashboard,
+        session_rows,
+    )
+
+    if bool(args.endpoint) == bool(args.file):
+        print(
+            "obs-top needs exactly one source: --endpoint URL or --file PATH",
+            file=sys.stderr,
+        )
+        return 2
+
+    def fetch() -> Dict:
+        if args.endpoint:
+            url = args.endpoint.rstrip("/") + "/metrics.json"
+            with urlopen(url, timeout=5.0) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        return read_last_snapshot(args.file)
+
+    title = f"rim obs-top — {args.endpoint or args.file}"
+    # session -> (offered, snapshot ts): throughput is the offered delta
+    # between consecutive snapshots.
+    previous: Dict[str, tuple] = {}
+    while True:
+        try:
+            payload = fetch()
+        except (OSError, ValueError) as exc:
+            print(f"obs-top: {exc}", file=sys.stderr)
+            return 1
+        now = float(payload.get("ts", time.time()))
+        rows = session_rows(payload.get("metrics", {}))
+        for row in rows:
+            before = previous.get(row["session"])
+            if before is not None and now > before[1]:
+                row["rate"] = (row["offered"] - before[0]) / (now - before[1])
+            previous[row["session"]] = (row["offered"], now)
+        print(render_dashboard(rows, title=title))
+        if args.once:
+            return 0
+        time.sleep(args.interval)
+        print()
 
 
 def cmd_convert(args) -> int:
@@ -565,6 +732,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--record-dir", default=None, metavar="DIR",
         help="record every session's ingest into chunked stores under DIR",
     )
+    _add_telemetry_flags(serve)
 
     record = sub.add_parser(
         "record", help="record a simulated receiver into a chunked trace store"
@@ -652,6 +820,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--record-dir", default=None, metavar="DIR",
         help="record every session's ingest into chunked stores under DIR",
     )
+    _add_telemetry_flags(net_serve)
 
     net_load = sub.add_parser(
         "net-load",
@@ -705,6 +874,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero unless at least one reconnect-resume happened "
         "(CI assertion for disconnect fault plans)",
     )
+    _add_telemetry_flags(net_load)
+
+    obs_top = sub.add_parser(
+        "obs-top",
+        help="render a live per-session telemetry table "
+        "(throughput, latency percentiles, queue depth, repairs)",
+    )
+    obs_top.add_argument(
+        "--endpoint", default=None, metavar="URL",
+        help="metrics HTTP endpoint base URL (a long-runner's "
+        "--metrics-port), e.g. http://127.0.0.1:9316",
+    )
+    obs_top.add_argument(
+        "--file", default=None, metavar="PATH",
+        help="read the latest snapshot from a --telemetry-jsonl file "
+        "instead of a live endpoint",
+    )
+    obs_top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh period, seconds",
+    )
+    obs_top.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
 
     convert = sub.add_parser(
         "convert", help="convert legacy .npz <-> chunked trace store"
@@ -725,10 +918,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    logging.basicConfig(
-        level=getattr(logging, args.log_level.upper()),
-        format="%(levelname)s %(name)s: %(message)s",
-    )
+    configure_logging(args.log_level)
     handlers = {
         "demo": cmd_demo,
         "list": cmd_list,
@@ -740,6 +930,7 @@ def main(argv=None) -> int:
         "convert": cmd_convert,
         "net-serve": cmd_net_serve,
         "net-load": cmd_net_load,
+        "obs-top": cmd_obs_top,
     }
     return handlers[args.command](args)
 

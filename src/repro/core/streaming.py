@@ -16,12 +16,14 @@ the offline estimate up to block-boundary effects (verified in tests).
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro import obs
+from repro.obs.provenance import SampleProvenance, block_breakdown, observe_breakdown
 from repro.arrays.geometry import AntennaArray
 from repro.channel.sampler import CsiTrace
 from repro.core.config import RimConfig
@@ -48,8 +50,11 @@ class MotionUpdate:
         health: Health telemetry for this block (loss, liveness, repairs,
             degradation) — None only when the guard is off and the
             estimator produced no report.
-        stats: Per-block instrumentation (wall time, per-stage spans) when
-            :mod:`repro.obs` is enabled; None otherwise.
+        stats: Per-block instrumentation (wall time, per-stage spans, and
+            — when the block-completing sample carried a provenance
+            context — a ``"provenance"`` wire/queue-wait/kernel/emit
+            latency breakdown) when :mod:`repro.obs` is enabled; None
+            otherwise.
     """
 
     times: np.ndarray
@@ -115,6 +120,9 @@ class StreamingRim:
         self._guard = StreamGuard(policy=self.config.guard_policy)
         self._packets: List[np.ndarray] = []
         self._times: List[float] = []
+        # Parallel to _packets: the provenance context each admitted sample
+        # arrived with (None when tracing is off) — trimmed identically.
+        self._prov: List[Optional[SampleProvenance]] = []
         self._pending_start = 0  # buffer index where unreported samples begin
         self._total_distance = 0.0
         self._n_pushed = 0
@@ -147,7 +155,12 @@ class StreamingRim:
         """Samples covered by emitted updates (throughput accounting)."""
         return self._samples_emitted
 
-    def push(self, packet: np.ndarray, timestamp: Optional[float] = None):
+    def push(
+        self,
+        packet: np.ndarray,
+        timestamp: Optional[float] = None,
+        provenance: Optional[SampleProvenance] = None,
+    ):
         """Feed one CSI packet; returns a MotionUpdate when a block completes.
 
         Non-monotonic, duplicate, or non-finite timestamps are handled by
@@ -159,6 +172,9 @@ class StreamingRim:
             packet: (n_rx, n_tx, S) complex CFRs for this packet (NaN for a
                 lost packet slot).
             timestamp: Packet time; defaults to n / sampling_rate.
+            provenance: Optional trace context riding this sample; resolved
+                into a latency breakdown when its block emits (tracing only
+                — never consulted by the numerics).
 
         Returns:
             A :class:`MotionUpdate` for the newly completed block, or None.
@@ -177,6 +193,7 @@ class StreamingRim:
         packet, timestamp = admitted
         self._packets.append(packet)
         self._times.append(timestamp)
+        self._prov.append(provenance if obs.enabled() else None)
         self._n_pushed += 1
 
         pending = len(self._packets) - self._pending_start
@@ -266,6 +283,9 @@ class StreamingRim:
             )
         self._packets = restored
         self._times = [float(t) for t in times]
+        # Provenance contexts are transient (live latency only) and are
+        # deliberately not checkpointed; restored samples carry none.
+        self._prov = [None] * len(restored)
         self._pending_start = int(state["pending_start"])
         self._buffer_offset = int(state["buffer_offset"])
         self._total_distance = float(state["total_distance"])
@@ -294,6 +314,7 @@ class StreamingRim:
         """
         self._packets = []
         self._times = []
+        self._prov = []
         self._pending_start = 0
         self._buffer_offset = 0
         self._total_distance = 0.0
@@ -315,7 +336,21 @@ class StreamingRim:
         ``block_seconds`` to keep up with the packet rate, §5) is recorded
         in the ``stream.block_latency_s`` histogram and attached to the
         update's ``stats`` when :mod:`repro.obs` is enabled.
+
+        When the block-completing sample carried a provenance context,
+        the update's stats also get a ``"provenance"`` breakdown (wire /
+        queue-wait / kernel / emit, summing exactly to ``e2e_s``) and the
+        ``prov.*`` per-stage histograms are fed.
         """
+        # The freshest pending sample is the one whose arrival completed
+        # the block: its context measures current pipeline responsiveness.
+        prov = None
+        if obs.enabled():
+            for ctx in reversed(self._prov[self._pending_start:]):
+                if ctx is not None:
+                    prov = ctx
+                    break
+        kernel_entry_s = time.perf_counter()
         span_cm = obs.span(
             "stream.block", n_buffered=len(self._packets), final=final
         )
@@ -324,6 +359,7 @@ class StreamingRim:
             update = self._process_block(final)
         finally:
             span_cm.__exit__(None, None, None)
+        kernel_exit_s = time.perf_counter()
         self._blocks_emitted += 1
         self._samples_emitted += int(update.times.size)
         if root is not None:
@@ -335,6 +371,16 @@ class StreamingRim:
             )
             obs.set_gauge("stream.last_block_latency_s", root.duration)
             update.stats = {"block_latency_s": root.duration, **obs.span_stats(root)}
+            if prov is not None:
+                breakdown = block_breakdown(
+                    prov,
+                    kernel_entry_s,
+                    kernel_exit_s,
+                    time.perf_counter(),
+                    n_samples=int(update.times.size),
+                )
+                observe_breakdown(breakdown)
+                update.stats["provenance"] = breakdown
         return update
 
     def _process_block(self, final: bool = False) -> MotionUpdate:
@@ -405,6 +451,7 @@ class StreamingRim:
         keep_from = max(0, t - self.context_samples)
         self._packets = self._packets[keep_from:]
         self._times = self._times[keep_from:]
+        self._prov = self._prov[keep_from:]
         self._pending_start = t - keep_from
         self._buffer_offset += keep_from
         return update

@@ -27,7 +27,12 @@ from typing import Any, Dict, Optional
 
 from repro import obs
 
-SCHEMA = "rim-perf-baseline/v5"
+SCHEMA = "rim-perf-baseline/v6"
+
+# Best-of-N repeats for the obs-overhead A/B: single wall-clock samples
+# of a ~100 ms workload are scheduler-jitter noisy, and the overhead gate
+# compares the two directly.
+OBS_OVERHEAD_REPEATS = 3
 
 # Absolute slack on the reconnect-recovery gate, seconds: recovery times
 # are a few milliseconds, so a purely fractional budget would make the
@@ -294,6 +299,82 @@ def _profile_net(trace, block_seconds: float) -> Dict[str, Any]:
     }
 
 
+def _profile_obs_overhead(trace, block_seconds: float) -> Dict[str, Any]:
+    """Telemetry cost: the same workload with instrumentation off vs on.
+
+    Runs the batch estimator and a provenance-stamped serve-session
+    replay twice — once with :mod:`repro.obs` disabled, once enabled
+    (spans, metrics, per-sample provenance all live) — and reports the
+    best-of-N walls plus the fractional overhead the perf gate watches.
+    Estimates must be bit-identical between the two modes (tracing
+    invariance); the flag is recorded and asserted by the test suite.
+    """
+    from repro import Rim, RimConfig
+    from repro.serve.session import ServeConfig, ServeSession
+
+    cfg = RimConfig(max_lag=60, kernel_backend=PRIMARY_BACKEND)
+    serve_cfg = ServeConfig(block_seconds=block_seconds)
+
+    def _batch_once():
+        t0 = time.perf_counter()
+        result = Rim(cfg).process(trace)
+        return time.perf_counter() - t0, result
+
+    def _serve_once() -> float:
+        session = ServeSession(
+            "obs-overhead",
+            trace.array,
+            trace.sampling_rate,
+            rim_config=cfg,
+            serve_config=serve_cfg,
+            carrier_wavelength=trace.carrier_wavelength,
+        )
+        t0 = time.perf_counter()
+        for k in range(trace.n_samples):
+            session.offer(trace.data[k], float(trace.times[k]))
+            session.drain()
+        session.flush()
+        return time.perf_counter() - t0
+
+    def _measure():
+        batch_walls, serve_walls, result = [], [], None
+        for _ in range(OBS_OVERHEAD_REPEATS):
+            wall, result = _batch_once()
+            batch_walls.append(wall)
+            serve_walls.append(_serve_once())
+        return min(batch_walls), min(serve_walls), result
+
+    was_enabled = obs.enabled()
+    try:
+        obs.disable()
+        batch_off, serve_off, result_off = _measure()
+        obs.enable()
+        obs.reset()
+        batch_on, serve_on, result_on = _measure()
+    finally:
+        if was_enabled:
+            obs.enable()
+        else:
+            obs.disable()
+
+    def _frac(off: float, on: float) -> Optional[float]:
+        return on / off - 1.0 if off > 0 else None
+
+    return {
+        "repeats": OBS_OVERHEAD_REPEATS,
+        "tracing_off_wall_s": batch_off,
+        "tracing_on_wall_s": batch_on,
+        "overhead_frac": _frac(batch_off, batch_on),
+        "serve_off_wall_s": serve_off,
+        "serve_on_wall_s": serve_on,
+        "serve_overhead_frac": _frac(serve_off, serve_on),
+        "bit_identical": bool(
+            result_off.total_distance == result_on.total_distance
+            and result_off.total_rotation == result_on.total_rotation
+        ),
+    }
+
+
 def run_perf_baseline(
     seed: int = 0,
     quick: bool = True,
@@ -357,6 +438,7 @@ def run_perf_baseline(
     serving = _profile_serving(trace, n_sessions, n_workers, block_seconds)
     store = _profile_store(trace, block_seconds)
     net = _profile_net(trace, block_seconds)
+    obs_overhead = _profile_obs_overhead(trace, block_seconds)
 
     primary = profiles[PRIMARY_BACKEND]
     ref = profiles["reference"]
@@ -382,6 +464,7 @@ def run_perf_baseline(
         "serving": serving,
         "store": store,
         "net": net,
+        "obs_overhead": obs_overhead,
         "metrics": primary["metrics"],
         "backends": {
             name: {
@@ -425,11 +508,23 @@ def validate_perf_payload(payload: Dict[str, Any]) -> None:
             f"schema mismatch: want {SCHEMA!r}, got {payload.get('schema')!r}"
         )
     sections = (
-        "workload", "batch", "streaming", "serving", "store", "net", "metrics"
+        "workload", "batch", "streaming", "serving", "store", "net",
+        "obs_overhead", "metrics",
     )
     for section in sections:
         if not isinstance(payload.get(section), dict):
             raise ValueError(f"missing or malformed section {section!r}")
+    overhead = payload["obs_overhead"]
+    for metric in (
+        "tracing_off_wall_s", "tracing_on_wall_s", "overhead_frac"
+    ):
+        if not isinstance(overhead.get(metric), (int, float)):
+            raise ValueError(f"obs_overhead section lacks {metric}")
+    if not overhead.get("bit_identical"):
+        raise ValueError(
+            "obs_overhead.bit_identical is false: enabling telemetry "
+            "changed the estimates"
+        )
     store = payload["store"]
     for metric in (
         "write_mb_per_s", "read_mb_per_s", "replay_samples_per_second"
@@ -613,6 +708,19 @@ def check_perf_regression(
             f"({old_rate:.0f} -> {new_rate:.0f} samples/s; "
             f"budget -{max_regression / (1.0 + max_regression):.0%})"
         )
+    # Telemetry overhead gate (schema v6): tracing-on may not cost more
+    # than the regression budget over tracing-off on the same run — this
+    # is a within-run A/B, so it is hardware-independent by construction.
+    # A v5 baseline carries no obs_overhead section; the gate reads the
+    # fresh payload only, so it still applies.
+    overhead = (payload.get("obs_overhead") or {}).get("overhead_frac")
+    if isinstance(overhead, (int, float)) and overhead > max_regression:
+        failures.append(
+            f"telemetry overhead is {overhead:+.0%} of the batch wall "
+            f"(budget +{max_regression:.0%}): tracing is no longer cheap "
+            "enough to leave on"
+        )
+
     new_rec = (new_net.get("reconnect") or {}).get("recovery_s")
     old_rec = (old_net.get("reconnect") or {}).get("recovery_s")
     if (
@@ -711,6 +819,21 @@ def render_perf_summary(payload: Dict[str, Any]) -> str:
             f"({net['ingest_samples_per_second']:.0f} samples/s)",
             f"  reconnect        {reconnect.get('reconnects', 0)} forced, "
             f"recovery {reconnect.get('recovery_s', 0.0) * 1e3:.1f} ms",
+        ]
+    overhead = payload.get("obs_overhead")
+    if overhead:
+        frac = overhead.get("overhead_frac")
+        serve_frac = overhead.get("serve_overhead_frac")
+        lines += [
+            "",
+            f"telemetry overhead (best of {overhead.get('repeats', '?')}):",
+            f"  batch            {overhead['tracing_off_wall_s'] * 1e3:.1f} ms off "
+            f"-> {overhead['tracing_on_wall_s'] * 1e3:.1f} ms on "
+            f"({'n/a' if frac is None else format(frac, '+.1%')})",
+            f"  serve session    {overhead['serve_off_wall_s'] * 1e3:.1f} ms off "
+            f"-> {overhead['serve_on_wall_s'] * 1e3:.1f} ms on "
+            f"({'n/a' if serve_frac is None else format(serve_frac, '+.1%')}), "
+            f"bit-identical: {'yes' if overhead.get('bit_identical') else 'NO'}",
         ]
     backends = payload.get("backends")
     if backends:

@@ -143,6 +143,9 @@ class NetClient:
         self.session_id = 0
         self.acked = -1
         self.updates: List[MotionUpdate] = []
+        # Updates by their wire seq, so a side-band TELEMETRY breakdown
+        # arriving after its UPDATE can still attach to it.
+        self._updates_by_seq: Dict[int, MotionUpdate] = {}
         # Update-stream bookkeeping: next expected update seq (resent
         # duplicates below it are dropped) and the last UACK we framed.
         self._update_next = 0
@@ -276,6 +279,17 @@ class NetClient:
         seq = self._next_seq
         self._next_seq += 1
         self._unacked[seq] = framing.pack_data_payload(timestamp, packet)
+        if obs.enabled():
+            # Side-band provenance: stamp creation *now* and ship it ahead
+            # of the DATA frame, bypassing the fault injector so telemetry
+            # never perturbs the deterministic (seed, seq) fault schedule.
+            # Best-effort: a lost stamp only means the server mints its
+            # own context at ingest (wire_s collapses to 0).
+            self._send_best_effort(
+                framing.pack_sample_telemetry(
+                    self.session_id, seq, time.perf_counter()
+                )
+            )
         self._transmit(seq)
         self._drain_incoming()
         return seq
@@ -407,8 +421,23 @@ class NetClient:
                 # Updates carry their own seq; a resend after reconnect
                 # duplicates ones we already hold — drop those by seq.
                 if frame.seq >= self._update_next:
-                    self.updates.append(framing.decode_update(frame.payload))
+                    update = framing.decode_update(frame.payload)
+                    self.updates.append(update)
+                    self._updates_by_seq[frame.seq] = update
                     self._update_next = frame.seq + 1
+            elif frame.frame_type == framing.FRAME_TELEMETRY:
+                # Server-side latency breakdown for an emitted update.
+                # Loss-tolerant side band: malformed or unmatched frames
+                # are dropped without touching the data stream.
+                try:
+                    breakdown = framing.unpack_update_telemetry(frame.payload)
+                except FrameError:
+                    continue
+                update = self._updates_by_seq.get(frame.seq)
+                if update is not None:
+                    stats = dict(update.stats) if update.stats else {}
+                    stats["provenance"] = breakdown
+                    update.stats = stats
             elif frame.frame_type == framing.FRAME_PING:
                 self.acked = max(self.acked, frame.seq - 1)
                 self._prune_acked()

@@ -41,6 +41,13 @@ Payloads:
   mid-flight disconnect without loss or duplication.
 * ``ACK`` / ``PING`` / ``PONG`` / ``BYE`` / ``UACK`` — empty (the seq
   header field carries the cumulative ack + 1 where applicable).
+* ``TELEMETRY`` — side-band provenance (best-effort, loss-tolerant, only
+  sent while :mod:`repro.obs` is enabled).  Client -> server: an 8-byte
+  float64 ``perf_counter`` create stamp for the *next* DATA sample (the
+  seq field carries that sample's seq).  Server -> client: a JSON
+  ``{"provenance": ...}`` latency breakdown for an emitted update (the
+  seq field carries the update seq).  A dedicated frame type keeps every
+  pre-existing frame layout byte-identical to PR 6's golden bytes.
 """
 
 from __future__ import annotations
@@ -71,6 +78,7 @@ FRAME_PONG = 7  # client -> server: heartbeat reply
 FRAME_BYE = 8  # either: graceful end of stream
 FRAME_ERROR = 9  # server -> client: fatal protocol error (JSON payload)
 FRAME_UACK = 10  # client -> server: cumulative update-stream ack (seq field)
+FRAME_TELEMETRY = 11  # either: side-band provenance (sample stamp / breakdown)
 
 FRAME_TYPES = (
     FRAME_HELLO,
@@ -83,6 +91,7 @@ FRAME_TYPES = (
     FRAME_BYE,
     FRAME_ERROR,
     FRAME_UACK,
+    FRAME_TELEMETRY,
 )
 
 FRAME_NAMES = {
@@ -96,6 +105,7 @@ FRAME_NAMES = {
     FRAME_BYE: "BYE",
     FRAME_ERROR: "ERROR",
     FRAME_UACK: "UACK",
+    FRAME_TELEMETRY: "TELEMETRY",
 }
 
 # Frames larger than this are treated as header corruption: no legitimate
@@ -296,6 +306,58 @@ def unpack_data_payload(
         payload, dtype=np.complex64, offset=TIMESTAMP_STRUCT.size
     ).reshape(sample_shape)
     return float(timestamp), packet.copy()
+
+
+# -- TELEMETRY payloads --------------------------------------------------------
+
+
+def pack_sample_telemetry(session_id: int, seq: int, created_s: float) -> bytes:
+    """Client->server TELEMETRY: the create stamp for DATA sample ``seq``.
+
+    Sent best-effort *before* the DATA frame it describes, bypassing the
+    fault injector, so telemetry can never perturb the deterministic
+    (seed, seq) fault schedule or the data stream itself.
+    """
+    return pack_frame(
+        FRAME_TELEMETRY,
+        session_id=session_id,
+        seq=seq,
+        payload=TIMESTAMP_STRUCT.pack(float(created_s)),
+    )
+
+
+def unpack_sample_telemetry(payload: bytes, where: str = "TELEMETRY") -> float:
+    """Decode a client->server TELEMETRY payload into the create stamp."""
+    if len(payload) != TIMESTAMP_STRUCT.size:
+        raise FrameError(
+            f"{where}: sample telemetry payload must be "
+            f"{TIMESTAMP_STRUCT.size} bytes, got {len(payload)}"
+        )
+    (created_s,) = TIMESTAMP_STRUCT.unpack(payload)
+    return float(created_s)
+
+
+def pack_update_telemetry(
+    session_id: int, update_seq: int, breakdown: Dict[str, Any]
+) -> bytes:
+    """Server->client TELEMETRY: the latency breakdown of update ``seq``."""
+    return pack_frame(
+        FRAME_TELEMETRY,
+        session_id=session_id,
+        seq=update_seq,
+        payload=pack_json_payload({"provenance": breakdown}),
+    )
+
+
+def unpack_update_telemetry(
+    payload: bytes, where: str = "TELEMETRY"
+) -> Dict[str, Any]:
+    """Decode a server->client TELEMETRY payload into the breakdown dict."""
+    decoded = unpack_json_payload(payload, where=where)
+    breakdown = decoded.get("provenance")
+    if not isinstance(breakdown, dict):
+        raise FrameError(f"{where}: update telemetry missing 'provenance'")
+    return breakdown
 
 
 # -- JSON payloads -------------------------------------------------------------

@@ -67,6 +67,8 @@ from repro.core.config import RimConfig
 from repro.io import array_from_manifest
 from repro.net import framing
 from repro.net.framing import Frame, FrameDecoder, FrameError
+from repro.obs.flight import FLIGHT
+from repro.obs.provenance import SampleProvenance
 from repro.serve.session import ServeConfig, ServeSession, SessionManager
 
 logger = logging.getLogger(__name__)
@@ -207,6 +209,11 @@ class _Attachment:
     update_sent: int = -1  # highest seq written to the live connection
     update_acked: int = -1  # highest seq the client confirmed (UACK)
     unacked_updates: Dict[int, bytes] = field(default_factory=dict)
+    # Side-band provenance: create stamps from client TELEMETRY frames by
+    # sample seq (consumed at ingest), and resolved latency breakdowns by
+    # update seq (sent — and resent — alongside their UPDATE frames).
+    pending_prov: Dict[int, float] = field(default_factory=dict)
+    unacked_breakdowns: Dict[int, Dict[str, Any]] = field(default_factory=dict)
 
     def fold_repairs(self) -> None:
         """Sync tracker/decoder fault counters into session repairs.
@@ -228,6 +235,8 @@ class _Attachment:
         """Drop buffered updates the client has confirmed receiving."""
         for seq in [s for s in self.unacked_updates if s <= self.update_acked]:
             del self.unacked_updates[seq]
+        for seq in [s for s in self.unacked_breakdowns if s <= self.update_acked]:
+            del self.unacked_breakdowns[seq]
 
 
 class NetServer:
@@ -277,10 +286,25 @@ class NetServer:
         self._thread.start()
         if not self._started.wait(timeout=10.0):
             raise RuntimeError("network server failed to start listening")
+        # Refresh the retained-frame gauge at every registry snapshot, so
+        # exporters see the live unacked-update backlog between pumps.
+        obs.METRICS.add_collector(self._collect_metrics)
         return self
+
+    def _collect_metrics(self) -> None:
+        if not obs.enabled():
+            return
+        try:
+            retained = sum(
+                len(a.unacked_updates) for a in list(self._attachments.values())
+            )
+        except RuntimeError:  # raced a HELLO registering an attachment
+            return
+        obs.set_gauge("net.retained_frames", retained)
 
     def close(self, flush_sessions: bool = True) -> None:
         """Stop listening, drop connections, optionally flush sessions."""
+        obs.METRICS.remove_collector(self._collect_metrics)
         if self._loop is None or self._closed:
             return
         self._closed = True
@@ -363,6 +387,11 @@ class NetServer:
                 if timeout <= 0:
                     logger.warning("connection idle past timeout; closing")
                     obs.add("net.idle_closed")
+                    FLIGHT.record(
+                        "connection", "net",
+                        session=None if att is None else att.name,
+                        action="idle_closed",
+                    )
                     break
                 try:
                     data = await asyncio.wait_for(
@@ -405,6 +434,11 @@ class NetServer:
                     break
         except (ConnectionResetError, BrokenPipeError, FrameError) as exc:
             logger.warning("connection dropped: %s", exc)
+            FLIGHT.record(
+                "connection", "net",
+                session=None if att is None else att.name,
+                action="dropped", error=str(exc),
+            )
         finally:
             if heartbeat is not None:
                 heartbeat.cancel()
@@ -462,9 +496,13 @@ class NetServer:
                 # its dead socket: the newest HELLO wins, the stale
                 # handler is kicked loose.
                 logger.warning(
-                    "session %s: superseding a stale connection", name
+                    "session %s: superseding a stale connection", name,
+                    extra={"session": name},
                 )
                 obs.add("net.superseded")
+                FLIGHT.record(
+                    "connection", "net", session=name, action="superseded"
+                )
                 try:
                     att.writer.close()
                 except (OSError, RuntimeError):
@@ -476,8 +514,12 @@ class NetServer:
             att.update_sent = att.update_acked
             att.n_reconnects += 1
             obs.add("net.reconnects")
+            FLIGHT.record(
+                "reconnect", "net", session=name, resume_seq=att.tracker.ack
+            )
             logger.info(
-                "session %s reattached (resume after seq %d)", name, att.tracker.ack
+                "session %s reattached (resume after seq %d)", name, att.tracker.ack,
+                extra={"session": name},
             )
         else:
             try:
@@ -509,7 +551,14 @@ class NetServer:
             )
             self._next_session_id += 1
             self._attachments[name] = att
-            logger.info("session %s opened (id %d)", name, att.session_id)
+            FLIGHT.record(
+                "connection", "net", session=name, action="opened",
+                session_id=att.session_id,
+            )
+            logger.info(
+                "session %s opened (id %d)", name, att.session_id,
+                extra={"session": name},
+            )
         att.connected = True
         att.conn_gen += 1
         att.writer = writer
@@ -556,6 +605,26 @@ class NetServer:
                 return False
             batch.extend(att.tracker.admit(frame.seq, timestamp, packet))
             return False
+        if frame.frame_type == framing.FRAME_TELEMETRY:
+            # Side-band create stamp for an upcoming DATA sample.  Loss-
+            # tolerant: a malformed stamp is dropped, a stale one (its
+            # DATA frame was lost to faults) is pruned below the tracker
+            # cursor, and a hard cap bounds the dict under pathological
+            # loss so telemetry can never grow server memory.
+            try:
+                created_s = framing.unpack_sample_telemetry(frame.payload)
+            except FrameError:
+                return False
+            att.pending_prov[frame.seq] = created_s
+            cap = max(1024, 4 * self.config.reorder_window)
+            if len(att.pending_prov) > cap:
+                for seq in [
+                    s for s in att.pending_prov if s < att.tracker.next_seq
+                ]:
+                    del att.pending_prov[seq]
+                while len(att.pending_prov) > cap:
+                    del att.pending_prov[min(att.pending_prov)]
+            return False
         if frame.frame_type == framing.FRAME_UACK:
             att.update_acked = max(att.update_acked, frame.seq - 1)
             att.prune_updates()
@@ -573,6 +642,8 @@ class NetServer:
             # and a finished session cannot be reattached: the unacked
             # buffer has done its job.
             att.unacked_updates.clear()
+            att.unacked_breakdowns.clear()
+            att.pending_prov.clear()
             return True
         if frame.frame_type == framing.FRAME_HELLO:
             self._send_error(writer, "duplicate HELLO on open session")
@@ -597,8 +668,27 @@ class NetServer:
         self, att: _Attachment, batch: List[Tuple[int, float, np.ndarray]]
     ) -> None:
         """Ingest-thread body: feed delivered samples to the session."""
-        for _seq, timestamp, packet in batch:
-            self.manager.push(att.name, packet, timestamp)
+        for seq, timestamp, packet in batch:
+            self.manager.push(
+                att.name,
+                packet,
+                timestamp,
+                provenance=self._sample_provenance(att, seq),
+            )
+
+    def _sample_provenance(
+        self, att: _Attachment, seq: int
+    ) -> Optional[SampleProvenance]:
+        """Trace context for one delivered sample (None when tracing is off).
+
+        Uses the client's wire create stamp when its TELEMETRY frame made
+        it through; otherwise mints a context at this ingest boundary so
+        fault-lossy wire paths still yield full breakdowns (wire_s = 0).
+        """
+        created_s = att.pending_prov.pop(seq, None)
+        if not obs.enabled():
+            return None
+        return SampleProvenance(f"{att.name}:{seq}", created_s=created_s)
 
     async def _finish_stream_async(self, att: _Attachment) -> None:
         """Deliver held samples, flush the estimator, mark finished."""
@@ -615,8 +705,13 @@ class NetServer:
         self, att: _Attachment, held: List[Tuple[int, float, np.ndarray]]
     ) -> None:
         """Ingest-thread body of the finish: push, fold, flush."""
-        for _seq, timestamp, packet in held:
-            self.manager.push(att.name, packet, timestamp)
+        for seq, timestamp, packet in held:
+            self.manager.push(
+                att.name,
+                packet,
+                timestamp,
+                provenance=self._sample_provenance(att, seq),
+            )
         # Fold transport faults in *before* the estimator flush so the
         # final block's HealthReport carries the net_* repairs.
         att.fold_repairs()
@@ -675,6 +770,15 @@ class NetServer:
             )
         for update in fresh:
             att.unacked_updates[att.update_seq] = framing.encode_update(update)
+            # UPDATE payloads exclude stats by design (golden-bytes lock),
+            # so the latency breakdown rides a side-band TELEMETRY frame
+            # kept — and resent — alongside its update.
+            if update.stats and isinstance(
+                update.stats.get("provenance"), dict
+            ):
+                att.unacked_breakdowns[att.update_seq] = update.stats[
+                    "provenance"
+                ]
             att.update_seq += 1
         if att.writer is not writer or writer.is_closing():
             return
@@ -690,6 +794,13 @@ class NetServer:
                     framing.FRAME_UPDATE, att.session_id, seq, payload
                 )
             )
+            breakdown = att.unacked_breakdowns.get(seq)
+            if breakdown is not None:
+                writer.write(
+                    framing.pack_update_telemetry(
+                        att.session_id, seq, breakdown
+                    )
+                )
         if force_ack or att.delivered_since_ack >= self.config.ack_every:
             self._send_ack(att, writer)
 
@@ -706,6 +817,8 @@ class NetServer:
     def _send_error(self, writer: asyncio.StreamWriter, message: str) -> None:
         logger.warning("protocol error: %s", message)
         obs.add("net.protocol_errors")
+        FLIGHT.record("protocol_error", "net", error=message)
+        FLIGHT.auto_dump("protocol-error")
         writer.write(
             framing.pack_frame(
                 framing.FRAME_ERROR,

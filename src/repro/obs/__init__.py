@@ -24,6 +24,17 @@ Typical profiling session::
     print(obs.METRICS.render_table())
     obs.disable(); obs.reset()
 
+Since PR 7 the layer also spans process boundaries:
+
+* :mod:`repro.obs.provenance` — per-sample trace contexts stamped at
+  create/ingest/dequeue/kernel/emit, resolved into a wire/queue-wait/
+  kernel/emit latency breakdown on every ``MotionUpdate``;
+* :mod:`repro.obs.export` — JSONL snapshot exporter, Prometheus-style
+  text exposition, stdlib HTTP endpoint, and the obs-top table builder;
+* :mod:`repro.obs.flight` — an always-on bounded flight recorder
+  (``obs.FLIGHT``) dumped to a JSON artifact on protocol errors, guard
+  escalations, and graceful shutdown.
+
 Instrumentation is observational only: enabling it must never change a
 single output bit (enforced by ``tests/test_obs.py``).
 """
@@ -32,6 +43,19 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Sequence
 
+from repro.obs.export import (
+    TELEMETRY_SCHEMA,
+    MetricsHTTPServer,
+    TelemetryExporter,
+    parse_exposition,
+    render_exposition,
+)
+from repro.obs.flight import (
+    FLIGHT,
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    validate_flight_dump,
+)
 from repro.obs.metrics import (
     LATENCY_BOUNDS_S,
     PROMINENCE_BOUNDS,
@@ -39,6 +63,13 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.provenance import (
+    PROV_HISTOGRAMS,
+    SampleProvenance,
+    block_breakdown,
+    observe_breakdown,
+    validate_breakdown,
 )
 from repro.obs.trace import (
     NULL_SPAN,
@@ -108,26 +139,40 @@ def span_stats(root: Span) -> Dict[str, Any]:
 
 
 __all__ = [
+    "FLIGHT",
+    "FLIGHT_SCHEMA",
     "LATENCY_BOUNDS_S",
     "METRICS",
     "NULL_SPAN",
     "PROMINENCE_BOUNDS",
+    "PROV_HISTOGRAMS",
+    "TELEMETRY_SCHEMA",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "MetricsHTTPServer",
     "MetricsRegistry",
+    "SampleProvenance",
     "Span",
     "TRACER",
+    "TelemetryExporter",
     "Tracer",
     "add",
     "aggregate_spans",
+    "block_breakdown",
     "disable",
     "enable",
     "enabled",
     "observe",
+    "observe_breakdown",
+    "parse_exposition",
+    "render_exposition",
     "render_span_table",
     "reset",
     "set_gauge",
     "span",
     "span_stats",
+    "validate_breakdown",
+    "validate_flight_dump",
 ]

@@ -1,0 +1,183 @@
+"""Flight recorder: a bounded ring of recent pipeline events.
+
+Long soak runs fail long after the interesting part happened.  The
+flight recorder keeps the last ``capacity`` noteworthy events — protocol
+errors, connection lifecycle, guard escalations, backpressure sheds,
+store repairs, shutdown signals — in a thread-safe ring buffer, and
+dumps them (plus a metrics snapshot) to a JSON artifact when something
+goes wrong, turning "the soak job failed" into an inspectable timeline.
+
+Recording is **always on**: each event is a tiny dict append under a
+lock, cheap enough to leave running even with tracing disabled, and the
+whole point is having the timeline when an *unexpected* failure hits.
+Dumps only happen on explicit triggers (protocol error, first guard
+escalation of a session, graceful shutdown) and only write to disk when
+a dump directory is configured, so tests and libraries never leave
+artifacts behind accidentally.
+
+The process-wide instance lives at ``repro.obs.FLIGHT``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+FLIGHT_SCHEMA = "rim-flight/v1"
+
+# Event kinds are free-form, but these are the ones the pipeline emits.
+KNOWN_KINDS = (
+    "protocol_error",
+    "connection",
+    "reconnect",
+    "guard_escalation",
+    "backpressure",
+    "session",
+    "store_repair",
+    "shutdown",
+    "note",
+)
+
+
+class FlightRecorder:
+    """Bounded, thread-safe ring buffer of recent pipeline events.
+
+    Args:
+        capacity: Maximum retained events; older ones are evicted.
+        max_dumps: Safety valve — ``auto_dump`` stops writing files after
+            this many dumps so a flapping fault cannot fill a disk.
+    """
+
+    def __init__(self, capacity: int = 2048, max_dumps: int = 32):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.max_dumps = int(max_dumps)
+        self.dump_dir: Optional[Path] = None
+        self.n_recorded = 0
+        self.n_dumped = 0
+        self._events: deque = deque(maxlen=self.capacity)
+        self._mu = threading.Lock()
+
+    def configure(self, dump_dir: Union[str, Path, None]) -> None:
+        """Set (or clear) the directory ``auto_dump`` writes into."""
+        self.dump_dir = None if dump_dir is None else Path(dump_dir)
+
+    def record(
+        self,
+        kind: str,
+        source: str,
+        session: Optional[str] = None,
+        **detail: Any,
+    ) -> None:
+        """Append one event; never raises, never blocks beyond the lock."""
+        event = {
+            "kind": str(kind),
+            "source": str(source),
+            "session": session,
+            "wall_time": time.time(),
+            "mono_s": time.perf_counter(),
+            "detail": detail,
+        }
+        with self._mu:
+            event["seq"] = self.n_recorded
+            self.n_recorded += 1
+            self._events.append(event)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        with self._mu:
+            return [dict(e) for e in self._events]
+
+    def clear(self) -> None:
+        with self._mu:
+            self._events.clear()
+            self.n_recorded = 0
+            self.n_dumped = 0
+
+    def __len__(self) -> int:
+        with self._mu:
+            return len(self._events)
+
+    # -- dumping ----------------------------------------------------------
+
+    def payload(self, reason: str) -> Dict[str, Any]:
+        """The dump artifact as a plain dict (see :data:`FLIGHT_SCHEMA`)."""
+        from repro import obs
+
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "reason": str(reason),
+            "dumped_at": time.time(),
+            "mono_s": time.perf_counter(),
+            "n_recorded": self.n_recorded,
+            "events": self.snapshot(),
+            "metrics": obs.METRICS.snapshot(),
+        }
+
+    def dump(self, reason: str, path: Union[str, Path]) -> Dict[str, Any]:
+        """Write the payload to ``path`` and return it."""
+        payload = self.payload(reason)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return payload
+
+    def auto_dump(self, reason: str) -> Optional[Path]:
+        """Dump into ``dump_dir`` if configured; swallow I/O failures.
+
+        Returns the written path, or ``None`` when no directory is
+        configured, the dump budget is exhausted, or the write failed.
+        """
+        with self._mu:
+            if self.dump_dir is None or self.n_dumped >= self.max_dumps:
+                return None
+            n = self.n_dumped
+            self.n_dumped += 1
+        safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in reason)
+        path = self.dump_dir / f"flight-{n:03d}-{safe}.json"
+        try:
+            self.dump(reason, path)
+        except OSError:
+            return None
+        return path
+
+
+def validate_flight_dump(payload: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a well-formed dump."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"flight dump must be a dict, got {type(payload)}")
+    if payload.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError(
+            f"schema mismatch: expected {FLIGHT_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    for key in ("reason", "dumped_at", "events", "metrics", "n_recorded"):
+        if key not in payload:
+            raise ValueError(f"flight dump missing key {key!r}")
+    events = payload["events"]
+    if not isinstance(events, list):
+        raise ValueError("flight dump 'events' must be a list")
+    last_seq = -1
+    for i, event in enumerate(events):
+        for key in ("seq", "kind", "source", "wall_time", "mono_s", "detail"):
+            if key not in event:
+                raise ValueError(f"event {i} missing key {key!r}")
+        if not isinstance(event["detail"], dict):
+            raise ValueError(f"event {i} detail must be a dict")
+        if event["seq"] <= last_seq:
+            raise ValueError(
+                f"event seqs must be strictly increasing, "
+                f"got {event['seq']} after {last_seq}"
+            )
+        last_seq = event["seq"]
+
+
+# The process-wide recorder everything reports into (re-exported as
+# ``repro.obs.FLIGHT``).
+FLIGHT = FlightRecorder()

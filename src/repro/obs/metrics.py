@@ -11,6 +11,10 @@ Design constraints:
   running count/sum/min/max — a week-long stream cannot grow the registry.
 * **Deterministic.**  No reservoir sampling, no RNG: the same workload
   produces the same snapshot, so BENCH files diff cleanly across PRs.
+* **Snapshot-consistent under concurrency.**  Counters and histograms
+  carry per-metric locks; a snapshot or JSONL export racing live
+  ``add``/``observe`` traffic is always internally consistent (histogram
+  bucket counts sum to the histogram count).
 * **Serializable.**  The whole registry round-trips through JSONL
   (:meth:`MetricsRegistry.export_jsonl` / :meth:`MetricsRegistry.from_jsonl`)
   and renders as a human-readable table (:meth:`MetricsRegistry.render_table`).
@@ -31,7 +35,12 @@ PROMINENCE_BOUNDS = tuple(k / 20.0 for k in range(1, 21))
 
 
 class Counter:
-    """A monotonically increasing count of work done."""
+    """A monotonically increasing count of work done.
+
+    ``add`` and ``snapshot`` share a lock so a snapshot taken while other
+    threads are incrementing always reflects a value that existed at some
+    instant (no torn read-modify-write).
+    """
 
     kind = "counter"
 
@@ -39,14 +48,17 @@ class Counter:
         self.name = name
         self.help = help
         self.value: Union[int, float] = 0
+        self._mu = threading.Lock()
 
     def add(self, n: Union[int, float] = 1) -> None:
         if n < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (add {n})")
-        self.value += n
+        with self._mu:
+            self.value += n
 
     def snapshot(self) -> Dict[str, Any]:
-        return {"type": self.kind, "value": self.value, "help": self.help}
+        with self._mu:
+            return {"type": self.kind, "value": self.value, "help": self.help}
 
     def summary(self) -> str:
         return f"{self.value:g}"
@@ -100,6 +112,7 @@ class Histogram:
         self.total = 0.0
         self.vmin = math.inf
         self.vmax = -math.inf
+        self._mu = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -111,11 +124,14 @@ class Histogram:
                 break
         else:
             k = len(self.bounds)
-        self.counts[k] += 1
-        self.count += 1
-        self.total += value
-        self.vmin = min(self.vmin, value)
-        self.vmax = max(self.vmax, value)
+        # bucket/count/sum/min/max move together under the lock so a
+        # concurrent snapshot never sees sum(counts) != count.
+        with self._mu:
+            self.counts[k] += 1
+            self.count += 1
+            self.total += value
+            self.vmin = min(self.vmin, value)
+            self.vmax = max(self.vmax, value)
 
     @property
     def mean(self) -> float:
@@ -138,16 +154,17 @@ class Histogram:
         return self.vmax
 
     def snapshot(self) -> Dict[str, Any]:
-        return {
-            "type": self.kind,
-            "count": self.count,
-            "sum": self.total,
-            "min": None if self.count == 0 else self.vmin,
-            "max": None if self.count == 0 else self.vmax,
-            "bounds": list(self.bounds),
-            "counts": list(self.counts),
-            "help": self.help,
-        }
+        with self._mu:
+            return {
+                "type": self.kind,
+                "count": self.count,
+                "sum": self.total,
+                "min": None if self.count == 0 else self.vmin,
+                "max": None if self.count == 0 else self.vmax,
+                "bounds": list(self.bounds),
+                "counts": list(self.counts),
+                "help": self.help,
+            }
 
     def summary(self) -> str:
         if not self.count:
@@ -166,15 +183,48 @@ class MetricsRegistry:
 
     Metric creation is lock-protected so concurrent sessions
     (:mod:`repro.serve`) can mint per-session metrics from worker threads
-    without racing get-or-create.  Updates on a single metric remain
-    single-writer territory: every per-session metric has exactly one
-    producer (its session), and cross-session aggregates tolerate the
-    GIL's granularity.
+    without racing get-or-create, and each counter/histogram carries its
+    own lock so concurrent updates against an in-flight
+    :meth:`snapshot` / :meth:`to_jsonl` export can never produce a torn
+    record (a histogram whose bucket counts do not sum to its count, or a
+    half-applied counter increment).
+
+    **Collectors** let gauge owners refresh on demand: components whose
+    state is only visible between pushes (queue depths, retained frame
+    buffers) register a callable that is invoked at the top of every
+    :meth:`snapshot`, so exports always see live values.  A collector
+    returning ``False`` is dropped (used with weakrefs for auto-cleanup);
+    a collector that raises is dropped too, never breaking an export.
     """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
         self._lock = threading.Lock()
+        self._collectors: list = []
+
+    def add_collector(self, fn) -> None:
+        """Register ``fn()`` to run before every snapshot (gauge refresh)."""
+        with self._lock:
+            if fn not in self._collectors:
+                self._collectors.append(fn)
+
+    def remove_collector(self, fn) -> None:
+        with self._lock:
+            if fn in self._collectors:
+                self._collectors.remove(fn)
+
+    def _run_collectors(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        dead = []
+        for fn in collectors:
+            try:
+                if fn() is False:
+                    dead.append(fn)
+            except Exception:
+                dead.append(fn)
+        for fn in dead:
+            self.remove_collector(fn)
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help=help)
@@ -218,17 +268,22 @@ class MetricsRegistry:
         return self._metrics.get(name)
 
     def reset(self) -> None:
-        """Forget every metric (fresh baseline runs start clean)."""
-        self._metrics.clear()
+        """Forget every metric and collector (baseline runs start clean)."""
+        with self._lock:
+            self._metrics.clear()
+            self._collectors.clear()
 
     # -- export -----------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
-        """All metrics as a plain, JSON-friendly dict keyed by name."""
-        return {
-            name: metric.snapshot()
-            for name, metric in sorted(self._metrics.items())
-        }
+        """All metrics as a plain, JSON-friendly dict keyed by name.
+
+        Registered collectors run first so on-demand gauges are fresh.
+        """
+        self._run_collectors()
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in metrics}
 
     def to_jsonl(self) -> str:
         """One JSON object per line: ``{"name": ..., **snapshot}``."""

@@ -1,0 +1,144 @@
+"""Per-sample provenance: trace ids plus monotonic stage timestamps.
+
+A :class:`SampleProvenance` is minted where a CSI packet enters the
+pipeline (``NetClient.send`` on the remote side, or
+``SessionManager.push`` / ``ServeSession.offer`` in-process), rides the
+sample through the ingest queue into the streaming kernel, and is
+resolved into a latency **breakdown** when the block that sample
+completes emits its :class:`~repro.core.rim.MotionUpdate`:
+
+``created`` → ``ingest`` → (queue) → ``kernel_entry`` → ``kernel_exit``
+→ ``emit``
+
+The breakdown is a telescoping decomposition, so the per-stage values
+sum *exactly* to the end-to-end figure::
+
+    wire_s       = ingest       - created       (client send -> server admit)
+    queue_wait_s = kernel_entry - ingest        (time parked in the queue)
+    kernel_s     = kernel_exit  - kernel_entry  (StreamingRim block compute)
+    emit_s       = emit         - kernel_exit   (update assembly/bookkeeping)
+    e2e_s        = wire_s + queue_wait_s + kernel_s + emit_s
+
+Timestamps come from :func:`time.perf_counter`, which on Linux is
+``CLOCK_MONOTONIC`` — comparable across processes on one host, which is
+exactly the loopback / LAN deployment the net front-end targets.  A
+``created`` stamp taken on a remote host with a different clock origin
+is clamped at ingest so stages can never go negative.
+
+Everything here is observational: contexts are only minted while
+``obs.enabled()`` and never touch the numerics (enforced by the
+bit-for-bit invariance guard in ``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+# Histogram names for the per-stage latency distributions.
+PROV_HISTOGRAMS = (
+    "prov.wire_s",
+    "prov.queue_wait_s",
+    "prov.kernel_s",
+    "prov.emit_s",
+    "prov.e2e_s",
+)
+
+# Keys of a resolved breakdown dict, in pipeline order.
+BREAKDOWN_STAGES = ("wire_s", "queue_wait_s", "kernel_s", "emit_s")
+
+
+class SampleProvenance:
+    """Trace context for one CSI sample.
+
+    Args:
+        trace_id: Stable identifier, conventionally ``"<session>:<seq>"``.
+        created_s: ``perf_counter`` stamp from the producer side; defaults
+            to *now* for contexts minted at the ingest boundary itself.
+    """
+
+    __slots__ = ("trace_id", "created_s", "ingest_s", "dequeue_s")
+
+    def __init__(self, trace_id: str, created_s: Optional[float] = None):
+        self.trace_id = str(trace_id)
+        self.created_s = (
+            time.perf_counter() if created_s is None else float(created_s)
+        )
+        self.ingest_s: Optional[float] = None
+        self.dequeue_s: Optional[float] = None
+
+    def stamp_ingest(self) -> None:
+        """Mark admission into a serve queue (idempotent)."""
+        if self.ingest_s is None:
+            self.ingest_s = time.perf_counter()
+            # A remote clock ahead of ours would make wire_s negative;
+            # clamp so the telescoping sum stays exact and non-negative.
+            if self.created_s > self.ingest_s:
+                self.created_s = self.ingest_s
+
+    def stamp_dequeue(self) -> None:
+        """Mark removal from the serve queue toward the kernel."""
+        self.dequeue_s = time.perf_counter()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SampleProvenance({self.trace_id!r}, created={self.created_s:.6f})"
+
+
+def block_breakdown(
+    prov: SampleProvenance,
+    kernel_entry_s: float,
+    kernel_exit_s: float,
+    emit_s: float,
+    n_samples: int = 0,
+) -> Dict[str, Any]:
+    """Resolve a block-completing sample's context into stage latencies.
+
+    ``prov`` is the context of the sample whose arrival triggered the
+    block emission — the freshest sample in the block, so its end-to-end
+    latency is the pipeline's current responsiveness.  Stages are clamped
+    at zero individually and ``e2e_s`` is defined as their sum, keeping
+    the invariant ``e2e_s == wire_s + queue_wait_s + kernel_s + emit_s``
+    exact even under clock oddities.
+    """
+    if prov.ingest_s is None:
+        prov.stamp_ingest()
+    wire = max(0.0, prov.ingest_s - prov.created_s)
+    queue = max(0.0, kernel_entry_s - prov.ingest_s)
+    kernel = max(0.0, kernel_exit_s - kernel_entry_s)
+    emit = max(0.0, emit_s - kernel_exit_s)
+    return {
+        "trace_id": prov.trace_id,
+        "wire_s": wire,
+        "queue_wait_s": queue,
+        "kernel_s": kernel,
+        "emit_s": emit,
+        "e2e_s": wire + queue + kernel + emit,
+        "n_samples": int(n_samples),
+    }
+
+
+def observe_breakdown(breakdown: Dict[str, Any]) -> None:
+    """Feed one resolved breakdown into the per-stage latency histograms."""
+    from repro import obs
+
+    for stage in BREAKDOWN_STAGES:
+        obs.observe(
+            f"prov.{stage}", breakdown[stage], bounds=obs.LATENCY_BOUNDS_S
+        )
+    obs.observe("prov.e2e_s", breakdown["e2e_s"], bounds=obs.LATENCY_BOUNDS_S)
+
+
+def validate_breakdown(breakdown: Dict[str, Any], tol: float = 1e-9) -> None:
+    """Raise ``ValueError`` unless the stage sum matches ``e2e_s``."""
+    missing = [
+        k
+        for k in (*BREAKDOWN_STAGES, "e2e_s", "trace_id")
+        if k not in breakdown
+    ]
+    if missing:
+        raise ValueError(f"breakdown missing keys {missing}")
+    total = sum(float(breakdown[k]) for k in BREAKDOWN_STAGES)
+    if abs(total - float(breakdown["e2e_s"])) > tol:
+        raise ValueError(
+            f"stage sum {total!r} inconsistent with e2e {breakdown['e2e_s']!r}"
+        )

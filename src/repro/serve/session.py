@@ -36,6 +36,7 @@ from __future__ import annotations
 import logging
 import threading
 import time
+import weakref
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
@@ -47,6 +48,8 @@ from repro import obs
 from repro.arrays.geometry import AntennaArray
 from repro.core.config import RimConfig
 from repro.core.streaming import MotionUpdate, StreamingRim
+from repro.obs.flight import FLIGHT
+from repro.obs.provenance import SampleProvenance
 from repro.store.writer import TraceWriter
 
 logger = logging.getLogger(__name__)
@@ -142,7 +145,10 @@ class ServeSession:
         self._clock = clock
         self.created_at = clock()
         self.last_activity = self.created_at
-        self._queue: Deque[Tuple[np.ndarray, Optional[float]]] = deque()
+        self._queue: Deque[
+            Tuple[np.ndarray, Optional[float], Optional[SampleProvenance]]
+        ] = deque()
+        self._degrade_dumped = False
         self._updates: List[MotionUpdate] = []
         # Serving-side repairs folded into the next health report.
         self._pending_repairs: Dict[str, int] = {}
@@ -172,16 +178,34 @@ class ServeSession:
 
     # -- ingest -------------------------------------------------------------
 
-    def offer(self, packet: np.ndarray, timestamp: Optional[float] = None) -> str:
+    def offer(
+        self,
+        packet: np.ndarray,
+        timestamp: Optional[float] = None,
+        provenance: Optional[SampleProvenance] = None,
+    ) -> str:
         """Enqueue one packet, honoring the backpressure policy.
 
         Returns one of :data:`PUSH_ACCEPTED`, :data:`PUSH_BLOCKED`
         (admitted after a blocking drain), :data:`PUSH_SHED_OLDEST`
         (admitted, oldest queued packet shed), or :data:`PUSH_REJECTED`
         (refused — the producer must retry later or drop).
+
+        While :mod:`repro.obs` is enabled every admitted packet carries a
+        provenance context: the caller's (stamped ``ingest`` here), or a
+        fresh one minted at this boundary (``wire_s`` = 0) so in-process
+        producers and fault-lossy wire paths still yield a full latency
+        breakdown on every update.
         """
         self.last_activity = self._clock()
         self.n_offered += 1
+        obs.add(_tagged("serve.offered", self.name))
+        if obs.enabled():
+            if provenance is None:
+                provenance = SampleProvenance(f"{self.name}:{self.n_offered - 1}")
+            provenance.stamp_ingest()
+        else:
+            provenance = None
         if self.recorder is not None:
             self.recorder.append(np.asarray(packet), timestamp)
         status = PUSH_ACCEPTED
@@ -191,6 +215,9 @@ class ServeSession:
                 self.n_rejected += 1
                 self._tally("queue_rejected")
                 obs.add(_tagged("serve.rejected", self.name))
+                FLIGHT.record(
+                    "backpressure", "serve", session=self.name, action="reject"
+                )
                 self._record_depth()
                 return PUSH_REJECTED
             if policy == "drop_oldest":
@@ -198,6 +225,9 @@ class ServeSession:
                 self.n_shed += 1
                 self._tally("queue_shed_oldest")
                 obs.add(_tagged("serve.shed_oldest", self.name))
+                FLIGHT.record(
+                    "backpressure", "serve", session=self.name, action="shed_oldest"
+                )
                 status = PUSH_SHED_OLDEST
             else:  # block: consume the backlog before admitting more
                 t0 = time.perf_counter()
@@ -212,7 +242,7 @@ class ServeSession:
                     bounds=obs.LATENCY_BOUNDS_S,
                 )
                 status = PUSH_BLOCKED
-        self._queue.append((packet, timestamp))
+        self._queue.append((packet, timestamp, provenance))
         self._record_depth()
         return status
 
@@ -221,8 +251,10 @@ class ServeSession:
         n = len(self._queue) if max_packets is None else min(max_packets, len(self._queue))
         new: List[MotionUpdate] = []
         for _ in range(n):
-            packet, timestamp = self._queue.popleft()
-            update = self.stream.push(packet, timestamp)
+            packet, timestamp, provenance = self._queue.popleft()
+            if provenance is not None:
+                provenance.stamp_dequeue()
+            update = self.stream.push(packet, timestamp, provenance=provenance)
             self.n_processed += 1
             if update is not None:
                 self._absorb(update)
@@ -284,6 +316,7 @@ class ServeSession:
 
     def _tally(self, key: str, n: int = 1) -> None:
         self._pending_repairs[key] = self._pending_repairs.get(key, 0) + n
+        obs.add(_tagged("serve.repairs", self.name), n)
 
     def _record_depth(self) -> None:
         obs.set_gauge(_tagged("serve.queue_depth", self.name), len(self._queue))
@@ -300,6 +333,19 @@ class ServeSession:
                 self._pending_repairs = {}
             if update.health.degraded:
                 self.degraded_blocks += 1
+                FLIGHT.record(
+                    "guard_escalation",
+                    "serve",
+                    session=self.name,
+                    degraded_blocks=self.degraded_blocks,
+                    repairs=dict(update.health.repairs),
+                )
+                if not self._degrade_dumped:
+                    # One artifact per session: the first escalation is
+                    # the interesting one, a flapping guard must not
+                    # spray dump files.
+                    self._degrade_dumped = True
+                    FLIGHT.auto_dump(f"guard-escalation-{self.name}")
         if update.stats is not None:
             obs.observe(
                 _tagged("serve.block_latency_s", self.name),
@@ -340,6 +386,30 @@ class SessionManager:
         self._sessions: Dict[str, ServeSession] = {}
         self._lock = threading.Lock()
         self.n_evicted = 0
+        # Refresh queue-depth/session-count gauges at every registry
+        # snapshot, so exporters see live values between pushes.  The
+        # weakref collector unregisters itself once the manager is gone.
+        ref = weakref.ref(self)
+
+        def _collect() -> bool:
+            manager = ref()
+            if manager is None:
+                return False
+            manager._refresh_gauges()
+            return True
+
+        obs.METRICS.add_collector(_collect)
+
+    def _refresh_gauges(self) -> None:
+        if not obs.enabled():
+            return
+        with self._lock:
+            sessions = list(self._sessions.values())
+        obs.set_gauge("serve.sessions", len(sessions))
+        for session in sessions:
+            obs.set_gauge(
+                _tagged("serve.queue_depth", session.name), session.queue_depth
+            )
 
     def __contains__(self, name: str) -> bool:
         with self._lock:
@@ -391,7 +461,8 @@ class SessionManager:
                 raise ValueError(f"session {name!r} already exists")
             self._sessions[name] = session
         obs.set_gauge("serve.sessions", len(self))
-        logger.info("session %s created", name)
+        FLIGHT.record("session", "serve", session=name, action="created")
+        logger.info("session %s created", name, extra={"session": name})
         return session
 
     def get(self, name: str) -> ServeSession:
@@ -402,10 +473,19 @@ class SessionManager:
                 raise KeyError(f"unknown session {name!r}") from None
 
     def push(
-        self, name: str, packet: np.ndarray, timestamp: Optional[float] = None
+        self,
+        name: str,
+        packet: np.ndarray,
+        timestamp: Optional[float] = None,
+        provenance: Optional[SampleProvenance] = None,
     ) -> str:
-        """Offer one packet to a session; returns the offer status."""
-        status = self.get(name).offer(packet, timestamp)
+        """Offer one packet to a session; returns the offer status.
+
+        ``provenance`` carries a wire-side trace context (minted at
+        ``NetClient.send``); without one, the session mints its own at
+        the ingest boundary while :mod:`repro.obs` is enabled.
+        """
+        status = self.get(name).offer(packet, timestamp, provenance=provenance)
         obs.add("serve.pushes")
         return status
 
@@ -423,7 +503,14 @@ class SessionManager:
         self.n_evicted += 1
         obs.add("serve.evictions")
         obs.set_gauge("serve.sessions", len(self))
-        logger.info("session %s evicted (%d final updates)", name, len(updates))
+        FLIGHT.record(
+            "session", "serve", session=name, action="evicted",
+            final_updates=len(updates),
+        )
+        logger.info(
+            "session %s evicted (%d final updates)", name, len(updates),
+            extra={"session": name},
+        )
         return updates
 
     def evict_idle(self, now: Optional[float] = None) -> Dict[str, List[MotionUpdate]]:

@@ -80,6 +80,16 @@ class GracefulShutdown:
                 signal.signal(sig, previous)  # type: ignore[arg-type]
             self._previous.clear()
             self._installed = False
+        if self.triggered:
+            # Deferred import: shutdown must stay importable even if the
+            # obs stack is being torn down or was never set up.
+            from repro.obs.flight import FLIGHT
+
+            FLIGHT.record(
+                "shutdown", "shutdown",
+                signal=self.signal_name or "requested", drained=True,
+            )
+            FLIGHT.auto_dump("graceful-shutdown")
 
     def _handle(self, signum, _frame) -> None:
         if self._stop.is_set():
@@ -95,3 +105,8 @@ class GracefulShutdown:
             self.signal_name,
         )
         self._stop.set()
+        from repro.obs.flight import FLIGHT
+
+        FLIGHT.record(
+            "shutdown_signal", "shutdown", signal=self.signal_name,
+        )

@@ -40,6 +40,7 @@ import numpy as np
 from repro import obs
 from repro.arrays.geometry import AntennaArray
 from repro.channel.sampler import CsiTrace
+from repro.obs.flight import FLIGHT
 from repro.io import (
     array_from_manifest,
     check_format_version,
@@ -209,6 +210,10 @@ class TraceReader:
             obs.add("store.seq_gaps", 1)
         else:
             obs.add("store.structural_faults", 1)
+        FLIGHT.record(
+            "store_fault", "store", counter=counter, error=str(exc),
+            policy=self.policy,
+        )
         if self.policy == "raise":
             raise exc
 
@@ -376,9 +381,13 @@ class TraceReader:
                 continue
             try:
                 data, times = self._load_payload(entry)
-            except StoreCorruptionError:
+            except StoreCorruptionError as exc:
                 self.report.crc_failed += 1
                 obs.add("store.crc_failures", 1)
+                FLIGHT.record(
+                    "store_fault", "store", counter="crc_failed",
+                    error=str(exc), policy=self.policy, seq=entry.seq,
+                )
                 if self.policy == "raise":
                     raise
                 record = self._fill_record(
@@ -426,6 +435,10 @@ class TraceReader:
         )
         repairs = dict(base)
         repairs[f"store_{counter}"] = n if counter == "gap_samples_filled" else 1
+        FLIGHT.record(
+            "store_repair", "store", counter=counter, seq=entry.seq,
+            n_samples=n,
+        )
         return ChunkRecord(
             index=index, seq=entry.seq, data=data, times=times, repairs=repairs
         )

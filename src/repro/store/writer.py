@@ -25,6 +25,7 @@ import numpy as np
 
 from repro import obs
 from repro.arrays.geometry import AntennaArray
+from repro.obs.flight import FLIGHT
 from repro.channel.sampler import CsiTrace
 from repro.io import array_to_manifest, trajectory_to_manifest
 from repro.motionsim.trajectory import Trajectory
@@ -186,6 +187,10 @@ class TraceWriter:
         if self.sample_shape is not None:
             self._write_manifest(closed=True)
         self._closed = True
+        FLIGHT.record(
+            "store_close", "store", path=str(self.root),
+            n_chunks=self.n_chunks, n_samples=self.n_samples,
+        )
 
     def __enter__(self) -> "TraceWriter":
         return self

@@ -132,6 +132,91 @@ def test_metric_kind_collision_raises():
         reg.histogram("x")
 
 
+def test_registry_concurrent_updates_never_torn():
+    """Snapshots under concurrent writers are internally consistent.
+
+    Writer threads hammer a counter and a histogram while a reader loops
+    ``snapshot()`` / ``to_jsonl()``.  Every observed snapshot must be
+    self-consistent (bucket counts summing to the histogram count, count
+    never ahead of the true total), and the final values must be exact —
+    no lost increments, no torn multi-field reads.
+    """
+    import json as _json
+    import threading
+
+    reg = MetricsRegistry()
+    counter = reg.counter("stress.count")
+    hist = reg.histogram("stress.lat", bounds=(0.1, 0.2, 0.5))
+    n_writers, n_iters = 4, 2000
+    start = threading.Barrier(n_writers + 2)
+    stop = threading.Event()
+    torn = []
+
+    def writer(seed: int) -> None:
+        start.wait()
+        values = (0.05, 0.15, 0.3, 0.7)
+        for k in range(n_iters):
+            counter.add(1)
+            hist.observe(values[(k + seed) % len(values)])
+
+    def reader() -> None:
+        start.wait()
+        while not stop.is_set():
+            snap = reg.snapshot()
+            h = snap["stress.lat"]
+            if sum(h["counts"]) != h["count"]:
+                torn.append(("bucket-sum", h))
+            if snap["stress.count"]["value"] > n_writers * n_iters:
+                torn.append(("overcount", snap["stress.count"]))
+            for line in reg.to_jsonl().splitlines():
+                _json.loads(line)
+
+    threads = [
+        threading.Thread(target=writer, args=(k,)) for k in range(n_writers)
+    ] + [threading.Thread(target=reader), threading.Thread(target=reader)]
+    for t in threads:
+        t.start()
+    for t in threads[:n_writers]:
+        t.join()
+    stop.set()
+    for t in threads[n_writers:]:
+        t.join()
+
+    assert not torn, torn[:3]
+    assert counter.value == n_writers * n_iters
+    assert hist.count == n_writers * n_iters
+    assert sum(hist.counts) == hist.count
+
+
+def test_registry_collectors_run_at_snapshot_time():
+    reg = MetricsRegistry()
+    gauge = reg.gauge("live.depth")
+    calls = []
+
+    def collect():
+        calls.append(1)
+        gauge.set(float(len(calls)))
+
+    reg.add_collector(collect)
+    assert reg.snapshot()["live.depth"]["value"] == 1.0
+    assert reg.snapshot()["live.depth"]["value"] == 2.0
+
+    # Returning False deregisters (the weakref-owner convention); so does
+    # raising.
+    reg.add_collector(lambda: False)
+    reg.snapshot()
+    reg.snapshot()
+
+    def broken():
+        raise RuntimeError("collector died")
+
+    reg.add_collector(broken)
+    reg.snapshot()  # dropped, not propagated
+    before = len(calls)
+    reg.snapshot()
+    assert len(calls) == before + 1  # the healthy collector survives
+
+
 # -- pipeline stats -------------------------------------------------------
 
 BATCH_STAGES = (

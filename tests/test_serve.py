@@ -75,7 +75,7 @@ class TestBackpressure:
         s = mgr.create("a", three_antenna, 100.0)
         for k in range(10):
             mgr.push("a", _packet(), k / 100.0)
-        queued_times = [t for _, t in s._queue]
+        queued_times = [t for _, t, _ in s._queue]
         assert queued_times == [k / 100.0 for k in range(6, 10)]
 
     def test_reject_refuses_when_full(self, three_antenna):
@@ -86,7 +86,7 @@ class TestBackpressure:
         assert s.n_rejected == 3
         assert s.queue_depth == 4
         # Rejected packets are gone: the queue still holds the first four.
-        assert [t for _, t in s._queue] == [k / 100.0 for k in range(4)]
+        assert [t for _, t, _ in s._queue] == [k / 100.0 for k in range(4)]
 
     def test_block_drains_through_the_estimator(self, three_antenna):
         # Small blocks so the drain actually processes full blocks.
