@@ -21,9 +21,12 @@ beating the reference kernel, multi-session serving throughput
 (``serving.parallel.sessions_per_second``, schema v3) regressed beyond
 the same budget, the store write/read bandwidth and replay throughput
 (``store.*``, schema v4) did, the network front-end ingest throughput
-and reconnect-recovery time (``net.*``, schema v5) did, or the telemetry
+and reconnect-recovery time (``net.*``, schema v5) did, the telemetry
 A/B overhead (``obs_overhead.overhead_frac``, schema v6) exceeded the
-budget.  Equivalent CLI verb: ``python -m repro.cli profile``.
+budget, a gated tentpole stage span (``dp_tracking``/``rim.sanitize``,
+schema v7) regressed individually, or the opt-in float32 kernel mode
+(``kernel_dtypes``, schema v7) stopped being at least as fast as
+float64.  Equivalent CLI verb: ``python -m repro.cli profile``.
 """
 
 from __future__ import annotations

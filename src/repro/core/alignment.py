@@ -133,7 +133,8 @@ def base_trrs_matrix(
         a = norm_i[ti]
         b = norm_j[tj]
         if rows is not None:
-            valid = rows[(rows >= (ti.start or 0)) & (rows < (ti.stop if ti.stop is not None else t))]
+            stop = ti.stop if ti.stop is not None else t
+            valid = rows[(rows >= (ti.start or 0)) & (rows < stop)]
             if valid.size == 0:
                 continue
             out[valid, col] = normalized_inner_trrs(norm_i[valid], norm_j[valid - lag])

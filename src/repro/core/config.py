@@ -74,6 +74,13 @@ class RimConfig:
         kernel_threads: Thread-pool width for the batched backend's
             per-lag fan-out (the einsum inner products release the GIL);
             0 means serial.  Ignored by the reference backend.
+        kernel_dtype: Precision of the batched TRRS and DP kernels:
+            "float64" (default; bit-compatible with the reference
+            oracle), "float32" (opt-in single precision — roughly 2x
+            GEMM throughput within the error budget documented in
+            ``docs/performance.md``), or "auto" — the
+            ``RIM_KERNEL_DTYPE`` env var when set, else "float64".  The
+            reference backend always computes in float64.
         stream_reuse: Let :class:`~repro.core.streaming.StreamingRim`
             reuse the previous block's TRRS rows instead of recomputing
             the context window (batched backend only; automatically
@@ -121,6 +128,7 @@ class RimConfig:
 
     kernel_backend: str = "auto"
     kernel_threads: int = 0
+    kernel_dtype: str = "auto"
     stream_reuse: bool = True
 
     def __post_init__(self) -> None:
@@ -167,3 +175,8 @@ class RimConfig:
             )
         if self.kernel_threads < 0:
             raise ValueError("kernel_threads must be >= 0")
+        if self.kernel_dtype not in ("auto", "float64", "float32"):
+            raise ValueError(
+                f"kernel_dtype must be 'float64', 'float32', or 'auto', "
+                f"got {self.kernel_dtype!r}"
+            )

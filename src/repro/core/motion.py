@@ -11,7 +11,7 @@ dead-reckoned from (v, θ).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 from scipy.ndimage import median_filter

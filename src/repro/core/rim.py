@@ -50,7 +50,6 @@ from repro.core.pairs import (
     select_group_per_sample,
 )
 from repro.core.sanitize import sanitize_trace
-from repro.core.tracking import track_peaks
 from repro.core.trrs import normalize_csi
 from repro.perf import get_backend
 from repro.robustness.guard import guard_trace
@@ -120,6 +119,7 @@ class Rim:
         *,
         stream_cache=None,
         stream_offset: int = 0,
+        presanitized: Optional[np.ndarray] = None,
     ) -> RimResult:
         """Run the full RIM pipeline on a CSI trace.
 
@@ -141,6 +141,13 @@ class Rim:
                 (:mod:`repro.perf.streamcache`); None for batch use.
             stream_offset: Global sample index of ``trace``'s first row
                 within the stream the cache is keyed on.
+            presanitized: Ingest-fused sanitize: the caller's per-sample
+                sanitized copy of ``trace.data`` (same shape/dtype).  Used
+                instead of the in-pipeline ``sanitize_trace`` pass when the
+                stream-safety gate holds (no guard repairs this call, no
+                loss interpolation pending — the same condition that
+                validates the cross-block TRRS cache); silently ignored
+                otherwise, so correctness never depends on it.
         """
         span_cm = obs.span(
             "rim.process", n_samples=trace.n_samples, n_rx=trace.n_rx
@@ -148,7 +155,10 @@ class Rim:
         root = span_cm.__enter__()
         try:
             result = self._run_pipeline(
-                trace, stream_cache=stream_cache, stream_offset=stream_offset
+                trace,
+                stream_cache=stream_cache,
+                stream_offset=stream_offset,
+                presanitized=presanitized,
             )
         finally:
             span_cm.__exit__(None, None, None)
@@ -159,7 +169,11 @@ class Rim:
         return result
 
     def _run_pipeline(
-        self, trace: CsiTrace, stream_cache=None, stream_offset: int = 0
+        self,
+        trace: CsiTrace,
+        stream_cache=None,
+        stream_offset: int = 0,
+        presanitized: Optional[np.ndarray] = None,
     ) -> RimResult:
         cfg = self.config
         guard_report = None
@@ -181,14 +195,39 @@ class Rim:
         dead = set(guard_report.dead_chains) if guard_report else set()
 
         data = trace.data
-        with obs.span("rim.sanitize", shape=data.shape, sanitize=cfg.sanitize):
-            if cfg.interpolate_loss and cfg.interpolation_max_gap > 0:
-                from repro.channel.interpolation import interpolate_lost_packets
+        # One safety evaluation governs both per-sample reuse mechanisms:
+        # the ingest-fused sanitized view and the cross-block TRRS cache.
+        # Both demand that this call's samples are bit-identical to what a
+        # per-sample pass over the raw stream would have seen.
+        stream_safe = (
+            self._stream_cache_safe(data, guard_report)
+            if (stream_cache is not None or presanitized is not None)
+            else False
+        )
+        fused = (
+            presanitized is not None
+            and cfg.sanitize
+            and stream_safe
+            and presanitized.shape == data.shape
+        )
+        with obs.span(
+            "rim.sanitize", shape=data.shape, sanitize=cfg.sanitize, fused=fused
+        ):
+            if fused:
+                # Every sample was sanitized exactly once at ingest (and
+                # counted there in ``sanitize.samples``); the block pass
+                # only normalizes.
+                data = presanitized
+            else:
+                if cfg.interpolate_loss and cfg.interpolation_max_gap > 0:
+                    from repro.channel.interpolation import interpolate_lost_packets
 
-                data = interpolate_lost_packets(
-                    data, max_gap=cfg.interpolation_max_gap
-                )
-            data = sanitize_trace(data) if cfg.sanitize else data
+                    data = interpolate_lost_packets(
+                        data, max_gap=cfg.interpolation_max_gap
+                    )
+                if cfg.sanitize:
+                    data = sanitize_trace(data)
+                    obs.add("sanitize.samples", data.shape[0])
             norm = normalize_csi(data)
         fs = trace.sampling_rate
 
@@ -198,7 +237,7 @@ class Rim:
         store = self._kernel.make_store(norm, cfg.max_lag)
         cache_ok = False
         if stream_cache is not None:
-            cache_ok = self._stream_cache_safe(trace.data, guard_report)
+            cache_ok = stream_safe
             if cache_ok:
                 seeded_before = stream_cache.seeded_cells
                 self._kernel.seed_store(store, stream_cache, stream_offset)
@@ -405,19 +444,22 @@ class Rim:
             virtual_window=cfg.virtual_window,
             sampling_rate=fs,
         )
-        tracks = []
+        group_matrices = []
         cursor = 0
-        for group, mem in zip(candidates, members):
+        for mem in members:
             group_mats = mats[cursor : cursor + len(mem)]
             cursor += len(mem)
-            matrix = (
+            group_matrices.append(
                 average_matrices(group_mats) if len(group_mats) > 1 else group_mats[0]
             )
-            path = track_peaks(
-                matrix,
-                transition_weight=cfg.transition_weight,
-                refine=cfg.refine_subsample,
-            )
+        # All confirmed groups track in one batched kernel request.
+        paths = self._kernel.track_paths(
+            group_matrices,
+            transition_weight=cfg.transition_weight,
+            refine=cfg.refine_subsample,
+        )
+        tracks = []
+        for group, matrix, path in zip(candidates, group_matrices, paths):
             quality = path_quality(
                 matrix, path, smoothing_window=cfg.quality_smoothing
             )
@@ -506,13 +548,14 @@ class Rim:
         ring_mats = self._kernel.matrices(
             store, ring, virtual_window=ring_window, sampling_rate=fs
         )
+        # The whole ring tracks in one batched kernel request.
+        paths = self._kernel.track_paths(
+            ring_mats,
+            transition_weight=cfg.transition_weight,
+            refine=cfg.refine_subsample,
+        )
         tracks = []
-        for p, matrix in zip(ring, ring_mats):
-            path = track_peaks(
-                matrix,
-                transition_weight=cfg.transition_weight,
-                refine=cfg.refine_subsample,
-            )
+        for p, matrix, path in zip(ring, ring_mats, paths):
             quality = path_quality(matrix, path, smoothing_window=cfg.quality_smoothing)
             tracks.append(GroupTrack(pairs=[p], matrix=matrix, path=path, quality=quality))
 
@@ -686,9 +729,11 @@ class Rim:
             lags = track.path.refined_lags
             v = speed_from_lags(lags, track.separation, fs, min_lag=cfg.min_speed_lag)
             speed[sel] = v[sel]
-            sign = np.where(lags >= 0, 1, -1)
+            # heading() depends only on the lag's sign, so evaluate it for
+            # the two possible signs and broadcast — same values as the
+            # per-sample calls, without T python-level invocations.
             pair = track.pairs[0]
-            ang = np.array([pair.heading(int(s)) for s in sign])
+            ang = np.where(lags >= 0, pair.heading(1), pair.heading(-1))
             heading[sel] = ang[sel]
 
         if cfg.fine_direction and tracks:

@@ -38,8 +38,15 @@ def estimate_phase_slope(csi: np.ndarray) -> np.ndarray:
     return np.angle(lag1)
 
 
-def remove_phase_slope(csi: np.ndarray, slope: np.ndarray = None) -> np.ndarray:
+def remove_phase_slope(csi: np.ndarray, slope: np.ndarray | None = None) -> np.ndarray:
     """Remove the linear phase ramp from CSI vectors.
+
+    The rotation ``exp(-i·slope·tone)`` is assembled from real ``cos``/
+    ``sin`` calls at the *input's* precision: for complex64 CSI the ramp
+    is built in float32 (several times faster than a complex128 ``exp``
+    and well inside single precision's own round-off), and for
+    complex128 CSI the float64 ``cos - i·sin`` form is bit-identical to
+    ``np.exp(-1j·phase)``.
 
     Args:
         csi: (..., S) complex CFRs.
@@ -54,8 +61,19 @@ def remove_phase_slope(csi: np.ndarray, slope: np.ndarray = None) -> np.ndarray:
     s = csi.shape[-1]
     # Center the ramp so sanitization never injects a tone-independent phase.
     tone_axis = np.arange(s) - (s - 1) / 2.0
-    ramp = np.exp(-1j * np.asarray(slope)[..., None] * tone_axis)
-    return (csi * ramp).astype(csi.dtype)
+    if csi.dtype == np.complex64:
+        phase = np.asarray(slope, dtype=np.float32)[..., None] * tone_axis.astype(
+            np.float32
+        )
+        ramp = np.empty(phase.shape, dtype=np.complex64)
+    else:
+        phase = np.asarray(slope, dtype=np.float64)[..., None] * tone_axis
+        ramp = np.empty(phase.shape, dtype=np.complex128)
+    np.cos(phase, out=ramp.real)
+    np.sin(phase, out=ramp.imag)
+    np.negative(ramp.imag, out=ramp.imag)
+    out = csi * ramp
+    return out if out.dtype == csi.dtype else out.astype(csi.dtype)
 
 
 def sanitize_trace(data: np.ndarray) -> np.ndarray:

@@ -28,6 +28,7 @@ from repro.arrays.geometry import AntennaArray
 from repro.channel.sampler import CsiTrace
 from repro.core.config import RimConfig
 from repro.core.rim import Rim
+from repro.core.sanitize import remove_phase_slope
 from repro.motionsim.trajectory import Trajectory
 from repro.perf.streamcache import StreamAlignmentCache
 from repro.robustness.guard import GuardError, StreamGuard
@@ -119,6 +120,15 @@ class StreamingRim:
         # late packets are rejected at the door rather than mid-block.
         self._guard = StreamGuard(policy=self.config.guard_policy)
         self._packets: List[np.ndarray] = []
+        # Ingest-fused sanitize: phase sanitization is per-sample, so each
+        # admitted packet is sanitized exactly once on arrival instead of
+        # once per block it appears in (a context-window sample is
+        # reprocessed by every block that retains it).  _sanitized is
+        # parallel to _packets and trimmed identically; the estimator
+        # falls back to its own sanitize pass whenever the fused view
+        # cannot be trusted (guard repairs, pending loss interpolation).
+        self._fuse_sanitize = bool(self.config.sanitize)
+        self._sanitized: List[np.ndarray] = []
         self._times: List[float] = []
         # Parallel to _packets: the provenance context each admitted sample
         # arrived with (None when tracing is off) — trimmed identically.
@@ -192,6 +202,8 @@ class StreamingRim:
             return None
         packet, timestamp = admitted
         self._packets.append(packet)
+        if self._fuse_sanitize:
+            self._sanitized.append(self._sanitize_packet(packet))
         self._times.append(timestamp)
         self._prov.append(provenance if obs.enabled() else None)
         self._n_pushed += 1
@@ -226,9 +238,15 @@ class StreamingRim:
             if self._packets
             else None
         )
+        sanitized = (
+            np.stack(self._sanitized, axis=0)
+            if self._fuse_sanitize and self._sanitized
+            else None
+        )
         return {
             "version": 1,
             "packets": packets,
+            "sanitized": sanitized,
             "times": np.asarray(self._times, dtype=np.float64),
             "pending_start": int(self._pending_start),
             "buffer_offset": int(self._buffer_offset),
@@ -282,6 +300,27 @@ class StreamingRim:
                 f"{times.size} timestamps"
             )
         self._packets = restored
+        # Restore the ingest-sanitized cache when the checkpoint carries a
+        # matching one; otherwise (older checkpoint, sanitize toggled on
+        # after the snapshot) recompute it — sanitization is per-sample,
+        # so the rebuilt cache is bit-identical to an uninterrupted stream.
+        if self._fuse_sanitize:
+            sanitized = state.get("sanitized")
+            usable = (
+                restored
+                and sanitized is not None
+                and np.asarray(sanitized).shape
+                == (len(restored), *restored[0].shape)
+            )
+            if usable:
+                sanitized = np.asarray(sanitized)
+                self._sanitized = [
+                    sanitized[k].astype(np.complex64) for k in range(len(restored))
+                ]
+            else:
+                self._sanitized = [self._sanitize_packet(p) for p in restored]
+        else:
+            self._sanitized = []
         self._times = [float(t) for t in times]
         # Provenance contexts are transient (live latency only) and are
         # deliberately not checkpointed; restored samples carry none.
@@ -313,6 +352,7 @@ class StreamingRim:
         only reachable by rebuilding it).
         """
         self._packets = []
+        self._sanitized = []
         self._times = []
         self._prov = []
         self._pending_start = 0
@@ -328,6 +368,24 @@ class StreamingRim:
             self._align_cache.reset()
 
     # -- internals ---------------------------------------------------------
+
+    def _sanitize_packet(self, packet: np.ndarray) -> np.ndarray:
+        """Sanitize one admitted packet at ingest (fused-sanitize path).
+
+        The packet is cast to complex64 — the dtype the block path feeds
+        :class:`~repro.channel.sampler.CsiTrace` — and sanitized with the
+        same per-(rx, tx)-vector math a whole-block ``sanitize_trace``
+        applies (slope estimation and ramp removal have no cross-sample
+        coupling).  The result agrees with the block pass to complex64
+        round-off (the vectorized block multiply rounds differently at
+        SIMD-lane boundaries) and, crucially, is computed exactly once:
+        every block that retains this sample sees the identical bits, so
+        cross-block TRRS cache cells and checkpoint round-trips stay
+        bit-consistent.
+        """
+        out = remove_phase_slope(np.ascontiguousarray(packet, dtype=np.complex64))
+        obs.add("sanitize.samples", 1)
+        return out
 
     def _emit_block(self, final: bool = False) -> MotionUpdate:
         """Process the buffer and emit the new samples, timing the block.
@@ -403,10 +461,18 @@ class StreamingRim:
             tx_positions=np.zeros((data.shape[2], 2)),
             carrier_wavelength=self.carrier_wavelength,
         )
+        # Clock resampling rewrites timestamps only — the CSI samples are
+        # untouched — so the ingest-sanitized view stays valid across it.
+        presanitized = (
+            np.stack(self._sanitized, axis=0)
+            if self._fuse_sanitize and len(self._sanitized) == t
+            else None
+        )
         result = self._rim.process(
             trace,
             stream_cache=self._align_cache,
             stream_offset=self._buffer_offset,
+            presanitized=presanitized,
         )
 
         motion = result.motion
@@ -450,6 +516,7 @@ class StreamingRim:
         # Trim the buffer down to the context window.
         keep_from = max(0, t - self.context_samples)
         self._packets = self._packets[keep_from:]
+        self._sanitized = self._sanitized[keep_from:]
         self._times = self._times[keep_from:]
         self._prov = self._prov[keep_from:]
         self._pending_start = t - keep_from

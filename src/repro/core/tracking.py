@@ -116,6 +116,23 @@ def _track_peaks(
     for step in range(t - 1, 0, -1):
         lag_indices[step - 1] = backptr[step, lag_indices[step]]
 
+    return finalize_path(matrix, lag_indices, float(np.max(score)), refine)
+
+
+def finalize_path(
+    matrix: AlignmentMatrix,
+    lag_indices: np.ndarray,
+    score: float,
+    refine: bool,
+) -> TrackedPath:
+    """Assemble a :class:`TrackedPath` from tracked integer lag columns.
+
+    Shared by the reference recursion above and the batched DP kernels
+    (:mod:`repro.perf.dptrack`): everything downstream of the forward
+    pass — lag shifting, path-TRRS gathering, parabolic refinement — is
+    identical regardless of which kernel produced ``lag_indices``.
+    """
+    t = lag_indices.size
     lags = lag_indices - matrix.max_lag
     path_trrs = matrix.values[np.arange(t), lag_indices]
     refined = (
@@ -128,7 +145,7 @@ def _track_peaks(
         lags=lags,
         refined_lags=refined,
         path_trrs=path_trrs,
-        score=float(np.max(score)),
+        score=float(score),
     )
 
 

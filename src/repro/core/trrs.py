@@ -137,10 +137,19 @@ def normalize_csi(data: np.ndarray) -> np.ndarray:
     return).
     """
     data = np.asarray(data, dtype=np.complex128)
-    power = np.sqrt((np.abs(data) ** 2).sum(axis=-1, keepdims=True))
+    # Σ|H[s]|² as one real dot product over the interleaved re/im view —
+    # no hypot round-trip, no intermediate magnitude array.
+    v = data.view(np.float64)
+    power = np.sqrt(np.einsum("...s,...s->...", v, v))[..., None]
     with np.errstate(divide="ignore", invalid="ignore"):
-        out = data / power
-    return np.where(power > 0, out, np.nan)
+        # One real reciprocal per vector instead of one per complex
+        # element; numpy's complex-by-real divide is itself a reciprocal
+        # multiply, so this is bit-identical to ``data / power``.
+        out = data * (1.0 / power)
+    bad = ~(power > 0)
+    if bad.any():
+        out[np.broadcast_to(bad, out.shape)] = np.nan
+    return out
 
 
 def trrs_series(a: np.ndarray, b: np.ndarray, lag: int) -> np.ndarray:

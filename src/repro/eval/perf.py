@@ -27,7 +27,7 @@ from typing import Any, Dict, Optional
 
 from repro import obs
 
-SCHEMA = "rim-perf-baseline/v6"
+SCHEMA = "rim-perf-baseline/v7"
 
 # Best-of-N repeats for the obs-overhead A/B: single wall-clock samples
 # of a ~100 ms workload are scheduler-jitter noisy, and the overhead gate
@@ -55,6 +55,16 @@ REQUIRED_BATCH_SPANS = (
 # primary one feeds the top-level batch/streaming sections.
 PROFILED_BACKENDS = ("reference", "batched")
 PRIMARY_BACKEND = "batched"
+
+# Kernel precisions the per-dtype section profiles (schema v7): float64
+# is the default/oracle mode, float32 the opt-in reduced-precision mode.
+PROFILED_KERNEL_DTYPES = ("float64", "float32")
+
+# Batch spans that get their own +25% regression row (schema v7), on top
+# of the whole-pipeline rim.process gate: the second kernel campaign's
+# tentpole stages, watched individually so a regression inside one stage
+# cannot hide behind an improvement in another.
+GATED_BATCH_SPANS = ("dp_tracking", "rim.sanitize")
 
 
 def _span_total(spans, name: str) -> float:
@@ -122,6 +132,54 @@ def _profile_backend(
             ),
         },
         "metrics": obs.METRICS.snapshot(),
+    }
+
+
+def _profile_kernel_dtypes(trace) -> Dict[str, Any]:
+    """Batch-profile the primary backend at each kernel precision.
+
+    One batch run per dtype in :data:`PROFILED_KERNEL_DTYPES` with obs
+    enabled, recording the wall time and the tentpole stage spans
+    (alignment, DP tracking, sanitize) so the baseline documents what
+    the opt-in float32 mode actually buys on this hardware.  The
+    float64 leg duplicates the primary profile by design: it is the
+    within-section comparison point, measured back to back with the
+    float32 leg so the speedup ratio is not cross-contaminated by
+    machine drift between sections.
+    """
+    from repro import Rim, RimConfig
+
+    dtypes: Dict[str, Any] = {}
+    for dtype in PROFILED_KERNEL_DTYPES:
+        cfg = RimConfig(
+            max_lag=60, kernel_backend=PRIMARY_BACKEND, kernel_dtype=dtype
+        )
+        obs.reset()
+        t0 = time.perf_counter()
+        result = Rim(cfg).process(trace)
+        wall = time.perf_counter() - t0
+        spans = result.stats["spans"] if result.stats else []
+        dtypes[dtype] = {
+            "batch_wall_s": wall,
+            "alignment_total_s": _span_total(spans, "alignment_matrix"),
+            "dp_tracking_s": _span_total(spans, "dp_tracking"),
+            "sanitize_s": _span_total(spans, "rim.sanitize"),
+            "total_distance_m": float(result.total_distance),
+        }
+
+    def _ratio(old: float, new: float) -> Optional[float]:
+        return old / new if new > 0 else None
+
+    f64, f32 = dtypes["float64"], dtypes["float32"]
+    return {
+        "dtypes": dtypes,
+        "speedup_float32": {
+            "batch_wall": _ratio(f64["batch_wall_s"], f32["batch_wall_s"]),
+            "alignment_total": _ratio(
+                f64["alignment_total_s"], f32["alignment_total_s"]
+            ),
+            "dp_tracking": _ratio(f64["dp_tracking_s"], f32["dp_tracking_s"]),
+        },
     }
 
 
@@ -421,6 +479,13 @@ def run_perf_baseline(
     array = linear_array(3)
     trace = bed.sampler.sample(truth, array)
 
+    # Build/load the native DP kernel before any timed region: on a cold
+    # cache the one-off C compile would otherwise land inside the first
+    # backend's batch wall and read as a phantom regression.
+    from repro.perf.dptrack import native_available
+
+    native_available()
+
     was_enabled = obs.enabled()
     obs.enable()
     try:
@@ -428,6 +493,7 @@ def run_perf_baseline(
             backend: _profile_backend(backend, trace, array, block_seconds)
             for backend in PROFILED_BACKENDS
         }
+        kernel_dtypes = _profile_kernel_dtypes(trace)
     finally:
         if not was_enabled:
             obs.disable()
@@ -461,6 +527,7 @@ def run_perf_baseline(
         },
         "batch": primary["batch"],
         "streaming": primary["streaming"],
+        "kernel_dtypes": kernel_dtypes,
         "serving": serving,
         "store": store,
         "net": net,
@@ -508,8 +575,8 @@ def validate_perf_payload(payload: Dict[str, Any]) -> None:
             f"schema mismatch: want {SCHEMA!r}, got {payload.get('schema')!r}"
         )
     sections = (
-        "workload", "batch", "streaming", "serving", "store", "net",
-        "obs_overhead", "metrics",
+        "workload", "batch", "streaming", "kernel_dtypes", "serving",
+        "store", "net", "obs_overhead", "metrics",
     )
     for section in sections:
         if not isinstance(payload.get(section), dict):
@@ -557,6 +624,18 @@ def validate_perf_payload(payload: Dict[str, Any]) -> None:
             "serving.bit_identical is false: pooled sessions diverged from "
             "serial execution"
         )
+    dtypes = payload["kernel_dtypes"].get("dtypes")
+    if not isinstance(dtypes, dict):
+        raise ValueError("kernel_dtypes.dtypes is missing or malformed")
+    absent_dtypes = [d for d in PROFILED_KERNEL_DTYPES if d not in dtypes]
+    if absent_dtypes:
+        raise ValueError(f"kernel_dtypes section missing: {absent_dtypes}")
+    for dtype, digest in dtypes.items():
+        for key in ("batch_wall_s", "alignment_total_s", "dp_tracking_s"):
+            if not isinstance(digest.get(key), (int, float)):
+                raise ValueError(f"kernel_dtypes[{dtype!r}] lacks {key}")
+    if not isinstance(payload["kernel_dtypes"].get("speedup_float32"), dict):
+        raise ValueError("kernel_dtypes lacks speedup_float32")
     spans = payload["batch"].get("spans") or []
     names = {s.get("name") for s in spans}
     missing = [n for n in REQUIRED_BATCH_SPANS if n not in names]
@@ -629,6 +708,22 @@ def check_perf_regression(
             f"({old_wall * 1e3:.1f} ms -> {new_wall * 1e3:.1f} ms; "
             f"budget +{max_regression:.0%})"
         )
+    # Per-stage span gates (schema v7): the tentpole stages are watched
+    # individually with the same fractional budget, so a regression in
+    # DP tracking or sanitize cannot hide behind an improvement
+    # elsewhere.  A v6 baseline without the span simply skips that row.
+    new_spans = payload.get("batch", {}).get("spans") or []
+    old_spans = baseline.get("batch", {}).get("spans") or []
+    for span_name in GATED_BATCH_SPANS:
+        new_span = _span_total(new_spans, span_name)
+        old_span = _span_total(old_spans, span_name)
+        if old_span > 0 and new_span > old_span * (1.0 + max_regression):
+            failures.append(
+                f"batch span {span_name} regressed "
+                f"{new_span / old_span - 1.0:+.0%} "
+                f"({old_span * 1e3:.1f} ms -> {new_span * 1e3:.1f} ms; "
+                f"budget +{max_regression:.0%})"
+            )
     speedups = payload.get("speedup_vs_reference") or {}
     for key in ("batch_wall", "alignment_total"):
         ratio = speedups.get(key)
@@ -638,6 +733,20 @@ def check_perf_regression(
                 f"the {payload.get('primary_backend', 'primary')} backend is "
                 "slower than the reference kernel"
             )
+    # Float32 kernel-mode gate (schema v7): the opt-in reduced-precision
+    # mode must not be slower than float64 beyond the regression budget —
+    # a within-run A/B, hardware-independent by construction.
+    f32_ratio = (
+        (payload.get("kernel_dtypes") or {}).get("speedup_float32") or {}
+    ).get("batch_wall")
+    if isinstance(f32_ratio, (int, float)) and f32_ratio < 1.0 / (
+        1.0 + max_regression
+    ):
+        failures.append(
+            f"float32 kernel mode is {1.0 / f32_ratio:.2f}x slower than "
+            f"float64 (budget {1.0 + max_regression:.2f}x): the opt-in "
+            "fast mode stopped being fast"
+        )
 
     # Multi-session serving gate (schema v3): compare pooled sessions/sec
     # against the committed baseline with the same fractional budget.
@@ -776,6 +885,18 @@ def render_perf_summary(payload: Dict[str, Any]) -> str:
             f"  block latency    p50 {stream['block_latency_p50_s'] * 1e3:.1f} ms, "
             f"p95 {stream['block_latency_p95_s'] * 1e3:.1f} ms"
         )
+    kernel_dtypes = payload.get("kernel_dtypes")
+    if kernel_dtypes:
+        lines += ["", "kernel precision (batched backend):"]
+        for dtype, digest in kernel_dtypes.get("dtypes", {}).items():
+            lines.append(
+                f"  {dtype:<9} batch {digest['batch_wall_s'] * 1e3:6.1f} ms "
+                f"(alignment {digest['alignment_total_s'] * 1e3:.1f} ms, "
+                f"dp {digest['dp_tracking_s'] * 1e3:.1f} ms)"
+            )
+        ratio = kernel_dtypes.get("speedup_float32", {}).get("batch_wall")
+        if ratio is not None:
+            lines.append(f"  float32 speedup  {ratio:.2f}x")
     serving = payload.get("serving")
     if serving:
         speedup = serving.get("parallel_speedup")

@@ -20,10 +20,37 @@ def nanmean(values: np.ndarray, axis=None) -> np.ndarray:
 
 
 def nanmedian(values: np.ndarray, axis=None) -> np.ndarray:
-    """np.nanmedian without the all-NaN RuntimeWarning."""
+    """np.nanmedian without the all-NaN RuntimeWarning.
+
+    ``np.nanmedian`` compacts every slice through its NaN-stripping
+    apply-along-axis machinery even when a slice holds no NaN at all.
+    Lag-matrix slices here are usually clean (losses are bursty, not
+    uniform), so clean slices are routed through the partition-based
+    ``np.median`` instead and only NaN-carrying slices pay the slow
+    path.  Both reductions sort the same values, so the split is
+    bit-identical to calling ``np.nanmedian`` on everything.
+    """
+    values = np.asarray(values)
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", category=RuntimeWarning)
-        return np.nanmedian(values, axis=axis)
+        if (
+            not isinstance(axis, int)
+            or values.dtype.kind != "f"
+            or values.ndim < 1
+            or values.size == 0
+        ):
+            return np.nanmedian(values, axis=axis)
+        nan_slices = np.isnan(values).any(axis=axis)
+        if not nan_slices.any():
+            return np.median(values, axis=axis)
+        if nan_slices.all():
+            return np.nanmedian(values, axis=axis)
+        rows = np.moveaxis(values, axis, -1).reshape(-1, values.shape[axis])
+        dirty = nan_slices.ravel()
+        out = np.empty(dirty.shape, dtype=values.dtype)
+        out[~dirty] = np.median(rows[~dirty], axis=-1)
+        out[dirty] = np.nanmedian(rows[dirty], axis=-1)
+        return out.reshape(nan_slices.shape)
 
 
 def nanmax(values: np.ndarray, axis=None) -> np.ndarray:

@@ -23,24 +23,36 @@ from repro.perf.kernels import (
     KernelBackend,
     ReferenceBackend,
 )
+from repro.perf.dptrack import dp_track_batch, native_available
 from repro.perf.registry import (
     DEFAULT_BACKEND,
+    DEFAULT_KERNEL_DTYPE,
+    RIM_KERNEL_DTYPE_ENV,
     RIM_KERNEL_ENV,
     available_backends,
     get_backend,
     register_backend,
     resolve_backend_name,
+    resolve_kernel_dtype,
 )
 from repro.perf.streamcache import StreamAlignmentCache
 
+# The reference oracle is always float64 — it defines the numbers every
+# other backend is measured against; only batched kernels honour the
+# opt-in precision.
 register_backend("reference", lambda config: ReferenceBackend())
 register_backend(
     "batched",
-    lambda config: BatchedBackend(threads=getattr(config, "kernel_threads", 0)),
+    lambda config: BatchedBackend(
+        threads=getattr(config, "kernel_threads", 0),
+        dtype=resolve_kernel_dtype(config),
+    ),
 )
 
 __all__ = [
     "DEFAULT_BACKEND",
+    "DEFAULT_KERNEL_DTYPE",
+    "RIM_KERNEL_DTYPE_ENV",
     "RIM_KERNEL_ENV",
     "BaseRowStore",
     "BatchedBackend",
@@ -48,7 +60,10 @@ __all__ = [
     "ReferenceBackend",
     "StreamAlignmentCache",
     "available_backends",
+    "dp_track_batch",
     "get_backend",
+    "native_available",
     "register_backend",
     "resolve_backend_name",
+    "resolve_kernel_dtype",
 ]

@@ -1,0 +1,177 @@
+/* Banded Bellman forward pass for DP peak tracking (§4.2, Eqns. 6-8).
+ *
+ * Compiled on demand by repro/perf/dptrack.py (see there for the build
+ * and caching story).  One call runs the forward recursion for a whole
+ * stack of alignment matrices; dp_backtrace walks the stored
+ * backpointers for the whole stack in one call.
+ *
+ * Formulation: the reference recursion evaluates, per step, the full
+ * (L, L) candidate table cand[l][n] = base[l] + jc[l][n] and takes the
+ * per-column argmax with numpy's first-index tie-break.  Here the table
+ * is swept with l outermost and the running column maxima updated in a
+ * branchless blend, which preserves that tie-break exactly: the maxima
+ * update only on a strictly-greater candidate, and l ascends.  The one
+ * exception is the l == n diagonal used to seed the maxima before the
+ * sweep — a strictly earlier l must displace an equal-valued seed, hence
+ * the explicit displace term.  The candidate sums are the same float
+ * expressions the reference computes, so values, backpointers, and tie
+ * decisions are bit-identical.
+ *
+ * The argmax lane is carried as a float of the same width as the values
+ * (argd), so the blend loop is a single-type SIMD select; lag indices
+ * are exactly representable far beyond any realistic L, and the int32
+ * backpointers are materialized once per step.  The per-step scratch
+ * (base/best/argd) lives on the stack — provably alias-free, which is
+ * what lets the compiler keep the read-modify-write blend vectorized —
+ * capping the supported lag count at DP_MAX_LAGS; wider requests return
+ * nonzero and the caller falls back to the numpy path (the practical
+ * L = 2*max_lag + 1 is ~121).
+ *
+ * Banding: with c = -omega / (2W) > 0 the jump cost falls by at least c
+ * per lag of distance, so any origin l with |l - n| > (base_max -
+ * base_min) / c is dominated by the diagonal seed l = n.  Sweeping only
+ * the radius R = (base_max - base_min) / c + 4 around each l is
+ * therefore lossless; the +4 margin absorbs the rounding of the
+ * precomputed jc entries (each |jc| <= |omega|, so its rounding error is
+ * far below c at any realistic L).  On peaked TRRS matrices the spread
+ * base_max - base_min stays small and the sweep is effectively O(L*R).
+ *
+ * The float32 twin exists for the opt-in reduced-precision kernel mode
+ * (RimConfig.kernel_dtype = "float32"); it mirrors the float64 code
+ * exactly and keeps the same tie semantics at its own precision.
+ */
+
+#include <stddef.h>
+#include <stdint.h>
+
+#define DP_MAX_LAGS 512
+
+int dp_forward_f64(const double *restrict e, const double *restrict jc,
+                   double *restrict score, int32_t *restrict backptr,
+                   ptrdiff_t n_mat, ptrdiff_t t, ptrdiff_t n_lags, double c)
+{
+    if (n_lags > DP_MAX_LAGS)
+        return 1;
+    double base[DP_MAX_LAGS], best[DP_MAX_LAGS], argd[DP_MAX_LAGS];
+    for (ptrdiff_t p = 0; p < n_mat; ++p) {
+        const double *ep = e + p * t * n_lags;
+        double *sc = score + p * n_lags;
+        for (ptrdiff_t l = 0; l < n_lags; ++l)
+            sc[l] = ep[l];
+        for (ptrdiff_t step = 1; step < t; ++step) {
+            const double *eprev = ep + (step - 1) * n_lags;
+            const double *ecur = ep + step * n_lags;
+            int32_t *bp = backptr + (step * n_mat + p) * n_lags;
+            double bmin = sc[0] + eprev[0], bmax = bmin;
+            for (ptrdiff_t l = 0; l < n_lags; ++l) {
+                double b = sc[l] + eprev[l];
+                base[l] = b;
+                bmin = b < bmin ? b : bmin;
+                bmax = b > bmax ? b : bmax;
+            }
+            ptrdiff_t radius = n_lags;
+            if (c > 0.0) {
+                double r = (bmax - bmin) / c + 4.0;
+                if (r < (double)n_lags)
+                    radius = (ptrdiff_t)r;
+            }
+            for (ptrdiff_t n = 0; n < n_lags; ++n) {
+                best[n] = base[n] + jc[n * n_lags + n];
+                argd[n] = (double)n;
+            }
+            for (ptrdiff_t l = 0; l < n_lags; ++l) {
+                const double bl = base[l];
+                const double ld = (double)l;
+                const double *jr = jc + l * n_lags;
+                ptrdiff_t n0 = l - radius, n1 = l + radius + 1;
+                if (n0 < 0) n0 = 0;
+                if (n1 > n_lags) n1 = n_lags;
+                for (ptrdiff_t n = n0; n < n1; ++n) {
+                    double v = bl + jr[n];
+                    int take = (v > best[n]) | ((v == best[n]) & (ld < argd[n]));
+                    best[n] = take ? v : best[n];
+                    argd[n] = take ? ld : argd[n];
+                }
+            }
+            for (ptrdiff_t n = 0; n < n_lags; ++n) {
+                bp[n] = (int32_t)argd[n];
+                sc[n] = best[n] + ecur[n];
+            }
+        }
+    }
+    return 0;
+}
+
+int dp_forward_f32(const float *restrict e, const float *restrict jc,
+                   float *restrict score, int32_t *restrict backptr,
+                   ptrdiff_t n_mat, ptrdiff_t t, ptrdiff_t n_lags, float c)
+{
+    if (n_lags > DP_MAX_LAGS)
+        return 1;
+    float base[DP_MAX_LAGS], best[DP_MAX_LAGS], argd[DP_MAX_LAGS];
+    for (ptrdiff_t p = 0; p < n_mat; ++p) {
+        const float *ep = e + p * t * n_lags;
+        float *sc = score + p * n_lags;
+        for (ptrdiff_t l = 0; l < n_lags; ++l)
+            sc[l] = ep[l];
+        for (ptrdiff_t step = 1; step < t; ++step) {
+            const float *eprev = ep + (step - 1) * n_lags;
+            const float *ecur = ep + step * n_lags;
+            int32_t *bp = backptr + (step * n_mat + p) * n_lags;
+            float bmin = sc[0] + eprev[0], bmax = bmin;
+            for (ptrdiff_t l = 0; l < n_lags; ++l) {
+                float b = sc[l] + eprev[l];
+                base[l] = b;
+                bmin = b < bmin ? b : bmin;
+                bmax = b > bmax ? b : bmax;
+            }
+            ptrdiff_t radius = n_lags;
+            if (c > 0.0f) {
+                float r = (bmax - bmin) / c + 4.0f;
+                if (r < (float)n_lags)
+                    radius = (ptrdiff_t)r;
+            }
+            for (ptrdiff_t n = 0; n < n_lags; ++n) {
+                best[n] = base[n] + jc[n * n_lags + n];
+                argd[n] = (float)n;
+            }
+            for (ptrdiff_t l = 0; l < n_lags; ++l) {
+                const float bl = base[l];
+                const float ld = (float)l;
+                const float *jr = jc + l * n_lags;
+                ptrdiff_t n0 = l - radius, n1 = l + radius + 1;
+                if (n0 < 0) n0 = 0;
+                if (n1 > n_lags) n1 = n_lags;
+                for (ptrdiff_t n = n0; n < n1; ++n) {
+                    float v = bl + jr[n];
+                    int take = (v > best[n]) | ((v == best[n]) & (ld < argd[n]));
+                    best[n] = take ? v : best[n];
+                    argd[n] = take ? ld : argd[n];
+                }
+            }
+            for (ptrdiff_t n = 0; n < n_lags; ++n) {
+                bp[n] = (int32_t)argd[n];
+                sc[n] = best[n] + ecur[n];
+            }
+        }
+    }
+    return 0;
+}
+
+/* Walk the stored backpointers from the given terminal columns.
+ * lag_indices is (n_mat, t) int64; lag_indices[p][t-1] must hold the
+ * argmax of the final score row on entry (numpy computes it — its
+ * first-index tie-break over a contiguous row is the contract). */
+void dp_backtrace(const int32_t *restrict backptr,
+                  int64_t *restrict lag_indices, ptrdiff_t n_mat,
+                  ptrdiff_t t, ptrdiff_t n_lags)
+{
+    for (ptrdiff_t p = 0; p < n_mat; ++p) {
+        int64_t *lp = lag_indices + p * t;
+        int64_t cur = lp[t - 1];
+        for (ptrdiff_t step = t - 1; step > 0; --step) {
+            cur = backptr[(step * n_mat + p) * n_lags + cur];
+            lp[step - 1] = cur;
+        }
+    }
+}

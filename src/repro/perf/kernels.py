@@ -4,10 +4,15 @@ The alignment matrices of §3.2 dominate ``Rim.process`` wall time (see
 ``BENCH_perf.json``).  The serial path builds each pair's banded matrix
 with one complex einsum per lag *per pair*; this module restructures the
 work around a shared cell store and two batched kernels: contiguous row
-runs are reduced by BLAS band GEMMs (the complex inner product split
-into two real dgemms over interleaved re/im views), and scattered
-strided rows are gathered per lag column and reduced with one einsum
-across **all** requested pairs at once.
+runs are reduced by BLAS band GEMMs (the complex inner product fused
+into **one** real GEMM per pair over interleaved re/im operands, Re and
+Im landing in alternating result columns — see
+:meth:`BaseRowStore.real_views`), and scattered strided rows are
+gathered per lag column and reduced with one einsum across **all**
+requested pairs at once.  The backend also serves the ``track_paths``
+capability — DP peak tracking (§4.2) batched across every matrix of a
+group at once (:mod:`repro.perf.dptrack`) — and an opt-in ``float32``
+precision for both kernels (``RimConfig.kernel_dtype``).
 
 The batched backend additionally keeps a per-trace :class:`BaseRowStore`
 of computed cells, which buys two kinds of reuse:
@@ -39,6 +44,8 @@ from repro.core.alignment import (
     alignment_matrix,
     nan_moving_average,
 )
+from repro.core.tracking import TrackedPath, finalize_path, track_peaks
+from repro.perf.dptrack import dp_track_batch
 
 
 class KernelBackend:
@@ -74,6 +81,26 @@ class KernelBackend:
 
     def export_store(self, store, cache, offset: int) -> None:
         """Publish ``store`` rows into a cross-block cache (no-op by default)."""
+
+    def track_paths(
+        self,
+        matrices: Sequence[AlignmentMatrix],
+        *,
+        transition_weight: float,
+        refine: bool = True,
+    ) -> List[TrackedPath]:
+        """DP peak tracking for a batch of alignment matrices (§4.2).
+
+        The default implementation is the oracle: one reference
+        :func:`~repro.core.tracking.track_peaks` recursion per matrix.
+        Batched backends may track the whole stack in one pass; whatever
+        they do must reproduce the reference paths bit for bit (same
+        candidate sums, same first-index argmax tie-breaks).
+        """
+        return [
+            track_peaks(m, transition_weight=transition_weight, refine=refine)
+            for m in matrices
+        ]
 
 
 class ReferenceBackend(KernelBackend):
@@ -125,8 +152,13 @@ class BaseRowStore:
     cross-stage rows, and cross-block seeded rows free.
     """
 
-    def __init__(self, norm: np.ndarray, max_lag: int):
-        self.norm = norm
+    def __init__(self, norm: np.ndarray, max_lag: int, dtype=np.float64):
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(f"unsupported kernel dtype {dtype!r}")
+        cdtype = np.complex64 if self.dtype == np.float32 else np.complex128
+        self.norm = norm if norm.dtype == cdtype else norm.astype(cdtype)
+        self.cdtype = np.dtype(cdtype)
         self.max_lag = int(max_lag)
         self.t = int(norm.shape[0])
         self.n_lags = 2 * self.max_lag + 1
@@ -134,12 +166,12 @@ class BaseRowStore:
         self.known: Dict[Tuple[int, int], np.ndarray] = {}
         self._band: Optional[np.ndarray] = None
         self._real: Optional[np.ndarray] = None
-        self._swap: Optional[np.ndarray] = None
+        self._fused: Optional[np.ndarray] = None
 
     def entry(self, key: Tuple[int, int]) -> Tuple[np.ndarray, np.ndarray]:
         """The (values, known) arrays of ``key``, created NaN/False on miss."""
         if key not in self.values:
-            self.values[key] = np.full((self.t, self.n_lags), np.nan)
+            self.values[key] = np.full((self.t, self.n_lags), np.nan, dtype=self.dtype)
             self.known[key] = np.zeros((self.t, self.n_lags), dtype=bool)
         return self.values[key], self.known[key]
 
@@ -154,24 +186,37 @@ class BaseRowStore:
         return self._band
 
     def real_views(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-antenna interleaved float64 stacks for the BLAS band kernel.
+        """Interleaved real operands for the one-GEMM band kernel.
 
-        Returns ``(real, swap)``, both ``(R, K, T, 2S)`` C-contiguous:
-        ``real[a, k, t]`` is snapshot ``(t, a, k)`` as interleaved
-        ``re, im`` float64 pairs, and ``swap`` holds ``im, -re``.  The
-        complex inner product then falls out of two real GEMMs:
-        ``Re⟨conj(x), y⟩ = x_f · y_f`` and ``Im⟨conj(x), y⟩ = x_f · y_swap``.
+        Returns ``(real, fusedT)`` in the store's real dtype:
+
+        * ``real``: ``(K, R, T, 2S)`` C-contiguous — ``real[k, a, t]``
+          is snapshot ``(t, a, k)`` as interleaved ``re, im`` pairs, so
+          a row-run slice ``real[:, i, r0:r1]`` is a zero-copy batched
+          GEMM operand;
+        * ``fusedT``: ``(K, R, 2S, T, 2)`` — the partner operand already
+          transposed for the product.  Row ``2s`` holds tone ``s``
+          itself (``z``) and row ``2s+1`` holds ``-i·z`` (i.e. ``im``
+          and ``-re`` interleaved), so a window slice
+          ``fusedT[:, j, :, u0:u1]`` reshapes (zero-copy, the last two
+          axes are memory-adjacent) to ``(K, 2S, 2·nu)`` and one batched
+          matmul per pair yields Re and Im as interleaved columns:
+          ``Re⟨conj(x), y⟩`` in even, ``Im⟨conj(x), y⟩`` in odd ones.
         """
         if self._real is None:
-            stacked = np.ascontiguousarray(
-                np.asarray(self.norm, dtype=np.complex128).transpose(1, 2, 0, 3)
-            )
-            real = stacked.view(np.float64)
-            swap = np.empty_like(real)
-            swap[..., 0::2] = real[..., 1::2]
-            swap[..., 1::2] = -real[..., 0::2]
-            self._real, self._swap = real, swap
-        return self._real, self._swap
+            stacked = np.ascontiguousarray(self.norm.transpose(2, 1, 0, 3))
+            real = stacked.view(self.dtype)
+            k, r, t, s2 = real.shape
+            # Built in the complex domain: -i·z IS the [im, -re]
+            # interleave when viewed as reals, so two contiguous-chunk
+            # assignments replace four strided ones.
+            ct = np.empty((k, r, s2, t), dtype=self.cdtype)
+            zt = stacked.transpose(0, 1, 3, 2)
+            ct[:, :, 0::2, :] = zt
+            np.multiply(zt, np.asarray(-1j, dtype=self.cdtype), out=ct[:, :, 1::2, :])
+            self._real = real
+            self._fused = ct.view(self.dtype).reshape(k, r, s2, t, 2)
+        return self._real, self._fused
 
 
 class BatchedBackend(KernelBackend):
@@ -181,21 +226,81 @@ class BatchedBackend(KernelBackend):
         threads: Fan the per-lag columns out over a thread pool of this
             size (the einsum inner products release the GIL for the bulk
             of their work).  ``0``/``1`` means serial.
+        dtype: Kernel precision: ``"float64"`` (default) reproduces the
+            reference oracle bit for bit / within the 1e-9 GEMM budget;
+            ``"float32"`` opts in to single-precision TRRS and DP
+            kernels with the documented error budget
+            (``docs/performance.md``).
     """
 
     name = "batched"
 
-    def __init__(self, threads: int = 0):
+    def __init__(self, threads: int = 0, dtype: str = "float64"):
         self.threads = int(threads)
+        dtype = str(dtype)
+        if dtype not in ("float64", "float32"):
+            raise ValueError(f"unsupported kernel dtype {dtype!r}")
+        self.dtype_name = dtype
+        self.dtype = np.dtype(np.float32 if dtype == "float32" else np.float64)
 
     def make_store(self, norm, max_lag):
-        return BaseRowStore(norm, max_lag)
+        return BaseRowStore(norm, max_lag, dtype=self.dtype)
 
     def seed_store(self, store, cache, offset):
         cache.seed(store, offset)
 
     def export_store(self, store, cache, offset):
         cache.capture(store, offset)
+
+    def track_paths(self, matrices, *, transition_weight, refine=True):
+        """Batched DP tracking: one forward pass over the whole stack.
+
+        Matrices are grouped by shape (one pipeline stage's matrices all
+        share one) and each group runs through
+        :func:`repro.perf.dptrack.dp_track_batch` — the banded native
+        kernel when available, the exact batched numpy recursion
+        otherwise.  In float64 mode the paths are bit-identical to the
+        reference oracle; in float32 mode the evidence is quantized once
+        on entry and tracked at single precision.
+        """
+        matrices = list(matrices)
+        if not matrices:
+            return []
+        if transition_weight >= 0:
+            raise ValueError(
+                f"transition weight ω must be negative, got {transition_weight}"
+            )
+        paths: List[Optional[TrackedPath]] = [None] * len(matrices)
+        by_shape: Dict[Tuple[int, int], List[int]] = {}
+        for idx, m in enumerate(matrices):
+            by_shape.setdefault(m.values.shape, []).append(idx)
+        for (t, n_lags), idxs in by_shape.items():
+            if t == 0:
+                empty = np.zeros(0)
+                for idx in idxs:
+                    paths[idx] = TrackedPath(
+                        empty.astype(int), empty.astype(int), empty, empty, 0.0
+                    )
+                continue
+            with obs.span(
+                "dp_tracking",
+                backend=self.name,
+                n_paths=len(idxs),
+                shape=(t, n_lags),
+                dtype=self.dtype_name,
+            ):
+                obs.add("dp.paths_tracked", len(idxs))
+                obs.add("dp.cells", len(idxs) * t * n_lags)
+                e = np.empty((len(idxs), t, n_lags), dtype=self.dtype)
+                for s, idx in enumerate(idxs):
+                    e[s] = matrices[idx].values
+                np.copyto(e, 0.0, where=np.isnan(e))
+                lag_idx, scores = dp_track_batch(e, transition_weight)
+                for s, idx in enumerate(idxs):
+                    paths[idx] = finalize_path(
+                        matrices[idx], lag_idx[s], float(scores[s]), refine
+                    )
+        return paths
 
     def matrices(self, store, pairs, *, virtual_window, sampling_rate, time_stride=1):
         pairs = list(pairs)
@@ -223,7 +328,7 @@ class BatchedBackend(KernelBackend):
                     # The store may know more rows than this strided request
                     # (seeded or computed by another stage); the reference
                     # semantics are "skipped rows are NaN", so mask them.
-                    masked = np.full((t, n_lags), np.nan)
+                    masked = np.full((t, n_lags), np.nan, dtype=vals.dtype)
                     masked[rows] = vals[rows]
                     values = masked
                 elif virtual_window > 1:
@@ -241,7 +346,13 @@ class BatchedBackend(KernelBackend):
             return out
 
 
-_GEMM_CHUNK = 128  # rows per BLAS band job: B window (~B+2W rows) stays in cache
+# Rows per BLAS band job.  The partner window spans chunk+2W columns, so
+# the fraction of computed cells the band actually keeps falls as chunks
+# grow ((chunk+2W)/(2W+1) waste); smaller chunks claw that back until
+# dgemm's small-m efficiency loss wins.  48 is the measured sweet spot at
+# W=60 — the per-job index prep that used to tax small chunks is memoized
+# across jobs (it only depends on the chunk geometry, not its position).
+_GEMM_CHUNK = 48
 _MIN_GEMM_SPAN = 16  # narrower clusters fall back to the gather kernel
 # The BLAS kernel is >10x cheaper per cell than the per-lag gather, so
 # needed-row clusters separated by small gaps of already-known rows (the
@@ -258,14 +369,18 @@ def _compute_cells(
 ) -> int:
     """Evaluate all requested-but-unknown cells for ``pairs``; count them.
 
-    Rows with at least one unknown requested in-band cell are split into
-    contiguous runs.  Long runs go to the BLAS band kernel: per pair and
-    TX antenna, two real GEMMs against the ``[t-W, t+W]`` partner window
-    produce the re/im inner products of every (row, lag) cell at once —
-    dgemm turns the memory-bound per-lag reduction into a cache-blocked
-    compute kernel several times faster than numpy's complex einsum.
-    Scattered rows (strided pre-screens) are gathered per lag column and
-    reduced with one einsum across all pairs.
+    Needs are tracked **per pair**: a pair whose requested cells are all
+    known (seeded from the stream cache, or computed by an earlier
+    stage's request) costs nothing even when it shares a request with a
+    fresh pair.  Each pair's rows with at least one unknown requested
+    in-band cell are split into contiguous runs.  Long runs go to the
+    BLAS band kernel: one batched GEMM per (pair, run-chunk) against the
+    ``[t-W, t+W]`` partner window produces the re/im inner products of
+    every (row, lag) cell across all TX chains at once — dgemm turns the
+    memory-bound per-lag reduction into a cache-blocked compute kernel
+    several times faster than numpy's complex einsum.  Scattered rows
+    (strided pre-screens) are gathered per lag column and reduced with
+    one einsum across all pairs that need them.
     """
     t, n_lags, w = store.t, store.n_lags, store.max_lag
     keys = [(p.i, p.j) for p in pairs]
@@ -277,76 +392,117 @@ def _compute_cells(
         row_mask = np.zeros(t, dtype=bool)
         row_mask[rows] = True
 
-    known_all = entries[0][1].copy()
-    for _, known in entries[1:]:
-        known_all &= known
-
-    needed = store.band() & ~known_all & row_mask[:, None]
-    needed_rows = np.nonzero(needed.any(axis=1))[0]
-    if needed_rows.size == 0:
+    band = store.band()
+    request = band & row_mask[:, None]
+    pair_needed = [request & ~known for _, known in entries]
+    fresh = int(sum(pn.sum() for pn in pair_needed))
+    if fresh == 0:
         return 0
-    fresh = int(needed.sum())
 
-    splits = np.nonzero(np.diff(needed_rows) > _MERGE_GAP)[0] + 1
-    clusters = np.split(needed_rows, splits)
-    gemm_jobs: List[Tuple[int, int]] = []
-    scattered_mask = np.zeros(t, dtype=bool)
-    for cluster in clusters:
-        span0, span1 = int(cluster[0]), int(cluster[-1]) + 1
-        if span1 - span0 >= _MIN_GEMM_SPAN:
-            for r0 in range(span0, span1, _GEMM_CHUNK):
-                gemm_jobs.append((r0, min(span1, r0 + _GEMM_CHUNK)))
-        else:
-            scattered_mask[cluster] = True
+    gemm_jobs: List[Tuple[int, int, int]] = []  # (pair index, r0, r1)
+    # Per-pair scattered needs; sc_needed[p] is None when pair p has no
+    # scattered cells, so the einsum path can skip it entirely.
+    sc_needed: List[Optional[np.ndarray]] = []
+    for p_idx, pn in enumerate(pair_needed):
+        pr = np.nonzero(pn.any(axis=1))[0]
+        if pr.size == 0:
+            sc_needed.append(None)
+            continue
+        splits = np.nonzero(np.diff(pr) > _MERGE_GAP)[0] + 1
+        sc_mask = np.zeros(t, dtype=bool)
+        for cluster in np.split(pr, splits):
+            span0, span1 = int(cluster[0]), int(cluster[-1]) + 1
+            if span1 - span0 >= _MIN_GEMM_SPAN:
+                for r0 in range(span0, span1, _GEMM_CHUNK):
+                    gemm_jobs.append((p_idx, r0, min(span1, r0 + _GEMM_CHUNK)))
+            else:
+                sc_mask[cluster] = True
+        sc_needed.append(pn & sc_mask[:, None] if sc_mask.any() else None)
 
     lags_arr = np.arange(-w, w + 1)
     if gemm_jobs:
-        real, swap = store.real_views()
+        real, fused_t = store.real_views()
+        n_k, s2 = real.shape[0], real.shape[3]
+    # Interior chunks of equal size share identical band geometry — the
+    # index prep depends only on (rows, left offset, window width), so
+    # one entry serves every job but the first/last (benign data race
+    # under threads: a lost update just recomputes).
+    gemm_prep: Dict[Tuple[int, int, int], Tuple[np.ndarray, ...]] = {}
 
-    def run_gemm(job: Tuple[int, int]) -> None:
-        r0, r1 = job
+    def run_gemm(job: Tuple[int, int, int]) -> None:
+        p_idx, r0, r1 = job
         u0, u1 = max(0, r0 - w), min(t, r1 + w)
         nu = u1 - u0
-        # C[r - r0, u - u0] maps to cell (r, lag) via u = r - lag.
-        j_win = np.arange(r0, r1)[:, None] - lags_arr[None, :] - u0
-        valid = (j_win >= 0) & (j_win < nu)
-        jc = np.clip(j_win, 0, nu - 1)
-        ridx = np.arange(r1 - r0)[:, None]
-        n_k = real.shape[1]
-        for (i, j), (values, known) in zip(keys, entries):
-            acc = None
-            for k in range(n_k):
-                a = real[i, k, r0:r1]
-                re = a @ real[j, k, u0:u1].T
-                im = a @ swap[j, k, u0:u1].T
-                mag = re * re + im * im
-                band_vals = mag[ridx, jc]
-                acc = band_vals if acc is None else acc + band_vals
-            acc /= n_k
-            np.copyto(values[r0:r1], np.where(valid, acc, np.nan))
-            known[r0:r1] |= valid
+        prep_key = (r1 - r0, r0 - u0, nu)
+        prep = gemm_prep.get(prep_key)
+        if prep is None:
+            # C[r - r0, u - u0] maps to cell (r, lag) via u = r - lag.
+            j_win = (np.arange(r1 - r0) + (r0 - u0))[:, None] - lags_arr[None, :]
+            valid = (j_win >= 0) & (j_win < nu)
+            jcol = np.clip(j_win, 0, nu - 1)
+            ridx = np.arange(r1 - r0)[:, None]
+            gemm_prep[prep_key] = prep = (valid, jcol, ridx)
+        valid, jcol, ridx = prep
+        i, j = keys[p_idx]
+        values, known = entries[p_idx]
+        # One batched GEMM over all K TX chains, both operands zero-copy
+        # views: the transposed fused partner interleaves z with -i·z
+        # rows, so the product's even columns are Re and its odd columns
+        # Im of the complex inner product — the same dot rows the
+        # two-GEMM form computed, from a single BLAS call.
+        a = real[:, i, r0:r1]  # (K, rows, 2S)
+        b = fused_t[:, j, :, u0:u1].reshape(n_k, s2, 2 * nu)
+        out = a @ b  # (K, rows, 2nu)
+        re = out[..., 0::2]
+        im = out[..., 1::2]
+        mag = re * re + im * im  # (K, rows, nu)
+        acc = mag.sum(axis=0) if n_k > 1 else mag[0]
+        acc /= n_k
+        band_vals = acc[ridx, jcol]
+        np.copyto(values[r0:r1], np.where(valid, band_vals, np.nan))
+        known[r0:r1] |= valid
 
-    # Per-lag gather jobs for the scattered rows.
+    # Per-lag gather jobs for the scattered rows.  Only the scattered
+    # rows are conjugated — a strided pre-screen touches a small subset
+    # of the trace, and the gather kernel should stay O(that subset).
     i_idx = [k[0] for k in keys]
     j_idx = [k[1] for k in keys]
     einsum_jobs: List[Tuple[int, np.ndarray]] = []
-    if scattered_mask.any():
-        stack_i = np.conj(store.norm[:, i_idx].transpose(1, 0, 2, 3))
+    sc_any = [sn for sn in sc_needed if sn is not None]
+    if sc_any:
+        sc_union = sc_any[0].copy()
+        for sn in sc_any[1:]:
+            sc_union |= sn
+        scat_rows = np.nonzero(sc_union.any(axis=1))[0]
+        stack_i = np.conj(
+            store.norm[np.ix_(scat_rows, i_idx)].transpose(1, 0, 2, 3)
+        )  # (P, Rs, K, S)
+        row_pos = np.zeros(t, dtype=np.intp)
+        row_pos[scat_rows] = np.arange(scat_rows.size)
         for col in range(n_lags):
-            rws = np.nonzero(needed[:, col] & scattered_mask)[0]
+            rws = np.nonzero(sc_union[:, col])[0]
             if rws.size:
                 einsum_jobs.append((col, rws))
 
     def run_einsum(job: Tuple[int, np.ndarray]) -> None:
         col, rws = job
         lag = col - w
-        a = stack_i[:, rws].transpose(1, 0, 2, 3)  # (R, P, K, S)
+        a = stack_i[:, row_pos[rws]].transpose(1, 0, 2, 3)  # (R, P, K, S)
         b = store.norm[np.ix_(rws - lag, j_idx)]
         inner = np.einsum("rpks,rpks->rpk", a, b)
         vals = (np.abs(inner) ** 2).mean(axis=-1)  # (R, P)
         for p_idx, (values, known) in enumerate(entries):
-            values[rws, col] = vals[:, p_idx]
-            known[rws, col] = True
+            # Write only this pair's own scattered needs: cells a GEMM
+            # job owns (same pair, other rows) must have one writer.
+            scn = sc_needed[p_idx]
+            if scn is None:
+                continue
+            m = scn[rws, col]
+            if not m.any():
+                continue
+            rsel = rws[m]
+            values[rsel, col] = vals[m, p_idx]
+            known[rsel, col] = True
 
     jobs = [(run_gemm, j) for j in gemm_jobs] + [
         (run_einsum, j) for j in einsum_jobs
@@ -354,8 +510,10 @@ def _compute_cells(
     if threads > 1 and len(jobs) > 1:
         from concurrent.futures import ThreadPoolExecutor
 
-        # GEMM jobs own disjoint row ranges and einsum jobs disjoint
-        # (scattered-row, column) sets, so shared arrays are safe.
+        # Each (pair, row) cell has exactly one writer: GEMM jobs own
+        # disjoint (pair, row-range) blocks and einsum jobs write only a
+        # pair's scattered cells in disjoint columns, so shared arrays
+        # are safe.
         with ThreadPoolExecutor(max_workers=threads) as pool:
             list(pool.map(lambda fj: fj[0](fj[1]), jobs))
     else:

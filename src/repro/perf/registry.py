@@ -16,6 +16,11 @@ Selection order:
 2. the ``RIM_KERNEL`` environment variable when set;
 3. the default, ``"batched"``.
 
+Kernel *precision* resolves the same way through
+:func:`resolve_kernel_dtype`: ``RimConfig.kernel_dtype`` >
+``RIM_KERNEL_DTYPE`` > ``"float64"``.  The float32 mode is opt-in —
+see ``docs/performance.md`` for its error budget.
+
 Third parties can plug in additional backends with
 :func:`register_backend`; the registry is consulted at ``Rim``
 construction time, so an unknown name fails fast with the list of
@@ -28,7 +33,10 @@ import os
 from typing import Callable, Dict, List
 
 RIM_KERNEL_ENV = "RIM_KERNEL"
+RIM_KERNEL_DTYPE_ENV = "RIM_KERNEL_DTYPE"
 DEFAULT_BACKEND = "batched"
+DEFAULT_KERNEL_DTYPE = "float64"
+KERNEL_DTYPES = ("float64", "float32")
 
 _REGISTRY: Dict[str, Callable] = {}
 
@@ -59,6 +67,27 @@ def resolve_backend_name(config) -> str:
     if name != "auto":
         return name
     return os.environ.get(RIM_KERNEL_ENV) or DEFAULT_BACKEND
+
+
+def resolve_kernel_dtype(config) -> str:
+    """The kernel precision the given config resolves to.
+
+    ``RimConfig.kernel_dtype`` wins when not ``"auto"``, then the
+    ``RIM_KERNEL_DTYPE`` environment variable, then ``"float64"``.
+
+    Raises:
+        ValueError: When the resolved name is not a supported precision.
+    """
+    name = getattr(config, "kernel_dtype", "auto")
+    if name == "auto":
+        name = os.environ.get(RIM_KERNEL_DTYPE_ENV) or DEFAULT_KERNEL_DTYPE
+    if name not in KERNEL_DTYPES:
+        raise ValueError(
+            f"unknown kernel dtype {name!r}; supported: "
+            f"{', '.join(KERNEL_DTYPES)} "
+            f"(set RimConfig.kernel_dtype or ${RIM_KERNEL_DTYPE_ENV})"
+        )
+    return name
 
 
 def get_backend(config):

@@ -84,9 +84,18 @@ class StreamAlignmentCache:
         self.max_lag = None if max_lag is None else int(max_lag)  # type: ignore[arg-type]
         self.seeded_cells = int(state["seeded_cells"])  # type: ignore[arg-type]
         self.invalidations = int(state["invalidations"])  # type: ignore[arg-type]
+        def _vals(v) -> np.ndarray:
+            # Preserve the kernel dtype across checkpoint round-trips:
+            # float32 stores must resume with float32 cells.  Anything
+            # else (e.g. lists from a hand-built state) lands on float64.
+            arr = np.asarray(v)
+            if arr.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+                arr = arr.astype(np.float64)
+            return arr
+
         self.entries = {
             (int(key[0]), int(key[1])): (
-                np.asarray(vals, dtype=np.float64),
+                _vals(vals),
                 np.asarray(known, dtype=bool),
             )
             for key, (vals, known) in state["entries"].items()  # type: ignore[union-attr]
@@ -110,6 +119,12 @@ class StreamAlignmentCache:
             return
         shift = offset - self.offset
         if shift < 0 or self.max_lag != store.max_lag:
+            self.clear()
+            return
+        # A kernel-dtype switch (float64 <-> float32 resume) invalidates
+        # every cached cell: seeded values must be bit-identical to what
+        # the new store would compute.
+        if any(vals.dtype != store.dtype for vals, _ in self.entries.values()):
             self.clear()
             return
         w = store.max_lag

@@ -248,10 +248,12 @@ def save_checkpoint(path, state: Dict[str, Any]) -> None:
     stream_meta = {
         key: value
         for key, value in stream.items()
-        if key not in ("packets", "times", "align_cache")
+        if key not in ("packets", "sanitized", "times", "align_cache")
     }
     if stream.get("packets") is not None:
         arrays["packets"] = np.asarray(stream["packets"], dtype=np.complex64)
+    if stream.get("sanitized") is not None:
+        arrays["sanitized"] = np.asarray(stream["sanitized"], dtype=np.complex64)
     arrays["times"] = np.asarray(stream["times"], dtype=np.float64)
     cache = stream.get("align_cache")
     cache_meta: Optional[Dict[str, Any]] = None
@@ -266,6 +268,7 @@ def save_checkpoint(path, state: Dict[str, Any]) -> None:
     meta["stream"] = stream_meta
     meta["align_cache"] = cache_meta
     meta["has_packets"] = "packets" in arrays
+    meta["has_sanitized"] = "sanitized" in arrays
     path = Path(path)
     tmp = path.with_suffix(path.suffix + ".tmp")
     with open(tmp, "wb") as fh:  # handle, not path: stops savez suffix-munging
@@ -288,6 +291,11 @@ def load_checkpoint(path) -> Dict[str, Any]:
         stream: Dict[str, Any] = dict(meta.pop("stream"))
         stream["packets"] = (
             archive["packets"].copy() if meta.pop("has_packets") else None
+        )
+        # Older checkpoints predate the fused-sanitize buffer; the stream's
+        # tolerant loader recomputes it bit-identically when absent.
+        stream["sanitized"] = (
+            archive["sanitized"].copy() if meta.pop("has_sanitized", False) else None
         )
         stream["times"] = archive["times"].copy()
         cache_meta = meta.pop("align_cache")

@@ -18,10 +18,12 @@ from repro.core.trrs import normalize_csi
 from repro.perf.kernels import BatchedBackend, ReferenceBackend
 from repro.perf.registry import (
     DEFAULT_BACKEND,
+    RIM_KERNEL_DTYPE_ENV,
     RIM_KERNEL_ENV,
     available_backends,
     get_backend,
     resolve_backend_name,
+    resolve_kernel_dtype,
 )
 from repro.robustness import FaultPlan
 
@@ -79,6 +81,79 @@ def test_config_rejects_empty_backend_name():
         RimConfig(kernel_backend="")
     with pytest.raises(ValueError):
         RimConfig(kernel_threads=-1)
+
+
+# -- kernel precision (float32 opt-in) --------------------------------------
+
+
+def test_dtype_resolution_default_is_float64(monkeypatch):
+    monkeypatch.delenv(RIM_KERNEL_DTYPE_ENV, raising=False)
+    assert resolve_kernel_dtype(RimConfig()) == "float64"
+
+
+def test_dtype_resolution_env_var_opts_in(monkeypatch):
+    monkeypatch.setenv(RIM_KERNEL_DTYPE_ENV, "float32")
+    assert resolve_kernel_dtype(RimConfig()) == "float32"
+
+
+def test_dtype_resolution_config_beats_env(monkeypatch):
+    monkeypatch.setenv(RIM_KERNEL_DTYPE_ENV, "float32")
+    assert resolve_kernel_dtype(RimConfig(kernel_dtype="float64")) == "float64"
+
+
+def test_dtype_resolution_rejects_unknown_env(monkeypatch):
+    monkeypatch.setenv(RIM_KERNEL_DTYPE_ENV, "float16")
+    with pytest.raises(ValueError, match="float16"):
+        resolve_kernel_dtype(RimConfig())
+
+
+def test_config_rejects_unknown_dtype():
+    with pytest.raises(ValueError):
+        RimConfig(kernel_dtype="float16")
+
+
+def test_float32_backend_stores_single_precision(line_trace):
+    backend = BatchedBackend(dtype="float32")
+    store = backend.make_store(normalize_csi(line_trace.data), 25)
+    assert store.dtype == np.float32
+    with pytest.raises(ValueError):
+        BatchedBackend(dtype="int8")
+
+
+# The float32 kernel error budget of docs/performance.md: with single-
+# precision TRRS accumulation and DP scores, the integrated distance on
+# the standard testbed stays within 1e-6 of the float64 path (measured
+# deviation is ~2e-9 m on a ~1 m trajectory; the budget leaves three
+# orders of magnitude of headroom for other scenarios).
+FLOAT32_DISTANCE_BUDGET = 1e-6
+
+
+@pytest.mark.parametrize("plan_name", ["clean", "bursty_loss"])
+def test_float32_pipeline_within_documented_budget(line_trace, plan_name):
+    trace = _faulted(line_trace, plan_name)
+
+    def distance(dtype):
+        cfg = RimConfig(
+            max_lag=25, kernel_backend="batched", kernel_dtype=dtype
+        )
+        return Rim(cfg).process(trace).total_distance
+
+    d64 = distance("float64")
+    d32 = distance("float32")
+    assert abs(d32 - d64) <= FLOAT32_DISTANCE_BUDGET
+
+
+def test_float64_mode_unchanged_by_dtype_plumbing(line_trace, monkeypatch):
+    """kernel_dtype='float64' must be the exact default pipeline —
+    bit-identical distance, not merely within tolerance."""
+    monkeypatch.delenv(RIM_KERNEL_DTYPE_ENV, raising=False)
+    default = Rim(RimConfig(max_lag=25, kernel_backend="batched")).process(
+        line_trace
+    )
+    pinned = Rim(
+        RimConfig(max_lag=25, kernel_backend="batched", kernel_dtype="float64")
+    ).process(line_trace)
+    assert default.total_distance == pinned.total_distance
 
 
 # -- raw matrix equivalence -------------------------------------------------
@@ -162,7 +237,12 @@ def test_threaded_backend_matches_serial(line_trace):
 
 
 def _run(trace, backend, **cfg_kw):
-    cfg = RimConfig(max_lag=25, kernel_backend=backend, **cfg_kw)
+    # Pin float64: these are cross-backend 1e-9 comparisons, which the
+    # opt-in float32 mode (ambient RIM_KERNEL_DTYPE in the CI matrix)
+    # intentionally does not satisfy.
+    cfg = RimConfig(
+        max_lag=25, kernel_backend=backend, kernel_dtype="float64", **cfg_kw
+    )
     return Rim(cfg).process(trace)
 
 
@@ -199,7 +279,10 @@ def test_streaming_equivalence(line_trace, three_antenna, plan_name):
 
     def stream_distance(backend, stream_reuse):
         cfg = RimConfig(
-            max_lag=25, kernel_backend=backend, stream_reuse=stream_reuse
+            max_lag=25,
+            kernel_backend=backend,
+            kernel_dtype="float64",  # cross-backend 1e-9 comparison
+            stream_reuse=stream_reuse,
         )
         stream = StreamingRim(
             three_antenna,

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core.config import RimConfig
 from repro.core.rim import Rim
 from repro.core.streaming import StreamingRim
@@ -273,3 +274,71 @@ class TestStreamAlignmentCache:
         assert stream._align_cache.invalidations >= 1
         # No new seeding happened after the clock went bad.
         assert stream._align_cache.seeded_cells == primed
+
+
+class TestFusedSanitize:
+    """Ingest-fused sanitization: every sample is cleaned exactly once."""
+
+    @pytest.fixture(autouse=True)
+    def _obs(self):
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def _trace(self, three_antenna, fast_sampler):
+        traj = line_trajectory((10.0, 8.0), 0.0, 0.5, 2.0)
+        return fast_sampler.sample(traj, three_antenna)
+
+    def test_stream_sanitizes_once_per_sample(self, three_antenna, fast_sampler):
+        """The sanitize work counter must equal the pushed sample count —
+        blocks overlap, so a per-block sanitize would double-count."""
+        trace = self._trace(three_antenna, fast_sampler)
+        obs.enable()
+        stream = StreamingRim(
+            three_antenna,
+            trace.sampling_rate,
+            RimConfig(max_lag=25),
+            block_seconds=0.5,
+            carrier_wavelength=trace.carrier_wavelength,
+        )
+        _stream_trace(stream, trace)
+        assert obs.METRICS.counter("sanitize.samples").value == trace.n_samples
+
+    def test_batch_sanitizes_once_per_sample(self, three_antenna, fast_sampler):
+        trace = self._trace(three_antenna, fast_sampler)
+        obs.enable()
+        Rim(RimConfig(max_lag=25)).process(trace)
+        assert obs.METRICS.counter("sanitize.samples").value == trace.n_samples
+
+    def test_resume_does_not_resanitize(self, three_antenna, fast_sampler):
+        """Restoring a checkpointed stream reuses the serialized sanitized
+        buffer instead of cleaning the retained window again."""
+        trace = self._trace(three_antenna, fast_sampler)
+
+        def build():
+            return StreamingRim(
+                three_antenna,
+                trace.sampling_rate,
+                RimConfig(max_lag=25),
+                block_seconds=0.5,
+                carrier_wavelength=trace.carrier_wavelength,
+            )
+
+        half = trace.n_samples // 2
+        first = build()
+        for k in range(half):
+            first.push(trace.data[k], float(trace.times[k]))
+        state = first.state_dict()
+
+        obs.enable()
+        second = build()
+        second.load_state_dict(state)
+        for k in range(half, trace.n_samples):
+            second.push(trace.data[k], float(trace.times[k]))
+        second.flush()
+        assert (
+            obs.METRICS.counter("sanitize.samples").value
+            == trace.n_samples - half
+        )

@@ -5,6 +5,8 @@ import pytest
 
 from repro.core.alignment import AlignmentMatrix
 from repro.core.tracking import greedy_argmax_path, refine_lags, track_peaks
+from repro.perf import dptrack
+from repro.perf.dptrack import dp_track_batch, native_available
 
 
 def _matrix(values, fs=100.0):
@@ -97,6 +99,37 @@ class TestTrackPeaks:
         # score = e[0] + sum over steps (e[t-1] + e[t]) = 1 + 3*(1+1) = 7.
         assert out.score == pytest.approx(7.0)
 
+    def test_single_time_step(self):
+        """t == 1: no transitions, the path is the row argmax."""
+        m = _matrix(np.array([[0.1, 0.2, 0.9, 0.3, 0.1]]))
+        out = track_peaks(m)
+        np.testing.assert_array_equal(out.lag_indices, [2])
+        assert out.score == pytest.approx(0.9)
+
+    def test_single_lag_column(self):
+        """n_lags == 1: the only path is column 0 at every step."""
+        values = np.array([[0.4], [0.5], [0.6]])
+        out = track_peaks(_matrix(values))
+        np.testing.assert_array_equal(out.lag_indices, [0, 0, 0])
+        np.testing.assert_array_equal(out.lags, [0, 0, 0])
+        assert out.score == pytest.approx(0.4 + (0.4 + 0.5) + (0.5 + 0.6))
+
+    def test_all_nan_lag_column_never_tracked(self):
+        """A lag whose column is all NaN carries zero evidence and loses
+        to any positive-evidence column."""
+        path = [5] * 12
+        values = _peaky(12, 11, path)
+        values[:, 8] = np.nan
+        out = track_peaks(_matrix(values))
+        assert not (out.lag_indices == 8).any()
+        np.testing.assert_array_equal(out.lag_indices, path)
+
+    def test_tie_matrix_first_index_wins(self):
+        """A constant matrix ties everywhere; np.argmax semantics pick the
+        first (lowest-index) column and the zero-jump transition."""
+        out = track_peaks(_matrix(np.full((6, 9), 0.5)))
+        np.testing.assert_array_equal(out.lag_indices, np.zeros(6, dtype=int))
+
 
 class TestRefineLags:
     def test_symmetric_peak_unchanged(self):
@@ -130,6 +163,100 @@ class TestRefineLags:
         values = np.array([[0.999, 1.0, 0.9999]])
         out = refine_lags(values, np.array([1]))
         assert abs(out[0] - 1.0) <= 0.5
+
+
+# -- batched DP kernel vs the reference recursion ----------------------------
+
+
+def _oracle(stack, transition_weight=-2.0):
+    """Per-matrix reference answers for an evidence stack (NaNs allowed)."""
+    idx, scores = [], []
+    for values in stack:
+        out = track_peaks(
+            _matrix(values), transition_weight=transition_weight, refine=False
+        )
+        idx.append(out.lag_indices)
+        scores.append(out.score)
+    return np.asarray(idx), np.asarray(scores)
+
+
+def _zeroed(stack):
+    """NaN -> 0, exactly as track_peaks prepares its evidence."""
+    e = np.array(stack, dtype=np.float64)
+    np.copyto(e, 0.0, where=np.isnan(e))
+    return e
+
+
+@pytest.fixture(params=["native", "numpy"])
+def dp_impl(request, monkeypatch):
+    """Run dp_track_batch once with the compiled kernel, once without."""
+    if request.param == "native":
+        if not native_available():
+            pytest.skip("no C compiler available for the native DP kernel")
+    else:
+        monkeypatch.setattr(dptrack, "_load_native", lambda: None)
+    return request.param
+
+
+class TestBatchedDPMatchesReference:
+    """dp_track_batch must be bit-identical to the reference recursion:
+    same candidate sums, same first-index tie-breaks, same scores."""
+
+    def _check(self, stack, transition_weight=-2.0):
+        want_idx, want_scores = _oracle(stack, transition_weight)
+        got_idx, got_scores = dp_track_batch(_zeroed(stack), transition_weight)
+        np.testing.assert_array_equal(got_idx, want_idx)
+        # Bit-identical, not merely close: the backends share op order.
+        np.testing.assert_array_equal(got_scores, want_scores)
+
+    def test_clean_stack(self, dp_impl, rng):
+        stack = [
+            _peaky(18, 11, [2 + k // 4 for k in range(18)], rng=rng),
+            _peaky(18, 11, [9 - k // 3 for k in range(18)], rng=rng),
+            _peaky(18, 11, [5] * 18, rng=rng),
+        ]
+        self._check(stack)
+
+    def test_faulted_stack_with_nan_holes(self, dp_impl, rng):
+        stack = np.stack(
+            [_peaky(20, 13, [6] * 20, rng=rng) for _ in range(4)]
+        )
+        stack[0, 4:7] = np.nan  # burst loss: whole rows gone
+        stack[1, :, 3] = np.nan  # one lag column dead throughout
+        stack[2, 10] = np.nan
+        stack[3, :] = np.nan  # every cell lost
+        self._check(stack)
+
+    def test_quantized_tie_stack(self, dp_impl, rng):
+        """Coarsely quantized evidence forces many exact score ties; the
+        batch kernel must break every one the way np.argmax does."""
+        stack = rng.integers(0, 4, size=(5, 16, 9)) / 4.0
+        self._check(stack)
+        self._check(stack, transition_weight=-0.5)
+
+    def test_single_time_step(self, dp_impl, rng):
+        self._check(rng.uniform(0, 1, size=(3, 1, 11)))
+
+    def test_single_lag_column(self, dp_impl, rng):
+        self._check(rng.uniform(0, 1, size=(3, 6, 1)))
+
+    def test_wide_matrix_beyond_native_stack_cap(self, dp_impl, rng):
+        """L > DP_MAX_LAGS exceeds the C kernel's stack scratch; the
+        batch entry point must fall back to the exact numpy path."""
+        stack = rng.uniform(0, 1, size=(2, 4, 601))
+        self._check(stack)
+
+    def test_float32_mode_matches_float64_on_exact_evidence(self, dp_impl, rng):
+        """With evidence and jump costs exactly representable in float32
+        (and partial sums well inside 24 bits), the float32 kernel twin
+        must produce identical paths and scores — isolating precision
+        from logic."""
+        stack = rng.integers(0, 65, size=(4, 20, 9)) / 64.0
+        e64 = _zeroed(stack)
+        idx64, sc64 = dp_track_batch(e64, -2.0)
+        idx32, sc32 = dp_track_batch(e64.astype(np.float32), -2.0)
+        np.testing.assert_array_equal(idx32, idx64)
+        np.testing.assert_array_equal(sc32, sc64)
 
 
 class TestSubSampleAccuracy:
