@@ -24,9 +24,13 @@ the same budget, the store write/read bandwidth and replay throughput
 and reconnect-recovery time (``net.*``, schema v5) did, the telemetry
 A/B overhead (``obs_overhead.overhead_frac``, schema v6) exceeded the
 budget, a gated tentpole stage span (``dp_tracking``/``rim.sanitize``,
-schema v7) regressed individually, or the opt-in float32 kernel mode
+schema v7) regressed individually, the opt-in float32 kernel mode
 (``kernel_dtypes``, schema v7) stopped being at least as fast as
-float64.  Equivalent CLI verb: ``python -m repro.cli profile``.
+float64, or the single-shard fleet throughput (``shard_scaling``,
+schema v8) regressed.  Multi-shard scaling *efficiency* is recorded in
+the payload but gated separately by ``benchmarks/shard_scaling.py`` on
+a runner with known core count.  Equivalent CLI verb:
+``python -m repro.cli profile``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Shard-scaling gate: sessions/sec must scale ≥ 0.7x-linearly with shards.
+
+Replays one pre-sampled receiver workload through fresh ``repro.shard``
+fleets at each requested shard count and derives per-count scaling
+efficiency (``(rate_S / rate_1) / S``; 1.0 is perfectly linear).  The CI
+``shard-scaling`` job runs this on a multi-core runner and fails the
+build when any *demonstrable* row — one whose shard count does not
+exceed the host's cores — falls below ``--min-efficiency`` (default
+0.7, :data:`repro.shard.fleet.MIN_LINEAR_EFFICIENCY`).  Rows the
+hardware cannot demonstrate (more shards than cores) are reported but
+never gated, so the script is safe to run anywhere.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/shard_scaling.py --shards 1,2,4 \\
+        --out shard_scaling.json --table shard_scaling.txt
+
+``--out``/``--table`` write the JSON payload and the human-readable run
+table CI uploads as artifacts.  ``--no-gate`` measures and reports
+without failing (the nightly soak uses it for trend data).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--shards", default="1,2,4", metavar="LIST",
+        help="comma-separated shard counts to measure (default 1,2,4)",
+    )
+    parser.add_argument(
+        "--sessions", type=int, default=8, metavar="N",
+        help="receiver sessions in the workload (default 8)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=2.0, metavar="SEC",
+        help="simulated trace duration per session (default 2.0)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    parser.add_argument(
+        "--min-efficiency", type=float, default=None, metavar="FRAC",
+        help="linear-scaling efficiency floor for demonstrable rows "
+        "(default: repro.shard.fleet.MIN_LINEAR_EFFICIENCY = 0.7)",
+    )
+    parser.add_argument(
+        "--start-method", default=None, metavar="NAME",
+        help="multiprocessing start method (default: fork when available)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSON scaling payload here (CI artifact)",
+    )
+    parser.add_argument(
+        "--table", default=None, metavar="PATH",
+        help="write the human-readable run table here (CI artifact)",
+    )
+    parser.add_argument(
+        "--no-gate", action="store_true",
+        help="measure and report only; never fail on efficiency",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.shard.fleet import (
+        MIN_LINEAR_EFFICIENCY,
+        measure_shard_scaling,
+        render_scaling_table,
+    )
+
+    try:
+        shard_counts = sorted(
+            {int(s) for s in args.shards.split(",") if s.strip()}
+        )
+    except ValueError:
+        parser.error(f"--shards must be a comma-separated int list, "
+                     f"got {args.shards!r}")
+    if not shard_counts:
+        parser.error("--shards is empty")
+    floor = (
+        MIN_LINEAR_EFFICIENCY
+        if args.min_efficiency is None
+        else args.min_efficiency
+    )
+
+    scaling = measure_shard_scaling(
+        shard_counts=shard_counts,
+        n_sessions=args.sessions,
+        seed=args.seed,
+        duration_s=args.duration,
+        start_method=args.start_method,
+    )
+    table = render_scaling_table(scaling)
+    print(table)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(scaling, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.table:
+        with open(args.table, "w", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+        print(f"wrote {args.table}")
+
+    n_cpus = int(scaling["n_cpus"])
+    failures = []
+    skipped = []
+    for row in scaling["rows"]:
+        shards = int(row["shards"])
+        eff = row["efficiency"]
+        if shards <= 1 or eff is None:
+            continue
+        if shards > n_cpus:
+            skipped.append(
+                f"{shards} shards on a {n_cpus}-cpu host "
+                f"(efficiency {eff:.2f} recorded, not gated)"
+            )
+            continue
+        if eff < floor:
+            failures.append(
+                f"{shards} shards scaled at {eff:.2f}x-linear "
+                f"({row['sessions_per_second']:.2f} sessions/s; "
+                f"floor {floor:.2f})"
+            )
+    for line in skipped:
+        print(f"skipped gate: {line}")
+    if args.no_gate:
+        print("gate disabled (--no-gate)")
+        return 0
+    if failures:
+        print(f"\nshard-scaling gate: FAIL (floor {floor:.2f})",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    gated = sum(
+        1 for row in scaling["rows"]
+        if int(row["shards"]) > 1 and int(row["shards"]) <= n_cpus
+    )
+    print(f"\nshard-scaling gate: ok ({gated} row(s) gated at "
+          f"≥ {floor:.2f}x-linear, {len(skipped)} skipped)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,273 @@
+#!/usr/bin/env python
+"""Nightly shard-fleet soak: faulted net-load, forced shard kill, resume.
+
+Two phases against one 2-shard (configurable) ``repro.shard`` fleet,
+both asserting bit-identity — the soak fails loudly rather than
+averaging over divergence:
+
+1. **Faulted net-load.**  Receiver traces stream over real TCP through
+   a :class:`~repro.net.NetServer` whose session manager is the
+   :class:`~repro.shard.router.ShardRouter`, with wire faults (forced
+   mid-stream disconnects) injected by every client.  Each session's
+   delivered update stream must match an in-process single-stream
+   replay exactly (``baseline_match``) — reconnect-resume and the shard
+   pipe transport may not change a single bit.
+
+2. **Shard kill + resume.**  A fresh set of sessions is pushed halfway,
+   the fleet is synced to durable storage, one shard is SIGKILLed, and
+   the survivors adopt its sessions from their checkpoints.  The second
+   half is then pushed and the combined update stream must equal an
+   uninterrupted replay of the same trace, with exactly the forced
+   failover on the books.
+
+Runs from ``workflow_dispatch`` / the nightly schedule — deliberately
+longer than anything on the PR-blocking path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/shard_soak.py --sessions 8 \\
+        --duration 6.0 --shards 2 --out shard_soak.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def _phase_net_load(router, serve_config, receivers):
+    """Faulted TCP load through the sharded server; returns a report.
+
+    Every client hard-disconnects once mid-stream (the wire fault
+    injector forces at most one disconnect per connection) and must
+    reconnect-resume without changing a bit of the update stream.
+    """
+    from repro.net import NetClientConfig, NetFaultPlan, NetServer, \
+        NetServerConfig, run_net_load
+
+    server = NetServer(
+        config=NetServerConfig(port=0),
+        serve_config=serve_config,
+        manager=router,
+    ).start()
+    try:
+        n_samples = min(trace.n_samples for _, trace in receivers)
+        plan = NetFaultPlan(disconnect_after=max(2, n_samples // 2))
+        result = run_net_load(
+            receivers,
+            fault_plan=plan,
+            serve_config=serve_config,
+            client_config=NetClientConfig(backoff_base_s=0.02),
+            host=server.config.host,
+            port=server.port,
+            check_baseline=True,
+        )
+    finally:
+        server.close()
+    agg = result["aggregate"]
+    return {
+        "n_sessions": len(receivers),
+        "n_samples": int(agg["n_samples"]),
+        "wall_s": float(agg["wall_s"]),
+        "samples_per_second": float(agg["samples_per_second"]),
+        "reconnects": int(agg["reconnects"]),
+        "baseline_match": result["baseline_match"],
+    }
+
+
+def _phase_kill_resume(router, receivers, kill_index, block_seconds):
+    """Sync, SIGKILL one shard, verify adopted sessions stay bit-exact."""
+    from repro.core.streaming import StreamingRim
+    from repro.net import updates_equal
+
+    for name, trace in receivers:
+        router.create(
+            name,
+            trace.array,
+            trace.sampling_rate,
+            carrier_wavelength=trace.carrier_wavelength,
+        )
+    delivered = {name: [] for name, _ in receivers}
+    halves = {name: trace.n_samples // 2 for name, trace in receivers}
+
+    t0 = time.perf_counter()
+    for name, trace in receivers:
+        for k in range(halves[name]):
+            router.push(name, trace.data[k], float(trace.times[k]))
+        delivered[name].extend(router.poll(name))
+    router.sync()
+    mine = {name for name, _ in receivers}
+    victims = [
+        str(row["session"]) for row in router.stats()
+        if row.get("shard") == f"shard-{kill_index}"
+        and str(row["session"]) in mine
+    ]
+    router.kill_shard(kill_index, failover=True)
+    for name, trace in receivers:
+        for k in range(halves[name], trace.n_samples):
+            router.push(name, trace.data[k], float(trace.times[k]))
+    finals = router.flush_all()
+    wall = time.perf_counter() - t0
+    for name, _ in receivers:
+        delivered[name].extend(finals.get(name, []))
+
+    mismatches = []
+    for name, trace in receivers:
+        stream = StreamingRim(
+            trace.array,
+            trace.sampling_rate,
+            block_seconds=block_seconds,
+            carrier_wavelength=trace.carrier_wavelength,
+        )
+        expected = []
+        for k in range(trace.n_samples):
+            update = stream.push(trace.data[k], float(trace.times[k]))
+            if update is not None:
+                expected.append(update)
+        final = stream.flush()
+        if final is not None:
+            expected.append(final)
+        if not updates_equal(delivered[name], expected):
+            mismatches.append(name)
+
+    fleet = router.fleet_stats()
+    return {
+        "n_sessions": len(receivers),
+        "wall_s": wall,
+        "killed_shard": kill_index,
+        "victims": sorted(victims),
+        "failovers": int(fleet["failovers"]),
+        "alive_shards": len(fleet["alive"]),
+        "sessions_per_shard": fleet["sessions_per_shard"],
+        "mismatches": mismatches,
+        "bit_identical": not mismatches,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sessions", type=int, default=8, metavar="N",
+        help="receiver sessions per phase (default 8)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=6.0, metavar="SEC",
+        help="simulated trace duration per session (default 6.0; the "
+        "soak is meant to run longer than the PR-path smoke tests)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="fleet width (default 2)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    parser.add_argument(
+        "--kill-shard", type=int, default=0, metavar="K",
+        help="shard index to SIGKILL in phase 2 (default 0)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSON soak report here (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.serve.session import ServeConfig
+    from repro.serve.simulate import simulated_receivers
+    from repro.shard.router import ShardRouter
+
+    serve_config = ServeConfig(block_seconds=1.0)
+    net_receivers = simulated_receivers(
+        args.sessions, seed=args.seed, duration_s=args.duration
+    )
+    kill_receivers = [
+        (f"kr{k:02d}", trace)
+        for k, (_, trace) in enumerate(
+            simulated_receivers(
+                args.sessions, seed=args.seed + 1, duration_s=args.duration
+            )
+        )
+    ]
+
+    record_dir = Path(tempfile.mkdtemp(prefix="rim-shard-soak-"))
+    router = ShardRouter(
+        args.shards, serve_config=serve_config, record_dir=record_dir
+    )
+    try:
+        router.wait_ready()
+        print(f"phase 1: faulted net-load ({args.sessions} sessions, "
+              f"one forced disconnect/client) ...")
+        net_report = _phase_net_load(router, serve_config, net_receivers)
+        print(f"  {net_report['n_samples']} samples at "
+              f"{net_report['samples_per_second']:.0f} samples/s, "
+              f"{net_report['reconnects']} reconnects, "
+              f"baseline_match={net_report['baseline_match']}")
+        print(f"phase 2: kill shard {args.kill_shard} + resume ...")
+        kill_report = _phase_kill_resume(
+            router, kill_receivers, args.kill_shard,
+            serve_config.block_seconds,
+        )
+        print(f"  {len(kill_report['victims'])} sessions adopted after "
+              f"SIGKILL, failovers={kill_report['failovers']}, "
+              f"bit_identical={kill_report['bit_identical']}")
+    finally:
+        import shutil
+
+        router.close()
+        shutil.rmtree(record_dir, ignore_errors=True)
+
+    report = {
+        "sessions": args.sessions,
+        "duration_s": args.duration,
+        "shards": args.shards,
+        "seed": args.seed,
+        "net_load": net_report,
+        "kill_resume": kill_report,
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    failures = []
+    if net_report["baseline_match"] is not True:
+        failures.append(
+            "phase 1: sharded net-load diverged from the in-process "
+            f"baseline (baseline_match={net_report['baseline_match']})"
+        )
+    if net_report["reconnects"] < args.sessions:
+        failures.append(
+            f"phase 1: expected >= {args.sessions} reconnects, saw "
+            f"{net_report['reconnects']} — the fault plan never fired"
+        )
+    if not kill_report["victims"]:
+        failures.append(
+            "phase 2: the killed shard owned no sessions — the kill "
+            "exercised nothing"
+        )
+    if kill_report["failovers"] < 1:
+        failures.append("phase 2: no failover was recorded")
+    if not kill_report["bit_identical"]:
+        failures.append(
+            "phase 2: resumed sessions diverged from the uninterrupted "
+            f"replay: {kill_report['mismatches']}"
+        )
+    if failures:
+        print("\nshard soak: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nshard soak: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

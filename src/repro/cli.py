@@ -258,18 +258,34 @@ def cmd_serve_sim(args) -> int:
     from repro.shutdown import GracefulShutdown
 
     with _telemetry(args), GracefulShutdown() as stop:
-        result = run_serve_sim(
-            n_sessions=args.sessions,
-            n_workers=args.workers,
-            seed=args.seed,
-            duration_s=args.duration,
-            backpressure=args.policy,
-            queue_capacity=args.queue_capacity,
-            block_seconds=args.block_seconds,
-            store_dir=args.store_dir,
-            record_dir=args.record_dir,
-            should_stop=stop.stopper(),
-        )
+        if args.shards:
+            from repro.shard import render_shard_table, run_shard_sim
+
+            result = run_shard_sim(
+                n_sessions=args.sessions,
+                shards=args.shards,
+                seed=args.seed,
+                duration_s=args.duration,
+                backpressure=args.policy,
+                queue_capacity=args.queue_capacity,
+                block_seconds=args.block_seconds,
+                store_dir=args.store_dir,
+                record_dir=args.record_dir,
+                should_stop=stop.stopper(),
+            )
+        else:
+            result = run_serve_sim(
+                n_sessions=args.sessions,
+                n_workers=args.workers,
+                seed=args.seed,
+                duration_s=args.duration,
+                backpressure=args.policy,
+                queue_capacity=args.queue_capacity,
+                block_seconds=args.block_seconds,
+                store_dir=args.store_dir,
+                record_dir=args.record_dir,
+                should_stop=stop.stopper(),
+            )
     if stop.triggered:
         print(
             f"{stop.signal_name}: replay stopped early; sessions drained "
@@ -281,6 +297,22 @@ def cmd_serve_sim(args) -> int:
         if args.store_dir
         else f"{args.sessions} simulated receivers"
     )
+    if args.shards:
+        print(
+            f"replaying {source} over {args.shards} shard processes "
+            f"(policy {args.policy!r})"
+        )
+        print()
+        print(render_shard_table(result))
+        agg = result["aggregate"]
+        if agg["degraded_blocks"] or agg["rejected"]:
+            print()
+            print(
+                f"warning: {agg['degraded_blocks']} degraded blocks, "
+                f"{agg['rejected']} rejected packets",
+                file=sys.stderr,
+            )
+        return 0
     print(
         f"replaying {source} over "
         f"{args.workers} workers (policy {args.policy!r})"
@@ -428,24 +460,48 @@ def cmd_net_serve(args) -> int:
         queue_capacity=args.queue_capacity,
         block_seconds=args.block_seconds,
     )
-    server = NetServer(config=config, serve_config=serve_config)
-    if args.record_dir:
-        server.manager.record_dir = Path(args.record_dir)
+    router = None
+    if args.shards:
+        from repro.shard.router import ShardRouter, fleet_sync_loop
+
+        router = ShardRouter(
+            args.shards,
+            serve_config=serve_config,
+            record_dir=args.record_dir or None,
+        )
+        router.wait_ready()
+        server = NetServer(config=config, manager=router, serve_config=serve_config)
+    else:
+        server = NetServer(config=config, serve_config=serve_config)
+        if args.record_dir:
+            server.manager.record_dir = Path(args.record_dir)
     with _telemetry(args):
         server.start()
-        print(f"net server listening on {config.host}:{server.port}")
+        where = f"{config.host}:{server.port}"
+        if router is not None:
+            print(f"net server listening on {where} ({args.shards} shards)")
+        else:
+            print(f"net server listening on {where}")
         with GracefulShutdown() as stop:
+            if router is not None:
+                fleet_sync_loop(router, interval_s=2.0, should_stop=stop.should_stop)
+            rows = []
             try:
                 while not stop.should_stop():
                     time.sleep(0.2)
             finally:
                 server.close()
+                if router is not None:
+                    # Stats live in the workers; capture before teardown.
+                    rows = server.session_stats()
+                    router.close()
     if stop.triggered:
         print(
             f"{stop.signal_name}: server stopped; sessions flushed",
             file=sys.stderr,
         )
-    rows = server.session_stats()
+    if router is None:
+        rows = server.session_stats()
     if rows:
         print()
         print(
@@ -706,6 +762,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=4, help="worker threads driving sessions"
     )
+    serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="fan sessions across N shard worker processes (repro.shard) "
+        "instead of one in-process manager",
+    )
     serve.add_argument("--seed", type=int, default=0, help="testbed seed")
     serve.add_argument(
         "--duration", type=float, default=2.0,
@@ -791,6 +852,11 @@ def build_parser() -> argparse.ArgumentParser:
     net_serve.add_argument("--host", default="127.0.0.1", help="bind address")
     net_serve.add_argument(
         "--port", type=int, default=7316, help="bind port (0 = ephemeral)"
+    )
+    net_serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="fan sessions across N shard worker processes (repro.shard); "
+        "with --record-dir, a dead shard's sessions resume on survivors",
     )
     net_serve.add_argument(
         "--policy", default="block", choices=("block", "drop_oldest", "reject"),

@@ -27,7 +27,7 @@ from typing import Any, Dict, Optional
 
 from repro import obs
 
-SCHEMA = "rim-perf-baseline/v7"
+SCHEMA = "rim-perf-baseline/v8"
 
 # Best-of-N repeats for the obs-overhead A/B: single wall-clock samples
 # of a ~100 ms workload are scheduler-jitter noisy, and the overhead gate
@@ -65,6 +65,12 @@ PROFILED_KERNEL_DTYPES = ("float64", "float32")
 # tentpole stages, watched individually so a regression inside one stage
 # cannot hide behind an improvement in another.
 GATED_BATCH_SPANS = ("dp_tracking", "rim.sanitize")
+
+# Shard counts the fleet-scaling section measures (schema v8).  The
+# absolute-throughput gate only reads the 1-shard row; efficiency at the
+# larger counts is hardware-dependent and belongs to the CI shard-scaling
+# job, which knows how many cores its runner has.
+PROFILED_SHARD_COUNTS = (1, 2, 4)
 
 
 def _span_total(spans, name: str) -> float:
@@ -198,17 +204,17 @@ def _profile_serving(
     asserted by the test suite); the wall-clock ratio is the
     multi-session speedup.
 
-    CPU-bound sessions gain nothing from oversubscribing cores, so the
-    effective pool width is capped at ``os.cpu_count()`` (both the
-    requested and effective widths are recorded — on a 1-core host the
-    "parallel" schedule legitimately degenerates to serial).
+    The effective pool width and any serial-fallback reason come from
+    the runner itself (``n_workers_effective`` / ``fallback_reason``,
+    schema v8) rather than being re-derived here, so the baseline records
+    what actually executed — on a 1-core host the "parallel" schedule
+    legitimately degenerates to serial and the payload says so.
     """
     from repro import RimConfig
     from repro.serve.runner import ParallelRunner
 
     cfg = RimConfig(max_lag=60, kernel_backend=PRIMARY_BACKEND)
     traces = [trace] * n_sessions
-    effective_workers = max(1, min(n_workers, os.cpu_count() or 1))
 
     def _measure(runner: ParallelRunner):
         t0 = time.perf_counter()
@@ -217,9 +223,8 @@ def _profile_serving(
         return results, wall
 
     serial_results, serial_wall = _measure(ParallelRunner(mode="serial"))
-    parallel_results, parallel_wall = _measure(
-        ParallelRunner(n_workers=effective_workers, mode="thread")
-    )
+    parallel_runner = ParallelRunner(n_workers=n_workers, mode="thread")
+    parallel_results, parallel_wall = _measure(parallel_runner)
     identical = all(
         a.same_estimates(b) for a, b in zip(serial_results, parallel_results)
     )
@@ -235,7 +240,8 @@ def _profile_serving(
     return {
         "n_sessions": n_sessions,
         "n_workers": n_workers,
-        "n_workers_effective": effective_workers,
+        "n_workers_effective": parallel_runner.n_workers_effective,
+        "fallback_reason": parallel_runner.fallback_reason,
         "n_cpus": os.cpu_count(),
         "mode": "thread",
         "total_samples": total_samples,
@@ -249,6 +255,36 @@ def _profile_serving(
             sum(r.total_distance for r in parallel_results)
         ),
     }
+
+
+def _profile_shards(
+    n_sessions: int,
+    duration_s: float,
+    seed: int,
+) -> Dict[str, Any]:
+    """Fleet scaling: sessions/sec at each shard count (schema v8).
+
+    Replays one pre-sampled receiver workload through fresh
+    :class:`~repro.shard.router.ShardRouter` fleets at every count in
+    :data:`PROFILED_SHARD_COUNTS` via
+    :func:`repro.shard.fleet.measure_shard_scaling`.  The derived
+    efficiency column is recorded but **not** gated here — whether 4
+    shards can actually run 4x faster depends on the host's core count,
+    which is why the CI ``shard-scaling`` job owns the ≥ 0.7x-linear
+    gate and this payload only feeds the 1-shard absolute-throughput
+    regression row.
+    """
+    from repro import RimConfig
+    from repro.shard.fleet import measure_shard_scaling
+
+    cfg = RimConfig(max_lag=60, kernel_backend=PRIMARY_BACKEND)
+    return measure_shard_scaling(
+        shard_counts=PROFILED_SHARD_COUNTS,
+        n_sessions=n_sessions,
+        seed=seed,
+        duration_s=duration_s,
+        rim_config=cfg,
+    )
 
 
 def _profile_store(trace, block_seconds: float) -> Dict[str, Any]:
@@ -453,7 +489,10 @@ def run_perf_baseline(
     ``n_sessions`` concurrent sessions through
     :class:`~repro.serve.runner.ParallelRunner` (serial vs a
     ``n_workers``-wide thread pool) and records the aggregate
-    multi-session throughput the serving-regression gate watches.
+    multi-session throughput the serving-regression gate watches.  The
+    ``shard_scaling`` section (schema v8) replays a sharded workload at
+    1/2/4 shards through :mod:`repro.shard` and records sessions/sec
+    plus derived linear-scaling efficiency per count.
 
     Args:
         seed: Scenario seed (scatterers, noise).
@@ -498,10 +537,15 @@ def run_perf_baseline(
         if not was_enabled:
             obs.disable()
 
-    # Serving, store, and network throughput are measured with
-    # instrumentation off — the gate watches raw throughput, not span
-    # bookkeeping.
+    # Serving, shard-fleet, store, and network throughput are measured
+    # with instrumentation off — the gate watches raw throughput, not
+    # span bookkeeping.
     serving = _profile_serving(trace, n_sessions, n_workers, block_seconds)
+    shard_scaling = _profile_shards(
+        n_sessions=4 if quick else 8,
+        duration_s=min(duration_s, 1.0) if quick else duration_s,
+        seed=seed,
+    )
     store = _profile_store(trace, block_seconds)
     net = _profile_net(trace, block_seconds)
     obs_overhead = _profile_obs_overhead(trace, block_seconds)
@@ -529,6 +573,7 @@ def run_perf_baseline(
         "streaming": primary["streaming"],
         "kernel_dtypes": kernel_dtypes,
         "serving": serving,
+        "shard_scaling": shard_scaling,
         "store": store,
         "net": net,
         "obs_overhead": obs_overhead,
@@ -576,7 +621,7 @@ def validate_perf_payload(payload: Dict[str, Any]) -> None:
         )
     sections = (
         "workload", "batch", "streaming", "kernel_dtypes", "serving",
-        "store", "net", "obs_overhead", "metrics",
+        "shard_scaling", "store", "net", "obs_overhead", "metrics",
     )
     for section in sections:
         if not isinstance(payload.get(section), dict):
@@ -624,6 +669,26 @@ def validate_perf_payload(payload: Dict[str, Any]) -> None:
             "serving.bit_identical is false: pooled sessions diverged from "
             "serial execution"
         )
+    if not isinstance(serving.get("n_workers_effective"), int):
+        raise ValueError("serving lacks n_workers_effective")
+    scaling = payload["shard_scaling"]
+    rows = scaling.get("rows")
+    if not isinstance(rows, list) or not rows:
+        raise ValueError("shard_scaling.rows is missing or empty")
+    for row in rows:
+        for metric in ("shards", "wall_s", "sessions_per_second"):
+            if not isinstance(row.get(metric), (int, float)):
+                raise ValueError(
+                    f"shard_scaling row (shards={row.get('shards')}) "
+                    f"lacks {metric}"
+                )
+    if not any(int(row["shards"]) == 1 for row in rows):
+        raise ValueError(
+            "shard_scaling has no 1-shard row: the scaling baseline "
+            "needs the single-shard reference rate"
+        )
+    if not isinstance(scaling.get("n_cpus"), int):
+        raise ValueError("shard_scaling lacks n_cpus")
     dtypes = payload["kernel_dtypes"].get("dtypes")
     if not isinstance(dtypes, dict):
         raise ValueError("kernel_dtypes.dtypes is missing or malformed")
@@ -773,6 +838,35 @@ def check_perf_regression(
             f"budget -{max_regression / (1.0 + max_regression):.0%})"
         )
 
+    # Shard-fleet gate (schema v8): single-shard sessions/sec against
+    # the committed baseline under the same fractional budget.  Only the
+    # 1-shard row is gated here — it measures router + worker + pipe
+    # overhead without needing spare cores, so it is as
+    # hardware-portable as the other throughput rows.  The multi-shard
+    # efficiency columns are recorded but deliberately not gated: linear
+    # scaling needs as many cores as shards, which only the CI
+    # shard-scaling job (pinned to a known runner) can assert.
+    def _one_shard_rate(p: Dict[str, Any]) -> Optional[float]:
+        for row in (p.get("shard_scaling") or {}).get("rows") or []:
+            if int(row.get("shards", 0)) == 1:
+                rate = row.get("sessions_per_second")
+                return float(rate) if isinstance(rate, (int, float)) else None
+        return None
+
+    new_rate = _one_shard_rate(payload)
+    old_rate = _one_shard_rate(baseline)
+    if (
+        new_rate is not None
+        and old_rate is not None
+        and old_rate > 0
+        and new_rate < old_rate / (1.0 + max_regression)
+    ):
+        failures.append(
+            f"single-shard fleet throughput regressed "
+            f"({old_rate:.2f} -> {new_rate:.2f} sessions/s; "
+            f"budget -{max_regression / (1.0 + max_regression):.0%})"
+        )
+
     # Store throughput gate (schema v4): write/read MB/s and replay
     # samples/sec under the same fractional budget, when both payloads
     # carry a store section (a v3 baseline simply skips this gate).
@@ -916,6 +1010,15 @@ def render_perf_summary(payload: Dict[str, Any]) -> str:
             f"{'n/a' if speedup is None else format(speedup, '.2f') + 'x'}, "
             f"bit-identical: {'yes' if serving.get('bit_identical') else 'NO'}",
         ]
+        if serving.get("fallback_reason"):
+            lines.append(
+                f"  pool fallback    serial ({serving['fallback_reason']})"
+            )
+    scaling = payload.get("shard_scaling")
+    if scaling:
+        from repro.shard.fleet import render_scaling_table
+
+        lines += ["", render_scaling_table(scaling)]
     store = payload.get("store")
     if store:
         lines += [

@@ -326,6 +326,79 @@ class MetricsRegistry:
                     raise ValueError(f"unknown metric type {kind!r} for {name!r}")
         return registry
 
+    def apply_snapshot(
+        self,
+        snapshot: Dict[str, Dict[str, Any]],
+        previous: Optional[Dict[str, Dict[str, Any]]] = None,
+    ) -> Dict[str, Dict[str, Any]]:
+        """Fold another registry's snapshot into this one, as deltas.
+
+        The shard router aggregates worker-process metrics by pulling
+        each worker's :meth:`snapshot` and applying it here against the
+        worker's *previous* snapshot: counters and histogram buckets
+        advance by their deltas (so repeated applications never
+        double-count), gauges are last-value-wins, and histogram
+        min/max merge absolutely.  A worker that restarted (its values
+        regressed) is treated as fresh — the full new value is applied.
+
+        Args:
+            snapshot: The remote registry's :meth:`snapshot` output.
+            previous: The last snapshot applied for the same source, or
+                None on first application.
+
+        Returns:
+            ``snapshot`` itself — store it as the next ``previous``.
+        """
+        previous = previous or {}
+        for name, rec in snapshot.items():
+            kind = rec.get("type")
+            prev = previous.get(name)
+            if prev is not None and prev.get("type") != kind:
+                prev = None
+            if kind == "counter":
+                before = prev["value"] if prev else 0
+                delta = rec["value"] - before
+                if delta < 0:  # source restarted: count the new value whole
+                    delta = rec["value"]
+                if delta:
+                    self.counter(name, help=rec.get("help", "")).add(delta)
+            elif kind == "gauge":
+                self.gauge(name, help=rec.get("help", "")).set(rec["value"])
+            elif kind == "histogram":
+                self._apply_histogram(name, rec, prev)
+        return snapshot
+
+    def _apply_histogram(
+        self,
+        name: str,
+        rec: Dict[str, Any],
+        prev: Optional[Dict[str, Any]],
+    ) -> None:
+        hist = self.histogram(name, bounds=rec["bounds"], help=rec.get("help", ""))
+        if list(hist.bounds) != [float(b) for b in rec["bounds"]]:
+            return  # incompatible layout; never corrupt local buckets
+        if prev is not None and (
+            list(prev.get("bounds", [])) != list(rec["bounds"])
+            or rec["count"] < prev["count"]
+        ):
+            prev = None  # bounds changed or source restarted: apply whole
+        prev_counts = prev["counts"] if prev else [0] * len(rec["counts"])
+        d_counts = [int(n) - int(p) for n, p in zip(rec["counts"], prev_counts)]
+        d_count = int(rec["count"]) - (int(prev["count"]) if prev else 0)
+        d_sum = float(rec["sum"]) - (float(prev["sum"]) if prev else 0.0)
+        if d_count <= 0:
+            return
+        with hist._mu:
+            for k, d in enumerate(d_counts):
+                if d > 0:
+                    hist.counts[k] += d
+            hist.count += d_count
+            hist.total += d_sum
+            if rec.get("min") is not None:
+                hist.vmin = min(hist.vmin, float(rec["min"]))
+            if rec.get("max") is not None:
+                hist.vmax = max(hist.vmax, float(rec["max"]))
+
     def render_table(self) -> str:
         """Aligned human-readable table of every metric."""
         if not self._metrics:

@@ -16,6 +16,7 @@ it requires picklable traces (ours are plain dataclasses of arrays).
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -27,6 +28,8 @@ import numpy as np
 from repro.channel.sampler import CsiTrace
 from repro.core.config import RimConfig
 from repro.core.streaming import StreamingRim
+
+logger = logging.getLogger(__name__)
 
 RUNNER_MODES = ("serial", "thread", "process")
 
@@ -156,6 +159,15 @@ class ParallelRunner:
         mode: ``"thread"`` (default), ``"process"`` (opt-in, picklable
             jobs), or ``"serial"`` (a plain loop — the equivalence
             baseline with zero pool overhead).
+
+    After :meth:`run`, ``n_workers_effective`` reports how many workers
+    could actually work in parallel on that batch (never more than the
+    job count, and in process mode never more than the machine's cores —
+    spawning processes a single-core host cannot schedule only adds
+    pickling overhead).  When the answer is one, the runner executes
+    serially and ``fallback_reason`` says why, instead of silently
+    degrading behind pool machinery; the perf baseline records both so
+    BENCH_perf.json cannot claim parallelism that never happened.
     """
 
     def __init__(self, n_workers: Optional[int] = None, mode: str = "thread"):
@@ -167,6 +179,26 @@ class ParallelRunner:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = int(n_workers)
         self.mode = mode
+        self.n_workers_effective: Optional[int] = None
+        self.fallback_reason: Optional[str] = None
+
+    def _plan(self, n_jobs: int) -> Tuple[int, Optional[str]]:
+        """Honest pool width for ``n_jobs`` + the reason when it is 1."""
+        if self.mode == "serial":
+            return 1, "serial mode requested"
+        effective = min(self.n_workers, n_jobs)
+        if self.mode == "process":
+            n_cpus = os.cpu_count() or 1
+            effective = min(effective, n_cpus)
+            if effective <= 1:
+                if n_jobs <= 1:
+                    return 1, "single job"
+                if n_cpus <= 1:
+                    return 1, f"host has {n_cpus} cpu"
+                return 1, "n_workers=1"
+        elif effective <= 1:
+            return 1, "single job" if n_jobs <= 1 else "n_workers=1"
+        return effective, None
 
     def run(
         self,
@@ -193,10 +225,19 @@ class ParallelRunner:
             (name, trace, rim_config, block_seconds)
             for name, trace in zip(names, traces)
         ]
-        if self.mode == "serial" or len(jobs) <= 1:
+        effective, reason = self._plan(len(jobs))
+        self.n_workers_effective = effective
+        self.fallback_reason = reason
+        if effective <= 1:
+            if self.mode != "serial":
+                logger.info(
+                    "%s pool falling back to serial execution (%s); "
+                    "n_workers_effective=1",
+                    self.mode, reason,
+                )
             return [_replay_job(job) for job in jobs]
         if self.mode == "thread":
-            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            with ThreadPoolExecutor(max_workers=effective) as pool:
                 return list(pool.map(_replay_job, jobs))
-        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+        with ProcessPoolExecutor(max_workers=effective) as pool:
             return list(pool.map(_replay_job, jobs))

@@ -286,6 +286,48 @@ class ServeSession:
         self._updates = []
         return out
 
+    def adopt(
+        self,
+        stream: StreamingRim,
+        n_ingested: int,
+        updates: Optional[List[MotionUpdate]] = None,
+        skip_updates: int = 0,
+    ) -> int:
+        """Transplant a replayed stream into this session (shard failover).
+
+        The shard fleet resumes a dead worker's session by replaying its
+        ingest recording through a fresh
+        :class:`~repro.store.checkpoint.CheckpointedReplayer` and handing
+        the replayed stream — plus the updates the replay regenerated —
+        to a brand-new session on a surviving worker.  The first
+        ``skip_updates`` regenerated updates were already delivered to
+        the previous owner's consumers and are discarded; the rest are
+        queued for the next :meth:`poll` so nothing is lost or repeated.
+
+        Args:
+            stream: The replayed estimator (mid-stream, not flushed).
+            n_ingested: Packets the recording replayed (becomes the
+                honest ``offered``/``processed`` baseline).
+            updates: Every update the replay regenerated, in order.
+            skip_updates: How many of ``updates`` were already delivered.
+
+        Returns:
+            The number of updates queued for delivery.
+        """
+        updates = list(updates or [])
+        if not 0 <= skip_updates <= len(updates):
+            raise ValueError(
+                f"skip_updates {skip_updates} out of range for "
+                f"{len(updates)} replayed updates"
+            )
+        self.stream = stream
+        self.n_offered = int(n_ingested)
+        self.n_processed = int(n_ingested)
+        self.n_updates = len(updates)
+        self._updates = updates[skip_updates:]
+        self.last_activity = self._clock()
+        return len(self._updates)
+
     def note_repair(self, key: str, n: int = 1) -> None:
         """Record an ingest-side repair (e.g. ``net_*`` transport faults).
 
@@ -370,6 +412,9 @@ class SessionManager:
             a chunked store at ``record_dir/<session-name>`` (see
             :class:`~repro.store.writer.TraceWriter`); replay later with
             ``python -m repro.cli replay`` or ``serve-sim --store-dir``.
+        record_chunk_samples: Packets per recorded chunk file.  The
+            shard fleet uses a small value so a killed worker loses at
+            most one short chunk of un-synced tail.
     """
 
     def __init__(
@@ -378,11 +423,13 @@ class SessionManager:
         serve_config: Optional[ServeConfig] = None,
         clock: Callable[[], float] = time.monotonic,
         record_dir=None,
+        record_chunk_samples: Optional[int] = None,
     ):
         self._rim_config = rim_config
         self._serve_config = serve_config or ServeConfig()
         self._clock = clock
         self.record_dir = None if record_dir is None else Path(record_dir)
+        self.record_chunk_samples = record_chunk_samples
         self._sessions: Dict[str, ServeSession] = {}
         self._lock = threading.Lock()
         self.n_evicted = 0
@@ -440,11 +487,15 @@ class SessionManager:
         self.evict_idle()
         recorder = None
         if self.record_dir is not None:
+            kwargs = {}
+            if self.record_chunk_samples is not None:
+                kwargs["chunk_samples"] = self.record_chunk_samples
             recorder = TraceWriter(
                 self.record_dir / name,
                 array,
                 carrier_wavelength=carrier_wavelength,
                 sampling_rate=sampling_rate,
+                **kwargs,
             )
         session = ServeSession(
             name,
@@ -456,13 +507,22 @@ class SessionManager:
             clock=self._clock,
             recorder=recorder,
         )
+        return self.register(session)
+
+    def register(self, session: ServeSession) -> ServeSession:
+        """Install an externally built session (shard failover adoption).
+
+        :meth:`create` builds and registers in one step; the shard
+        worker instead rebuilds a session from a dead peer's recording
+        (:meth:`ServeSession.adopt`) and registers the finished object.
+        """
         with self._lock:
-            if name in self._sessions:
-                raise ValueError(f"session {name!r} already exists")
-            self._sessions[name] = session
+            if session.name in self._sessions:
+                raise ValueError(f"session {session.name!r} already exists")
+            self._sessions[session.name] = session
         obs.set_gauge("serve.sessions", len(self))
-        FLIGHT.record("session", "serve", session=name, action="created")
-        logger.info("session %s created", name, extra={"session": name})
+        FLIGHT.record("session", "serve", session=session.name, action="created")
+        logger.info("session %s created", session.name, extra={"session": session.name})
         return session
 
     def get(self, name: str) -> ServeSession:

@@ -1,0 +1,42 @@
+"""Multi-process scale-out: a shard fleet behind one SessionManager API.
+
+``repro.serve`` runs every session in one process; this package spreads
+them across N worker processes — one private
+:class:`~repro.serve.session.SessionManager` (and GIL) per shard —
+behind a :class:`~repro.shard.router.ShardRouter` that speaks the same
+``create`` / ``push`` / ``poll`` / ``flush_all`` / ``stats`` surface.
+Sessions land on shards by consistent hash of their name
+(:mod:`repro.shard.ring`), CSI crosses the per-shard pipes in
+CRC-protected binary records (:mod:`repro.shard.messages`, built on
+:class:`repro.binfmt.HeaderCodec`), and a dead shard's sessions resume
+bit-identically on survivors from their ingest recordings
+(:mod:`repro.shard.worker`).  See ``docs/sharding.md``.
+"""
+
+from repro.shard.fleet import (
+    MIN_LINEAR_EFFICIENCY,
+    measure_shard_scaling,
+    render_scaling_table,
+    render_shard_table,
+    run_shard_sim,
+)
+from repro.shard.messages import ShardProtocolError
+from repro.shard.ring import HashRing
+from repro.shard.router import ShardError, ShardRouter, ShardSessionProxy
+from repro.shard.worker import SHARD_CHUNK_SAMPLES, WorkerInit, shard_worker_main
+
+__all__ = [
+    "HashRing",
+    "MIN_LINEAR_EFFICIENCY",
+    "SHARD_CHUNK_SAMPLES",
+    "ShardError",
+    "ShardProtocolError",
+    "ShardRouter",
+    "ShardSessionProxy",
+    "WorkerInit",
+    "measure_shard_scaling",
+    "render_scaling_table",
+    "render_shard_table",
+    "run_shard_sim",
+    "shard_worker_main",
+]

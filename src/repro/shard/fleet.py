@@ -1,0 +1,288 @@
+"""Sharded serve simulation + scaling measurement: ``serve-sim --shards``.
+
+The single-manager simulator (:mod:`repro.serve.simulate`) replays N
+receivers through one in-process :class:`~repro.serve.session.
+SessionManager`; this module replays the same receivers through a
+:class:`~repro.shard.router.ShardRouter` fleet, and measures how
+sessions/sec scales with shard count — the number the CI
+``shard-scaling`` job gates at ≥ 0.7x-linear.
+
+The timed window starts after :meth:`ShardRouter.wait_ready` and session
+creation, so worker startup (interpreter spawn, numpy import) never
+pollutes a throughput measurement; it covers pushes, the end-of-stream
+flush, and update delivery — the full serving round-trip.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.channel.sampler import CsiTrace
+from repro.core.config import RimConfig
+from repro.serve.session import ServeConfig
+from repro.serve.simulate import simulated_receivers, store_receivers
+from repro.shard.router import ShardRouter
+
+# Efficiency the CI gate enforces when the host has the cores to show it.
+MIN_LINEAR_EFFICIENCY = 0.7
+
+
+def _replay_into_router(
+    router: ShardRouter,
+    name: str,
+    trace: CsiTrace,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> Dict[str, Any]:
+    """Push one receiver's packets to its shard, then poll its updates."""
+    t0 = time.perf_counter()
+    n_pushed = 0
+    for k in range(trace.n_samples):
+        if should_stop is not None and should_stop():
+            break
+        router.push(name, trace.data[k], float(trace.times[k]))
+        n_pushed += 1
+    updates = router.poll(name)
+    wall = time.perf_counter() - t0
+    return {
+        "session": name,
+        "n_samples": n_pushed,
+        "n_updates": len(updates),
+        "wall_s": wall,
+    }
+
+
+def run_shard_sim(
+    n_sessions: int = 8,
+    shards: int = 2,
+    seed: int = 0,
+    duration_s: float = 2.0,
+    backpressure: str = "block",
+    queue_capacity: int = 256,
+    block_seconds: float = 1.0,
+    rim_config: Optional[RimConfig] = None,
+    receivers: Optional[Sequence[Tuple[str, CsiTrace]]] = None,
+    store_dir=None,
+    record_dir=None,
+    should_stop: Optional[Callable[[], bool]] = None,
+    start_method: Optional[str] = None,
+    router: Optional[ShardRouter] = None,
+) -> Dict[str, Any]:
+    """Replay N receivers concurrently through a shard fleet.
+
+    Mirrors :func:`repro.serve.simulate.run_serve_sim` (same receivers,
+    same aggregate schema) with the work fanned across ``shards`` worker
+    processes.  Extra aggregate keys: ``shards``, ``failovers``, and the
+    per-shard session placement.
+
+    Args:
+        router: Drive an existing fleet instead of spawning one (the
+            scaling harness reuses this); the caller keeps ownership and
+            must close it.
+    """
+    if receivers is None:
+        if store_dir is not None:
+            receivers = store_receivers(store_dir)
+        else:
+            receivers = simulated_receivers(
+                n_sessions, seed=seed, duration_s=duration_s
+            )
+    n_sessions = len(receivers)
+    serve_config = ServeConfig(
+        queue_capacity=queue_capacity,
+        backpressure=backpressure,
+        block_seconds=block_seconds,
+    )
+    own_router = router is None
+    if router is None:
+        router = ShardRouter(
+            shards,
+            rim_config=rim_config,
+            serve_config=serve_config,
+            record_dir=record_dir,
+            start_method=start_method,
+        )
+    try:
+        router.wait_ready()
+        for name, trace in receivers:
+            router.create(
+                name,
+                trace.array,
+                trace.sampling_rate,
+                carrier_wavelength=trace.carrier_wavelength,
+            )
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=n_sessions) as pool:
+            replays = list(
+                pool.map(
+                    lambda rx: _replay_into_router(
+                        router, rx[0], rx[1], should_stop=should_stop
+                    ),
+                    receivers,
+                )
+            )
+        finals = router.flush_all()
+        wall = time.perf_counter() - t0
+
+        session_stats = router.stats()
+        fleet = router.fleet_stats()
+    finally:
+        if own_router:
+            router.close()
+
+    by_name = {r["session"]: r for r in replays}
+    for row in session_stats:
+        name = str(row["session"])
+        replay = by_name.get(name, {})
+        row["n_updates"] = replay.get("n_updates", 0) + len(finals.get(name, []))
+        row["replay_wall_s"] = replay.get("wall_s", 0.0)
+
+    total_samples = sum(r["n_samples"] for r in replays)
+    aggregate = {
+        "n_sessions": n_sessions,
+        "shards": fleet["n_shards"],
+        "alive_shards": len(fleet["alive"]),
+        "failovers": fleet["failovers"],
+        "sessions_per_shard": fleet["sessions_per_shard"],
+        "start_method": fleet["start_method"],
+        "wall_s": wall,
+        "sessions_per_second": n_sessions / wall if wall > 0 else 0.0,
+        "samples_per_second": total_samples / wall if wall > 0 else 0.0,
+        "total_samples": total_samples,
+        "total_distance_m": float(
+            sum(float(row["distance_m"]) for row in session_stats)
+        ),
+        "shed": sum(int(row["shed"]) for row in session_stats),
+        "rejected": sum(int(row["rejected"]) for row in session_stats),
+        "blocked": sum(int(row["blocked"]) for row in session_stats),
+        "degraded_blocks": sum(
+            int(row["degraded_blocks"]) for row in session_stats
+        ),
+    }
+    return {
+        "config": {
+            "backpressure": backpressure,
+            "queue_capacity": queue_capacity,
+            "block_seconds": block_seconds,
+            "duration_s": duration_s,
+            "seed": seed,
+            "shards": fleet["n_shards"],
+        },
+        "sessions": session_stats,
+        "aggregate": aggregate,
+    }
+
+
+def measure_shard_scaling(
+    shard_counts: Sequence[int] = (1, 2, 4),
+    n_sessions: int = 8,
+    seed: int = 0,
+    duration_s: float = 2.0,
+    rim_config: Optional[RimConfig] = None,
+    receivers: Optional[Sequence[Tuple[str, CsiTrace]]] = None,
+    start_method: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Sessions/sec at each shard count, plus derived scaling efficiency.
+
+    The same pre-sampled receiver workload replays once per shard count
+    through a fresh fleet; ``efficiency`` at S shards is
+    ``(rate_S / rate_1) / S`` — 1.0 is perfectly linear.  Efficiency is
+    only meaningful when the host has at least S cores; the ``n_cpus``
+    field lets consumers (the CI gate) skip rows the hardware cannot
+    demonstrate.
+    """
+    shard_counts = sorted(set(int(s) for s in shard_counts))
+    if not shard_counts or shard_counts[0] < 1:
+        raise ValueError(f"shard_counts must be >= 1, got {shard_counts}")
+    if receivers is None:
+        receivers = simulated_receivers(n_sessions, seed=seed, duration_s=duration_s)
+    rows: List[Dict[str, Any]] = []
+    base_rate: Optional[float] = None
+    for shards in shard_counts:
+        result = run_shard_sim(
+            shards=shards,
+            seed=seed,
+            duration_s=duration_s,
+            rim_config=rim_config,
+            receivers=receivers,
+            start_method=start_method,
+        )
+        agg = result["aggregate"]
+        rate = float(agg["sessions_per_second"])
+        if shards == 1:
+            base_rate = rate
+        speedup = rate / base_rate if base_rate else None
+        rows.append(
+            {
+                "shards": shards,
+                "wall_s": float(agg["wall_s"]),
+                "sessions_per_second": rate,
+                "samples_per_second": float(agg["samples_per_second"]),
+                "speedup": speedup,
+                "efficiency": None if speedup is None else speedup / shards,
+            }
+        )
+    return {
+        "shard_counts": shard_counts,
+        "n_sessions": len(receivers),
+        "n_cpus": os.cpu_count() or 1,
+        "start_method": start_method or "auto",
+        "min_linear_efficiency": MIN_LINEAR_EFFICIENCY,
+        "rows": rows,
+    }
+
+
+def render_shard_table(result: Dict[str, Any]) -> str:
+    """Per-session table for a sharded run (adds the shard column)."""
+    rows = result["sessions"]
+    agg = result["aggregate"]
+    header = (
+        f"{'session':<8} {'shard':<9} {'samples':>8} {'blocks':>7} "
+        f"{'dist m':>8} {'blocked':>8} {'shed':>6} {'reject':>7} {'degr':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{str(row['session']):<8} {str(row.get('shard', '?')):<9} "
+            f"{int(row['processed']):>8} {int(row['updates']):>7} "
+            f"{float(row['distance_m']):>8.3f} {int(row['blocked']):>8} "
+            f"{int(row['shed']):>6} {int(row['rejected']):>7} "
+            f"{int(row['degraded_blocks']):>5}"
+        )
+    lines += [
+        "-" * len(header),
+        f"{agg['n_sessions']} sessions over {agg['shards']} shards "
+        f"({agg['alive_shards']} alive, {agg['failovers']} failovers): "
+        f"{agg['wall_s'] * 1e3:.1f} ms wall "
+        f"({agg['sessions_per_second']:.2f} sessions/s, "
+        f"{agg['samples_per_second']:.0f} samples/s aggregate)",
+        "placement: "
+        + ", ".join(
+            f"{shard}={count}"
+            for shard, count in sorted(agg["sessions_per_shard"].items())
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def render_scaling_table(scaling: Dict[str, Any]) -> str:
+    """Markdown-ish run table for the scaling artifact and CI logs."""
+    lines = [
+        f"shard scaling: {scaling['n_sessions']} sessions, "
+        f"{scaling['n_cpus']} cpus",
+        f"{'shards':>6} {'wall s':>9} {'sess/s':>9} {'samp/s':>10} "
+        f"{'speedup':>8} {'eff':>6}",
+    ]
+    for row in scaling["rows"]:
+        speedup = row["speedup"]
+        eff = row["efficiency"]
+        lines.append(
+            f"{row['shards']:>6} {row['wall_s']:>9.3f} "
+            f"{row['sessions_per_second']:>9.2f} "
+            f"{row['samples_per_second']:>10.0f} "
+            f"{'-' if speedup is None else f'{speedup:.2f}':>8} "
+            f"{'-' if eff is None else f'{eff:.2f}':>6}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,259 @@
+"""Router <-> worker message codec for the shard fleet (pipe transport).
+
+Every message crossing a shard pipe is one length-delimited record
+(``multiprocessing.Connection.send_bytes`` / ``recv_bytes``) opening with
+a CRC-32-protected fixed header built on the shared
+:class:`repro.binfmt.HeaderCodec` — the same primitive the trace store
+uses on disk and the net front-end uses on TCP, so a corrupted or
+misframed record is rejected loudly at every hop with the same
+vocabulary.
+
+Header layout (``<4sHHHQII``, 26 bytes)::
+
+    magic "RSRD" | version | msg type | session-name length
+    | sequence number | payload length | CRC-32
+
+The CRC covers the header (with the CRC field zeroed), the UTF-8 session
+name, and the payload, so a single bit flip anywhere in the record is
+caught before dispatch.  Payload encodings by message family:
+
+* control (CREATE/ADOPT/OK/ERROR/STATS/SNAPSHOT...): canonical JSON;
+* DATA: a self-describing packet record — ``<dBBB`` (timestamp,
+  has-timestamp flag, dtype code, ndim) + dims + raw array bytes, so
+  complex64 CSI crosses the pipe bit-identically without a per-session
+  shape registry;
+* UPDATES: length-prefixed :func:`repro.net.framing.encode_update`
+  blobs — the wire codec that is already bit-exact for MotionUpdates.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.binfmt import HeaderCodec, crc32_of, verify_crc32
+from repro.core.streaming import MotionUpdate
+from repro.net.framing import decode_update, encode_update
+
+
+class ShardProtocolError(RuntimeError):
+    """A malformed, corrupt, or out-of-protocol shard message."""
+
+
+SHARD_MAGIC = b"RSRD"
+SHARD_PROTOCOL_VERSION = 1
+SUPPORTED_SHARD_VERSIONS = (1,)
+
+# magic, version, msg_type, name_len, seq, payload_len, crc
+HEADER = HeaderCodec(
+    SHARD_MAGIC,
+    "<4sHHHQII",
+    SUPPORTED_SHARD_VERSIONS,
+    error_cls=ShardProtocolError,
+)
+HEADER_SIZE = HEADER.size  # 26
+
+# Requests (router -> worker).
+MSG_PING = 1  # readiness / liveness probe
+MSG_CREATE = 2  # register a session on this shard
+MSG_DATA = 3  # one CSI packet (fire-and-forget, no reply)
+MSG_POLL = 4  # drain a session, return updates since last poll
+MSG_FLUSH = 5  # end-of-stream flush of one session
+MSG_STATS = 6  # per-session serving-health rows
+MSG_SNAPSHOT = 7  # full obs metrics snapshot
+MSG_SYNC = 8  # make every session's recording durable (partial-chunk flush)
+MSG_ADOPT = 9  # resume a dead shard's session from its recording
+MSG_NOTE = 10  # fold an ingest-side repair into a session (fire-and-forget)
+MSG_EVICT = 11  # flush and remove one session
+MSG_SHUTDOWN = 12  # flush everything and exit the worker loop
+
+# Replies (worker -> router).
+MSG_OK = 64  # JSON result
+MSG_UPDATES = 65  # encoded MotionUpdate batch
+MSG_ERROR = 66  # JSON {"error": ..., "kind": ...}
+
+_FIRE_AND_FORGET = frozenset({MSG_DATA, MSG_NOTE})
+
+_MSG_NAMES = {
+    MSG_PING: "PING", MSG_CREATE: "CREATE", MSG_DATA: "DATA",
+    MSG_POLL: "POLL", MSG_FLUSH: "FLUSH", MSG_STATS: "STATS",
+    MSG_SNAPSHOT: "SNAPSHOT", MSG_SYNC: "SYNC", MSG_ADOPT: "ADOPT",
+    MSG_NOTE: "NOTE", MSG_EVICT: "EVICT", MSG_SHUTDOWN: "SHUTDOWN",
+    MSG_OK: "OK", MSG_UPDATES: "UPDATES", MSG_ERROR: "ERROR",
+}
+
+
+def msg_name(msg_type: int) -> str:
+    """Human-readable message-type name (for logs and errors)."""
+    return _MSG_NAMES.get(msg_type, f"type-{msg_type}")
+
+
+def is_fire_and_forget(msg_type: int) -> bool:
+    """True for request types that never get a reply (DATA, NOTE)."""
+    return msg_type in _FIRE_AND_FORGET
+
+
+@dataclass
+class ShardMessage:
+    """One decoded pipe record: type + session name + raw payload."""
+
+    msg_type: int
+    name: str
+    seq: int
+    payload: bytes
+
+    def json(self) -> Dict[str, Any]:
+        """Decode the payload as a JSON object."""
+        return unpack_json(self.payload)
+
+
+def pack_message(
+    msg_type: int, name: str = "", seq: int = 0, payload: bytes = b""
+) -> bytes:
+    """Encode one shard record: CRC-protected header + name + payload."""
+    name_bytes = name.encode("utf-8")
+    if len(name_bytes) > 0xFFFF:
+        raise ShardProtocolError(f"session name too long ({len(name_bytes)} bytes)")
+    head = HEADER.pack(
+        SHARD_PROTOCOL_VERSION, msg_type, len(name_bytes), seq, len(payload), 0
+    )[:-4]
+    crc = crc32_of(head, name_bytes, payload)
+    return b"".join((head, struct.pack("<I", crc), name_bytes, payload))
+
+
+def unpack_message(buf: bytes, where: str = "shard") -> ShardMessage:
+    """Decode and CRC-verify one shard record."""
+    _, msg_type, name_len, seq, payload_len, crc = HEADER.unpack(buf, where=where)
+    expected = HEADER_SIZE + name_len + payload_len
+    if len(buf) != expected:
+        raise ShardProtocolError(
+            f"{where}: record length {len(buf)} != {expected} "
+            f"({msg_name(msg_type)}, name {name_len}B, payload {payload_len}B)"
+        )
+    name_bytes = buf[HEADER_SIZE:HEADER_SIZE + name_len]
+    payload = buf[HEADER_SIZE + name_len:]
+    verify_crc32(
+        crc,
+        buf[:HEADER_SIZE - 4],
+        name_bytes,
+        payload,
+        error_cls=ShardProtocolError,
+        where=f"{where}: {msg_name(msg_type)}",
+    )
+    return ShardMessage(msg_type, name_bytes.decode("utf-8"), seq, payload)
+
+
+# -- payload codecs ------------------------------------------------------------
+
+
+def pack_json(obj: Dict[str, Any]) -> bytes:
+    """Canonical JSON payload (sorted keys, UTF-8)."""
+    return json.dumps(obj, sort_keys=True).encode("utf-8")
+
+
+def unpack_json(payload: bytes, where: str = "shard") -> Dict[str, Any]:
+    """Inverse of :func:`pack_json`."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ShardProtocolError(f"{where}: bad JSON payload: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ShardProtocolError(f"{where}: JSON payload must be an object")
+    return obj
+
+
+_DATA_HEAD = struct.Struct("<dBBB")  # timestamp, has_ts, dtype code, ndim
+
+# Self-describing dtype codes so any StreamingRim-acceptable packet dtype
+# crosses the pipe losslessly (CSI is complex64 end to end; the rest
+# cover hand-built test inputs).
+_DTYPE_CODES: Dict[str, int] = {
+    "<c8": 0, "<c16": 1, "<f8": 2, "<f4": 3, "<i8": 4,
+}
+_CODE_DTYPES = {code: np.dtype(s) for s, code in _DTYPE_CODES.items()}
+_MAX_DATA_NDIM = 8
+
+
+def pack_data(timestamp: Optional[float], packet: np.ndarray) -> bytes:
+    """Encode one CSI packet + timestamp for a DATA record (lossless)."""
+    arr = np.ascontiguousarray(packet)
+    code = _DTYPE_CODES.get(arr.dtype.str)
+    if code is None:
+        arr = np.ascontiguousarray(arr, dtype=np.complex64)
+        code = _DTYPE_CODES[arr.dtype.str]
+    if arr.ndim > _MAX_DATA_NDIM:
+        raise ShardProtocolError(f"packet rank {arr.ndim} > {_MAX_DATA_NDIM}")
+    head = _DATA_HEAD.pack(
+        0.0 if timestamp is None else float(timestamp),
+        0 if timestamp is None else 1,
+        code,
+        arr.ndim,
+    )
+    dims = struct.pack(f"<{arr.ndim}I", *arr.shape)
+    return head + dims + arr.tobytes()
+
+
+def unpack_data(payload: bytes, where: str = "DATA") -> Tuple[Optional[float], np.ndarray]:
+    """Inverse of :func:`pack_data`; the array round-trips bit-exactly."""
+    if len(payload) < _DATA_HEAD.size:
+        raise ShardProtocolError(f"{where}: truncated data payload")
+    timestamp, has_ts, code, ndim = _DATA_HEAD.unpack_from(payload)
+    if code not in _CODE_DTYPES:
+        raise ShardProtocolError(f"{where}: unknown dtype code {code}")
+    if ndim > _MAX_DATA_NDIM:
+        raise ShardProtocolError(f"{where}: packet rank {ndim} > {_MAX_DATA_NDIM}")
+    at = _DATA_HEAD.size
+    if len(payload) < at + 4 * ndim:
+        raise ShardProtocolError(f"{where}: truncated dims")
+    shape = struct.unpack_from(f"<{ndim}I", payload, at)
+    at += 4 * ndim
+    dtype = _CODE_DTYPES[code]
+    expected = at + int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if len(payload) != expected:
+        raise ShardProtocolError(
+            f"{where}: data payload length {len(payload)} != {expected} "
+            f"for shape {tuple(shape)} {dtype}"
+        )
+    packet = np.frombuffer(payload, dtype=dtype, offset=at).reshape(shape).copy()
+    return (float(timestamp) if has_ts else None), packet
+
+
+_UPDATES_HEAD = struct.Struct("<I")  # update count
+_BLOB_LEN = struct.Struct("<I")
+
+
+def pack_updates(updates: List[MotionUpdate]) -> bytes:
+    """Encode a MotionUpdate batch (bit-exact via the net wire codec)."""
+    parts = [_UPDATES_HEAD.pack(len(updates))]
+    for update in updates:
+        blob = encode_update(update)
+        parts.append(_BLOB_LEN.pack(len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def unpack_updates(payload: bytes, where: str = "UPDATES") -> List[MotionUpdate]:
+    """Inverse of :func:`pack_updates`."""
+    if len(payload) < _UPDATES_HEAD.size:
+        raise ShardProtocolError(f"{where}: truncated updates payload")
+    (n,) = _UPDATES_HEAD.unpack_from(payload)
+    at = _UPDATES_HEAD.size
+    updates: List[MotionUpdate] = []
+    for k in range(n):
+        if len(payload) < at + _BLOB_LEN.size:
+            raise ShardProtocolError(f"{where}: truncated update {k} length")
+        (blob_len,) = _BLOB_LEN.unpack_from(payload, at)
+        at += _BLOB_LEN.size
+        if len(payload) < at + blob_len:
+            raise ShardProtocolError(f"{where}: truncated update {k} body")
+        updates.append(decode_update(payload[at:at + blob_len], where=where))
+        at += blob_len
+    if at != len(payload):
+        raise ShardProtocolError(
+            f"{where}: {len(payload) - at} trailing bytes after {n} updates"
+        )
+    return updates

@@ -1,0 +1,110 @@
+"""Consistent-hash ring: stable session -> shard assignment.
+
+Sessions land on shards by hashing the session name onto a ring of
+virtual nodes (``vnodes`` points per shard).  Two properties matter for
+the fleet and are locked down by ``tests/test_shard.py``:
+
+* **Determinism across processes.**  Hashes come from BLAKE2b (stdlib,
+  keyed by nothing), not Python's seeded ``hash()``, so the router, a
+  restarted router, and every worker agree on the map.
+* **Stability across resizes.**  Adding or removing one shard remaps
+  only the sessions that hashed onto that shard's arcs — about ``1/N``
+  of them — so a failover or scale-up does not reshuffle the fleet.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+DEFAULT_VNODES = 64
+
+
+def _ring_hash(key: str) -> int:
+    """64-bit BLAKE2b position on the ring (process-independent)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashRing:
+    """Consistent-hash ring over named nodes.
+
+    Args:
+        nodes: Node names (shard ids); order does not matter.
+        vnodes: Virtual nodes per physical node — more vnodes means a
+            smoother split at the cost of a larger (still tiny) table.
+    """
+
+    def __init__(self, nodes: Sequence[str], vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._nodes: List[str] = []
+        self._points: List[Tuple[int, str]] = []
+        self._keys: List[int] = []
+        for node in nodes:
+            self.add(node)
+
+    @property
+    def nodes(self) -> List[str]:
+        """Current node names, sorted."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        """Add a node (idempotent is an error: one arc set per node)."""
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.append(node)
+        for k in range(self.vnodes):
+            self._points.append((_ring_hash(f"{node}#{k}"), node))
+        # Ties between distinct nodes' vnodes are broken by node name so
+        # every process sorts the ring identically.
+        self._points.sort()
+        self._keys = [point for point, _ in self._points]
+
+    def remove(self, node: str) -> None:
+        """Drop a node; only its own arcs' keys remap."""
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not on the ring")
+        self._nodes.remove(node)
+        self._points = [(p, n) for p, n in self._points if n != node]
+        self._keys = [point for point, _ in self._points]
+
+    def assign(self, key: str) -> str:
+        """The node owning ``key``: first vnode clockwise of its hash."""
+        if not self._points:
+            raise ValueError("cannot assign on an empty ring")
+        at = bisect.bisect_right(self._keys, _ring_hash(key))
+        if at == len(self._points):
+            at = 0
+        return self._points[at][1]
+
+    def preference(self, key: str) -> Iterator[str]:
+        """Distinct nodes in clockwise ring order from ``key``'s position.
+
+        The first yielded node is :meth:`assign`'s answer; consumers that
+        need bounded load (the shard router) take the first node with
+        spare capacity instead, which keeps placement consistent — a
+        key's preference order never changes unless nodes are added or
+        removed — while bounding imbalance.
+        """
+        if not self._points:
+            raise ValueError("cannot assign on an empty ring")
+        start = bisect.bisect_right(self._keys, _ring_hash(key))
+        seen = set()
+        for k in range(len(self._points)):
+            node = self._points[(start + k) % len(self._points)][1]
+            if node not in seen:
+                seen.add(node)
+                yield node
+
+    def table(self, keys: Sequence[str]) -> Dict[str, str]:
+        """Assignment map for a batch of keys."""
+        return {key: self.assign(key) for key in keys}

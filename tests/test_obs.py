@@ -132,6 +132,84 @@ def test_metric_kind_collision_raises():
         reg.histogram("x")
 
 
+def test_apply_snapshot_counter_deltas_never_double_count():
+    """Repeated applications of a growing source advance by deltas only."""
+    src = MetricsRegistry()
+    dst = MetricsRegistry()
+    src.counter("work.items").add(10)
+    prev = dst.apply_snapshot(src.snapshot())
+    assert dst.counter("work.items").value == 10
+    src.counter("work.items").add(5)
+    prev = dst.apply_snapshot(src.snapshot(), previous=prev)
+    assert dst.counter("work.items").value == 15
+    # Applying the identical snapshot again is a no-op.
+    dst.apply_snapshot(src.snapshot(), previous=prev)
+    assert dst.counter("work.items").value == 15
+
+
+def test_apply_snapshot_counter_restart_counts_whole():
+    """A source whose counter regressed is treated as a fresh process."""
+    src = MetricsRegistry()
+    dst = MetricsRegistry()
+    src.counter("pushes").add(100)
+    prev = dst.apply_snapshot(src.snapshot())
+    restarted = MetricsRegistry()
+    restarted.counter("pushes").add(3)
+    dst.apply_snapshot(restarted.snapshot(), previous=prev)
+    assert dst.counter("pushes").value == 103
+
+
+def test_apply_snapshot_gauge_last_wins():
+    src = MetricsRegistry()
+    dst = MetricsRegistry()
+    dst.gauge("queue.depth").set(99.0)
+    src.gauge("queue.depth").set(7.0)
+    dst.apply_snapshot(src.snapshot())
+    assert dst.gauge("queue.depth").value == 7.0
+
+
+def test_apply_snapshot_histogram_merges_by_bucket_delta():
+    src = MetricsRegistry()
+    dst = MetricsRegistry()
+    hist = src.histogram("lat", bounds=(1.0, 2.0))
+    for v in (0.5, 1.5):
+        hist.observe(v)
+    prev = dst.apply_snapshot(src.snapshot())
+    merged = dst.histogram("lat", bounds=(1.0, 2.0))
+    assert merged.count == 2 and merged.counts == [1, 1, 0]
+    hist.observe(10.0)
+    dst.apply_snapshot(src.snapshot(), previous=prev)
+    assert merged.count == 3
+    assert merged.counts == [1, 1, 1]
+    assert merged.vmin == 0.5 and merged.vmax == 10.0
+
+
+def test_apply_snapshot_histogram_bounds_mismatch_is_ignored():
+    """Never corrupt local buckets with an incompatible remote layout."""
+    src = MetricsRegistry()
+    dst = MetricsRegistry()
+    dst.histogram("lat", bounds=(1.0, 2.0)).observe(0.5)
+    src.histogram("lat", bounds=(10.0, 20.0)).observe(15.0)
+    dst.apply_snapshot(src.snapshot())
+    local = dst.histogram("lat", bounds=(1.0, 2.0))
+    assert local.count == 1
+    assert local.counts == [1, 0, 0]
+
+
+def test_apply_snapshot_merges_two_sources():
+    """Two workers' counters sum; per-source previous keeps them apart."""
+    a, b, dst = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+    a.counter("n").add(4)
+    b.counter("n").add(6)
+    prev_a = dst.apply_snapshot(a.snapshot())
+    prev_b = dst.apply_snapshot(b.snapshot())
+    assert dst.counter("n").value == 10
+    a.counter("n").add(1)
+    dst.apply_snapshot(a.snapshot(), previous=prev_a)
+    dst.apply_snapshot(b.snapshot(), previous=prev_b)
+    assert dst.counter("n").value == 11
+
+
 def test_registry_concurrent_updates_never_torn():
     """Snapshots under concurrent writers are internally consistent.
 

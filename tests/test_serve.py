@@ -252,6 +252,59 @@ class TestParallelEquivalence:
             ParallelRunner().run([], names=["a"])
 
 
+class TestRunnerHonesty:
+    """The runner reports the pool width that actually executed."""
+
+    def _run(self, runner, traces):
+        return runner.run(
+            traces, rim_config=RimConfig(max_lag=50), block_seconds=0.5
+        )
+
+    def test_serial_mode_reports_one_worker(self, serve_traces):
+        runner = ParallelRunner(n_workers=4, mode="serial")
+        self._run(runner, serve_traces)
+        assert runner.n_workers_effective == 1
+        assert runner.fallback_reason == "serial mode requested"
+
+    def test_thread_pool_reports_true_width(self, serve_traces):
+        runner = ParallelRunner(n_workers=2, mode="thread")
+        self._run(runner, serve_traces)
+        assert runner.n_workers_effective == 2
+        assert runner.fallback_reason is None
+
+    def test_width_never_exceeds_job_count(self, serve_traces):
+        runner = ParallelRunner(n_workers=8, mode="thread")
+        self._run(runner, serve_traces)
+        assert runner.n_workers_effective == len(serve_traces)
+
+    def test_single_job_falls_back_with_reason(self, serve_traces):
+        runner = ParallelRunner(n_workers=4, mode="thread")
+        self._run(runner, serve_traces[:1])
+        assert runner.n_workers_effective == 1
+        assert runner.fallback_reason == "single job"
+
+    def test_process_mode_caps_at_cpu_count(
+        self, serve_traces, monkeypatch, caplog
+    ):
+        import logging
+
+        import repro.serve.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 1)
+        runner = ParallelRunner(n_workers=4, mode="process")
+        with caplog.at_level(logging.INFO, logger="repro.serve.runner"):
+            results = self._run(runner, serve_traces)
+        assert runner.n_workers_effective == 1
+        assert runner.fallback_reason == "host has 1 cpu"
+        assert any(
+            "falling back to serial execution" in rec.getMessage()
+            for rec in caplog.records
+        )
+        serial = self._run(ParallelRunner(mode="serial"), serve_traces)
+        for a, b in zip(serial, results):
+            assert a.same_estimates(b)
+
+
 class TestServeSim:
     def test_aggregate_and_table(self, serve_traces):
         receivers = [(f"rx{k:02d}", t) for k, t in enumerate(serve_traces)]
