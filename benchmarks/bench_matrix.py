@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Experiment-matrix smoke driver: run a matrix, validate, gate (CI).
+
+Runs a matrix spec through :func:`repro.bench.run_matrix`, writes the
+run-table artifacts, validates the table schema and digest, checks the
+committed ``BENCH_perf.json`` round-trips through the v9 perf validator,
+and gates the table's reference cell against that baseline's capacity
+section.  What CI's ``bench-matrix`` job runs on top of the equivalent
+CLI verb (``python -m repro.cli bench run``) — this script adds the
+schema-round-trip assertion the acceptance criteria name.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_matrix.py \
+        --matrix benchmarks/matrices/smoke.toml --repetitions 1 \
+        --out /tmp/rim-bench --gate BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--matrix", required=True, metavar="PATH",
+        help="matrix spec (.toml on python >= 3.11, .json anywhere)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write run_table.{json,md,csv} into DIR",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=None, metavar="N",
+        help="override the spec's measured repetitions per cell",
+    )
+    parser.add_argument(
+        "--filter", action="append", default=[], metavar="KEY=VALUE",
+        help="only run matching cells (axis or cell=SUBSTRING; repeatable)",
+    )
+    parser.add_argument(
+        "--gate", metavar="PATH", default=None,
+        help="gate the reference cell against the perf baseline at PATH, "
+        "after asserting PATH round-trips the v9 schema",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25, metavar="FRAC",
+        help="allowed fractional regression for --gate (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench import (
+        gate_reference_cell,
+        load_spec,
+        parse_filters,
+        render_bench_csv,
+        render_bench_table,
+        run_matrix,
+        validate_run_table,
+    )
+    from repro.eval.perf import check_perf_regression, validate_perf_payload
+
+    spec = load_spec(args.matrix)
+    if args.repetitions is not None:
+        spec.repetitions = args.repetitions
+        spec.validate()
+    payload = run_matrix(
+        spec,
+        filters=parse_filters(args.filter),
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    validate_run_table(payload)
+    print("run-table schema check: ok")
+    print()
+    print(render_bench_table(payload), end="")
+
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        with open(out / "run_table.json", "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        (out / "run_table.md").write_text(
+            render_bench_table(payload), encoding="utf-8"
+        )
+        (out / "run_table.csv").write_text(
+            render_bench_csv(payload), encoding="utf-8"
+        )
+        print(f"wrote {out}/run_table.{{json,md,csv}}")
+
+    if args.gate is not None:
+        with open(args.gate, "r", encoding="utf-8") as fh:
+            perf_payload = json.load(fh)
+        # The committed baseline must itself be a valid v9 payload and
+        # round-trip through the perf gate against itself (zero
+        # regressions by construction) — the acceptance assertion that
+        # schema v9 and check_perf_regression actually agree.
+        validate_perf_payload(perf_payload)
+        roundtrip = check_perf_regression(
+            perf_payload, perf_payload, max_regression=args.max_regression
+        )
+        if roundtrip:
+            print(
+                f"{args.gate} does not round-trip its own gate:",
+                file=sys.stderr,
+            )
+            for failure in roundtrip:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"perf baseline round-trip ({args.gate}): ok")
+        failures = gate_reference_cell(
+            payload, perf_payload, max_regression=args.max_regression
+        )
+        if failures:
+            print(f"bench gate vs {args.gate}: FAIL", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"bench gate vs {args.gate}: ok (budget +{args.max_regression:.0%})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

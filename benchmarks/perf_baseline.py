@@ -26,11 +26,13 @@ A/B overhead (``obs_overhead.overhead_frac``, schema v6) exceeded the
 budget, a gated tentpole stage span (``dp_tracking``/``rim.sanitize``,
 schema v7) regressed individually, the opt-in float32 kernel mode
 (``kernel_dtypes``, schema v7) stopped being at least as fast as
-float64, or the single-shard fleet throughput (``shard_scaling``,
-schema v8) regressed.  Multi-shard scaling *efficiency* is recorded in
-the payload but gated separately by ``benchmarks/shard_scaling.py`` on
-a runner with known core count.  Equivalent CLI verb:
-``python -m repro.cli profile``.
+float64, the single-shard fleet throughput (``shard_scaling``, schema
+v8) regressed, or the fitted capacity model / reference-cell latency
+(``capacity``, schema v9 — fed by the ``repro.bench`` experiment-matrix
+harness, see ``docs/benchmarking.md``) degraded.  Multi-shard scaling
+*efficiency* is recorded in the payload but gated separately by
+``benchmarks/shard_scaling.py`` on a runner with known core count.
+Equivalent CLI verb: ``python -m repro.cli profile``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,122 @@
+"""Gate plumbing shared by the bench subsystem and the perf baseline.
+
+:func:`format_gate_failure` is the single formatter behind every
+regression-gate failure string in the repo (bench compare, the v9 perf
+gate) so CI logs read uniformly: which gate, measured vs baseline, and
+the budget that was applied.  :func:`gate_reference_cell` ties a bench
+run table back to the committed ``BENCH_perf.json`` reference cell so
+the matrix job fails when the canonical configuration slows down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+#: Absolute slack added to latency gates: block latencies are
+#: milliseconds-scale, so a purely fractional budget would flap on
+#: scheduler jitter alone.
+LATENCY_GATE_SLACK_S = 0.25
+
+
+def format_gate_failure(
+    gate: str,
+    measured: Any,
+    baseline: Any,
+    budget: Any,
+    note: str = "",
+) -> str:
+    """Render one gate failure in the repo-wide uniform format.
+
+    Example output::
+
+        [serving.block.sessions_per_second] measured 8.10/s vs
+        baseline 12.00/s (budget -20%)
+    """
+    text = f"[{gate}] measured {measured} vs baseline {baseline} (budget {budget})"
+    if note:
+        text += f" — {note}"
+    return text
+
+
+def _find_row(
+    rows: List[Dict[str, Any]], reference: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    for row in rows:
+        cell = row["cell"]
+        if (
+            int(cell["sessions"]) == int(reference["sessions"])
+            and int(cell["shards"]) == int(reference["shards"])
+            and cell["kernel"] == reference["kernel"]
+            and cell["dtype"] == reference.get("dtype", "float64")
+            and not cell["fault_plan"]
+            and cell["backpressure"] == "block"
+        ):
+            return row
+    return None
+
+
+def gate_reference_cell(
+    table: Dict[str, Any],
+    perf_payload: Dict[str, Any],
+    max_regression: float = 0.25,
+) -> List[str]:
+    """Gate a run table's reference cell against ``BENCH_perf.json``.
+
+    The perf baseline's ``capacity.reference_cell`` names the canonical
+    configuration (sessions, 1 shard, primary kernel) plus its measured
+    sessions/sec and block-latency p95.  The matching row of the run
+    table must exist, hold the fractional throughput budget, and keep
+    p95 within the budget plus :data:`LATENCY_GATE_SLACK_S`.
+
+    Returns:
+        Failure strings (uniform gate format); empty means pass.  A
+        baseline predating schema v9 (no capacity section) gates
+        nothing, so older checkouts stay comparable.
+    """
+    capacity = perf_payload.get("capacity")
+    if not isinstance(capacity, dict):
+        return []
+    reference = capacity.get("reference_cell")
+    if not isinstance(reference, dict):
+        return []
+    failures: List[str] = []
+    row = _find_row(table.get("rows", []), reference)
+    if row is None:
+        failures.append(
+            format_gate_failure(
+                "bench.reference_cell.present",
+                measured="no matching row",
+                baseline=f"sessions={reference['sessions']} "
+                f"shards={reference['shards']} kernel={reference['kernel']}",
+                budget="matrix must include the reference cell",
+            )
+        )
+        return failures
+    base_rate = float(reference["sessions_per_second"])
+    rate = float(row["sessions_per_second"]["mean"])
+    if base_rate > 0 and rate < base_rate / (1.0 + max_regression):
+        failures.append(
+            format_gate_failure(
+                "bench.reference_cell.sessions_per_second",
+                measured=f"{rate:.2f}/s ({rate / base_rate - 1.0:+.0%})",
+                baseline=f"{base_rate:.2f}/s",
+                budget=f"-{max_regression / (1.0 + max_regression):.0%}",
+            )
+        )
+    base_p95 = reference.get("block_latency_p95_s")
+    p95 = row.get("latency_p95_s")
+    if (
+        isinstance(base_p95, (int, float))
+        and isinstance(p95, (int, float))
+        and p95 > float(base_p95) * (1.0 + max_regression) + LATENCY_GATE_SLACK_S
+    ):
+        failures.append(
+            format_gate_failure(
+                "bench.reference_cell.latency_p95_s",
+                measured=f"{p95 * 1e3:.1f} ms",
+                baseline=f"{float(base_p95) * 1e3:.1f} ms",
+                budget=f"+{max_regression:.0%} plus "
+                f"{LATENCY_GATE_SLACK_S * 1e3:.0f} ms slack",
+            )
+        )
+    return failures

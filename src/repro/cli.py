@@ -17,6 +17,9 @@ Usage::
                                              # by default; --fault-plan for
                                              # wire faults)
     python -m repro.cli obs-top              # live per-session telemetry
+    python -m repro.cli bench run --matrix M # experiment-matrix sweep
+    python -m repro.cli bench table T.json   # re-render a run table
+    python -m repro.cli bench compare A B    # cell-by-cell regression check
 
 ``--log-level debug`` surfaces the pipeline's structured logging (guard
 repairs, degradation, clock resampling) on stderr; the level propagates
@@ -586,6 +589,97 @@ def cmd_net_load(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.bench import (
+        compare_tables,
+        gate_reference_cell,
+        load_spec,
+        parse_filters,
+        render_bench_csv,
+        render_bench_table,
+        run_matrix,
+        validate_run_table,
+    )
+    from repro.shutdown import GracefulShutdown
+
+    if args.bench_command == "table":
+        with open(args.table, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        validate_run_table(payload)
+        render = render_bench_csv if args.format == "csv" else render_bench_table
+        print(render(payload), end="")
+        return 0
+
+    if args.bench_command == "compare":
+        with open(args.old, "r", encoding="utf-8") as fh:
+            old = json.load(fh)
+        with open(args.new, "r", encoding="utf-8") as fh:
+            new = json.load(fh)
+        validate_run_table(old)
+        validate_run_table(new)
+        failures = compare_tables(old, new, max_regression=args.max_regression)
+        if failures:
+            print(f"bench compare {args.old} -> {args.new}: FAIL", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"bench compare {args.old} -> {args.new}: ok")
+        return 0
+
+    # bench run
+    spec = load_spec(args.matrix)
+    if args.repetitions is not None:
+        spec.repetitions = args.repetitions
+        spec.validate()
+    if args.seed is not None:
+        spec.seed = args.seed
+    filters = parse_filters(args.filter)
+    with GracefulShutdown() as stop:
+        payload = run_matrix(
+            spec,
+            filters=filters,
+            should_stop=stop.stopper(),
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    if stop.triggered:
+        print(
+            f"{stop.signal_name}: sweep stopped early; table covers "
+            "finished cells only",
+            file=sys.stderr,
+        )
+    print()
+    print(render_bench_table(payload), end="")
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        with open(out / "run_table.json", "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        (out / "run_table.md").write_text(
+            render_bench_table(payload), encoding="utf-8"
+        )
+        (out / "run_table.csv").write_text(
+            render_bench_csv(payload), encoding="utf-8"
+        )
+        print(f"wrote {out}/run_table.{{json,md,csv}}", file=sys.stderr)
+    if args.gate:
+        with open(args.gate, "r", encoding="utf-8") as fh:
+            perf_payload = json.load(fh)
+        failures = gate_reference_cell(
+            payload, perf_payload, max_regression=args.max_regression
+        )
+        if failures:
+            print(f"bench gate vs {args.gate}: FAIL", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"bench gate vs {args.gate}: ok")
+    return 0
+
+
 def cmd_obs_top(args) -> int:
     import json
     import time
@@ -965,6 +1059,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true", help="render one frame and exit"
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="experiment-matrix benchmarking (repro.bench): run a matrix "
+        "sweep, re-render a run table, or compare two tables",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="expand and run a matrix spec, emit the run table"
+    )
+    bench_run.add_argument(
+        "--matrix", required=True, metavar="PATH",
+        help="matrix spec file (.toml on python >= 3.11, .json anywhere)",
+    )
+    bench_run.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write run_table.{json,md,csv} into DIR",
+    )
+    bench_run.add_argument(
+        "--filter", action="append", default=[], metavar="KEY=VALUE",
+        help="only run matching cells: an axis (shards=2, kernel=batched) "
+        "or cell=SUBSTRING against the full cell key; repeatable (AND)",
+    )
+    bench_run.add_argument(
+        "--repetitions", type=int, default=None, metavar="N",
+        help="override the spec's measured repetitions per cell",
+    )
+    bench_run.add_argument(
+        "--seed", type=int, default=None, help="override the spec's seed"
+    )
+    bench_run.add_argument(
+        "--gate", default=None, metavar="PATH",
+        help="gate the run table's reference cell against the committed "
+        "perf baseline at PATH (BENCH_perf.json)",
+    )
+    bench_run.add_argument(
+        "--max-regression", type=float, default=0.25, metavar="FRAC",
+        help="allowed fractional regression for --gate (default 0.25)",
+    )
+
+    bench_table = bench_sub.add_parser(
+        "table", help="validate and re-render a saved run table"
+    )
+    bench_table.add_argument("table", help="run_table.json path")
+    bench_table.add_argument(
+        "--format", default="md", choices=("md", "csv"), help="output format"
+    )
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="cell-by-cell regression check between two run tables"
+    )
+    bench_compare.add_argument("old", help="baseline run_table.json")
+    bench_compare.add_argument("new", help="fresh run_table.json")
+    bench_compare.add_argument(
+        "--max-regression", type=float, default=0.25, metavar="FRAC",
+        help="allowed fractional regression per cell (default 0.25)",
+    )
+
     convert = sub.add_parser(
         "convert", help="convert legacy .npz <-> chunked trace store"
     )
@@ -997,6 +1149,7 @@ def main(argv=None) -> int:
         "net-serve": cmd_net_serve,
         "net-load": cmd_net_load,
         "obs-top": cmd_obs_top,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args)
 

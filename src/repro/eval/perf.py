@@ -27,7 +27,7 @@ from typing import Any, Dict, Optional
 
 from repro import obs
 
-SCHEMA = "rim-perf-baseline/v8"
+SCHEMA = "rim-perf-baseline/v9"
 
 # Best-of-N repeats for the obs-overhead A/B: single wall-clock samples
 # of a ~100 ms workload are scheduler-jitter noisy, and the overhead gate
@@ -71,6 +71,11 @@ GATED_BATCH_SPANS = ("dp_tracking", "rim.sanitize")
 # larger counts is hardware-dependent and belongs to the CI shard-scaling
 # job, which knows how many cores its runner has.
 PROFILED_SHARD_COUNTS = (1, 2, 4)
+
+# Reference kernel precision named by the capacity reference cell
+# (schema v9): the default/oracle mode, matching AXIS_DEFAULTS in
+# repro.bench.spec.
+REFERENCE_DTYPE = "float64"
 
 
 def _span_total(spans, name: str) -> float:
@@ -287,6 +292,54 @@ def _profile_shards(
     )
 
 
+def _capacity_section(
+    shard_scaling: Dict[str, Any], streaming: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Fit the capacity model over the shard-scaling rows (schema v9).
+
+    The fitted slope (sessions/sec per shard) and knee position feed the
+    matrix-aware regression gates; the ``reference_cell`` block names
+    the canonical single-shard configuration with its measured
+    throughput and block-latency percentiles, and is what the CI
+    ``bench-matrix`` job gates a fresh run table against
+    (:func:`repro.bench.gates.gate_reference_cell`).
+    """
+    from repro.bench.capacity import fit_capacity
+    from repro.bench.spec import AXIS_DEFAULTS, Cell
+
+    rows = shard_scaling.get("rows") or []
+    points = sorted(
+        (int(row["shards"]), float(row["sessions_per_second"])) for row in rows
+    )
+    fit = fit_capacity([p[0] for p in points], [p[1] for p in points])
+    n_sessions = int(shard_scaling.get("n_sessions", 0))
+    one_shard = next((p for p in points if p[0] == 1), None)
+    reference = Cell(
+        sessions=n_sessions,
+        shards=1,
+        kernel=PRIMARY_BACKEND,
+        dtype=REFERENCE_DTYPE,
+        fault_plan=AXIS_DEFAULTS["fault_plan"],
+        backpressure=AXIS_DEFAULTS["backpressure"],
+    )
+    return {
+        "source": "shard_scaling",
+        "fit": fit,
+        "reference_cell": {
+            "key": reference.key,
+            "sessions": n_sessions,
+            "shards": 1,
+            "kernel": PRIMARY_BACKEND,
+            "dtype": REFERENCE_DTYPE,
+            "sessions_per_second": (
+                one_shard[1] if one_shard is not None else None
+            ),
+            "block_latency_p50_s": streaming.get("block_latency_p50_s"),
+            "block_latency_p95_s": streaming.get("block_latency_p95_s"),
+        },
+    }
+
+
 def _profile_store(trace, block_seconds: float) -> Dict[str, Any]:
     """Store throughput: chunked write, integrity-checked read, replay.
 
@@ -492,7 +545,10 @@ def run_perf_baseline(
     multi-session throughput the serving-regression gate watches.  The
     ``shard_scaling`` section (schema v8) replays a sharded workload at
     1/2/4 shards through :mod:`repro.shard` and records sessions/sec
-    plus derived linear-scaling efficiency per count.
+    plus derived linear-scaling efficiency per count; the ``capacity``
+    section (schema v9) fits those rows into a capacity model
+    (:mod:`repro.bench.capacity`) and names the reference cell the
+    matrix-aware gates watch.
 
     Args:
         seed: Scenario seed (scatterers, noise).
@@ -574,6 +630,7 @@ def run_perf_baseline(
         "kernel_dtypes": kernel_dtypes,
         "serving": serving,
         "shard_scaling": shard_scaling,
+        "capacity": _capacity_section(shard_scaling, primary["streaming"]),
         "store": store,
         "net": net,
         "obs_overhead": obs_overhead,
@@ -621,7 +678,7 @@ def validate_perf_payload(payload: Dict[str, Any]) -> None:
         )
     sections = (
         "workload", "batch", "streaming", "kernel_dtypes", "serving",
-        "shard_scaling", "store", "net", "obs_overhead", "metrics",
+        "shard_scaling", "capacity", "store", "net", "obs_overhead", "metrics",
     )
     for section in sections:
         if not isinstance(payload.get(section), dict):
@@ -689,6 +746,24 @@ def validate_perf_payload(payload: Dict[str, Any]) -> None:
         )
     if not isinstance(scaling.get("n_cpus"), int):
         raise ValueError("shard_scaling lacks n_cpus")
+    capacity = payload["capacity"]
+    fit = capacity.get("fit")
+    if not isinstance(fit, dict) or fit.get("model") not in ("linear", "kneed"):
+        raise ValueError("capacity.fit is missing or malformed")
+    for key in ("slope", "intercept", "r2"):
+        if not isinstance(fit.get(key), (int, float)):
+            raise ValueError(f"capacity.fit lacks {key}")
+    reference = capacity.get("reference_cell")
+    if not isinstance(reference, dict):
+        raise ValueError("capacity.reference_cell is missing or malformed")
+    for key in ("key", "sessions", "shards", "kernel", "dtype"):
+        if key not in reference:
+            raise ValueError(f"capacity.reference_cell lacks {key}")
+    if not isinstance(reference.get("sessions_per_second"), (int, float)):
+        raise ValueError(
+            "capacity.reference_cell lacks sessions_per_second: the "
+            "shard-scaling profile carried no 1-shard row"
+        )
     dtypes = payload["kernel_dtypes"].get("dtypes")
     if not isinstance(dtypes, dict):
         raise ValueError("kernel_dtypes.dtypes is missing or malformed")
@@ -747,7 +822,15 @@ def check_perf_regression(
     how slow the CI runner is.  When both payloads carry a v3 ``serving``
     section, multi-session throughput (sessions/sec over the pooled
     schedule) gets the same ``max_regression`` budget, and a pooled run
-    that diverged from serial execution fails outright.
+    that diverged from serial execution fails outright.  v9 payloads
+    additionally gate scaling *behaviour* through the fitted capacity
+    model: the sessions/sec-per-shard slope, the knee position (scaling
+    may not stop earlier than the baseline says it does), and the
+    reference cell's block-latency p95.
+
+    Every failure string follows the uniform gate format
+    (:func:`repro.bench.gates.format_gate_failure`): the gate name,
+    measured vs baseline values, and the budget applied.
 
     Args:
         payload: Freshly measured baseline payload.
@@ -758,6 +841,10 @@ def check_perf_regression(
         A list of human-readable failure strings; empty means the gate
         passes.
     """
+    from repro.bench.gates import LATENCY_GATE_SLACK_S, format_gate_failure
+
+    drop_budget = f"-{max_regression / (1.0 + max_regression):.0%}"
+    grow_budget = f"+{max_regression:.0%}"
 
     def _process_wall(p: Dict[str, Any]) -> float:
         spans = p.get("batch", {}).get("spans") or []
@@ -769,9 +856,13 @@ def check_perf_regression(
     old_wall = _process_wall(baseline)
     if old_wall > 0 and new_wall > old_wall * (1.0 + max_regression):
         failures.append(
-            f"rim.process wall time regressed {new_wall / old_wall - 1.0:+.0%} "
-            f"({old_wall * 1e3:.1f} ms -> {new_wall * 1e3:.1f} ms; "
-            f"budget +{max_regression:.0%})"
+            format_gate_failure(
+                "batch.rim.process.wall_s",
+                measured=f"{new_wall * 1e3:.1f} ms "
+                f"({new_wall / old_wall - 1.0:+.0%})",
+                baseline=f"{old_wall * 1e3:.1f} ms",
+                budget=grow_budget,
+            )
         )
     # Per-stage span gates (schema v7): the tentpole stages are watched
     # individually with the same fractional budget, so a regression in
@@ -784,19 +875,27 @@ def check_perf_regression(
         old_span = _span_total(old_spans, span_name)
         if old_span > 0 and new_span > old_span * (1.0 + max_regression):
             failures.append(
-                f"batch span {span_name} regressed "
-                f"{new_span / old_span - 1.0:+.0%} "
-                f"({old_span * 1e3:.1f} ms -> {new_span * 1e3:.1f} ms; "
-                f"budget +{max_regression:.0%})"
+                format_gate_failure(
+                    f"batch.{span_name}.wall_s",
+                    measured=f"{new_span * 1e3:.1f} ms "
+                    f"({new_span / old_span - 1.0:+.0%})",
+                    baseline=f"{old_span * 1e3:.1f} ms",
+                    budget=grow_budget,
+                )
             )
     speedups = payload.get("speedup_vs_reference") or {}
     for key in ("batch_wall", "alignment_total"):
         ratio = speedups.get(key)
         if ratio is not None and ratio < 1.0:
             failures.append(
-                f"speedup_vs_reference.{key} fell below 1.0 ({ratio:.2f}x): "
-                f"the {payload.get('primary_backend', 'primary')} backend is "
-                "slower than the reference kernel"
+                format_gate_failure(
+                    f"speedup_vs_reference.{key}",
+                    measured=f"{ratio:.2f}x",
+                    baseline="1.00x",
+                    budget="must stay >= 1.0x",
+                    note=f"the {payload.get('primary_backend', 'primary')} "
+                    "backend is slower than the reference kernel",
+                )
             )
     # Float32 kernel-mode gate (schema v7): the opt-in reduced-precision
     # mode must not be slower than float64 beyond the regression budget —
@@ -808,9 +907,13 @@ def check_perf_regression(
         1.0 + max_regression
     ):
         failures.append(
-            f"float32 kernel mode is {1.0 / f32_ratio:.2f}x slower than "
-            f"float64 (budget {1.0 + max_regression:.2f}x): the opt-in "
-            "fast mode stopped being fast"
+            format_gate_failure(
+                "kernel_dtypes.speedup_float32.batch_wall",
+                measured=f"{f32_ratio:.2f}x",
+                baseline="1.00x (float64)",
+                budget=f">= {1.0 / (1.0 + max_regression):.2f}x",
+                note="the opt-in fast mode stopped being fast",
+            )
         )
 
     # Multi-session serving gate (schema v3): compare pooled sessions/sec
@@ -819,8 +922,14 @@ def check_perf_regression(
     old_serving = baseline.get("serving") or {}
     if new_serving and not new_serving.get("bit_identical", True):
         failures.append(
-            "serving.bit_identical is false: pooled multi-session results "
-            "diverged from serial execution"
+            format_gate_failure(
+                "serving.bit_identical",
+                measured="false",
+                baseline="true",
+                budget="must hold",
+                note="pooled multi-session results diverged from serial "
+                "execution",
+            )
         )
     new_rate = (new_serving.get("parallel") or {}).get("sessions_per_second")
     old_rate = (old_serving.get("parallel") or {}).get("sessions_per_second")
@@ -831,11 +940,13 @@ def check_perf_regression(
         and new_rate < old_rate / (1.0 + max_regression)
     ):
         failures.append(
-            f"multi-session throughput regressed "
-            f"{1.0 - new_rate / old_rate:+.0%} "
-            f"({old_rate:.2f} -> {new_rate:.2f} sessions/s at "
-            f"{new_serving.get('n_sessions')} sessions; "
-            f"budget -{max_regression / (1.0 + max_regression):.0%})"
+            format_gate_failure(
+                "serving.parallel.sessions_per_second",
+                measured=f"{new_rate:.2f}/s ({new_rate / old_rate - 1.0:+.0%} "
+                f"at {new_serving.get('n_sessions')} sessions)",
+                baseline=f"{old_rate:.2f}/s",
+                budget=drop_budget,
+            )
         )
 
     # Shard-fleet gate (schema v8): single-shard sessions/sec against
@@ -862,9 +973,84 @@ def check_perf_regression(
         and new_rate < old_rate / (1.0 + max_regression)
     ):
         failures.append(
-            f"single-shard fleet throughput regressed "
-            f"({old_rate:.2f} -> {new_rate:.2f} sessions/s; "
-            f"budget -{max_regression / (1.0 + max_regression):.0%})"
+            format_gate_failure(
+                "shard_scaling.1_shard.sessions_per_second",
+                measured=f"{new_rate:.2f}/s",
+                baseline=f"{old_rate:.2f}/s",
+                budget=drop_budget,
+            )
+        )
+
+    # Capacity-model gates (schema v9): scaling behaviour, not just
+    # point speed.  The fitted sessions/sec-per-shard slope gets the
+    # fractional budget (both slopes must be positive for the ratio to
+    # mean anything); a knee appearing where the baseline had none — or
+    # moving to a smaller shard count beyond the budget — means scaling
+    # now saturates earlier than the committed baseline claims.  A v8
+    # baseline carries no capacity section and skips these gates.
+    new_capacity = payload.get("capacity") or {}
+    old_capacity = baseline.get("capacity") or {}
+    new_fit = new_capacity.get("fit") or {}
+    old_fit = old_capacity.get("fit") or {}
+    new_slope = new_fit.get("slope")
+    old_slope = old_fit.get("slope")
+    if (
+        isinstance(new_slope, (int, float))
+        and isinstance(old_slope, (int, float))
+        and old_slope > 0
+        and new_slope > 0
+        and new_slope < old_slope / (1.0 + max_regression)
+    ):
+        failures.append(
+            format_gate_failure(
+                "capacity.fit.slope",
+                measured=f"{new_slope:.2f} sessions/s per shard",
+                baseline=f"{old_slope:.2f} sessions/s per shard",
+                budget=drop_budget,
+            )
+        )
+    if old_fit and new_fit:
+        new_knee = new_fit.get("knee")
+        old_knee = old_fit.get("knee")
+        if old_knee is None and new_knee is not None:
+            failures.append(
+                format_gate_failure(
+                    "capacity.fit.knee",
+                    measured=f"knee at {new_knee:g} shards",
+                    baseline="no knee (linear scaling)",
+                    budget="scaling may not start saturating",
+                )
+            )
+        elif (
+            isinstance(old_knee, (int, float))
+            and isinstance(new_knee, (int, float))
+            and new_knee < old_knee / (1.0 + max_regression)
+        ):
+            failures.append(
+                format_gate_failure(
+                    "capacity.fit.knee",
+                    measured=f"knee at {new_knee:g} shards",
+                    baseline=f"knee at {old_knee:g} shards",
+                    budget=drop_budget,
+                )
+            )
+    new_ref = new_capacity.get("reference_cell") or {}
+    old_ref = old_capacity.get("reference_cell") or {}
+    new_p95 = new_ref.get("block_latency_p95_s")
+    old_p95 = old_ref.get("block_latency_p95_s")
+    if (
+        isinstance(new_p95, (int, float))
+        and isinstance(old_p95, (int, float))
+        and new_p95 > old_p95 * (1.0 + max_regression) + LATENCY_GATE_SLACK_S
+    ):
+        failures.append(
+            format_gate_failure(
+                "capacity.reference_cell.block_latency_p95_s",
+                measured=f"{new_p95 * 1e3:.1f} ms",
+                baseline=f"{old_p95 * 1e3:.1f} ms",
+                budget=f"{grow_budget} plus "
+                f"{LATENCY_GATE_SLACK_S * 1e3:.0f} ms slack",
+            )
         )
 
     # Store throughput gate (schema v4): write/read MB/s and replay
@@ -886,9 +1072,12 @@ def check_perf_regression(
             and new_value < old_value / (1.0 + max_regression)
         ):
             failures.append(
-                f"store.{metric} regressed "
-                f"({old_value:.1f} -> {new_value:.1f} {unit}; "
-                f"budget -{max_regression / (1.0 + max_regression):.0%})"
+                format_gate_failure(
+                    f"store.{metric}",
+                    measured=f"{new_value:.1f} {unit}",
+                    baseline=f"{old_value:.1f} {unit}",
+                    budget=drop_budget,
+                )
             )
 
     # Network front-end gate (schema v5): loopback ingest samples/sec
@@ -907,9 +1096,12 @@ def check_perf_regression(
         and new_rate < old_rate / (1.0 + max_regression)
     ):
         failures.append(
-            f"net ingest throughput regressed "
-            f"({old_rate:.0f} -> {new_rate:.0f} samples/s; "
-            f"budget -{max_regression / (1.0 + max_regression):.0%})"
+            format_gate_failure(
+                "net.ingest_samples_per_second",
+                measured=f"{new_rate:.0f} samples/s",
+                baseline=f"{old_rate:.0f} samples/s",
+                budget=drop_budget,
+            )
         )
     # Telemetry overhead gate (schema v6): tracing-on may not cost more
     # than the regression budget over tracing-off on the same run — this
@@ -919,9 +1111,13 @@ def check_perf_regression(
     overhead = (payload.get("obs_overhead") or {}).get("overhead_frac")
     if isinstance(overhead, (int, float)) and overhead > max_regression:
         failures.append(
-            f"telemetry overhead is {overhead:+.0%} of the batch wall "
-            f"(budget +{max_regression:.0%}): tracing is no longer cheap "
-            "enough to leave on"
+            format_gate_failure(
+                "obs_overhead.overhead_frac",
+                measured=f"{overhead:+.0%} of the batch wall",
+                baseline="tracing off",
+                budget=grow_budget,
+                note="tracing is no longer cheap enough to leave on",
+            )
         )
 
     new_rec = (new_net.get("reconnect") or {}).get("recovery_s")
@@ -932,10 +1128,13 @@ def check_perf_regression(
         and new_rec > old_rec * (1.0 + max_regression) + RECOVERY_GATE_SLACK_S
     ):
         failures.append(
-            f"net reconnect recovery regressed "
-            f"({old_rec * 1e3:.1f} ms -> {new_rec * 1e3:.1f} ms; "
-            f"budget +{max_regression:.0%} "
-            f"plus {RECOVERY_GATE_SLACK_S * 1e3:.0f} ms slack)"
+            format_gate_failure(
+                "net.reconnect.recovery_s",
+                measured=f"{new_rec * 1e3:.1f} ms",
+                baseline=f"{old_rec * 1e3:.1f} ms",
+                budget=f"{grow_budget} plus "
+                f"{RECOVERY_GATE_SLACK_S * 1e3:.0f} ms slack",
+            )
         )
     return failures
 
@@ -1019,6 +1218,27 @@ def render_perf_summary(payload: Dict[str, Any]) -> str:
         from repro.shard.fleet import render_scaling_table
 
         lines += ["", render_scaling_table(scaling)]
+    capacity = payload.get("capacity")
+    if capacity:
+        fit = capacity.get("fit") or {}
+        reference = capacity.get("reference_cell") or {}
+        knee = fit.get("knee")
+        lines += [
+            "",
+            f"capacity model ({fit.get('model', '?')} fit, "
+            f"r² {fit.get('r2', 0.0):.4f}):",
+            f"  slope            {fit.get('slope', 0.0):.2f} sessions/s "
+            f"per shard"
+            + (f", knee at {knee:g} shards" if knee is not None else ""),
+        ]
+        rate = reference.get("sessions_per_second")
+        p95 = reference.get("block_latency_p95_s")
+        if rate is not None:
+            lines.append(
+                f"  reference cell   {reference.get('key', '?')}: "
+                f"{rate:.2f} sessions/s"
+                + (f", p95 {p95 * 1e3:.1f} ms" if p95 is not None else "")
+            )
     store = payload.get("store")
     if store:
         lines += [

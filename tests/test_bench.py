@@ -1,0 +1,457 @@
+"""Tests for the experiment-matrix harness (repro.bench).
+
+Locks down the PR-10 acceptance criteria:
+
+* matrix specs validate eagerly (bad axes, values, and knobs fail
+  before anything runs) and expand deterministically;
+* the aggregation math is correct on known distributions (percentiles,
+  mean/stdev/spread, histogram merging);
+* the capacity fit recovers synthetic linear data as ``linear`` and
+  synthetic kneed data as ``kneed`` with the right knee;
+* a run table is **bit-identical** (same digest) when re-run with the
+  same seed, and the digest detects tampering;
+* the v9 perf payload carries a capacity section, and the new
+  capacity/knee/reference-cell gates fire on synthetic regressions
+  with the uniform failure format;
+* the ``bench`` CLI verb works end-to-end (run/table/compare).
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchError,
+    Cell,
+    MatrixSpec,
+    build_row,
+    cell_seed,
+    compare_tables,
+    expand_matrix,
+    fit_capacity,
+    fit_linear,
+    format_gate_failure,
+    gate_reference_cell,
+    load_spec,
+    match_cell,
+    merge_histograms,
+    parse_filters,
+    percentile_from_snapshot,
+    render_bench_csv,
+    render_bench_table,
+    run_matrix,
+    summarize,
+    table_digest,
+    validate_run_table,
+)
+
+
+def tiny_spec(**overrides) -> MatrixSpec:
+    """The smallest useful matrix: 1 serve cell, short workload."""
+    kwargs = dict(
+        name="tiny",
+        axes={"sessions": [2], "kernel": ["reference"]},
+        repetitions=2,
+        seed=0,
+        duration_s=0.5,
+        block_seconds=0.25,
+        workers=2,
+    )
+    kwargs.update(overrides)
+    return MatrixSpec(**kwargs)
+
+
+# ---------------------------------------------------------------- spec
+
+
+def test_spec_rejects_unknown_axis():
+    with pytest.raises(BenchError, match="unknown axes"):
+        MatrixSpec(name="x", axes={"cores": [1]})
+
+
+def test_spec_rejects_bad_values():
+    with pytest.raises(BenchError, match="sessions"):
+        MatrixSpec(name="x", axes={"sessions": [0]})
+    with pytest.raises(BenchError, match="dtype"):
+        MatrixSpec(name="x", axes={"dtype": ["float16"]})
+    with pytest.raises(BenchError, match="backpressure"):
+        MatrixSpec(name="x", axes={"backpressure": ["yolo"]})
+    with pytest.raises(BenchError, match="duplicate"):
+        MatrixSpec(name="x", axes={"shards": [1, 1]})
+    with pytest.raises(BenchError, match="repetitions"):
+        MatrixSpec(name="x", repetitions=0)
+
+
+def test_spec_from_dict_rejects_unknown_keys():
+    with pytest.raises(BenchError, match="unknown spec keys"):
+        MatrixSpec.from_dict({"name": "x", "bogus": 1})
+    with pytest.raises(BenchError, match="needs a 'name'"):
+        MatrixSpec.from_dict({"axes": {}})
+
+
+def test_expand_matrix_deterministic_order():
+    spec = MatrixSpec(
+        name="x", axes={"shards": [1, 2], "kernel": ["reference", "batched"]}
+    )
+    cells = expand_matrix(spec)
+    assert [(c.shards, c.kernel) for c in cells] == [
+        (1, "reference"), (1, "batched"), (2, "reference"), (2, "batched"),
+    ]
+    # unswept axes pin to defaults
+    assert all(c.sessions == 4 and c.backpressure == "block" for c in cells)
+    assert expand_matrix(spec) == cells
+
+
+def test_expand_matrix_rejects_fault_plan_on_shards():
+    spec = MatrixSpec(
+        name="x", axes={"shards": [1], "fault_plan": ["drop=0.1"]}
+    )
+    with pytest.raises(BenchError, match="wire-fault plan with a shard"):
+        expand_matrix(spec)
+
+
+def test_cell_key_and_seed_stable():
+    cell = expand_matrix(MatrixSpec(name="x"))[0]
+    assert cell.key == (
+        "sessions=4/shards=0/kernel=batched/dtype=float64/"
+        "fault_plan=/backpressure=block"
+    )
+    assert cell_seed(0, cell.key) == cell_seed(0, cell.key)
+    assert cell_seed(0, cell.key) != cell_seed(1, cell.key)
+
+
+def test_filters():
+    cells = expand_matrix(
+        MatrixSpec(name="x", axes={"shards": [0, 1], "sessions": [2, 4]})
+    )
+    filters = parse_filters(["shards=1", "cell=sessions=2"])
+    picked = [c for c in cells if match_cell(c, filters)]
+    assert [(c.sessions, c.shards) for c in picked] == [(2, 1)]
+    with pytest.raises(BenchError, match="KEY=VALUE"):
+        parse_filters(["shards"])
+    with pytest.raises(BenchError, match="filter key"):
+        parse_filters(["bogus=1"])
+
+
+def test_load_spec_json(tmp_path):
+    path = tmp_path / "m.json"
+    path.write_text(json.dumps({"name": "j", "axes": {"sessions": [2]}}))
+    spec = load_spec(path)
+    assert spec.name == "j" and spec.axes == {"sessions": [2]}
+    with pytest.raises(BenchError, match="not found"):
+        load_spec(tmp_path / "missing.json")
+    bad = tmp_path / "m.yaml"
+    bad.write_text("name: y")
+    with pytest.raises(BenchError, match=".toml or .json"):
+        load_spec(bad)
+
+
+def test_load_spec_toml(tmp_path):
+    pytest.importorskip("tomllib")  # python >= 3.11 only
+    path = tmp_path / "m.toml"
+    path.write_text('name = "t"\nrepetitions = 2\n[axes]\nshards = [1, 2]\n')
+    spec = load_spec(path)
+    assert spec.name == "t" and spec.axes == {"shards": [1, 2]}
+    assert spec.repetitions == 2
+
+
+def test_committed_smoke_matrix_loads():
+    pytest.importorskip("tomllib")
+    spec = load_spec("benchmarks/matrices/smoke.toml")
+    cells = expand_matrix(spec)
+    assert len(cells) == 8  # the 2x2x2 CI smoke matrix
+    assert spec.seed == 0 and spec.duration_s == 1.0
+
+
+# ----------------------------------------------------------- aggregate
+
+
+def test_summarize_known_distribution():
+    stats = summarize([2.0, 4.0, 6.0])
+    assert stats["mean"] == pytest.approx(4.0)
+    assert stats["min"] == 2.0 and stats["max"] == 6.0
+    assert stats["stdev"] == pytest.approx(2.0)  # sample stdev
+    assert stats["spread_frac"] == pytest.approx(1.0)
+    single = summarize([3.0])
+    assert single["stdev"] == 0.0 and single["spread_frac"] == 0.0
+    with pytest.raises(BenchError):
+        summarize([])
+
+
+def test_percentile_from_snapshot_matches_live_histogram():
+    from repro.obs.metrics import Histogram
+
+    hist = Histogram("t", bounds=(0.1, 0.5, 1.0))
+    for v in (0.05, 0.2, 0.3, 0.4, 0.7, 0.9, 0.95):
+        hist.observe(v)
+    snap = hist.snapshot()
+    for q in (0.1, 0.5, 0.9, 0.95, 1.0):
+        assert percentile_from_snapshot(snap, q) == hist.percentile(q)
+    assert percentile_from_snapshot(None, 0.5) is None
+    with pytest.raises(BenchError):
+        percentile_from_snapshot(snap, 1.5)
+
+
+def test_merge_histograms():
+    a = {"type": "histogram", "bounds": [1.0], "counts": [2, 0],
+         "count": 2, "sum": 1.0, "min": 0.3, "max": 0.7}
+    b = {"type": "histogram", "bounds": [1.0], "counts": [1, 1],
+         "count": 2, "sum": 2.5, "min": 0.5, "max": 2.0}
+    merged = merge_histograms([a, None, b])
+    assert merged["counts"] == [3, 1] and merged["count"] == 4
+    assert merged["sum"] == pytest.approx(3.5)
+    assert merged["min"] == 0.3 and merged["max"] == 2.0
+    assert merge_histograms([None, None]) is None
+    c = dict(a, bounds=[2.0])
+    with pytest.raises(BenchError, match="different bounds"):
+        merge_histograms([a, c])
+
+
+def _rep(updates=5, distance=1.25, rate=10.0):
+    return {
+        "wall_s": 0.5, "n_sessions": 2, "total_samples": 100,
+        "sessions_per_second": rate, "samples_per_second": 200.0,
+        "n_updates": updates, "total_distance_m": distance,
+        "health": {"blocked": 0, "shed": 0, "rejected": 0,
+                   "degraded_blocks": 0, "reconnects": 0},
+        "latency": None,
+    }
+
+
+def test_build_row_flags_determinism_violation():
+    cell = expand_matrix(MatrixSpec(name="x"))[0]
+    assert cell.deterministic
+    build_row(cell, 7, [_rep(), _rep()])  # identical reps: fine
+    with pytest.raises(BenchError, match="diverged"):
+        build_row(cell, 7, [_rep(updates=5), _rep(updates=6)])
+    with pytest.raises(BenchError, match="diverged"):
+        build_row(cell, 7, [_rep(distance=1.25), _rep(distance=1.26)])
+
+
+def test_table_digest_covers_deterministic_fields_only():
+    cell = expand_matrix(MatrixSpec(name="x"))[0]
+    row_a = build_row(cell, 7, [_rep(rate=10.0)])
+    row_b = build_row(cell, 7, [_rep(rate=99.0)])  # wall-clock noise
+    assert table_digest([row_a]) == table_digest([row_b])
+    row_c = build_row(cell, 7, [_rep(updates=6)])
+    assert table_digest([row_a]) != table_digest([row_c])
+
+
+# ------------------------------------------------------------ capacity
+
+
+def test_fit_linear_exact():
+    fit = fit_linear([1, 2, 3, 4], [3.0, 5.0, 7.0, 9.0])
+    assert fit["slope"] == pytest.approx(2.0)
+    assert fit["intercept"] == pytest.approx(1.0)
+    assert fit["r2"] == pytest.approx(1.0)
+    flat = fit_linear([1, 1], [2.0, 4.0])  # zero x-variance degenerates
+    assert flat["slope"] == 0.0 and flat["intercept"] == pytest.approx(3.0)
+    constant = fit_linear([1, 2], [5.0, 5.0])
+    assert constant["r2"] == 1.0
+
+
+def test_fit_capacity_linear_stays_linear():
+    fit = fit_capacity([1, 2, 3, 4, 5], [2.0, 4.0, 6.0, 8.0, 10.0])
+    assert fit["model"] == "linear"
+    assert fit["knee"] is None and fit["slope_after"] is None
+    assert fit["slope"] == pytest.approx(2.0)
+
+
+def test_fit_capacity_detects_knee():
+    # linear to x=3, flat after: the classic saturation curve
+    xs = [1, 2, 3, 4, 5, 6]
+    ys = [2.0, 4.0, 6.0, 6.1, 6.15, 6.2]
+    fit = fit_capacity(xs, ys)
+    assert fit["model"] == "kneed"
+    assert fit["knee"] == 3
+    assert fit["slope"] == pytest.approx(2.0)
+    assert fit["slope_after"] < 0.2
+
+
+def test_fit_capacity_too_few_points_never_knees():
+    fit = fit_capacity([1, 2, 4], [2.0, 3.0, 3.1])  # bends, but n < 4
+    assert fit["model"] == "linear"
+    with pytest.raises(BenchError, match="strictly increasing"):
+        fit_capacity([2, 1], [1.0, 2.0])
+
+
+# ----------------------------------------------------------- run_matrix
+
+
+def test_run_matrix_bit_identical_digest():
+    spec = tiny_spec()
+    p1 = run_matrix(spec)
+    p2 = run_matrix(spec)
+    validate_run_table(p1)
+    assert p1["digest"] == p2["digest"]
+    assert p1["n_cells"] == 1 and len(p1["rows"][0]["reps"]) == 2
+    row = p1["rows"][0]
+    assert row["deterministic"] and row["n_updates"] > 0
+    assert row["latency_p95_s"] is not None  # obs histogram captured
+    assert row["health"]["shed"] == 0
+
+
+def test_run_matrix_filters_and_empty():
+    spec = tiny_spec(axes={"sessions": [2], "kernel": ["reference", "batched"]})
+    payload = run_matrix(spec, filters=parse_filters(["kernel=batched"]))
+    assert payload["n_cells"] == 1
+    assert payload["rows"][0]["cell"]["kernel"] == "batched"
+    with pytest.raises(BenchError, match="zero cells"):
+        run_matrix(spec, filters=parse_filters(["kernel=bogus"]))
+
+
+def test_validate_run_table_rejects_tampering():
+    payload = run_matrix(tiny_spec(repetitions=1))
+    broken = copy.deepcopy(payload)
+    broken["rows"][0]["n_updates"] += 1
+    with pytest.raises(BenchError, match="digest"):
+        validate_run_table(broken)
+    wrong = copy.deepcopy(payload)
+    wrong["schema"] = "bogus"
+    with pytest.raises(BenchError, match="schema"):
+        validate_run_table(wrong)
+
+
+def test_render_outputs():
+    payload = run_matrix(tiny_spec(repetitions=1))
+    md = render_bench_table(payload)
+    assert payload["digest"] in md and "| cell |" in md
+    csv_text = render_bench_csv(payload)
+    lines = csv_text.strip().splitlines()
+    assert len(lines) == 2  # header + 1 cell
+    assert lines[0].startswith("sessions,shards,kernel,")
+
+
+# ---------------------------------------------------------------- gates
+
+
+def test_format_gate_failure_uniform():
+    text = format_gate_failure("a.b", measured="1.0/s", baseline="2.0/s",
+                               budget="-20%", note="why")
+    assert text == "[a.b] measured 1.0/s vs baseline 2.0/s (budget -20%) — why"
+
+
+def test_compare_tables_pass_and_fail():
+    old = run_matrix(tiny_spec(repetitions=1))
+    assert compare_tables(old, old) == []
+    slow = copy.deepcopy(old)
+    slow["rows"][0]["sessions_per_second"]["mean"] /= 10.0
+    failures = compare_tables(old, slow)
+    assert len(failures) == 1
+    assert failures[0].startswith("[bench[") and "budget" in failures[0]
+    shrunk = copy.deepcopy(old)
+    shrunk["rows"] = []
+    assert any(".present]" in f for f in compare_tables(old, shrunk))
+
+
+def _perf_capacity(slope=2.0, knee=None, rate=10.0, p95=0.05):
+    return {
+        "capacity": {
+            "source": "shard_scaling",
+            "fit": {"model": "kneed" if knee is not None else "linear",
+                    "slope": slope, "intercept": 0.0, "r2": 1.0,
+                    "knee": knee, "slope_after": None, "points": []},
+            "reference_cell": {
+                "key": "x", "sessions": 4, "shards": 1,
+                "kernel": "batched", "dtype": "float64",
+                "sessions_per_second": rate,
+                "block_latency_p50_s": p95 / 2, "block_latency_p95_s": p95,
+            },
+        }
+    }
+
+
+def test_perf_capacity_gates_fire():
+    from repro.eval.perf import check_perf_regression
+
+    baseline = _perf_capacity(slope=2.0)
+    # slope regression beyond the budget
+    fresh = _perf_capacity(slope=1.0)
+    failures = check_perf_regression(fresh, baseline)
+    assert any("[capacity.fit.slope]" in f for f in failures)
+    # a knee appearing where the baseline scaled linearly
+    kneed = _perf_capacity(slope=2.0, knee=2)
+    failures = check_perf_regression(kneed, baseline)
+    assert any("[capacity.fit.knee]" in f for f in failures)
+    # knee moving earlier beyond the budget
+    failures = check_perf_regression(
+        _perf_capacity(slope=2.0, knee=2), _perf_capacity(slope=2.0, knee=4)
+    )
+    assert any("[capacity.fit.knee]" in f for f in failures)
+    # within-budget knee drift passes
+    assert not check_perf_regression(
+        _perf_capacity(slope=2.0, knee=4), _perf_capacity(slope=2.0, knee=4)
+    )
+    # p95 blow-up past budget + slack
+    failures = check_perf_regression(
+        _perf_capacity(p95=0.5), _perf_capacity(p95=0.05)
+    )
+    assert any(
+        "[capacity.reference_cell.block_latency_p95_s]" in f for f in failures
+    )
+    # a v8 baseline (no capacity section) skips every capacity gate
+    assert not check_perf_regression(_perf_capacity(slope=1.0), {})
+
+
+def test_gate_reference_cell():
+    table = run_matrix(
+        tiny_spec(axes={"sessions": [2], "shards": [1]}, repetitions=1)
+    )
+    row = table["rows"][0]
+    rate = row["sessions_per_second"]["mean"]
+    perf = {
+        "capacity": {
+            "reference_cell": {
+                "key": row["key"], "sessions": 2, "shards": 1,
+                "kernel": "batched", "dtype": "float64",
+                "sessions_per_second": rate,
+                "block_latency_p95_s": row["latency_p95_s"],
+            }
+        }
+    }
+    assert gate_reference_cell(table, perf) == []
+    perf["capacity"]["reference_cell"]["sessions_per_second"] = rate * 10
+    failures = gate_reference_cell(table, perf)
+    assert any(".sessions_per_second]" in f for f in failures)
+    perf["capacity"]["reference_cell"]["sessions"] = 99  # no matching row
+    failures = gate_reference_cell(table, perf)
+    assert any(".present]" in f for f in failures)
+    assert gate_reference_cell(table, {}) == []  # pre-v9 baseline: no gate
+
+
+# ------------------------------------------------------------------ cli
+
+
+def test_cli_bench_end_to_end(tmp_path, capsys):
+    from repro.cli import main
+
+    spec_path = tmp_path / "m.json"
+    spec_path.write_text(json.dumps({
+        "name": "cli", "axes": {"sessions": [2], "kernel": ["reference"]},
+        "repetitions": 1, "seed": 0, "duration_s": 0.5,
+        "block_seconds": 0.25, "workers": 2,
+    }))
+    out = tmp_path / "out"
+    rc = main([
+        "bench", "run", "--matrix", str(spec_path), "--out", str(out),
+    ])
+    assert rc == 0
+    table_path = out / "run_table.json"
+    assert table_path.is_file()
+    assert (out / "run_table.md").is_file()
+    assert (out / "run_table.csv").is_file()
+    payload = json.loads(table_path.read_text())
+    validate_run_table(payload)
+    capsys.readouterr()
+
+    rc = main(["bench", "table", str(table_path), "--format", "csv"])
+    assert rc == 0
+    assert capsys.readouterr().out.startswith("sessions,shards,")
+
+    rc = main(["bench", "compare", str(table_path), str(table_path)])
+    assert rc == 0
+    assert "ok" in capsys.readouterr().out
